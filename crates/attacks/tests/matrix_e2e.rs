@@ -1,0 +1,45 @@
+//! Experiment E1: the full attack × configuration matrix must reproduce
+//! the paper's claims exactly.
+
+use attacks::matrix::{expected, run_matrix};
+
+#[test]
+fn matrix_matches_the_paper() {
+    let reports = run_matrix(0xE1);
+    assert_eq!(reports.len(), 42, "14 attacks x 3 configurations");
+    let mut mismatches = Vec::new();
+    for r in &reports {
+        let want = expected(r.id, r.config).expect("expectation defined");
+        if r.succeeded != want {
+            mismatches.push(format!(
+                "{}/{}: expected {}, got {} ({})",
+                r.id,
+                r.config,
+                if want { "BREACH" } else { "safe" },
+                if r.succeeded { "BREACH" } else { "safe" },
+                r.evidence
+            ));
+        }
+    }
+    assert!(mismatches.is_empty(), "matrix deviations:\n{}", mismatches.join("\n"));
+}
+
+#[test]
+fn matrix_is_deterministic() {
+    let a = run_matrix(7);
+    let b = run_matrix(7);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.succeeded, y.succeeded, "{}/{}", x.id, x.config);
+    }
+}
+
+#[test]
+fn matrix_stable_across_seeds() {
+    // The outcomes are properties of the protocol, not of luck.
+    for seed in [1u64, 42, 9999] {
+        for r in run_matrix(seed) {
+            let want = expected(r.id, r.config).unwrap();
+            assert_eq!(r.succeeded, want, "seed {seed}: {}/{} ({})", r.id, r.config, r.evidence);
+        }
+    }
+}

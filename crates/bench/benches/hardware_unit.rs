@@ -1,0 +1,67 @@
+//! E8 — the overhead of routing cryptographic operations through the
+//! (simulated) host encryption unit instead of software key handling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hardware::EncryptionUnit;
+use kerberos::enclayer::EncLayer;
+use kerberos::ProtocolConfig;
+use krb_crypto::des::DesKey;
+use krb_crypto::key::KeyPurpose;
+use krb_crypto::rng::Drbg;
+
+fn bench_seal_paths(c: &mut Criterion) {
+    let config = ProtocolConfig::hardened();
+    let key = DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity();
+    let data = vec![0x5au8; 256];
+
+    // Software path: key in host memory.
+    c.bench_function("seal_256B_software", |b| {
+        let mut rng = Drbg::new(1);
+        b.iter(|| EncLayer::HardenedCbc.seal(&key, 3, std::hint::black_box(&data), &mut rng).unwrap());
+    });
+
+    // Hardware path: key sealed in the unit, addressed by handle, audit
+    // log appended per op.
+    c.bench_function("seal_256B_hardware_unit", |b| {
+        let mut unit = EncryptionUnit::new(config.clone(), 2);
+        let slot = unit.load_key(key, KeyPurpose::AppSession);
+        b.iter(|| unit.seal_data(slot, 3, std::hint::black_box(&data)).unwrap());
+    });
+}
+
+fn bench_unit_ticket_ops(c: &mut Criterion) {
+    use kerberos::flags::TicketFlags;
+    use kerberos::principal::Principal;
+    use kerberos::ticket::Ticket;
+    let config = ProtocolConfig::hardened();
+    let mut rng = Drbg::new(3);
+    let service_key = DesKey::from_u64(0xFEDCBA9876543210).with_odd_parity();
+    let ticket = Ticket {
+        flags: TicketFlags::empty(),
+        client: Principal::user("pat", "R"),
+        service: Principal::service("files", "h", "R"),
+        addr: None,
+        auth_time: 0,
+        start_time: 0,
+        end_time: 1_000_000_000,
+        session_key: DesKey::from_u64(0x1111111111111111).with_odd_parity(),
+        transited: vec![],
+    };
+    let sealed = ticket.seal(config.codec, config.ticket_layer, &service_key, &mut rng).unwrap();
+
+    c.bench_function("decrypt_ticket_software", |b| {
+        b.iter(|| {
+            Ticket::unseal(config.codec, config.ticket_layer, &service_key, std::hint::black_box(&sealed))
+                .unwrap()
+        });
+    });
+
+    c.bench_function("decrypt_ticket_hardware_unit", |b| {
+        let mut unit = EncryptionUnit::new(config.clone(), 4);
+        let slot = unit.load_key(service_key, KeyPurpose::Service);
+        b.iter(|| unit.decrypt_ticket(slot, std::hint::black_box(&sealed)).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_seal_paths, bench_unit_ticket_ops);
+criterion_main!(benches);

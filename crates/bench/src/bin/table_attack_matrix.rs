@@ -1,0 +1,30 @@
+//! E1 — the attack × configuration matrix (the paper's claim set).
+//!
+//! Run: `cargo run --release -p bench --bin table_attack_matrix`
+
+use attacks::matrix::{expected, render_table, run_matrix};
+
+fn main() {
+    println!("E1: attack x configuration matrix (Bellovin & Merritt 1991)");
+    let reports = run_matrix(0xE1);
+    println!("\n{}", render_table(&reports));
+
+    let mut deviations = 0;
+    for r in &reports {
+        let want = expected(r.id, r.config).unwrap_or(false);
+        if r.succeeded != want {
+            deviations += 1;
+            println!("DEVIATION {}/{}: expected {want}, got {}", r.id, r.config, r.succeeded);
+        }
+    }
+    println!("\nevidence (breaches only):");
+    for r in reports.iter().filter(|r| r.succeeded) {
+        println!("  {:>3} [{:9}] {}", r.id, r.config, r.evidence);
+    }
+    println!(
+        "\n{} cells, {} deviations from the paper's analysis",
+        reports.len(),
+        deviations
+    );
+    assert_eq!(deviations, 0, "matrix must match the paper");
+}

@@ -1,0 +1,137 @@
+//! E5 — the cost of the recommended protocol options, in messages on
+//! the wire per operation.
+//!
+//! "An extra pair of messages must be exchanged each time a ticket is
+//! used ... we have added extra messages to the login dialog" — this
+//! table counts them.
+//!
+//! Run: `cargo run --release -p bench --bin table_auth_costs`
+
+use bench::TextTable;
+use kerberos::appserver::connect_app;
+use kerberos::client::{login, LoginInput};
+use kerberos::testbed::standard_campus;
+use kerberos::{AuthStyle, PreauthMode, ProtocolConfig};
+use krb_crypto::rng::Drbg;
+use simnet::{Network, SimDuration};
+
+/// Counts datagrams on the wire during `f`.
+fn count_msgs(net: &mut Network, f: impl FnOnce(&mut Network)) -> usize {
+    let before = net.traffic_log().len();
+    f(net);
+    net.traffic_log().len() - before
+}
+
+fn main() {
+    println!("E5: wire messages per operation, per protocol option");
+
+    // Login dialog variants.
+    let mut table = TextTable::new(&["login variant", "messages", "delta vs v4"]);
+    let variants: Vec<(&str, ProtocolConfig)> = vec![
+        ("v4 baseline", ProtocolConfig::v4()),
+        (
+            "+ preauth",
+            {
+                let mut c = ProtocolConfig::v4();
+                c.preauth = PreauthMode::EncTimestamp;
+                c
+            },
+        ),
+        (
+            "+ handheld authenticator (2-round)",
+            {
+                let mut c = ProtocolConfig::v4();
+                c.hha_login = true;
+                c
+            },
+        ),
+        (
+            "+ exponential key exchange",
+            {
+                let mut c = ProtocolConfig::v4();
+                c.dh_login = true;
+                c
+            },
+        ),
+        ("hardened (all of the above)", ProtocolConfig::hardened()),
+    ];
+    let mut baseline = 0usize;
+    for (label, config) in &variants {
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let realm = standard_campus(&mut net, config, 5);
+        let mut rng = Drbg::new(6);
+        let n = count_msgs(&mut net, |net| {
+            let _ = login(
+                net,
+                config,
+                realm.user_ep("pat"),
+                realm.kdc_ep,
+                &realm.user("pat"),
+                LoginInput::Password("correct-horse-battery"),
+                &mut rng,
+            )
+            .expect("login");
+        });
+        if baseline == 0 {
+            baseline = n;
+        }
+        table.row(&[label.to_string(), n.to_string(), format!("+{}", n.saturating_sub(baseline))]);
+    }
+    table.print("login (AS exchange) message counts");
+
+    // Application authentication variants.
+    let mut table = TextTable::new(&["AP variant", "messages", "delta"]);
+    let variants: Vec<(&str, ProtocolConfig)> = vec![
+        ("timestamp authenticator (v4)", ProtocolConfig::v4()),
+        ("timestamp + mutual (draft3)", ProtocolConfig::v5_draft3()),
+        (
+            "challenge/response",
+            {
+                let mut c = ProtocolConfig::v5_draft3();
+                c.auth_style = AuthStyle::ChallengeResponse;
+                c
+            },
+        ),
+    ];
+    let mut baseline = 0usize;
+    for (label, config) in &variants {
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let realm = standard_campus(&mut net, config, 7);
+        let mut rng = Drbg::new(8);
+        let tgt = login(
+            &mut net,
+            config,
+            realm.user_ep("pat"),
+            realm.kdc_ep,
+            &realm.user("pat"),
+            LoginInput::Password("correct-horse-battery"),
+            &mut rng,
+        )
+        .expect("login");
+        let st = kerberos::client::get_service_ticket(
+            &mut net,
+            config,
+            realm.user_ep("pat"),
+            realm.kdc_ep,
+            &tgt,
+            &realm.service("echo"),
+            kerberos::TgsParams::default(),
+            &mut rng,
+        )
+        .expect("ticket");
+        let n = count_msgs(&mut net, |net| {
+            let _ = connect_app(net, config, realm.user_ep("pat"), realm.service_ep("echo"), &st, &mut rng)
+                .expect("connect");
+        });
+        if baseline == 0 {
+            baseline = n;
+        }
+        table.row(&[label.to_string(), n.to_string(), format!("+{}", n.saturating_sub(baseline))]);
+    }
+    table.print(
+        "application authentication message counts \
+         (paper: C/R 'rules out the possibility of authenticated datagrams')",
+    );
+}

@@ -1,0 +1,99 @@
+//! E10 — inter-realm authentication: path costs and trust limits.
+//!
+//! Run: `cargo run --release -p bench --bin table_crossrealm`
+
+use bench::TextTable;
+use kerberos::client::{login, LoginInput};
+use kerberos::crossrealm::{cross_realm_ticket, RealmTopology, TrustPolicy};
+use kerberos::kdc::Kdc;
+use kerberos::testbed::deploy_realm;
+use kerberos::ticket::Ticket;
+use kerberos::ProtocolConfig;
+use krb_crypto::rng::{Drbg, RandomSource};
+use simnet::{Network, SimDuration};
+
+fn main() {
+    println!("E10: inter-realm chains — message cost, transited paths, trust evaluation");
+    let config = ProtocolConfig::v5_draft3();
+
+    let mut table = TextTable::new(&["chain depth", "realms", "wire messages", "transited recorded"]);
+    for depth in 1usize..=4 {
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let mut rng = Drbg::new(0xE10 + depth as u64);
+
+        // Build a chain R0 (home, with user) -> R1 -> ... -> Rdepth.
+        let names: Vec<String> = (0..=depth).map(|i| format!("REALM{i}")).collect();
+        let mut realms = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let users: &[(&str, &str)] = if i == 0 { &[("pat", "pw")] } else { &[] };
+            let services: &[&str] = if i == depth { &["files"] } else { &[] };
+            realms.push(deploy_realm(&mut net, name, i as u8 + 1, &config, users, services, 40 + i as u64));
+        }
+        let mut topo = RealmTopology::new();
+        for (i, r) in realms.iter().enumerate() {
+            topo.add_realm(&names[i], r.kdc_ep);
+        }
+        for i in 0..depth {
+            let k = rng.gen_des_key();
+            realms[i].with_kdc(&mut net, |kdc: &mut Kdc| {
+                kdc.db.add_cross_realm(&names[i + 1], k);
+            });
+            realms[i + 1].with_kdc(&mut net, |kdc: &mut Kdc| {
+                kdc.db.add_cross_realm(&names[i], k);
+            });
+            // Static routes: every realm routes toward the chain end via
+            // its next hop.
+            for (j, name) in names.iter().enumerate().take(depth) {
+                if j <= i {
+                    topo.add_route(name, &names[depth], &names[j + 1]);
+                }
+            }
+        }
+        for i in 0..depth {
+            topo.add_route(&names[i], &names[i + 1], &names[i + 1]);
+        }
+
+        let home = &realms[0];
+        let tgt = login(
+            &mut net,
+            &config,
+            home.user_ep("pat"),
+            home.kdc_ep,
+            &home.user("pat"),
+            LoginInput::Password("pw"),
+            &mut rng,
+        )
+        .expect("login");
+        let before = net.traffic_log().len();
+        let target = realms[depth].service("files");
+        let (cred, path) =
+            cross_realm_ticket(&mut net, &config, &topo, home.user_ep("pat"), &tgt, &target, &mut rng)
+                .expect("cross-realm walk");
+        let msgs = net.traffic_log().len() - before;
+
+        let files_key = realms[depth].service_keys["files"];
+        let t = Ticket::unseal(config.codec, config.ticket_layer, &files_key, &cred.sealed_ticket)
+            .expect("unseal");
+        table.row(&[
+            depth.to_string(),
+            path.join(">"),
+            msgs.to_string(),
+            format!("{:?}", t.transited),
+        ]);
+    }
+    table.print("cost grows linearly in path length; each hop is a full TGS exchange");
+
+    // Trust evaluation demonstration.
+    let policy = TrustPolicy::distrusting(&["REALM2"]);
+    println!(
+        "\ntrust policy 'distrust REALM2': path [REALM1,REALM2] -> {:?}; path [REALM1] -> {:?}",
+        policy.evaluate(&["REALM1".into(), "REALM2".into()]).err().map(|e| e.to_string()),
+        policy.evaluate(&["REALM1".into()]).is_ok()
+    );
+    println!(
+        "paper: 'in the absence of a global name space ... a server needs global knowledge of \
+         the trustworthiness of all possible transit realms. In a large internet, such \
+         knowledge is probably not possible.'"
+    );
+}

@@ -1,0 +1,72 @@
+//! E9 — ticket exposure in short sessions, and the lifetime trade-off.
+//!
+//! "An intruder may simply watch for a mail-checking session, wherein a
+//! user logs in briefly, reads a few messages, and logs out. A number of
+//! valuable tickets would be exposed by such a session, notably the one
+//! used to mount the user's home directory."
+//!
+//! Run: `cargo run --release -p bench --bin table_ticket_exposure`
+
+use attacks::env::AttackEnv;
+use attacks::workload::mail_check_session;
+use bench::TextTable;
+use kerberos::messages::WireKind;
+use kerberos::ProtocolConfig;
+
+fn main() {
+    println!("E9: live credentials exposed on the wire by a mail-check session");
+
+    // Part 1: what one short session leaks.
+    let mut table = TextTable::new(&["config", "AS replies", "TGS replies", "AP requests", "stealable tickets"]);
+    for config in ProtocolConfig::presets() {
+        let mut env = AttackEnv::new(&config, 0xE9);
+        // The mail-check session: login, then touch each service.
+        let tgt = env.login("pat").expect("login");
+        let mut ap_count = 0;
+        for service in mail_check_session() {
+            let st = env.ticket("pat", &tgt, service).expect("ticket");
+            let mut conn = env.connect("pat", &st, service).expect("connect");
+            let mut rng = env.rng.clone();
+            let _ = conn.request(&mut env.net, b"COUNT", &mut rng);
+            ap_count += 1;
+        }
+        let log = env.net.traffic_log();
+        let count_kind = |k: WireKind| {
+            log.iter().filter(|r| r.dgram.payload.first().copied().and_then(WireKind::from_u8) == Some(k)).count()
+        };
+        let as_reps = count_kind(WireKind::AsRep);
+        let tgs_reps = count_kind(WireKind::TgsRep);
+        let ap_reqs = count_kind(WireKind::ApReq);
+        // Each AP request carries a sealed ticket + live authenticator:
+        // a stealable credential within the skew window (unless
+        // challenge/response makes replays useless).
+        let stealable = if config.auth_style == kerberos::AuthStyle::ChallengeResponse { 0 } else { ap_reqs };
+        table.row(&[
+            config.name.into(),
+            as_reps.to_string(),
+            tgs_reps.to_string(),
+            ap_reqs.to_string(),
+            stealable.to_string(),
+        ]);
+        let _ = ap_count;
+    }
+    table.print("one mail-check session (login + home-directory mount + mail read)");
+
+    // Part 2: the lifetime trade-off. With L-hour tickets and S sessions
+    // per day, how many stolen-credential-hours does a day of traffic
+    // put at risk? (Exposure = sessions x remaining lifetime.)
+    let mut table = TextTable::new(&["ticket lifetime (h)", "relogins/day", "exposure (ticket-hours at risk)"]);
+    for lifetime_h in [1u64, 4, 8, 24] {
+        let day_hours = 12u64; // working day
+        let relogins = day_hours.div_ceil(lifetime_h);
+        // Each session exposes 2 service credentials (files + mail); a
+        // stolen credential is good for the remainder of its lifetime —
+        // on average half.
+        let exposure = relogins * 2 * lifetime_h / 2;
+        table.row(&[lifetime_h.to_string(), relogins.to_string(), exposure.to_string()]);
+    }
+    table.print(
+        "lifetime sweep (paper: 'the longer a ticket is in use, the greater the risk of it \
+         being stolen' — but short lifetimes mean more password prompts or more exposed logins)",
+    );
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the experiment harness: table formatting and
+//! wall-clock measurement.
+
+use std::time::Instant;
+
+/// A simple fixed-width text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    widths: Vec<usize>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let widths = headers.iter().map(|h| h.len()).collect();
+        TextTable { headers, rows: Vec::new(), widths }
+    }
+
+    /// Adds a row (cells stringified by the caller).
+    pub fn row(&mut self, cells: &[String]) {
+        for (i, c) in cells.iter().enumerate() {
+            if i < self.widths.len() {
+                self.widths[i] = self.widths[i].max(c.len());
+            }
+        }
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        s.push_str(&line(&self.headers, &self.widths));
+        s.push('\n');
+        s.push_str(&"-".repeat(self.widths.iter().sum::<usize>() + 2 * self.widths.len()));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&line(r, &self.widths));
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Prints the table with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==\n{}", self.render());
+    }
+}
+
+/// Times a closure, returning (result, elapsed microseconds).
+pub fn time_us<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Times `iters` runs of a closure and returns mean microseconds.
+pub fn mean_us(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a-much-longer-name".into(), "22222".into()]);
+        let out = t.render();
+        assert!(out.contains("a-much-longer-name"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let (v, us) = time_us(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+        assert!(mean_us(3, || { std::hint::black_box(1 + 1); }) >= 0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! The network random-number service.
+//!
+//! "User workstations are not particularly good sources of random keys.
+//! The best alternative is to provide a (secure) random number service
+//! on the network. When a new client instance is added, this service
+//! would be consulted to generate the key."
+
+use kerberos::appserver::AppLogic;
+use kerberos::principal::Principal;
+use krb_crypto::rng::{Drbg, RandomSource};
+
+/// Commands: `RAND <n>` returns n random bytes (n <= 256); `KEY` returns
+/// 8 parity-correct DES key bytes.
+pub struct RandomServiceLogic {
+    rng: Drbg,
+    /// Total bytes served, for auditing.
+    pub bytes_served: u64,
+}
+
+impl RandomServiceLogic {
+    /// A service seeded from the (hardware) entropy source.
+    pub fn new(seed: u64) -> Self {
+        RandomServiceLogic { rng: Drbg::new(seed), bytes_served: 0 }
+    }
+}
+
+impl AppLogic for RandomServiceLogic {
+    fn on_command(&mut self, _client: &Principal, cmd: &[u8]) -> Vec<u8> {
+        let s = String::from_utf8_lossy(cmd);
+        let mut parts = s.split_whitespace();
+        match parts.next() {
+            Some("RAND") => {
+                let n: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(8).min(256);
+                let mut buf = vec![0u8; n];
+                self.rng.fill_bytes(&mut buf);
+                self.bytes_served += n as u64;
+                buf
+            }
+            Some("KEY") => {
+                self.bytes_served += 8;
+                self.rng.gen_des_key().0.to_vec()
+            }
+            _ => b"EBADCMD".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krb_crypto::des::DesKey;
+
+    fn pat() -> Principal {
+        Principal::user("pat", "R")
+    }
+
+    #[test]
+    fn rand_lengths() {
+        let mut r = RandomServiceLogic::new(1);
+        assert_eq!(r.on_command(&pat(), b"RAND 16").len(), 16);
+        assert_eq!(r.on_command(&pat(), b"RAND 0").len(), 0);
+        // Cap at 256.
+        assert_eq!(r.on_command(&pat(), b"RAND 100000").len(), 256);
+        assert_eq!(r.bytes_served, 16 + 256);
+    }
+
+    #[test]
+    fn key_command_returns_sound_des_key() {
+        let mut r = RandomServiceLogic::new(2);
+        for _ in 0..20 {
+            let bytes = r.on_command(&pat(), b"KEY");
+            let k = DesKey::from_bytes(bytes.try_into().expect("8 bytes"));
+            assert!(k.has_odd_parity());
+            assert!(!k.is_weak());
+        }
+    }
+
+    #[test]
+    fn outputs_differ_across_calls() {
+        let mut r = RandomServiceLogic::new(3);
+        let a = r.on_command(&pat(), b"RAND 32");
+        let b = r.on_command(&pat(), b"RAND 32");
+        assert_ne!(a, b);
+    }
+}

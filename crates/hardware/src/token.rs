@@ -1,0 +1,87 @@
+//! The handheld authenticator token.
+//!
+//! "The server pick\[s\] a random number R, and use\[s\] Kc to encrypt R.
+//! This value {R}Kc, rather than Kc, would be used to encrypt the
+//! server's response. R would be transmitted in the clear to the user.
+//! If a hand-held authenticator was in use, the user would employ it to
+//! calculate {R}Kc."
+
+use kerberos::kdc::hha_key;
+use kerberos::principal::Principal;
+use krb_crypto::des::DesKey;
+use krb_crypto::s2k;
+use std::fmt;
+
+/// A sealed-key login token. The enrolled key never leaves the device.
+pub struct HandheldAuthenticator {
+    owner: Principal,
+    kc: DesKey,
+    /// How many challenges this device has answered (visible on the
+    /// device's little LCD, so to speak).
+    pub uses: u64,
+}
+
+impl fmt::Debug for HandheldAuthenticator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HandheldAuthenticator(owner={}, uses={})", self.owner, self.uses)
+    }
+}
+
+impl HandheldAuthenticator {
+    /// Enrolls a device for `owner` from their password (done once, at
+    /// the security office, not on an untrusted workstation).
+    pub fn enroll(owner: Principal, password: &str) -> Self {
+        let kc = s2k::string_to_key_v5(password, &owner.salt());
+        HandheldAuthenticator { owner, kc, uses: 0 }
+    }
+
+    /// The device owner.
+    pub fn owner(&self) -> &Principal {
+        &self.owner
+    }
+
+    /// Answers a challenge: computes `{R}K_c` for the displayed `R`.
+    pub fn respond(&mut self, r: u64) -> DesKey {
+        self.uses += 1;
+        hha_key(&self.kc, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_match_kdc_derivation() {
+        let p = Principal::user("pat", "R");
+        let mut dev = HandheldAuthenticator::enroll(p.clone(), "hunter2");
+        let kc = s2k::string_to_key_v5("hunter2", &p.salt());
+        assert_eq!(dev.respond(42), hha_key(&kc, 42));
+        assert_eq!(dev.uses, 1);
+    }
+
+    #[test]
+    fn responses_are_challenge_specific() {
+        let mut dev = HandheldAuthenticator::enroll(Principal::user("pat", "R"), "hunter2");
+        assert_ne!(dev.respond(1), dev.respond(2));
+    }
+
+    /// The login-spoofing resistance property: observing a response
+    /// to challenge R1 gives the Trojan nothing usable for a different
+    /// challenge R2 (short of breaking DES).
+    #[test]
+    fn observed_response_useless_for_other_challenges() {
+        let mut dev = HandheldAuthenticator::enroll(Principal::user("pat", "R"), "hunter2");
+        let observed = dev.respond(1);
+        let needed = dev.respond(2);
+        assert_ne!(observed, needed);
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let dev = HandheldAuthenticator::enroll(Principal::user("pat", "R"), "hunter2");
+        let kc = s2k::string_to_key_v5("hunter2", &Principal::user("pat", "R").salt());
+        let shown = format!("{dev:?}");
+        assert!(!shown.contains(&format!("{:016x}", kc.to_u64())));
+    }
+}

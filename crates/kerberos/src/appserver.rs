@@ -1,0 +1,507 @@
+//! Application servers: AP-exchange verification, session establishment,
+//! and command dispatch — plus the client-side connection flow.
+
+use crate::authenticator::Authenticator;
+use crate::client::{client_local_time_us, Credential};
+use crate::config::{AppProtection, AuthStyle, ProtocolConfig};
+use crate::encoding::Codec;
+use crate::error::KrbError;
+use crate::flags::TicketFlags;
+use crate::messages::{
+    deframe, err_code, frame, ApRep, ApReq, EncApRepPart, KrbErrorMsg, WireKind,
+};
+use crate::principal::Principal;
+use crate::replay_cache::{CacheVerdict, ReplayCache};
+use crate::session::{Direction, Session};
+use crate::ticket::Ticket;
+use krb_crypto::des::DesKey;
+use krb_crypto::rng::{Drbg, RandomSource};
+use simnet::{Endpoint, Network, Service, ServiceCtx};
+use std::collections::HashMap;
+
+/// Application behavior behind the authentication layer.
+pub trait AppLogic {
+    /// Handles one authenticated command from `client`; returns the
+    /// reply payload.
+    fn on_command(&mut self, client: &Principal, cmd: &[u8]) -> Vec<u8>;
+
+    /// Downcast support for test and attack forensics.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// An authentication decision, recorded for attack forensics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthEvent {
+    /// The server accepted an AP exchange as `client` coming from
+    /// `from`.
+    Accepted {
+        /// Authenticated identity.
+        client: Principal,
+        /// Network origin.
+        from: Endpoint,
+    },
+    /// The server rejected an attempt.
+    Rejected {
+        /// Why.
+        reason: String,
+        /// Network origin.
+        from: Endpoint,
+    },
+}
+
+/// A kerberized application server bound to one port.
+pub struct AppServer {
+    /// Deployment configuration.
+    pub config: ProtocolConfig,
+    /// This service's principal.
+    pub principal: Principal,
+    service_key: DesKey,
+    rng: Drbg,
+    replay_cache: ReplayCache,
+    /// Challenge/response state: peer -> (nonce, ticket).
+    pending: HashMap<Endpoint, (u64, Ticket)>,
+    /// Established sessions by peer endpoint.
+    pub sessions: HashMap<Endpoint, Session>,
+    /// Plain-mode authorization: endpoint -> authenticated principal.
+    authorized: HashMap<Endpoint, Principal>,
+    /// Application behavior.
+    pub logic: Box<dyn AppLogic>,
+    /// Authentication decisions, in order.
+    pub auth_log: Vec<AuthEvent>,
+}
+
+impl AppServer {
+    /// Builds a server for `principal` holding `service_key`.
+    pub fn new(
+        config: ProtocolConfig,
+        principal: Principal,
+        service_key: DesKey,
+        logic: Box<dyn AppLogic>,
+        rng_seed: u64,
+    ) -> Self {
+        let skew = config.clock_skew_us;
+        AppServer {
+            config,
+            principal,
+            service_key,
+            rng: Drbg::new(rng_seed),
+            replay_cache: ReplayCache::new(skew),
+            pending: HashMap::new(),
+            sessions: HashMap::new(),
+            authorized: HashMap::new(),
+            logic,
+            auth_log: Vec::new(),
+        }
+    }
+
+    /// Count of accepted authentications for a given client name (attack
+    /// evidence helper).
+    pub fn accepted_count(&self, client: &Principal) -> usize {
+        self.auth_log
+            .iter()
+            .filter(|e| matches!(e, AuthEvent::Accepted { client: c, .. } if c == client))
+            .count()
+    }
+
+    /// The replay cache, for state-cost measurements.
+    pub fn replay_cache(&self) -> &ReplayCache {
+        &self.replay_cache
+    }
+
+    fn reject(&mut self, from: Endpoint, reason: &str, code: u32) -> Vec<u8> {
+        self.auth_log.push(AuthEvent::Rejected { reason: reason.into(), from });
+        KrbErrorMsg { code, text: reason.into(), challenge: None }.encode(self.config.codec)
+    }
+
+    /// Validates the ticket itself (not the authenticator).
+    fn check_ticket(&self, ticket: &Ticket, from: Endpoint, now_us: u64) -> Result<(), String> {
+        if ticket.service != self.principal {
+            return Err("ticket is for a different service".into());
+        }
+        if !ticket.valid_at(now_us, self.config.clock_skew_us) {
+            return Err("ticket expired".into());
+        }
+        if self.config.forbid_duplicate_skey_auth && ticket.flags.has(TicketFlags::DUPLICATE_SKEY) {
+            return Err("DUPLICATE-SKEY tickets not accepted for authentication".into());
+        }
+        if self.config.address_in_ticket {
+            if let Some(a) = ticket.addr {
+                if a != from.addr.0 {
+                    return Err("ticket address mismatch".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Establishes the session and builds the AP reply.
+    fn establish(
+        &mut self,
+        from: Endpoint,
+        ticket: &Ticket,
+        ts_echo: u64,
+        client_subkey: Option<u64>,
+        client_seq: Option<u64>,
+    ) -> Vec<u8> {
+        let server_subkey = self.config.subkey_negotiation.then(|| self.rng.next_u64());
+        let server_seq = self.rng.next_u64() >> 16;
+
+        let key = Session::negotiate_key(
+            &ticket.session_key,
+            client_subkey.unwrap_or(0),
+            server_subkey.unwrap_or(0),
+        );
+        let session = Session::new(
+            ticket.client.clone(),
+            if self.config.subkey_negotiation { key } else { ticket.session_key },
+            &self.config,
+            Direction::ServerToClient,
+            server_seq,
+            client_seq.unwrap_or(0),
+        );
+        self.sessions.insert(from, session);
+        self.authorized.insert(from, ticket.client.clone());
+        self.auth_log.push(AuthEvent::Accepted { client: ticket.client.clone(), from });
+
+        let part = EncApRepPart { ts_echo, subkey: server_subkey, seq_init: Some(server_seq) };
+        let sealed = self
+            .config
+            .ticket_layer
+            .seal(&ticket.session_key, 0, &part.encode(self.config.codec), &mut self.rng)
+            .expect("seal AP reply");
+        ApRep { enc_part: sealed }.encode(self.config.codec)
+    }
+
+    /// Handles KRB_AP_REQ.
+    fn ap_exchange(&mut self, body: &[u8], from: Endpoint, now_us: u64) -> Vec<u8> {
+        let req = match ApReq::decode(self.config.codec, body) {
+            Ok(r) => r,
+            Err(e) => return self.reject(from, &e.to_string(), err_code::GENERIC),
+        };
+        let ticket = match Ticket::unseal(self.config.codec, self.config.ticket_layer, &self.service_key, &req.ticket)
+        {
+            Ok(t) => t,
+            Err(e) => return self.reject(from, &e.to_string(), err_code::GENERIC),
+        };
+        if let Err(why) = self.check_ticket(&ticket, from, now_us) {
+            return self.reject(from, &why, err_code::POLICY);
+        }
+
+        match self.config.auth_style {
+            AuthStyle::ChallengeResponse => {
+                // No authenticator consulted: issue a challenge instead.
+                // "As is done today, the client would present a ticket,
+                // though without an authenticator."
+                let nonce = self.rng.next_u64();
+                self.pending.insert(from, (nonce, ticket));
+                KrbErrorMsg {
+                    code: err_code::CHALLENGE_REQUIRED,
+                    text: "respond to challenge".into(),
+                    challenge: Some(nonce),
+                }
+                .encode(self.config.codec)
+            }
+            AuthStyle::Timestamp => {
+                let auth = match Authenticator::unseal(
+                    self.config.codec,
+                    self.config.ticket_layer,
+                    &ticket.session_key,
+                    &req.authenticator,
+                ) {
+                    Ok(a) => a,
+                    Err(e) => return self.reject(from, &e.to_string(), err_code::GENERIC),
+                };
+                if auth.client != ticket.client {
+                    return self.reject(from, "authenticator/ticket client mismatch", err_code::GENERIC);
+                }
+                if auth.timestamp.abs_diff(now_us) > self.config.clock_skew_us {
+                    return self.reject(from, "authenticator outside skew window", err_code::SKEW);
+                }
+                if self.config.address_in_ticket && auth.addr != from.addr.0 {
+                    return self.reject(from, "authenticator address mismatch", err_code::GENERIC);
+                }
+                if self.config.service_binding
+                    && auth.service_binding.as_ref() != Some(&self.principal) {
+                        return self.reject(from, "authenticator not bound to this service", err_code::POLICY);
+                    }
+                if self.config.replay_cache
+                    && self.replay_cache.offer(&req.authenticator, now_us) == CacheVerdict::Replayed
+                {
+                    return self.reject(from, "authenticator replayed", err_code::REPLAY);
+                }
+                self.establish(from, &ticket.clone(), auth.timestamp.wrapping_add(1), auth.subkey, auth.seq_init)
+            }
+        }
+    }
+
+    /// Handles the client's challenge response.
+    fn challenge_exchange(&mut self, body: &[u8], from: Endpoint) -> Vec<u8> {
+        let Some((nonce, ticket)) = self.pending.remove(&from) else {
+            return self.reject(from, "no challenge outstanding", err_code::GENERIC);
+        };
+        let pt = match self.config.ticket_layer.open(&ticket.session_key, 0, body) {
+            Ok(p) => p,
+            Err(e) => return self.reject(from, &e.to_string(), err_code::GENERIC),
+        };
+        let part = match EncApRepPart::decode(self.config.codec, &pt) {
+            Ok(p) => p,
+            Err(e) => return self.reject(from, &e.to_string(), err_code::GENERIC),
+        };
+        // The response must be a function of the challenge: nonce + 1.
+        if part.ts_echo != nonce.wrapping_add(1) {
+            return self.reject(from, "wrong challenge response", err_code::GENERIC);
+        }
+        self.establish(from, &ticket.clone(), nonce.wrapping_add(2), part.subkey, part.seq_init)
+    }
+
+    /// Handles a KRB_PRIV command in an established session.
+    fn priv_exchange(&mut self, wire: &[u8], from: Endpoint, now_us: u64, my_addr: u32) -> Vec<u8> {
+        let Some(session) = self.sessions.get_mut(&from) else {
+            return self.reject(from, "no session", err_code::GENERIC);
+        };
+        let data = match session.recv_priv(wire, now_us) {
+            Ok(d) => d,
+            Err(e) => {
+                let msg = e.to_string();
+                return self.reject(from, &msg, err_code::INTEGRITY);
+            }
+        };
+        let client = session.peer.clone();
+        let reply = self.logic.on_command(&client, &data);
+        let session = self.sessions.get_mut(&from).expect("session still present");
+        session
+            .send_priv(&reply, now_us, my_addr, &mut self.rng)
+            .unwrap_or_else(|e| KrbErrorMsg { code: err_code::GENERIC, text: e.to_string(), challenge: None }
+                .encode(Codec::Typed))
+    }
+
+    /// Handles a KRB_SAFE command (integrity-protected, plaintext data).
+    fn safe_exchange(&mut self, wire: &[u8], from: Endpoint, now_us: u64, my_addr: u32) -> Vec<u8> {
+        let config = self.config.clone();
+        let Some(session) = self.sessions.get_mut(&from) else {
+            return self.reject(from, "no session", err_code::GENERIC);
+        };
+        let data = match session.recv_safe(wire, now_us, &config) {
+            Ok(d) => d,
+            Err(e) => {
+                let msg = e.to_string();
+                return self.reject(from, &msg, err_code::INTEGRITY);
+            }
+        };
+        let client = session.peer.clone();
+        let reply = self.logic.on_command(&client, &data);
+        let session = self.sessions.get_mut(&from).expect("session still present");
+        session
+            .send_safe(&reply, now_us, my_addr, &config)
+            .unwrap_or_else(|e| KrbErrorMsg { code: err_code::GENERIC, text: e.to_string(), challenge: None }
+                .encode(Codec::Typed))
+    }
+
+    /// Handles plain post-auth application data (the Plain deployment
+    /// style): trusted purely by source endpoint.
+    fn plain_exchange(&mut self, body: &[u8], from: Endpoint) -> Vec<u8> {
+        if self.config.app_protection != AppProtection::Plain {
+            return self.reject(from, "plain data not accepted", err_code::POLICY);
+        }
+        let Some(client) = self.authorized.get(&from).cloned() else {
+            return self.reject(from, "endpoint not authenticated", err_code::GENERIC);
+        };
+        let reply = self.logic.on_command(&client, body);
+        frame(WireKind::AppData, reply)
+    }
+}
+
+impl Service for AppServer {
+    fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], from: Endpoint) -> Option<Vec<u8>> {
+        let now_us = ctx.local_time.0;
+        let my_addr = ctx.host_addr.0;
+        let (kind, body) = deframe(req).ok()?;
+        Some(match kind {
+            WireKind::ApReq => self.ap_exchange(req, from, now_us),
+            WireKind::ChallengeResp => self.challenge_exchange(body, from),
+            WireKind::Priv => self.priv_exchange(req, from, now_us, my_addr),
+            WireKind::Safe => self.safe_exchange(req, from, now_us, my_addr),
+            WireKind::AppData => self.plain_exchange(body, from),
+            _ => self.reject(from, "unexpected message kind", err_code::GENERIC),
+        })
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A client's live connection to an application server.
+pub struct AppConnection {
+    /// The session state.
+    pub session: Session,
+    /// Client endpoint.
+    pub client_ep: Endpoint,
+    /// Server endpoint.
+    pub server_ep: Endpoint,
+    /// Whether plain (unprotected) commands are in use.
+    pub plain: bool,
+}
+
+/// Connects to an application server: runs the AP exchange (timestamp or
+/// challenge/response per config), verifies mutual authentication, and
+/// returns the established connection.
+pub fn connect_app(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    server_ep: Endpoint,
+    cred: &Credential,
+    rng: &mut dyn RandomSource,
+) -> Result<AppConnection, KrbError> {
+    let now = client_local_time_us(net, client_ep)?;
+    let client_subkey = config.subkey_negotiation.then(|| rng.next_u64());
+    let client_seq = rng.next_u64() >> 16;
+
+    let (reply, expected_echo) = match config.auth_style {
+        AuthStyle::Timestamp => {
+            let auth = Authenticator {
+                client: cred.client.clone(),
+                addr: client_ep.addr.0,
+                timestamp: now,
+                cksum: None,
+                service_binding: config.service_binding.then(|| cred.service.clone()),
+                subkey: client_subkey,
+                seq_init: Some(client_seq),
+            };
+            let sealed_auth = auth.seal(config.codec, config.ticket_layer, &cred.session_key, rng)?;
+            let req = ApReq { ticket: cred.sealed_ticket.clone(), authenticator: sealed_auth, mutual: true };
+            let reply = net.rpc(client_ep, server_ep, req.encode(config.codec))?;
+            (reply, now.wrapping_add(1))
+        }
+        AuthStyle::ChallengeResponse => {
+            let req = ApReq { ticket: cred.sealed_ticket.clone(), authenticator: Vec::new(), mutual: true };
+            let reply = net.rpc(client_ep, server_ep, req.encode(config.codec))?;
+            let (kind, _) = deframe(&reply)?;
+            if kind != WireKind::Err {
+                return Err(KrbError::Remote("expected a challenge".into()));
+            }
+            let err = KrbErrorMsg::decode(config.codec, &reply)?;
+            if err.code != err_code::CHALLENGE_REQUIRED {
+                return Err(KrbError::Remote(format!("server error {}: {}", err.code, err.text)));
+            }
+            let nonce = err.challenge.ok_or(KrbError::Decode("challenge missing"))?;
+            let part =
+                EncApRepPart { ts_echo: nonce.wrapping_add(1), subkey: client_subkey, seq_init: Some(client_seq) };
+            let sealed = config.ticket_layer.seal(&cred.session_key, 0, &part.encode(config.codec), rng)?;
+            let reply = net.rpc(client_ep, server_ep, frame(WireKind::ChallengeResp, sealed))?;
+            (reply, nonce.wrapping_add(2))
+        }
+    };
+
+    // Parse the AP reply (mutual authentication).
+    if let Ok((WireKind::Err, _)) = deframe(&reply) {
+        let e = KrbErrorMsg::decode(config.codec, &reply)?;
+        return Err(KrbError::Remote(format!("server error {}: {}", e.code, e.text)));
+    }
+    let rep = ApRep::decode(config.codec, &reply)?;
+    let pt = config.ticket_layer.open(&cred.session_key, 0, &rep.enc_part)?;
+    let part = EncApRepPart::decode(config.codec, &pt)?;
+    if part.ts_echo != expected_echo {
+        return Err(KrbError::Remote("mutual authentication failed".into()));
+    }
+
+    let key = Session::negotiate_key(
+        &cred.session_key,
+        client_subkey.unwrap_or(0),
+        part.subkey.unwrap_or(0),
+    );
+    let session = Session::new(
+        cred.service.clone(),
+        if config.subkey_negotiation { key } else { cred.session_key },
+        config,
+        Direction::ClientToServer,
+        client_seq,
+        part.seq_init.unwrap_or(0),
+    );
+    Ok(AppConnection {
+        session,
+        client_ep,
+        server_ep,
+        plain: config.app_protection == AppProtection::Plain,
+    })
+}
+
+impl AppConnection {
+    /// Sends one command as KRB_SAFE (integrity only, data in the
+    /// clear) and returns the server's reply payload.
+    pub fn request_safe(
+        &mut self,
+        net: &mut Network,
+        config: &ProtocolConfig,
+        data: &[u8],
+    ) -> Result<Vec<u8>, KrbError> {
+        let now = client_local_time_us(net, self.client_ep)?;
+        let wire = self.session.send_safe(data, now, self.client_ep.addr.0, config)?;
+        let reply = net.rpc(self.client_ep, self.server_ep, wire)?;
+        if let Ok((WireKind::Err, _)) = deframe(&reply) {
+            return Err(KrbError::Remote("server rejected the safe command".into()));
+        }
+        let now = client_local_time_us(net, self.client_ep)?;
+        self.session.recv_safe(&reply, now, config)
+    }
+
+    /// Sends one command and returns the server's reply payload.
+    pub fn request(
+        &mut self,
+        net: &mut Network,
+        data: &[u8],
+        rng: &mut dyn RandomSource,
+    ) -> Result<Vec<u8>, KrbError> {
+        let now = client_local_time_us(net, self.client_ep)?;
+        if self.plain {
+            let wire = frame(WireKind::AppData, data.to_vec());
+            let reply = net.rpc(self.client_ep, self.server_ep, wire)?;
+            let (kind, body) = deframe(&reply)?;
+            if kind != WireKind::AppData {
+                return Err(KrbError::Remote("server refused plain data".into()));
+            }
+            return Ok(body.to_vec());
+        }
+        let wire = self.session.send_priv(data, now, self.client_ep.addr.0, rng)?;
+        let reply = net.rpc(self.client_ep, self.server_ep, wire)?;
+        if let Ok((WireKind::Err, _)) = deframe(&reply) {
+            // Fall back to a decode of the error for the message.
+            return Err(KrbError::Remote("server rejected the command".into()));
+        }
+        let now = client_local_time_us(net, self.client_ep)?;
+        self.session.recv_priv(&reply, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// AppLogic that echoes with a prefix.
+    pub struct Echo;
+    impl AppLogic for Echo {
+        fn on_command(&mut self, client: &Principal, cmd: &[u8]) -> Vec<u8> {
+            let mut v = format!("[{}] ", client.name).into_bytes();
+            v.extend_from_slice(cmd);
+            v
+        }
+    }
+
+    #[test]
+    fn auth_event_helpers() {
+        let config = ProtocolConfig::v4();
+        let key = DesKey::from_u64(1).with_odd_parity();
+        let mut srv = AppServer::new(config, Principal::service("echo", "h", "R"), key, Box::new(Echo), 7);
+        let from = Endpoint::new(simnet::Addr::new(1, 2, 3, 4), 9);
+        srv.auth_log.push(AuthEvent::Accepted { client: Principal::user("pat", "R"), from });
+        assert_eq!(srv.accepted_count(&Principal::user("pat", "R")), 1);
+        assert_eq!(srv.accepted_count(&Principal::user("sam", "R")), 0);
+    }
+}

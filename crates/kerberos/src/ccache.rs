@@ -1,0 +1,267 @@
+//! Credential caches and their storage-location exposure model.
+//!
+//! "There is some question about where keys should be cached. Since all
+//! of the Project Athena machines have local disks, the original code
+//! used /tmp. But this is highly insecure on diskless workstations,
+//! where /tmp exists on a file server; accordingly, a modification was
+//! made to store keys in shared memory. However, there is no guarantee
+//! that shared memory is not paged; if this entails network traffic, an
+//! intruder can capture these keys."
+//!
+//! A [`CredCache`] stores [`Credential`]s and models where the bytes
+//! physically live. Writing to an NFS-backed location *actually sends
+//! the serialized cache over the simulated network*, so the wiretap
+//! attack (A12) captures real keys, not a flag.
+
+use crate::client::Credential;
+use crate::encoding::{Decoder, Encoder};
+use crate::error::KrbError;
+use crate::principal::Principal;
+use crate::ticket::{put_principal, take_principal};
+use krb_crypto::des::DesKey;
+use simnet::{Endpoint, Network};
+
+/// Where the credential cache bytes live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheLocation {
+    /// /tmp on a local disk: exposed to anyone with physical access to
+    /// the workstation, but not to the network.
+    TmpLocalDisk,
+    /// /tmp on an NFS file server: every write crosses the network in
+    /// the clear.
+    TmpNfs {
+        /// The file server endpoint writes go to.
+        file_server: Endpoint,
+    },
+    /// Shared memory that the OS may page — to a network paging device
+    /// on a diskless workstation.
+    SharedMemoryPageable {
+        /// The paging server endpoint.
+        pager: Endpoint,
+    },
+    /// Pinned memory, wiped at logout. The workstation-friendly choice.
+    WipedMemory,
+}
+
+/// A user's credential cache.
+pub struct CredCache {
+    /// Whose credentials these are.
+    pub owner: Principal,
+    /// Where the bytes live.
+    pub location: CacheLocation,
+    entries: Vec<Credential>,
+    wiped: bool,
+}
+
+/// Serializes credentials the way a 1990 cache file did: in the clear.
+pub fn serialize_credentials(entries: &[Credential]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(entries.len() as u32);
+    for c in entries {
+        put_principal(&mut e, &c.client);
+        put_principal(&mut e, &c.service);
+        e.put_bytes(&c.sealed_ticket);
+        e.put_u64(c.session_key.to_u64());
+        e.put_u64(c.end_time);
+    }
+    e.finish()
+}
+
+/// Parses a serialized cache — this is what the attacker does with
+/// captured NFS writes.
+pub fn deserialize_credentials(data: &[u8]) -> Result<Vec<Credential>, KrbError> {
+    let mut d = Decoder::new(data);
+    let n = d.take_u32()? as usize;
+    if n > 4096 {
+        return Err(KrbError::Decode("cache too large"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(Credential {
+            client: take_principal(&mut d)?,
+            service: take_principal(&mut d)?,
+            sealed_ticket: d.take_bytes()?,
+            session_key: DesKey::from_u64(d.take_u64()?),
+            end_time: d.take_u64()?,
+        });
+    }
+    Ok(out)
+}
+
+impl CredCache {
+    /// An empty cache.
+    pub fn new(owner: Principal, location: CacheLocation) -> Self {
+        CredCache { owner, location, entries: Vec::new(), wiped: false }
+    }
+
+    /// Stores a credential, flushing to backing storage per the
+    /// location model. `my_ep` is the workstation's network endpoint
+    /// (used when the backing store is remote).
+    pub fn store(&mut self, net: &mut Network, my_ep: Endpoint, cred: Credential) -> Result<(), KrbError> {
+        self.wiped = false;
+        self.entries.push(cred);
+        self.flush(net, my_ep)
+    }
+
+    /// Flushes the cache to its backing store.
+    fn flush(&self, net: &mut Network, my_ep: Endpoint) -> Result<(), KrbError> {
+        let bytes = serialize_credentials(&self.entries);
+        match self.location {
+            CacheLocation::TmpLocalDisk | CacheLocation::WipedMemory => Ok(()),
+            CacheLocation::TmpNfs { file_server } => {
+                // An NFS WRITE of the cache file, in the clear.
+                let mut payload = b"NFSWRITE /tmp/tkt_".to_vec();
+                payload.extend_from_slice(self.owner.name.as_bytes());
+                payload.push(b' ');
+                payload.extend_from_slice(&bytes);
+                net.send_oneway(my_ep, file_server, payload).map_err(KrbError::from)
+            }
+            CacheLocation::SharedMemoryPageable { pager } => {
+                // A page-out of the segment holding the keys.
+                let mut payload = b"PAGEOUT ".to_vec();
+                payload.extend_from_slice(&bytes);
+                net.send_oneway(my_ep, pager, payload).map_err(KrbError::from)
+            }
+        }
+    }
+
+    /// Looks up a credential for `service`.
+    pub fn get(&self, service: &Principal) -> Option<&Credential> {
+        if self.wiped {
+            return None;
+        }
+        self.entries.iter().find(|c| &c.service == service)
+    }
+
+    /// All live credentials.
+    pub fn entries(&self) -> &[Credential] {
+        if self.wiped {
+            &[]
+        } else {
+            &self.entries
+        }
+    }
+
+    /// Logout: "Kerberos attempts to wipe out old keys at logoff time,
+    /// leaving the attacker to sift through the debris."
+    pub fn wipe(&mut self) {
+        self.entries.clear();
+        self.wiped = true;
+    }
+
+    /// What an attacker who can read the backing store *after logout*
+    /// recovers. On a single-user workstation with wiping, nothing; on
+    /// a multi-user host (concurrent access) or unwiped disk, the live
+    /// entries.
+    pub fn theft_surface(&self, attacker_is_concurrent: bool) -> Vec<Credential> {
+        match self.location {
+            CacheLocation::WipedMemory => {
+                if attacker_is_concurrent {
+                    // "With a multi-user computer ... an attacker has
+                    // concurrent access to the keys if there are flaws in
+                    // the host's security."
+                    self.entries.clone()
+                } else {
+                    Vec::new()
+                }
+            }
+            CacheLocation::TmpLocalDisk => {
+                // Disk contents persist; wiping helps only if it
+                // happened.
+                if self.wiped {
+                    Vec::new()
+                } else {
+                    self.entries.clone()
+                }
+            }
+            // Remote backing stores already leaked on the wire; local
+            // reads work too.
+            CacheLocation::TmpNfs { .. } | CacheLocation::SharedMemoryPageable { .. } => self.entries.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cred(n: &str) -> Credential {
+        Credential {
+            client: Principal::user("pat", "R"),
+            service: Principal::service(n, "h", "R"),
+            sealed_ticket: vec![1, 2, 3],
+            session_key: DesKey::from_u64(0xABCD),
+            end_time: 99,
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let creds = vec![cred("nfs"), cred("mail")];
+        let bytes = serialize_credentials(&creds);
+        let back = deserialize_credentials(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].session_key, creds[0].session_key);
+        assert_eq!(back[1].service, creds[1].service);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut net = Network::new();
+        net.add_host(simnet::Host::new("ws", vec![simnet::Addr::new(1, 1, 1, 1)]));
+        let ep = Endpoint::new(simnet::Addr::new(1, 1, 1, 1), 100);
+        let mut cc = CredCache::new(Principal::user("pat", "R"), CacheLocation::WipedMemory);
+        cc.store(&mut net, ep, cred("nfs")).unwrap();
+        assert!(cc.get(&Principal::service("nfs", "h", "R")).is_some());
+        cc.wipe();
+        assert!(cc.get(&Principal::service("nfs", "h", "R")).is_none());
+        assert!(cc.theft_surface(false).is_empty());
+    }
+
+    #[test]
+    fn wiped_memory_exposed_only_to_concurrent_attacker() {
+        let mut net = Network::new();
+        net.add_host(simnet::Host::new("ws", vec![simnet::Addr::new(1, 1, 1, 1)]));
+        let ep = Endpoint::new(simnet::Addr::new(1, 1, 1, 1), 100);
+        let mut cc = CredCache::new(Principal::user("pat", "R"), CacheLocation::WipedMemory);
+        cc.store(&mut net, ep, cred("nfs")).unwrap();
+        assert!(cc.theft_surface(false).is_empty());
+        assert_eq!(cc.theft_surface(true).len(), 1);
+    }
+
+    #[test]
+    fn nfs_cache_writes_cross_the_wire() {
+        let mut net = Network::new();
+        net.add_host(simnet::Host::new("ws", vec![simnet::Addr::new(1, 1, 1, 1)]));
+        // A "file server" that just swallows writes.
+        struct Sink;
+        impl simnet::Service for Sink {
+            fn handle(&mut self, _: &mut simnet::ServiceCtx, _: &[u8], _: Endpoint) -> Option<Vec<u8>> {
+                None
+            }
+        }
+        let mut fs = simnet::Host::new("fs", vec![simnet::Addr::new(1, 1, 1, 2)]);
+        fs.bind(2049, Box::new(Sink));
+        net.add_host(fs);
+
+        let ep = Endpoint::new(simnet::Addr::new(1, 1, 1, 1), 100);
+        let fs_ep = Endpoint::new(simnet::Addr::new(1, 1, 1, 2), 2049);
+        let mut cc =
+            CredCache::new(Principal::user("pat", "R"), CacheLocation::TmpNfs { file_server: fs_ep });
+        cc.store(&mut net, ep, cred("nfs")).unwrap();
+
+        // The wiretap (traffic log) now contains the serialized cache,
+        // session key included.
+        let leak = net
+            .traffic_log()
+            .iter()
+            .find(|r| r.dgram.payload.starts_with(b"NFSWRITE"))
+            .expect("cache write on the wire");
+        let idx = leak.dgram.payload.iter().position(|&b| b == b' ').unwrap();
+        // Skip "NFSWRITE /tmp/tkt_pat " — find the second space.
+        let rest = &leak.dgram.payload[idx + 1..];
+        let idx2 = rest.iter().position(|&b| b == b' ').unwrap();
+        let stolen = deserialize_credentials(&rest[idx2 + 1..]).unwrap();
+        assert_eq!(stolen[0].session_key, DesKey::from_u64(0xABCD));
+    }
+}

@@ -1,0 +1,314 @@
+//! Client-side protocol workflows: login (AS exchange) and ticket
+//! acquisition (TGS exchange).
+
+use crate::authenticator::Authenticator;
+use crate::config::{PreauthMode, ProtocolConfig};
+use crate::encoding::MsgType;
+use crate::error::KrbError;
+use crate::flags::KdcOptions;
+use crate::kdc::hha_key;
+use crate::messages::{
+    deframe, AsRep, AsReq, EncKdcRepPart, KrbErrorMsg, PaData, TgsRep, TgsReq, WireKind,
+};
+use crate::principal::Principal;
+use krb_crypto::checksum;
+use krb_crypto::des::DesKey;
+use krb_crypto::dh::DhGroup;
+use krb_crypto::rng::RandomSource;
+use krb_crypto::s2k;
+use simnet::{Endpoint, Network};
+
+/// How the user authenticates at login.
+pub enum LoginInput<'a> {
+    /// A typed password: the workstation sees it (the A6 exposure).
+    Password(&'a str),
+    /// A handheld authenticator: a function computing `{R}K_c` from the
+    /// challenge. The password never enters the workstation.
+    Handheld(&'a dyn Fn(u64) -> DesKey),
+}
+
+/// A credential: a sealed ticket plus its session key.
+#[derive(Clone, Debug)]
+pub struct Credential {
+    /// The client principal.
+    pub client: Principal,
+    /// The service the ticket is for.
+    pub service: Principal,
+    /// The sealed ticket, opaque to the client.
+    pub sealed_ticket: Vec<u8>,
+    /// The session key shared with the service.
+    pub session_key: DesKey,
+    /// Expiry (KDC clock), µs.
+    pub end_time: u64,
+}
+
+/// Parses a KDC reply that may be an error message.
+fn check_error(config: &ProtocolConfig, reply: &[u8]) -> Result<(), KrbError> {
+    if let Ok((WireKind::Err, _)) = deframe(reply) {
+        let e = KrbErrorMsg::decode(config.codec, reply)?;
+        return Err(KrbError::Remote(format!("KDC error {}: {}", e.code, e.text)));
+    }
+    Ok(())
+}
+
+/// Performs the AS exchange ("login") from `client_ep` against the KDC at
+/// `kdc_ep`. Returns the ticket-granting credential.
+#[allow(clippy::too_many_arguments)]
+pub fn login(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    kdc_ep: Endpoint,
+    client: &Principal,
+    input: LoginInput<'_>,
+    rng: &mut dyn RandomSource,
+) -> Result<Credential, KrbError> {
+    let kc: Option<DesKey> = match &input {
+        LoginInput::Password(pw) => Some(s2k::string_to_key_v5(pw, &client.salt())),
+        LoginInput::Handheld(_) => None,
+    };
+
+    let nonce = rng.next_u64();
+    let mut padata = Vec::new();
+
+    // Exponential key exchange under the login dialog.
+    let dh_group = DhGroup::oakley768();
+    let dh_keypair = if config.dh_login {
+        let kp = dh_group.keypair(160, rng)?;
+        padata.push(PaData::DhPublic(kp.public.to_bytes_be()));
+        Some(kp)
+    } else {
+        None
+    };
+
+    // Handheld-authenticator deployments run a two-round exchange: the
+    // first request draws a challenge R; the retry proves possession of
+    // {R}K_c via a sealed timestamp (which doubles as
+    // preauthentication).
+    let mut hha_response_key: Option<DesKey> = None;
+    if config.hha_login {
+        let probe = AsReq {
+            client: client.clone(),
+            service: Principal::tgs(&client.realm),
+            nonce,
+            lifetime_us: config.ticket_lifetime_us,
+            addr: client_ep.addr.0,
+            options: KdcOptions::empty()
+                .with(KdcOptions::FORWARDABLE)
+                .with(KdcOptions::RENEWABLE),
+            padata: padata.clone(),
+        };
+        let reply = net.rpc(client_ep, kdc_ep, probe.encode(config.codec))?;
+        let err = KrbErrorMsg::decode(config.codec, &reply)
+            .map_err(|_| KrbError::Remote("expected a login challenge".into()))?;
+        let r = err.challenge.ok_or(KrbError::Remote("KDC sent no challenge".into()))?;
+        let kprime = match (&input, &kc) {
+            (LoginInput::Handheld(device), _) => device(r),
+            (LoginInput::Password(_), Some(kc)) => hha_key(kc, r),
+            _ => return Err(KrbError::Remote("no way to answer challenge".into())),
+        };
+        let now = client_local_time_us(net, client_ep)?;
+        let blob = config.ticket_layer.seal(&kprime, 0, &now.to_be_bytes(), rng)?;
+        padata.push(PaData::EncTimestamp(blob));
+        hha_response_key = Some(kprime);
+    } else if config.preauth == PreauthMode::EncTimestamp {
+        // Plain preauthentication: {local time}K_c.
+        if let Some(kc) = &kc {
+            let now = client_local_time_us(net, client_ep)?;
+            let blob = config.ticket_layer.seal(kc, 0, &now.to_be_bytes(), rng)?;
+            padata.push(PaData::EncTimestamp(blob));
+        }
+    }
+
+    // Athena-style default: request forwardable + renewable TGTs.
+    let req = AsReq {
+        client: client.clone(),
+        service: Principal::tgs(&client.realm),
+        nonce,
+        lifetime_us: config.ticket_lifetime_us,
+        addr: client_ep.addr.0,
+        options: KdcOptions::empty().with(KdcOptions::FORWARDABLE).with(KdcOptions::RENEWABLE),
+        padata,
+    };
+    let reply = net.rpc(client_ep, kdc_ep, req.encode(config.codec))?;
+    check_error(config, &reply)?;
+    let rep = AsRep::decode(config.codec, &reply)?;
+
+    // Peel the DH layer if present.
+    let inner = if let (Some(kp), Some(server_pub)) = (&dh_keypair, &rep.dh_public) {
+        let their = krb_crypto::bignum::BigUint::from_bytes_be(server_pub);
+        let secret = dh_group.shared_secret(&their, &kp.private)?;
+        let dh_key = DhGroup::derive_key(&secret);
+        config.ticket_layer.open(&dh_key, 0, &rep.enc_part)?
+    } else if config.dh_login {
+        return Err(KrbError::Remote("KDC did not complete key exchange".into()));
+    } else {
+        rep.enc_part.clone()
+    };
+
+    // Choose the unsealing key: {R}K_c (already computed during the
+    // challenge round) or K_c.
+    let unseal_key = match (&hha_response_key, &kc) {
+        (Some(k), _) => *k,
+        (None, Some(kc)) => *kc,
+        (None, None) => {
+            return Err(KrbError::Remote("handheld login needs a challenge from the KDC".into()))
+        }
+    };
+
+    let part_bytes = config.ticket_layer.open(&unseal_key, 0, &inner)?;
+    let part = EncKdcRepPart::decode(config.codec, MsgType::EncAsRepPart, &part_bytes)?;
+    // Nonce echo: the KDC proved knowledge of K_c *now* — server-to-
+    // client authentication without trusting the workstation clock.
+    if part.nonce != nonce {
+        return Err(KrbError::Remote("AS reply nonce mismatch".into()));
+    }
+
+    Ok(Credential {
+        client: client.clone(),
+        service: Principal::tgs(&client.realm),
+        sealed_ticket: part.ticket,
+        session_key: part.session_key,
+        end_time: part.end_time,
+    })
+}
+
+/// Reads the local clock of the host owning `ep`.
+pub fn client_local_time_us(net: &Network, ep: Endpoint) -> Result<u64, KrbError> {
+    let hid = net
+        .host_by_addr(ep.addr)
+        .ok_or_else(|| KrbError::Net(format!("no host for {}", ep.addr)))?;
+    Ok(net.host_time(hid).0)
+}
+
+/// Parameters for a TGS request beyond the defaults.
+#[derive(Clone, Debug, Default)]
+pub struct TgsParams {
+    /// Request options.
+    pub options: KdcOptions,
+    /// Additional ticket for ENC-TKT-IN-SKEY / REUSE-SKEY.
+    pub additional_ticket: Option<Vec<u8>>,
+    /// Authorization data.
+    pub authz_data: Vec<u8>,
+    /// Destination address for a FORWARDED ticket.
+    pub forward_addr: Option<u64>,
+}
+
+/// Obtains a service ticket via the TGS, using a ticket-granting
+/// credential.
+#[allow(clippy::too_many_arguments)]
+pub fn get_service_ticket(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    kdc_ep: Endpoint,
+    tgt: &Credential,
+    service: &Principal,
+    params: TgsParams,
+    rng: &mut dyn RandomSource,
+) -> Result<Credential, KrbError> {
+    let nonce = rng.next_u64();
+    let now = client_local_time_us(net, client_ep)?;
+
+    // Build the request body first so the authenticator can seal a
+    // checksum over it.
+    let mut req = TgsReq {
+        tgt: tgt.sealed_ticket.clone(),
+        authenticator: Vec::new(),
+        service: service.clone(),
+        options: params.options,
+        nonce,
+        lifetime_us: config.ticket_lifetime_us,
+        additional_ticket: params.additional_ticket,
+        forward_addr: params.forward_addr,
+        authz_data: params.authz_data,
+    };
+    let key_opt = config.checksum.is_keyed().then_some(&tgt.session_key);
+    let cksum = checksum::compute(config.checksum, key_opt, &req.checksum_body())?;
+
+    let auth = Authenticator {
+        client: tgt.client.clone(),
+        addr: client_ep.addr.0,
+        timestamp: now,
+        cksum: Some(cksum),
+        service_binding: config.service_binding.then(|| service.clone()),
+        subkey: None,
+        seq_init: None,
+    };
+    req.authenticator = auth.seal(config.codec, config.ticket_layer, &tgt.session_key, rng)?;
+
+    let reply = net.rpc(client_ep, kdc_ep, req.encode(config.codec))?;
+    check_error(config, &reply)?;
+    let rep = TgsRep::decode(config.codec, &reply)?;
+    let part_bytes = config.ticket_layer.open(&tgt.session_key, 0, &rep.enc_part)?;
+    let part = EncKdcRepPart::decode(config.codec, MsgType::EncTgsRepPart, &part_bytes)?;
+    if part.nonce != nonce {
+        return Err(KrbError::Remote("TGS reply nonce mismatch".into()));
+    }
+    // Recommendation (c): verify the collision-proof checksum binding
+    // the sealed ticket to this reply, if the deployment provides it.
+    if let Some(c) = &part.ticket_cksum {
+        let key_opt = c.ctype.is_keyed().then_some(&tgt.session_key);
+        checksum::verify(c, key_opt, &part.ticket).map_err(|_| KrbError::BadChecksum)?;
+    }
+
+    Ok(Credential {
+        client: tgt.client.clone(),
+        service: service.clone(),
+        sealed_ticket: part.ticket,
+        session_key: part.session_key,
+        end_time: part.end_time,
+    })
+}
+
+/// Renews a renewable ticket-granting credential, extending its
+/// validity window (same session key, new end time).
+pub fn renew_tgt(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    kdc_ep: Endpoint,
+    tgt: &Credential,
+    rng: &mut dyn RandomSource,
+) -> Result<Credential, KrbError> {
+    get_service_ticket(
+        net,
+        config,
+        client_ep,
+        kdc_ep,
+        tgt,
+        &tgt.service,
+        TgsParams { options: KdcOptions::empty().with(KdcOptions::RENEW), ..Default::default() },
+        rng,
+    )
+}
+
+/// Obtains a FORWARDED ticket-granting credential bound to
+/// `dest_addr`, for transfer to another host. The paper recommends
+/// *deleting* this feature; it exists here so its problems (no origin
+/// recorded, cascading trust) are demonstrable.
+#[allow(clippy::too_many_arguments)]
+pub fn forward_tgt(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    kdc_ep: Endpoint,
+    tgt: &Credential,
+    dest_addr: u32,
+    rng: &mut dyn RandomSource,
+) -> Result<Credential, KrbError> {
+    get_service_ticket(
+        net,
+        config,
+        client_ep,
+        kdc_ep,
+        tgt,
+        &tgt.service,
+        TgsParams {
+            options: KdcOptions::empty().with(KdcOptions::FORWARDED).with(KdcOptions::FORWARDABLE),
+            forward_addr: Some(u64::from(dest_addr)),
+            ..Default::default()
+        },
+        rng,
+    )
+}

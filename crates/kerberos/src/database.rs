@@ -1,0 +1,139 @@
+//! The KDC's principal database.
+
+use crate::error::KrbError;
+use crate::principal::Principal;
+use krb_crypto::des::DesKey;
+use krb_crypto::s2k;
+use std::collections::HashMap;
+
+/// One database entry.
+#[derive(Clone, Debug)]
+pub struct DbEntry {
+    /// The principal's long-term key.
+    pub key: DesKey,
+    /// Key version number.
+    pub kvno: u32,
+    /// True for service principals (random keys); false for users
+    /// (password-derived keys).
+    pub is_service: bool,
+}
+
+/// The realm database: principal -> long-term key.
+#[derive(Clone, Debug, Default)]
+pub struct KdcDatabase {
+    realm: String,
+    entries: HashMap<Principal, DbEntry>,
+}
+
+impl KdcDatabase {
+    /// An empty database for `realm`.
+    pub fn new(realm: &str) -> Self {
+        KdcDatabase { realm: realm.into(), entries: HashMap::new() }
+    }
+
+    /// The realm this database serves.
+    pub fn realm(&self) -> &str {
+        &self.realm
+    }
+
+    /// Registers a user with a password-derived key (salted, V5-style).
+    pub fn add_user(&mut self, name: &str, password: &str) -> Principal {
+        let p = Principal::user(name, &self.realm);
+        let key = s2k::string_to_key_v5(password, &p.salt());
+        self.entries.insert(p.clone(), DbEntry { key, kvno: 1, is_service: false });
+        p
+    }
+
+    /// Registers a service with a given (random) key.
+    pub fn add_service(&mut self, service: &str, host: &str, key: DesKey) -> Principal {
+        let p = Principal::service(service, host, &self.realm);
+        self.entries.insert(p.clone(), DbEntry { key, kvno: 1, is_service: true });
+        p
+    }
+
+    /// Registers the realm's own TGS key.
+    pub fn add_tgs(&mut self, key: DesKey) -> Principal {
+        let p = Principal::tgs(&self.realm);
+        self.entries.insert(p.clone(), DbEntry { key, kvno: 1, is_service: true });
+        p
+    }
+
+    /// Registers an inter-realm key: the TGS of `remote_realm` as a
+    /// principal of this realm. Both realms must install the same key.
+    pub fn add_cross_realm(&mut self, remote_realm: &str, key: DesKey) -> Principal {
+        let p = Principal::cross_realm_tgs(remote_realm, &self.realm);
+        self.entries.insert(p.clone(), DbEntry { key, kvno: 1, is_service: true });
+        p
+    }
+
+    /// Looks up a principal's entry.
+    pub fn lookup(&self, p: &Principal) -> Result<&DbEntry, KrbError> {
+        self.entries.get(p).ok_or_else(|| KrbError::UnknownPrincipal(p.to_string()))
+    }
+
+    /// True if the principal exists.
+    pub fn contains(&self, p: &Principal) -> bool {
+        self.entries.contains_key(p)
+    }
+
+    /// Changes a user's password (bumps the key version).
+    pub fn change_password(&mut self, p: &Principal, new_password: &str) -> Result<(), KrbError> {
+        let salt = p.salt();
+        let e = self.entries.get_mut(p).ok_or_else(|| KrbError::UnknownPrincipal(p.to_string()))?;
+        e.key = s2k::string_to_key_v5(new_password, &salt);
+        e.kvno += 1;
+        Ok(())
+    }
+
+    /// Iterates all principals (the attacker's "Kerberos equivalent of
+    /// /etc/passwd is public" enumeration surface is names, not keys —
+    /// this accessor exists for the KDC and tests, not the wire).
+    pub fn principals(&self) -> impl Iterator<Item = &Principal> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = KdcDatabase::new("ATHENA");
+        let pat = db.add_user("pat", "hunter2");
+        let nfs = db.add_service("nfs", "fs1", DesKey::from_u64(0x1234).with_odd_parity());
+        let tgs = db.add_tgs(DesKey::from_u64(0x9999).with_odd_parity());
+        assert!(!db.lookup(&pat).unwrap().is_service);
+        assert!(db.lookup(&nfs).unwrap().is_service);
+        assert!(db.lookup(&tgs).unwrap().is_service);
+        assert!(db.lookup(&Principal::user("nobody", "ATHENA")).is_err());
+    }
+
+    #[test]
+    fn password_change_bumps_kvno_and_key() {
+        let mut db = KdcDatabase::new("R");
+        let p = db.add_user("pat", "old");
+        let k1 = db.lookup(&p).unwrap().key;
+        db.change_password(&p, "new").unwrap();
+        let e = db.lookup(&p).unwrap();
+        assert_ne!(e.key, k1);
+        assert_eq!(e.kvno, 2);
+    }
+
+    #[test]
+    fn same_password_different_user_different_key() {
+        let mut db = KdcDatabase::new("R");
+        let a = db.add_user("alice", "hunter2");
+        let b = db.add_user("bob", "hunter2");
+        assert_ne!(db.lookup(&a).unwrap().key, db.lookup(&b).unwrap().key);
+    }
+
+    #[test]
+    fn cross_realm_principal_shape() {
+        let mut db = KdcDatabase::new("LOCAL");
+        let x = db.add_cross_realm("REMOTE", DesKey::from_u64(5).with_odd_parity());
+        assert!(x.is_tgs());
+        assert_eq!(x.realm, "LOCAL");
+        assert!(db.contains(&x));
+    }
+}

@@ -1,0 +1,277 @@
+//! The encryption layer, separated from the protocol per the paper's
+//! recommendation (d): "Mechanisms such as random initial vectors (in
+//! place of confounders), block chaining and message authentication codes
+//! should be left to a separate encryption layer, whose
+//! information-hiding requirements are clearly explicated."
+//!
+//! Three layers model the three eras:
+//!
+//! - [`EncLayer::V4Pcbc`] — Kerberos V4: PCBC mode, IV = the key itself
+//!   (fixed and effectively public), integrity "by garbling" only.
+//!   Vulnerable to block-swap message-stream modification (A8).
+//! - [`EncLayer::V5Cbc`] — V5 Draft CBC with a fixed zero IV and an
+//!   optional random confounder, no MAC. Retains CBC's prefix property,
+//!   the lever for the inter-session chosen-plaintext attack (A7).
+//! - [`EncLayer::HardenedCbc`] — the paper's recommendation: CBC with a
+//!   caller-managed per-message IV, an explicit length, and a
+//!   collision-proof keyed MAC over IV and plaintext.
+
+use crate::error::KrbError;
+use krb_crypto::checksum::{self, Checksum, ChecksumType};
+use krb_crypto::des::DesKey;
+use krb_crypto::modes;
+use krb_crypto::rng::RandomSource;
+
+/// A sealing/opening discipline for encrypted message parts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncLayer {
+    /// V4: PCBC, IV = key, leading length word.
+    V4Pcbc,
+    /// V5 draft: CBC, zero IV, optional confounder, data-first layout,
+    /// no integrity.
+    V5Cbc {
+        /// Whether to prepend a random confounder block.
+        confounder: bool,
+    },
+    /// Hardened: CBC with explicit IV, length framing, MD4+DES MAC.
+    HardenedCbc,
+}
+
+impl EncLayer {
+    /// Whether tampering with a sealed message is detected by
+    /// [`EncLayer::open`].
+    pub fn provides_integrity(self) -> bool {
+        matches!(self, EncLayer::HardenedCbc)
+    }
+
+    /// Whether a block-aligned ciphertext prefix decrypts to a plaintext
+    /// prefix (the chosen-plaintext splice lever).
+    pub fn has_prefix_property(self) -> bool {
+        matches!(self, EncLayer::V5Cbc { .. })
+    }
+
+    /// Seals `plaintext` under `key`. `iv` is honored only by the
+    /// hardened layer; V4 uses the key as IV and V5 uses zero — both
+    /// historical choices the paper criticizes.
+    pub fn seal(
+        self,
+        key: &DesKey,
+        iv: u64,
+        plaintext: &[u8],
+        rng: &mut dyn RandomSource,
+    ) -> Result<Vec<u8>, KrbError> {
+        match self {
+            EncLayer::V4Pcbc => {
+                let mut pt = (plaintext.len() as u32).to_be_bytes().to_vec();
+                pt.extend_from_slice(plaintext);
+                let padded = modes::pad_zero(&pt);
+                Ok(modes::pcbc_encrypt(key, key.to_u64(), &padded)?)
+            }
+            EncLayer::V5Cbc { confounder } => {
+                let mut pt = Vec::with_capacity(plaintext.len() + 8);
+                if confounder {
+                    pt.extend_from_slice(&rng.next_u64().to_be_bytes());
+                }
+                pt.extend_from_slice(plaintext);
+                let padded = modes::pad_zero(&pt);
+                Ok(modes::cbc_encrypt(key, 0, &padded)?)
+            }
+            EncLayer::HardenedCbc => {
+                let mut pt = (plaintext.len() as u32).to_be_bytes().to_vec();
+                pt.extend_from_slice(plaintext);
+                let padded = modes::pad_zero(&pt);
+                let mut ct = modes::cbc_encrypt(key, iv, &padded)?;
+                // MAC over IV and plaintext, with a key variant, so
+                // splices, truncations, and cross-IV replays all fail.
+                let mut mac_input = iv.to_be_bytes().to_vec();
+                mac_input.extend_from_slice(&padded);
+                let mac = checksum::compute(ChecksumType::Md4Des, Some(key), &mac_input)?;
+                ct.extend_from_slice(&mac.value);
+                Ok(ct)
+            }
+        }
+    }
+
+    /// Opens a sealed message. For the layers without integrity this
+    /// returns whatever the bytes decrypt to — garbage in, garbage out,
+    /// exactly as in 1991.
+    pub fn open(self, key: &DesKey, iv: u64, ciphertext: &[u8]) -> Result<Vec<u8>, KrbError> {
+        match self {
+            EncLayer::V4Pcbc => {
+                let pt = modes::pcbc_decrypt(key, key.to_u64(), ciphertext)?;
+                if pt.len() < 4 {
+                    return Err(KrbError::Decode("V4 sealed part too short"));
+                }
+                let len = u32::from_be_bytes(pt[..4].try_into().expect("4 bytes")) as usize;
+                if 4 + len > pt.len() {
+                    return Err(KrbError::Decode("V4 length field out of range"));
+                }
+                Ok(pt[4..4 + len].to_vec())
+            }
+            EncLayer::V5Cbc { confounder } => {
+                let pt = modes::cbc_decrypt(key, 0, ciphertext)?;
+                let skip = if confounder { 8 } else { 0 };
+                if pt.len() < skip {
+                    return Err(KrbError::Decode("V5 sealed part too short"));
+                }
+                // No integrity, no framing: the caller parses from the
+                // front and tolerates trailing padding.
+                Ok(pt[skip..].to_vec())
+            }
+            EncLayer::HardenedCbc => {
+                if ciphertext.len() < 16 {
+                    return Err(KrbError::Decode("hardened sealed part too short"));
+                }
+                let (ct, mac_bytes) = ciphertext.split_at(ciphertext.len() - 16);
+                let padded = modes::cbc_decrypt(key, iv, ct)?;
+                let mut mac_input = iv.to_be_bytes().to_vec();
+                mac_input.extend_from_slice(&padded);
+                let claimed = Checksum { ctype: ChecksumType::Md4Des, value: mac_bytes.to_vec() };
+                checksum::verify(&claimed, Some(key), &mac_input)
+                    .map_err(|_| KrbError::IntegrityFailure)?;
+                if padded.len() < 4 {
+                    return Err(KrbError::Decode("hardened sealed part too short"));
+                }
+                let len = u32::from_be_bytes(padded[..4].try_into().expect("4 bytes")) as usize;
+                if 4 + len > padded.len() {
+                    return Err(KrbError::Decode("hardened length out of range"));
+                }
+                Ok(padded[4..4 + len].to_vec())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krb_crypto::rng::Drbg;
+
+    fn key() -> DesKey {
+        DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity()
+    }
+
+    #[test]
+    fn all_layers_roundtrip() {
+        let mut rng = Drbg::new(1);
+        for layer in [
+            EncLayer::V4Pcbc,
+            EncLayer::V5Cbc { confounder: false },
+            EncLayer::V5Cbc { confounder: true },
+            EncLayer::HardenedCbc,
+        ] {
+            for msg in [&b""[..], b"x", b"a ticket-sized message of some length........"] {
+                let ct = layer.seal(&key(), 42, msg, &mut rng).unwrap();
+                let pt = layer.open(&key(), 42, &ct).unwrap();
+                // V5Cbc returns trailing padding; compare prefixes.
+                assert!(pt.starts_with(msg), "layer {layer:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn v4_strips_padding_exactly() {
+        let mut rng = Drbg::new(2);
+        let msg = b"odd-length payload!";
+        let ct = EncLayer::V4Pcbc.seal(&key(), 0, msg, &mut rng).unwrap();
+        assert_eq!(EncLayer::V4Pcbc.open(&key(), 0, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn hardened_detects_any_bit_flip() {
+        let mut rng = Drbg::new(3);
+        let msg = b"KRB_PRIV: transfer $100 to account 7";
+        let ct = EncLayer::HardenedCbc.seal(&key(), 7, msg, &mut rng).unwrap();
+        for i in 0..ct.len() {
+            let mut t = ct.clone();
+            t[i] ^= 0x01;
+            assert!(EncLayer::HardenedCbc.open(&key(), 7, &t).is_err(), "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn hardened_binds_iv() {
+        // Replaying a sealed message under a different session IV fails:
+        // the cross-stream replay defense.
+        let mut rng = Drbg::new(4);
+        let ct = EncLayer::HardenedCbc.seal(&key(), 1, b"message", &mut rng).unwrap();
+        assert!(EncLayer::HardenedCbc.open(&key(), 1, &ct).is_ok());
+        assert!(EncLayer::HardenedCbc.open(&key(), 2, &ct).is_err());
+    }
+
+    #[test]
+    fn v5_prefix_splice_succeeds() {
+        // The A7 lever in miniature: a block-aligned prefix of a sealed
+        // V5 message opens cleanly as a shorter message.
+        let mut rng = Drbg::new(5);
+        let layer = EncLayer::V5Cbc { confounder: false };
+        let msg = b"AUTHENTICATORCHKSUMremainder-the-attacker-wants-dropped";
+        let ct = layer.seal(&key(), 0, msg, &mut rng).unwrap();
+        let prefix_ct = &ct[..24];
+        let pt = layer.open(&key(), 0, prefix_ct).unwrap();
+        assert_eq!(&pt[..], &msg[..24]);
+        assert!(layer.has_prefix_property());
+    }
+
+    #[test]
+    fn v4_leading_length_disrupts_prefix_splice() {
+        // The paper notes V4's leading length field breaks the simple
+        // prefix attack: a truncated ciphertext decrypts to a length
+        // that no longer fits (PCBC also garbles, but the length check
+        // alone suffices here).
+        let mut rng = Drbg::new(6);
+        let msg = b"AUTHENTICATORCHKSUMremainder-the-attacker-wants-dropped";
+        let ct = EncLayer::V4Pcbc.seal(&key(), 0, msg, &mut rng).unwrap();
+        let prefix_ct = &ct[..24];
+        assert!(EncLayer::V4Pcbc.open(&key(), 0, prefix_ct).is_err());
+    }
+
+    #[test]
+    fn v4_block_swap_undetected() {
+        // A8: PCBC "integrity" misses a block swap in the middle of a
+        // long message — open() succeeds and returns modified data.
+        let mut rng = Drbg::new(7);
+        let msg = vec![b'M'; 64];
+        let mut ct = EncLayer::V4Pcbc.seal(&key(), 0, &msg, &mut rng).unwrap();
+        // Swap blocks 3 and 4 (well past the length word, well before
+        // the end).
+        let (a, b) = (24usize, 32usize);
+        let tmp: Vec<u8> = ct[a..a + 8].to_vec();
+        let tmp2: Vec<u8> = ct[b..b + 8].to_vec();
+        ct[a..a + 8].copy_from_slice(&tmp2);
+        ct[b..b + 8].copy_from_slice(&tmp);
+        let opened = EncLayer::V4Pcbc.open(&key(), 0, &ct).unwrap();
+        assert_ne!(opened, msg, "modification went through undetected");
+    }
+
+    #[test]
+    fn confounder_randomizes_equal_messages() {
+        let mut rng = Drbg::new(8);
+        let layer = EncLayer::V5Cbc { confounder: true };
+        let a = layer.seal(&key(), 0, b"same", &mut rng).unwrap();
+        let b = layer.seal(&key(), 0, b"same", &mut rng).unwrap();
+        assert_ne!(a, b);
+        // Without the confounder (and with the fixed IV), equal
+        // plaintexts leak equality — the reason confounders existed.
+        let bare = EncLayer::V5Cbc { confounder: false };
+        let c = bare.seal(&key(), 0, b"same", &mut rng).unwrap();
+        let d = bare.seal(&key(), 0, b"same", &mut rng).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn open_wrong_key_fails_or_garbles() {
+        let mut rng = Drbg::new(9);
+        let other = DesKey::from_u64(0x1111111111111111).with_odd_parity();
+        let msg = b"sensitive";
+        let ct = EncLayer::HardenedCbc.seal(&key(), 3, msg, &mut rng).unwrap();
+        assert!(EncLayer::HardenedCbc.open(&other, 3, &ct).is_err());
+    }
+
+    #[test]
+    fn integrity_classification() {
+        assert!(!EncLayer::V4Pcbc.provides_integrity());
+        assert!(!EncLayer::V5Cbc { confounder: true }.provides_integrity());
+        assert!(EncLayer::HardenedCbc.provides_integrity());
+    }
+}

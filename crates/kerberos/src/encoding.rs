@@ -1,0 +1,376 @@
+//! Wire encodings: the ambiguous legacy format and the typed (DER-lite)
+//! format.
+//!
+//! "The most simple analysis of the security of the Kerberos protocols
+//! should check that there is no possibility of ambiguity between
+//! messages sent in different contexts. That is, a ticket should never
+//! be interpretable as an authenticator, or vice versa. ... This
+//! repetitive and often intricate analysis would be unnecessary if
+//! standard encodings (such as ASN.1) were used. These encodings should
+//! include the overall message type."
+//!
+//! [`Codec::Legacy`] concatenates length-framed fields with no type tag
+//! and no overall length — V4's situation, where cross-context
+//! interpretation (attack A11) and truncation are possible.
+//! [`Codec::Typed`] wraps each message in `[magic][type][len]`, the two
+//! properties the paper actually needs from ASN.1: the message type
+//! inside the (possibly encrypted) data, and an explicit length.
+
+use crate::error::KrbError;
+
+/// Message type tags, placed inside the typed envelope (and therefore
+/// inside the encryption when the message is sealed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(u8)]
+pub enum MsgType {
+    /// A ticket (the sealed part).
+    Ticket = 1,
+    /// An authenticator.
+    Authenticator = 2,
+    /// Initial authentication request.
+    AsReq = 3,
+    /// Initial authentication reply.
+    AsRep = 4,
+    /// The encrypted part of an AS reply.
+    EncAsRepPart = 5,
+    /// Ticket-granting request.
+    TgsReq = 6,
+    /// Ticket-granting reply.
+    TgsRep = 7,
+    /// The encrypted part of a TGS reply.
+    EncTgsRepPart = 8,
+    /// Application request (ticket + authenticator).
+    ApReq = 9,
+    /// Application reply (mutual authentication).
+    ApRep = 10,
+    /// The encrypted part of an AP reply.
+    EncApRepPart = 11,
+    /// Error reply.
+    KrbErr = 12,
+    /// Integrity-protected application message.
+    KrbSafe = 13,
+    /// Encrypted application message.
+    KrbPriv = 14,
+    /// The encrypted part of a KRB_PRIV message.
+    EncPrivPart = 15,
+}
+
+impl MsgType {
+    /// Parses a tag byte.
+    pub fn from_u8(v: u8) -> Option<MsgType> {
+        use MsgType::*;
+        Some(match v {
+            1 => Ticket,
+            2 => Authenticator,
+            3 => AsReq,
+            4 => AsRep,
+            5 => EncAsRepPart,
+            6 => TgsReq,
+            7 => TgsRep,
+            8 => EncTgsRepPart,
+            9 => ApReq,
+            10 => ApRep,
+            11 => EncApRepPart,
+            12 => KrbErr,
+            13 => KrbSafe,
+            14 => KrbPriv,
+            15 => EncPrivPart,
+            _ => return None,
+        })
+    }
+}
+
+/// Which wire encoding the deployment uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Codec {
+    /// Field concatenation; no type tag, no overall length. Ambiguous
+    /// across contexts.
+    Legacy,
+    /// `[0x4B][type][len u32][fields]`. Unambiguous and
+    /// truncation-evident.
+    Typed,
+}
+
+const TYPED_MAGIC: u8 = 0x4b; // 'K'
+
+impl Codec {
+    /// Wraps an encoded field body in the codec's envelope.
+    pub fn wrap(self, mtype: MsgType, body: Vec<u8>) -> Vec<u8> {
+        match self {
+            Codec::Legacy => body,
+            Codec::Typed => {
+                let mut v = Vec::with_capacity(body.len() + 6);
+                v.push(TYPED_MAGIC);
+                v.push(mtype as u8);
+                v.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                v.extend_from_slice(&body);
+                v
+            }
+        }
+    }
+
+    /// Unwraps an envelope, checking the type tag and length when typed.
+    /// Under the legacy codec any byte string "is" any message type —
+    /// that is the vulnerability.
+    pub fn unwrap(self, mtype: MsgType, data: &[u8]) -> Result<&[u8], KrbError> {
+        match self {
+            Codec::Legacy => Ok(data),
+            Codec::Typed => {
+                if data.len() < 6 || data[0] != TYPED_MAGIC {
+                    return Err(KrbError::Decode("missing typed envelope"));
+                }
+                if data[1] != mtype as u8 {
+                    return Err(KrbError::WrongType { expected: mtype as u8, found: data[1] });
+                }
+                let len = u32::from_be_bytes(data[2..6].try_into().expect("4 bytes")) as usize;
+                let body = &data[6..];
+                // Truncation is fatal; trailing bytes beyond `len` are
+                // tolerated because decrypted envelopes carry cipher
+                // padding.
+                if body.len() < len {
+                    return Err(KrbError::Decode("typed envelope truncated"));
+                }
+                Ok(&body[..len])
+            }
+        }
+    }
+}
+
+/// Field-level serializer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Appends a u8.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a big-endian u32.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a big-endian u64.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a length-framed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-framed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends an optional byte string (presence byte + framing).
+    pub fn put_opt_bytes(&mut self, v: Option<&[u8]>) -> &mut Self {
+        match v {
+            Some(b) => {
+                self.put_u8(1);
+                self.put_bytes(b)
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Appends an optional u64.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) -> &mut Self {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_u64(x)
+            }
+            None => self.put_u8(0),
+        }
+    }
+
+    /// Consumes the encoder.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Field-level parser.
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], KrbError> {
+        if self.pos + n > self.data.len() {
+            return Err(KrbError::Decode("truncated field"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a u8.
+    pub fn take_u8(&mut self) -> Result<u8, KrbError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u32.
+    pub fn take_u32(&mut self) -> Result<u32, KrbError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn take_u64(&mut self) -> Result<u64, KrbError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-framed byte string.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, KrbError> {
+        let len = self.take_u32()? as usize;
+        if len > self.data.len() {
+            return Err(KrbError::Decode("field length exceeds message"));
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-framed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String, KrbError> {
+        String::from_utf8(self.take_bytes()?).map_err(|_| KrbError::Decode("invalid utf-8"))
+    }
+
+    /// Reads an optional byte string.
+    pub fn take_opt_bytes(&mut self) -> Result<Option<Vec<u8>>, KrbError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_bytes()?)),
+            _ => Err(KrbError::Decode("bad option byte")),
+        }
+    }
+
+    /// Reads an optional u64.
+    pub fn take_opt_u64(&mut self) -> Result<Option<u64>, KrbError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u64()?)),
+            _ => Err(KrbError::Decode("bad option byte")),
+        }
+    }
+
+    /// Bytes remaining unread.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails unless the whole input was consumed. The legacy decoder
+    /// deliberately does NOT call this for application payloads — sloppy
+    /// trailing-junk tolerance is part of what the chosen-plaintext
+    /// splice (A7) exploits.
+    pub fn finish(self) -> Result<(), KrbError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(KrbError::Decode("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(7).put_u32(0xdead_beef).put_u64(42).put_str("pat").put_bytes(b"xyz");
+        e.put_opt_bytes(None).put_opt_bytes(Some(b"k")).put_opt_u64(Some(9)).put_opt_u64(None);
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.take_u8().unwrap(), 7);
+        assert_eq!(d.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.take_u64().unwrap(), 42);
+        assert_eq!(d.take_str().unwrap(), "pat");
+        assert_eq!(d.take_bytes().unwrap(), b"xyz");
+        assert_eq!(d.take_opt_bytes().unwrap(), None);
+        assert_eq!(d.take_opt_bytes().unwrap(), Some(b"k".to_vec()));
+        assert_eq!(d.take_opt_u64().unwrap(), Some(9));
+        assert_eq!(d.take_opt_u64().unwrap(), None);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected_at_field_level() {
+        let mut e = Encoder::new();
+        e.put_str("a long string field");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..bytes.len() - 3]);
+        assert!(d.take_str().is_err());
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut d = Decoder::new(&[0xff, 0xff, 0xff, 0xff, 1, 2]);
+        assert!(d.take_bytes().is_err());
+    }
+
+    #[test]
+    fn typed_envelope_roundtrip() {
+        let body = b"ticket fields".to_vec();
+        let wire = Codec::Typed.wrap(MsgType::Ticket, body.clone());
+        assert_eq!(Codec::Typed.unwrap(MsgType::Ticket, &wire).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn typed_envelope_rejects_cross_type() {
+        // The anti-confusion property: a Ticket cannot be unwrapped as an
+        // Authenticator.
+        let wire = Codec::Typed.wrap(MsgType::Ticket, b"fields".to_vec());
+        assert!(matches!(
+            Codec::Typed.unwrap(MsgType::Authenticator, &wire),
+            Err(KrbError::WrongType { .. })
+        ));
+    }
+
+    #[test]
+    fn typed_envelope_rejects_truncation() {
+        let wire = Codec::Typed.wrap(MsgType::KrbPriv, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(Codec::Typed.unwrap(MsgType::KrbPriv, &wire[..wire.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn legacy_accepts_anything_as_anything() {
+        // The vulnerability, stated as a test: the same bytes unwrap as
+        // both a Ticket and an Authenticator.
+        let bytes = b"whatever".to_vec();
+        assert!(Codec::Legacy.unwrap(MsgType::Ticket, &bytes).is_ok());
+        assert!(Codec::Legacy.unwrap(MsgType::Authenticator, &bytes).is_ok());
+    }
+
+    #[test]
+    fn msgtype_tags_roundtrip() {
+        for t in 1u8..=15 {
+            let m = MsgType::from_u8(t).unwrap();
+            assert_eq!(m as u8, t);
+        }
+        assert!(MsgType::from_u8(0).is_none());
+        assert!(MsgType::from_u8(16).is_none());
+    }
+}

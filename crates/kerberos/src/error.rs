@@ -1,0 +1,97 @@
+//! Protocol-level errors.
+
+use std::fmt;
+
+/// Errors raised by protocol processing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KrbError {
+    /// A message failed to parse.
+    Decode(&'static str),
+    /// Wrong message type tag (typed codec only).
+    WrongType {
+        /// Expected tag.
+        expected: u8,
+        /// Tag found.
+        found: u8,
+    },
+    /// A checksum failed to verify.
+    BadChecksum,
+    /// Integrity failure in the encryption layer.
+    IntegrityFailure,
+    /// Authenticator or message timestamp outside the permitted skew.
+    SkewExceeded {
+        /// Observed difference, microseconds.
+        diff_us: u64,
+        /// Permitted skew, microseconds.
+        limit_us: u64,
+    },
+    /// A replayed authenticator or message was detected.
+    Replay,
+    /// Ticket not yet valid or expired.
+    TicketExpired,
+    /// Ticket address does not match the peer.
+    AddressMismatch,
+    /// Unknown principal.
+    UnknownPrincipal(String),
+    /// Preauthentication required but missing or invalid.
+    PreauthFailed,
+    /// The client failed a challenge/response.
+    ChallengeFailed,
+    /// Server requires the challenge/response option (method-data).
+    ChallengeRequired {
+        /// The nonce the client must return encrypted.
+        challenge: u64,
+    },
+    /// Policy denied the request (options not allowed, rate limit, trust).
+    PolicyDenied(&'static str),
+    /// Cross-realm path could not be resolved or was not trusted.
+    RealmPathRejected(String),
+    /// Crypto-layer failure.
+    Crypto(String),
+    /// Network-layer failure.
+    Net(String),
+    /// Server-side failure with a protocol error message attached.
+    Remote(String),
+}
+
+impl fmt::Display for KrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KrbError::Decode(what) => write!(f, "malformed message: {what}"),
+            KrbError::WrongType { expected, found } => {
+                write!(f, "wrong message type: expected {expected}, found {found}")
+            }
+            KrbError::BadChecksum => write!(f, "checksum verification failed"),
+            KrbError::IntegrityFailure => write!(f, "encryption-layer integrity failure"),
+            KrbError::SkewExceeded { diff_us, limit_us } => {
+                write!(f, "clock skew {diff_us}us exceeds limit {limit_us}us")
+            }
+            KrbError::Replay => write!(f, "replay detected"),
+            KrbError::TicketExpired => write!(f, "ticket expired or not yet valid"),
+            KrbError::AddressMismatch => write!(f, "ticket address mismatch"),
+            KrbError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
+            KrbError::PreauthFailed => write!(f, "preauthentication failed"),
+            KrbError::ChallengeFailed => write!(f, "challenge/response failed"),
+            KrbError::ChallengeRequired { .. } => write!(f, "server requires challenge/response"),
+            KrbError::PolicyDenied(why) => write!(f, "policy denied: {why}"),
+            KrbError::RealmPathRejected(r) => write!(f, "realm path rejected: {r}"),
+            KrbError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            KrbError::Net(e) => write!(f, "network failure: {e}"),
+            KrbError::Remote(e) => write!(f, "remote error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KrbError {}
+
+impl From<krb_crypto::CryptoError> for KrbError {
+    fn from(e: krb_crypto::CryptoError) -> Self {
+        KrbError::Crypto(e.to_string())
+    }
+}
+
+impl From<simnet::NetError> for KrbError {
+    fn from(e: simnet::NetError) -> Self {
+        KrbError::Net(e.to_string())
+    }
+}

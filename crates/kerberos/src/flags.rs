@@ -1,0 +1,95 @@
+//! Ticket flags and KDC option bits (V5 Draft 3 vocabulary).
+
+/// Flags recorded inside a ticket.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct TicketFlags(pub u16);
+
+impl TicketFlags {
+    /// May be forwarded to another address.
+    pub const FORWARDABLE: u16 = 1 << 0;
+    /// Was forwarded (the paper: "Kerberos has a flag bit to indicate
+    /// that a ticket was forwarded, but does not include the original
+    /// source").
+    pub const FORWARDED: u16 = 1 << 1;
+    /// Issued by the AS directly (password-authenticated).
+    pub const INITIAL: u16 = 1 << 2;
+    /// May be renewed.
+    pub const RENEWABLE: u16 = 1 << 3;
+    /// This ticket's session key is shared with another ticket
+    /// (REUSE-SKEY). Draft 3 "explicitly warns against using tickets
+    /// with DUPLICATE-SKEY set for authentication."
+    pub const DUPLICATE_SKEY: u16 = 1 << 4;
+
+    /// No flags.
+    pub fn empty() -> Self {
+        TicketFlags(0)
+    }
+
+    /// Tests a flag bit.
+    pub fn has(self, bit: u16) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns a copy with `bit` set.
+    pub fn with(self, bit: u16) -> Self {
+        TicketFlags(self.0 | bit)
+    }
+}
+
+/// Options a client may request from the KDC.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KdcOptions(pub u16);
+
+impl KdcOptions {
+    /// Request a forwardable ticket.
+    pub const FORWARDABLE: u16 = 1 << 0;
+    /// Mark the issued ticket as forwarded (new address supplied).
+    pub const FORWARDED: u16 = 1 << 1;
+    /// Request a renewable ticket.
+    pub const RENEWABLE: u16 = 1 << 2;
+    /// Encrypt the new ticket in the session key of the enclosed
+    /// additional ticket instead of the service key (the Draft 3 option
+    /// at the heart of attack A9).
+    pub const ENC_TKT_IN_SKEY: u16 = 1 << 3;
+    /// Reuse the session key of the enclosed additional ticket (A10).
+    pub const REUSE_SKEY: u16 = 1 << 4;
+    /// Renew the presented (renewable) ticket instead of issuing for a
+    /// new service.
+    pub const RENEW: u16 = 1 << 5;
+
+    /// No options.
+    pub fn empty() -> Self {
+        KdcOptions(0)
+    }
+
+    /// Tests an option bit.
+    pub fn has(self, bit: u16) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// Returns a copy with `bit` set.
+    pub fn with(self, bit: u16) -> Self {
+        KdcOptions(self.0 | bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_ops() {
+        let f = TicketFlags::empty().with(TicketFlags::INITIAL).with(TicketFlags::FORWARDED);
+        assert!(f.has(TicketFlags::INITIAL));
+        assert!(f.has(TicketFlags::FORWARDED));
+        assert!(!f.has(TicketFlags::RENEWABLE));
+    }
+
+    #[test]
+    fn option_ops() {
+        let o = KdcOptions::empty().with(KdcOptions::ENC_TKT_IN_SKEY);
+        assert!(o.has(KdcOptions::ENC_TKT_IN_SKEY));
+        assert!(!o.has(KdcOptions::REUSE_SKEY));
+        assert_eq!(KdcOptions::empty().0, 0);
+    }
+}

@@ -1,0 +1,606 @@
+//! The Key Distribution Center: AS and TGS exchanges.
+//!
+//! One [`Kdc`] serves one realm, bound to port [`KDC_PORT`] of its host.
+//! Every protocol decision the paper critiques is driven by the
+//! [`ProtocolConfig`]: preauthentication, the DH login layer,
+//! handheld-authenticator login, checksum type, the ENC-TKT-IN-SKEY and
+//! REUSE-SKEY options (with or without the cname check Draft 3 omitted),
+//! rate limiting, and address binding.
+
+use crate::authenticator::Authenticator;
+use crate::config::{PreauthMode, ProtocolConfig};
+use crate::database::KdcDatabase;
+use crate::encoding::MsgType;
+use crate::error::KrbError;
+use crate::flags::{KdcOptions, TicketFlags};
+use crate::messages::{
+    err_code, AsRep, AsReq, EncKdcRepPart, KrbErrorMsg, PaData, TgsRep, TgsReq, WireKind,
+};
+use crate::principal::Principal;
+use crate::replay_cache::{CacheVerdict, ReplayCache};
+use crate::ticket::Ticket;
+use krb_crypto::checksum;
+use krb_crypto::des::DesKey;
+use krb_crypto::dh::DhGroup;
+use krb_crypto::rng::{Drbg, RandomSource};
+use simnet::{Endpoint, Service, ServiceCtx};
+use std::collections::HashMap;
+
+/// The conventional KDC port.
+pub const KDC_PORT: u16 = 88;
+
+/// Derives the handheld-authenticator response key `{R}K_c`.
+pub fn hha_key(kc: &DesKey, r: u64) -> DesKey {
+    DesKey::from_u64(kc.encrypt_block(r)).with_odd_parity()
+}
+
+/// An audit record of an issued ticket.
+#[derive(Clone, Debug)]
+pub struct IssueRecord {
+    /// The client the ticket names.
+    pub client: Principal,
+    /// The service it is good for.
+    pub service: Principal,
+    /// KDC local time at issue, µs.
+    pub at_us: u64,
+}
+
+/// The KDC service.
+pub struct Kdc {
+    /// Deployment configuration.
+    pub config: ProtocolConfig,
+    /// The realm database.
+    pub db: KdcDatabase,
+    tgs_key: DesKey,
+    rng: Drbg,
+    dh_group: DhGroup,
+    /// Per-source AS-request counters for rate limiting: addr ->
+    /// (window start µs, count).
+    req_counts: HashMap<u32, (u64, u32)>,
+    /// Replay cache for preauthentication blobs.
+    preauth_cache: ReplayCache,
+    /// Outstanding handheld-authenticator challenges:
+    /// (client, source addr) -> R.
+    pending_hha: HashMap<(Principal, u32), u64>,
+    /// Audit log of issued tickets.
+    pub issued: Vec<IssueRecord>,
+}
+
+impl Kdc {
+    /// Builds a KDC over `db` (which must already contain a TGS entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database lacks the realm's TGS principal.
+    pub fn new(config: ProtocolConfig, db: KdcDatabase, rng_seed: u64) -> Self {
+        let tgs = Principal::tgs(db.realm());
+        let tgs_key = db.lookup(&tgs).expect("database must contain the realm TGS").key;
+        let skew = config.clock_skew_us;
+        Kdc {
+            config,
+            db,
+            tgs_key,
+            rng: Drbg::new(rng_seed),
+            dh_group: DhGroup::oakley768(),
+            req_counts: HashMap::new(),
+            preauth_cache: ReplayCache::new(skew),
+            pending_hha: HashMap::new(),
+            issued: Vec::new(),
+        }
+    }
+
+    /// The realm this KDC serves.
+    pub fn realm(&self) -> String {
+        self.db.realm().to_string()
+    }
+
+    fn error(&self, code: u32, text: &str) -> Vec<u8> {
+        KrbErrorMsg { code, text: text.into(), challenge: None }.encode(self.config.codec)
+    }
+
+    /// Applies the per-source AS rate limit, if configured.
+    fn rate_limited(&mut self, src_addr: u32, now_us: u64) -> bool {
+        let Some(limit) = self.config.kdc_rate_limit else { return false };
+        let window = self.config.clock_skew_us.max(1);
+        let entry = self.req_counts.entry(src_addr).or_insert((now_us, 0));
+        if now_us.saturating_sub(entry.0) > window {
+            *entry = (now_us, 0);
+        }
+        entry.1 += 1;
+        entry.1 > limit
+    }
+
+    /// Extracts the encrypted-timestamp preauthentication blob.
+    fn preauth_blob(req: &AsReq) -> Option<Vec<u8>> {
+        req.padata.iter().find_map(|p| match p {
+            PaData::EncTimestamp(b) => Some(b.clone()),
+            _ => None,
+        })
+    }
+
+    /// Verifies a `{timestamp}key` preauthentication blob.
+    fn check_preauth_blob(&mut self, blob: &[u8], key: &DesKey, now_us: u64) -> Result<(), KrbError> {
+        let pt = self
+            .config
+            .ticket_layer
+            .open(key, 0, blob)
+            .map_err(|_| KrbError::PreauthFailed)?;
+        if pt.len() < 8 {
+            return Err(KrbError::PreauthFailed);
+        }
+        let ts = u64::from_be_bytes(pt[..8].try_into().expect("8 bytes"));
+        if ts.abs_diff(now_us) > self.config.clock_skew_us {
+            return Err(KrbError::PreauthFailed);
+        }
+        if self.preauth_cache.offer(blob, now_us) == CacheVerdict::Replayed {
+            return Err(KrbError::Replay);
+        }
+        Ok(())
+    }
+
+    /// Handles KRB_AS_REQ.
+    fn as_exchange(&mut self, body: &[u8], from: Endpoint, now_us: u64) -> Vec<u8> {
+        let req = match AsReq::decode(self.config.codec, body) {
+            Ok(r) => r,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+        if self.rate_limited(from.addr.0, now_us) {
+            return self.error(err_code::RATE_LIMITED, "request rate exceeded");
+        }
+        let client_entry = match self.db.lookup(&req.client) {
+            Ok(e) => e.clone(),
+            Err(_) => return self.error(err_code::UNKNOWN_PRINCIPAL, "no such client"),
+        };
+        if !self.db.contains(&req.service) {
+            return self.error(err_code::UNKNOWN_PRINCIPAL, "no such service");
+        }
+
+        // Handheld-authenticator login is a two-round exchange: the KDC
+        // issues a challenge R, and the client proves possession of
+        // {R}K_c by sealing a preauthentication timestamp with it. The
+        // sealed timestamp doubles as preauthentication, so ticket
+        // harvesting (A5) fails here too.
+        let hha_key_used: Option<(u64, DesKey)> = if self.config.hha_login {
+            match Self::preauth_blob(&req) {
+                None => {
+                    let r = self.rng.next_u64();
+                    self.pending_hha.insert((req.client.clone(), from.addr.0), r);
+                    return KrbErrorMsg {
+                        code: err_code::PREAUTH_REQUIRED,
+                        text: "respond to login challenge".into(),
+                        challenge: Some(r),
+                    }
+                    .encode(self.config.codec);
+                }
+                Some(blob) => {
+                    let Some(r) = self.pending_hha.remove(&(req.client.clone(), from.addr.0)) else {
+                        return self.error(err_code::PREAUTH_FAILED, "no challenge outstanding");
+                    };
+                    let kprime = hha_key(&client_entry.key, r);
+                    if let Err(e) = self.check_preauth_blob(&blob, &kprime, now_us) {
+                        let code =
+                            if e == KrbError::Replay { err_code::REPLAY } else { err_code::PREAUTH_FAILED };
+                        return self.error(code, &e.to_string());
+                    }
+                    Some((r, kprime))
+                }
+            }
+        } else {
+            // Plain preauthentication (recommendation g).
+            if self.config.preauth == PreauthMode::EncTimestamp {
+                let Some(blob) = Self::preauth_blob(&req) else {
+                    return self.error(err_code::PREAUTH_REQUIRED, "preauthentication required");
+                };
+                if let Err(e) = self.check_preauth_blob(&blob, &client_entry.key, now_us) {
+                    let code = if e == KrbError::Replay { err_code::REPLAY } else { err_code::PREAUTH_FAILED };
+                    return self.error(code, &e.to_string());
+                }
+            }
+            None
+        };
+
+        // Issue the ticket-granting ticket, honoring requested
+        // attribute options.
+        let mut flags = TicketFlags::empty().with(TicketFlags::INITIAL);
+        if req.options.has(KdcOptions::FORWARDABLE) {
+            flags = flags.with(TicketFlags::FORWARDABLE);
+        }
+        if req.options.has(KdcOptions::RENEWABLE) {
+            flags = flags.with(TicketFlags::RENEWABLE);
+        }
+        let session_key = self.rng.gen_des_key();
+        let lifetime = req.lifetime_us.min(self.config.ticket_lifetime_us);
+        let ticket = Ticket {
+            flags,
+            client: req.client.clone(),
+            service: req.service.clone(),
+            addr: self.config.address_in_ticket.then_some(req.addr),
+            auth_time: now_us,
+            start_time: now_us,
+            end_time: now_us + lifetime,
+            session_key,
+            transited: vec![],
+        };
+        let sealed_ticket = match ticket.seal(self.config.codec, self.config.ticket_layer, &self.tgs_key, &mut self.rng)
+        {
+            Ok(t) => t,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+
+        let ticket_cksum = self.config.ticket_cksum_in_rep.then(|| {
+            let key = self.config.checksum.is_keyed().then_some(&session_key);
+            checksum::compute(self.config.checksum, key, &sealed_ticket)
+                .expect("checksum over sealed ticket")
+        });
+        let part = EncKdcRepPart {
+            session_key,
+            nonce: req.nonce,
+            ticket: sealed_ticket,
+            end_time: ticket.end_time,
+            server_time: now_us,
+            ticket_cksum,
+        };
+        let part_bytes = part.encode(self.config.codec, MsgType::EncAsRepPart);
+
+        // Choose the sealing key: K_c, or {R}K_c for handheld
+        // authenticators.
+        let (challenge_r, sealing_key) = match hha_key_used {
+            Some((r, kprime)) => (Some(r), kprime),
+            None => (None, client_entry.key),
+        };
+        let inner = match self.config.ticket_layer.seal(&sealing_key, 0, &part_bytes, &mut self.rng) {
+            Ok(v) => v,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+
+        // Optional exponential-key-exchange outer layer (recommendation
+        // h): a passive wiretapper no longer records anything decryptable
+        // by a password guess.
+        let (dh_public, enc_part) = if self.config.dh_login {
+            let client_pub = req.padata.iter().find_map(|p| match p {
+                PaData::DhPublic(b) => Some(b.clone()),
+                _ => None,
+            });
+            let Some(client_pub) = client_pub else {
+                return self.error(err_code::PREAUTH_REQUIRED, "DH public value required");
+            };
+            let kp = match self.dh_group.keypair(160, &mut self.rng) {
+                Ok(kp) => kp,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+            let their = krb_crypto::bignum::BigUint::from_bytes_be(&client_pub);
+            let secret = match self.dh_group.shared_secret(&their, &kp.private) {
+                Ok(s) => s,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+            let dh_key = DhGroup::derive_key(&secret);
+            let outer = match self.config.ticket_layer.seal(&dh_key, 0, &inner, &mut self.rng) {
+                Ok(v) => v,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+            (Some(kp.public.to_bytes_be()), outer)
+        } else {
+            (None, inner)
+        };
+
+        self.issued.push(IssueRecord { client: req.client, service: req.service, at_us: now_us });
+        AsRep { challenge_r, dh_public, enc_part }.encode(self.config.codec)
+    }
+
+    /// Attempts to unseal a presented TGT under the realm TGS key or any
+    /// cross-realm key.
+    fn unseal_tgt(&self, sealed: &[u8]) -> Result<Ticket, KrbError> {
+        if let Ok(t) = Ticket::unseal(self.config.codec, self.config.ticket_layer, &self.tgs_key, sealed) {
+            return Ok(t);
+        }
+        // Cross-realm: a remote TGS sealed this with a shared inter-realm
+        // key, stored locally as krbtgt.<remote>@<this-realm>. Try every
+        // inter-realm entry.
+        for p in self.db.principals().filter(|p| p.is_tgs()).cloned().collect::<Vec<_>>() {
+            let key = self.db.lookup(&p).expect("iterated principal exists").key;
+            if let Ok(t) = Ticket::unseal(self.config.codec, self.config.ticket_layer, &key, sealed) {
+                return Ok(t);
+            }
+        }
+        Err(KrbError::Decode("TGT unseal failed"))
+    }
+
+    /// Attempts to unseal any ticket the KDC could know the key for:
+    /// TGTs, cross-realm tickets, or service tickets (the KDC holds all
+    /// service keys). Needed by REUSE-SKEY, whose additional ticket is a
+    /// service ticket.
+    fn unseal_any(&self, sealed: &[u8]) -> Result<Ticket, KrbError> {
+        if let Ok(t) = self.unseal_tgt(sealed) {
+            return Ok(t);
+        }
+        for p in self.db.principals().cloned().collect::<Vec<_>>() {
+            let key = self.db.lookup(&p).expect("iterated principal exists").key;
+            if let Ok(t) = Ticket::unseal(self.config.codec, self.config.ticket_layer, &key, sealed) {
+                return Ok(t);
+            }
+        }
+        Err(KrbError::Decode("additional ticket unseal failed"))
+    }
+
+    /// Handles KRB_TGS_REQ.
+    fn tgs_exchange(&mut self, body: &[u8], from: Endpoint, now_us: u64) -> Vec<u8> {
+        let req = match TgsReq::decode(self.config.codec, body) {
+            Ok(r) => r,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+
+        let tgt = match self.unseal_tgt(&req.tgt) {
+            Ok(t) => t,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+        if !tgt.valid_at(now_us, self.config.clock_skew_us) {
+            return self.error(err_code::GENERIC, "TGT expired");
+        }
+
+        // Authenticator under the TGS session key.
+        let auth = match Authenticator::unseal(
+            self.config.codec,
+            self.config.ticket_layer,
+            &tgt.session_key,
+            &req.authenticator,
+        ) {
+            Ok(a) => a,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+        if auth.client != tgt.client {
+            return self.error(err_code::GENERIC, "authenticator/ticket client mismatch");
+        }
+        if auth.timestamp.abs_diff(now_us) > self.config.clock_skew_us {
+            return self.error(err_code::SKEW, "authenticator too old");
+        }
+        if let Some(taddr) = tgt.addr {
+            if self.config.address_in_ticket && taddr != from.addr.0 {
+                return self.error(err_code::GENERIC, "address mismatch");
+            }
+        }
+
+        // The checksum sealed in the authenticator must cover the
+        // cleartext request fields. With CRC-32 this check is the one
+        // attack A9 defeats by collision.
+        match &auth.cksum {
+            None => return self.error(err_code::INTEGRITY, "missing request checksum"),
+            Some(c) => {
+                if c.ctype != self.config.checksum {
+                    return self.error(err_code::INTEGRITY, "wrong checksum type");
+                }
+                let key = c.ctype.is_keyed().then_some(&tgt.session_key);
+                if checksum::verify(c, key, &req.checksum_body()).is_err() {
+                    return self.error(err_code::INTEGRITY, "request checksum mismatch");
+                }
+            }
+        }
+
+        // Ticket renewal: reissue the presented (renewable) TGT with a
+        // fresh validity window and the same session key. "The latter is
+        // a security measure; the longer a ticket is in use, the greater
+        // the risk" — renewal trades a KDC round trip for bounded
+        // exposure.
+        if req.options.has(KdcOptions::RENEW) {
+            if !tgt.flags.has(TicketFlags::RENEWABLE) {
+                return self.error(err_code::POLICY, "ticket is not renewable");
+            }
+            if req.service != tgt.service {
+                return self.error(err_code::POLICY, "renewal must name the original service");
+            }
+            let lifetime = req.lifetime_us.min(self.config.ticket_lifetime_us);
+            let renewed = Ticket { start_time: now_us, end_time: now_us + lifetime, ..tgt.clone() };
+            let sealed_ticket =
+                match renewed.seal(self.config.codec, self.config.ticket_layer, &self.tgs_key, &mut self.rng) {
+                    Ok(t) => t,
+                    Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+                };
+            let ticket_cksum = self.config.ticket_cksum_in_rep.then(|| {
+                let key = self.config.checksum.is_keyed().then_some(&tgt.session_key);
+                checksum::compute(self.config.checksum, key, &sealed_ticket)
+                    .expect("checksum over sealed ticket")
+            });
+            let part = EncKdcRepPart {
+                session_key: renewed.session_key,
+                nonce: req.nonce,
+                ticket: sealed_ticket,
+                end_time: renewed.end_time,
+                server_time: now_us,
+                ticket_cksum,
+            };
+            let enc_part = match self.config.ticket_layer.seal(
+                &tgt.session_key,
+                0,
+                &part.encode(self.config.codec, MsgType::EncTgsRepPart),
+                &mut self.rng,
+            ) {
+                Ok(v) => v,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+            self.issued.push(IssueRecord { client: tgt.client, service: req.service, at_us: now_us });
+            return TgsRep { enc_part }.encode(self.config.codec);
+        }
+
+        // Resolve the target service and its sealing key.
+        let cross_realm_target = req.service.is_tgs() && req.service.instance != self.realm();
+        let service_key = if cross_realm_target {
+            let p = Principal::cross_realm_tgs(&req.service.instance, &self.realm());
+            match self.db.lookup(&p) {
+                Ok(e) => e.key,
+                Err(_) => {
+                    return self.error(
+                        err_code::POLICY,
+                        &format!("no inter-realm key for {}", req.service.instance),
+                    )
+                }
+            }
+        } else {
+            match self.db.lookup(&req.service) {
+                Ok(e) => e.key,
+                Err(_) => return self.error(err_code::UNKNOWN_PRINCIPAL, "no such service"),
+            }
+        };
+
+        // Option processing.
+        let mut flags = TicketFlags::empty();
+        let mut session_key = self.rng.gen_des_key();
+        let mut sealing_key = service_key;
+
+        if req.options.has(KdcOptions::ENC_TKT_IN_SKEY) {
+            if !self.config.allow_enc_tkt_in_skey {
+                return self.error(err_code::POLICY, "ENC-TKT-IN-SKEY not allowed");
+            }
+            let Some(add) = &req.additional_ticket else {
+                return self.error(err_code::GENERIC, "ENC-TKT-IN-SKEY requires additional ticket");
+            };
+            let add_tkt = match self.unseal_tgt(add) {
+                Ok(t) => t,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+            // The check "apparently inadvertently omitted from Draft 3":
+            // the cname in the additional ticket must match the server
+            // name for which the new ticket is requested.
+            if self.config.enforce_cname_match && add_tkt.client != req.service {
+                return self.error(err_code::POLICY, "additional-ticket cname mismatch");
+            }
+            sealing_key = add_tkt.session_key;
+        }
+
+        if req.options.has(KdcOptions::REUSE_SKEY) {
+            if !self.config.allow_reuse_skey {
+                return self.error(err_code::POLICY, "REUSE-SKEY not allowed");
+            }
+            let Some(add) = &req.additional_ticket else {
+                return self.error(err_code::GENERIC, "REUSE-SKEY requires additional ticket");
+            };
+            let add_tkt = match self.unseal_any(add) {
+                Ok(t) => t,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+            session_key = add_tkt.session_key;
+            flags = flags.with(TicketFlags::DUPLICATE_SKEY);
+        }
+
+        // Ticket forwarding. Note, faithfully to the paper's complaint:
+        // the FORWARDED flag is set "but does not include the original
+        // source" — the receiving server cannot evaluate where the chain
+        // began.
+        let mut bound_addr = self.config.address_in_ticket.then_some(from.addr.0);
+        if req.options.has(KdcOptions::FORWARDED) {
+            if !tgt.flags.has(TicketFlags::FORWARDABLE) {
+                return self.error(err_code::POLICY, "ticket is not forwardable");
+            }
+            flags = flags.with(TicketFlags::FORWARDED);
+            if self.config.address_in_ticket {
+                bound_addr = Some(req.forward_addr.unwrap_or(u64::from(from.addr.0)) as u32);
+            }
+        }
+        if req.options.has(KdcOptions::FORWARDABLE) && tgt.flags.has(TicketFlags::FORWARDABLE) {
+            flags = flags.with(TicketFlags::FORWARDABLE);
+        }
+
+        // Transited realms: extend the path when the client's TGT came
+        // from elsewhere.
+        let mut transited = tgt.transited.clone();
+        if tgt.client.realm != self.realm() && !transited.contains(&tgt.client.realm) {
+            // Record where the chain started if missing.
+        }
+        if cross_realm_target {
+            transited.push(self.realm());
+        }
+
+        let lifetime = req.lifetime_us.min(self.config.ticket_lifetime_us);
+        let end_time = (now_us + lifetime).min(tgt.end_time);
+        let ticket = Ticket {
+            flags,
+            client: tgt.client.clone(),
+            service: req.service.clone(),
+            addr: bound_addr,
+            auth_time: tgt.auth_time,
+            start_time: now_us,
+            end_time,
+            session_key,
+            transited,
+        };
+        let sealed_ticket =
+            match ticket.seal(self.config.codec, self.config.ticket_layer, &sealing_key, &mut self.rng) {
+                Ok(t) => t,
+                Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+            };
+
+        let ticket_cksum = self.config.ticket_cksum_in_rep.then(|| {
+            let key = self.config.checksum.is_keyed().then_some(&tgt.session_key);
+            checksum::compute(self.config.checksum, key, &sealed_ticket)
+                .expect("checksum over sealed ticket")
+        });
+        let part = EncKdcRepPart {
+            session_key,
+            nonce: req.nonce,
+            ticket: sealed_ticket,
+            end_time,
+            server_time: now_us,
+            ticket_cksum,
+        };
+        let enc_part = match self.config.ticket_layer.seal(
+            &tgt.session_key,
+            0,
+            &part.encode(self.config.codec, MsgType::EncTgsRepPart),
+            &mut self.rng,
+        ) {
+            Ok(v) => v,
+            Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
+        };
+
+        self.issued.push(IssueRecord { client: tgt.client, service: req.service, at_us: now_us });
+        TgsRep { enc_part }.encode(self.config.codec)
+    }
+}
+
+impl Service for Kdc {
+    fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], from: Endpoint) -> Option<Vec<u8>> {
+        let now_us = ctx.local_time.0;
+        let kind = req.first().copied().and_then(WireKind::from_u8)?;
+        Some(match kind {
+            WireKind::AsReq => self.as_exchange(req, from, now_us),
+            WireKind::TgsReq => self.tgs_exchange(req, from, now_us),
+            _ => self.error(err_code::GENERIC, "unexpected message kind"),
+        })
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hha_key_depends_on_both_inputs() {
+        let kc = DesKey::from_u64(0x1111).with_odd_parity();
+        let kc2 = DesKey::from_u64(0x2222).with_odd_parity();
+        assert_ne!(hha_key(&kc, 1), hha_key(&kc, 2));
+        assert_ne!(hha_key(&kc, 1), hha_key(&kc2, 1));
+        assert!(hha_key(&kc, 1).has_odd_parity());
+    }
+
+    #[test]
+    fn kdc_constructs_with_tgs() {
+        let mut db = KdcDatabase::new("ATHENA");
+        db.add_tgs(DesKey::from_u64(0x777).with_odd_parity());
+        db.add_user("pat", "hunter2");
+        let kdc = Kdc::new(ProtocolConfig::v4(), db, 1);
+        assert_eq!(kdc.realm(), "ATHENA");
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain the realm TGS")]
+    fn kdc_requires_tgs_entry() {
+        let db = KdcDatabase::new("ATHENA");
+        let _ = Kdc::new(ProtocolConfig::v4(), db, 1);
+    }
+}

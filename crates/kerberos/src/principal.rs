@@ -1,0 +1,130 @@
+//! Principals: the `<name, instance, realm>` three-tuple.
+//!
+//! "If the principal is a user ... the primary name is the login
+//! identifier, and the instance is either null or represents particular
+//! attributes of the user, i.e., `root`. For a service, the service name
+//! is used as the primary name and the machine name is used as the
+//! instance, i.e., `rlogin.myhost`."
+
+use std::fmt;
+
+/// A Kerberos principal.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Principal {
+    /// Primary name (login identifier or service name).
+    pub name: String,
+    /// Instance (empty, user attribute, or machine name).
+    pub instance: String,
+    /// Authentication domain.
+    pub realm: String,
+}
+
+impl Principal {
+    /// A user principal with a null instance.
+    pub fn user(name: &str, realm: &str) -> Self {
+        Principal { name: name.into(), instance: String::new(), realm: realm.into() }
+    }
+
+    /// A user principal with an instance (e.g. `pat.root`).
+    pub fn user_instance(name: &str, instance: &str, realm: &str) -> Self {
+        Principal { name: name.into(), instance: instance.into(), realm: realm.into() }
+    }
+
+    /// A service principal, e.g. `rlogin.myhost@REALM`.
+    pub fn service(service: &str, host: &str, realm: &str) -> Self {
+        Principal { name: service.into(), instance: host.into(), realm: realm.into() }
+    }
+
+    /// The ticket-granting service of `realm`.
+    pub fn tgs(realm: &str) -> Self {
+        Principal { name: "krbtgt".into(), instance: realm.into(), realm: realm.into() }
+    }
+
+    /// The TGS of `remote_realm` as registered in `local_realm` (the
+    /// inter-realm principal).
+    pub fn cross_realm_tgs(remote_realm: &str, local_realm: &str) -> Self {
+        Principal { name: "krbtgt".into(), instance: remote_realm.into(), realm: local_realm.into() }
+    }
+
+    /// True if this is a ticket-granting-service principal.
+    pub fn is_tgs(&self) -> bool {
+        self.name == "krbtgt"
+    }
+
+    /// Parses `name[.instance]@realm`.
+    pub fn parse(s: &str) -> Option<Principal> {
+        let (np, realm) = s.split_once('@')?;
+        if realm.is_empty() || np.is_empty() {
+            return None;
+        }
+        let (name, instance) = match np.split_once('.') {
+            Some((n, i)) => (n, i),
+            None => (np, ""),
+        };
+        if name.is_empty() {
+            return None;
+        }
+        Some(Principal { name: name.into(), instance: instance.into(), realm: realm.into() })
+    }
+
+    /// The V5-style salt for password-to-key derivation.
+    pub fn salt(&self) -> String {
+        format!("{}{}{}", self.realm, self.name, self.instance)
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.instance.is_empty() {
+            write!(f, "{}@{}", self.name, self.realm)
+        } else {
+            write!(f, "{}.{}@{}", self.name, self.instance, self.realm)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        for p in [
+            Principal::user("pat", "ATHENA.MIT.EDU"),
+            Principal::user_instance("pat", "root", "ATHENA.MIT.EDU"),
+            Principal::service("rlogin", "myhost", "ATHENA.MIT.EDU"),
+            Principal::tgs("ATHENA.MIT.EDU"),
+        ] {
+            assert_eq!(Principal::parse(&p.to_string()), Some(p.clone()));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Principal::parse("").is_none());
+        assert!(Principal::parse("noat").is_none());
+        assert!(Principal::parse("@realm").is_none());
+        assert!(Principal::parse("name@").is_none());
+        assert!(Principal::parse(".inst@realm").is_none());
+    }
+
+    #[test]
+    fn tgs_shape() {
+        let t = Principal::tgs("R");
+        assert!(t.is_tgs());
+        assert_eq!(t.to_string(), "krbtgt.R@R");
+        let x = Principal::cross_realm_tgs("REMOTE", "LOCAL");
+        assert!(x.is_tgs());
+        assert_eq!(x.instance, "REMOTE");
+        assert_eq!(x.realm, "LOCAL");
+    }
+
+    #[test]
+    fn salts_differ_by_principal() {
+        let a = Principal::user("pat", "R1").salt();
+        let b = Principal::user("pat", "R2").salt();
+        let c = Principal::user("sam", "R1").salt();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

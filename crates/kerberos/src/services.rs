@@ -1,0 +1,241 @@
+//! Concrete application-server behaviors: the services the paper's
+//! attack scenarios need.
+
+use crate::appserver::AppLogic;
+use crate::principal::Principal;
+use std::collections::HashMap;
+
+/// Echo with identity prefix, for smoke tests.
+pub struct EchoLogic;
+
+impl AppLogic for EchoLogic {
+    fn on_command(&mut self, client: &Principal, cmd: &[u8]) -> Vec<u8> {
+        let mut v = format!("[{}] ", client).into_bytes();
+        v.extend_from_slice(cmd);
+        v
+    }
+}
+
+/// A simple per-user file store. Commands:
+/// `PUT <name> <bytes>`, `GET <name>`, `DEL <name>`, `LIST`.
+#[derive(Default)]
+pub struct FileServerLogic {
+    /// (owner, name) -> contents.
+    pub files: HashMap<(String, String), Vec<u8>>,
+    /// Deletions performed, for attack forensics.
+    pub deletions: Vec<(String, String)>,
+}
+
+impl FileServerLogic {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn split_cmd(cmd: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    match cmd.iter().position(|&b| b == b' ') {
+        Some(i) => (cmd[..i].to_vec(), cmd[i + 1..].to_vec()),
+        None => (cmd.to_vec(), Vec::new()),
+    }
+}
+
+impl AppLogic for FileServerLogic {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_command(&mut self, client: &Principal, cmd: &[u8]) -> Vec<u8> {
+        let user = client.name.clone();
+        let (verb, rest) = split_cmd(cmd);
+        match verb.as_slice() {
+            b"PUT" => {
+                let (name, data) = split_cmd(&rest);
+                let name = String::from_utf8_lossy(&name).into_owned();
+                self.files.insert((user, name), data);
+                b"OK".to_vec()
+            }
+            b"GET" => {
+                let name = String::from_utf8_lossy(&rest).into_owned();
+                match self.files.get(&(user, name)) {
+                    Some(d) => d.clone(),
+                    None => b"ENOENT".to_vec(),
+                }
+            }
+            b"DEL" => {
+                let name = String::from_utf8_lossy(&rest).into_owned();
+                self.deletions.push((user.clone(), name.clone()));
+                match self.files.remove(&(user, name)) {
+                    Some(_) => b"OK".to_vec(),
+                    None => b"ENOENT".to_vec(),
+                }
+            }
+            b"LIST" => {
+                let mut names: Vec<&str> =
+                    self.files.keys().filter(|(o, _)| *o == user).map(|(_, n)| n.as_str()).collect();
+                names.sort_unstable();
+                names.join("\n").into_bytes()
+            }
+            _ => b"EBADCMD".to_vec(),
+        }
+    }
+}
+
+/// A mail server: the paper's example of a service "susceptible to
+/// chosen plaintext attacks" — anyone may deposit bytes that the victim
+/// later reads back encrypted under the victim's (multi-)session key.
+/// Commands: `SEND <user> <bytes>` (sender may be anyone), `READ <n>`
+/// (returns the raw bytes of message n), `COUNT`.
+#[derive(Default)]
+pub struct MailServerLogic {
+    /// user -> messages.
+    pub boxes: HashMap<String, Vec<Vec<u8>>>,
+}
+
+impl MailServerLogic {
+    /// Empty spool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AppLogic for MailServerLogic {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_command(&mut self, client: &Principal, cmd: &[u8]) -> Vec<u8> {
+        let (verb, rest) = split_cmd(cmd);
+        match verb.as_slice() {
+            b"SEND" => {
+                let (to, body) = split_cmd(&rest);
+                let to = String::from_utf8_lossy(&to).into_owned();
+                self.boxes.entry(to).or_default().push(body);
+                b"QUEUED".to_vec()
+            }
+            b"READ" => {
+                let n: usize = String::from_utf8_lossy(&rest).trim().parse().unwrap_or(0);
+                match self.boxes.get(&client.name).and_then(|msgs| msgs.get(n)) {
+                    // The chosen-plaintext surface: attacker-authored
+                    // bytes come back verbatim as the DATA of a KRB_PRIV
+                    // message.
+                    Some(m) => m.clone(),
+                    None => b"ENOMSG".to_vec(),
+                }
+            }
+            b"COUNT" => {
+                let n = self.boxes.get(&client.name).map_or(0, Vec::len);
+                n.to_string().into_bytes()
+            }
+            _ => b"EBADCMD".to_vec(),
+        }
+    }
+}
+
+/// A backup server sharing its storage namespace with the file server —
+/// the REUSE-SKEY redirect victim: "an attacker might redirect some
+/// requests to destroy archival copies of files being edited."
+/// Commands: `ARCHIVE <name> <bytes>`, `DESTROY <name>`, `COUNT`.
+#[derive(Default)]
+pub struct BackupServerLogic {
+    /// (owner, name) -> archived contents.
+    pub archives: HashMap<(String, String), Vec<u8>>,
+    /// Archive destructions, for attack forensics.
+    pub destroyed: Vec<(String, String)>,
+}
+
+impl BackupServerLogic {
+    /// Empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AppLogic for BackupServerLogic {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn on_command(&mut self, client: &Principal, cmd: &[u8]) -> Vec<u8> {
+        let user = client.name.clone();
+        let (verb, rest) = split_cmd(cmd);
+        match verb.as_slice() {
+            b"ARCHIVE" => {
+                let (name, data) = split_cmd(&rest);
+                let name = String::from_utf8_lossy(&name).into_owned();
+                self.archives.insert((user, name), data);
+                b"ARCHIVED".to_vec()
+            }
+            // `DEL` is the file-server verb; the backup server honors
+            // it too (shared protocol lineage) — which is what makes the
+            // REUSE-SKEY redirect (A10) destructive.
+            b"DESTROY" | b"DEL" => {
+                let name = String::from_utf8_lossy(&rest).into_owned();
+                self.destroyed.push((user.clone(), name.clone()));
+                self.archives.remove(&(user, name));
+                b"DESTROYED".to_vec()
+            }
+            b"COUNT" => self.archives.len().to_string().into_bytes(),
+            _ => b"EBADCMD".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat() -> Principal {
+        Principal::user("pat", "R")
+    }
+
+    #[test]
+    fn file_server_crud() {
+        let mut fs = FileServerLogic::new();
+        assert_eq!(fs.on_command(&pat(), b"PUT thesis.tex \\documentclass"), b"OK");
+        assert_eq!(fs.on_command(&pat(), b"GET thesis.tex"), b"\\documentclass");
+        assert_eq!(fs.on_command(&pat(), b"LIST"), b"thesis.tex");
+        assert_eq!(fs.on_command(&pat(), b"DEL thesis.tex"), b"OK");
+        assert_eq!(fs.on_command(&pat(), b"GET thesis.tex"), b"ENOENT");
+        assert_eq!(fs.deletions.len(), 1);
+    }
+
+    #[test]
+    fn file_server_isolates_users() {
+        let mut fs = FileServerLogic::new();
+        fs.on_command(&pat(), b"PUT secret.txt mine");
+        let sam = Principal::user("sam", "R");
+        assert_eq!(fs.on_command(&sam, b"GET secret.txt"), b"ENOENT");
+    }
+
+    #[test]
+    fn mail_send_and_read() {
+        let mut m = MailServerLogic::new();
+        let sender = Principal::user("zach", "R");
+        assert_eq!(m.on_command(&sender, b"SEND pat hello pat"), b"QUEUED");
+        assert_eq!(m.on_command(&pat(), b"COUNT"), b"1");
+        assert_eq!(m.on_command(&pat(), b"READ 0"), b"hello pat");
+        assert_eq!(m.on_command(&pat(), b"READ 7"), b"ENOMSG");
+    }
+
+    #[test]
+    fn mail_preserves_arbitrary_bytes() {
+        // The chosen-plaintext surface must be byte-exact.
+        let mut m = MailServerLogic::new();
+        let payload = [0u8, 255, 1, 2, 3, b' ', 9, 8];
+        let mut cmd = b"SEND pat ".to_vec();
+        cmd.extend_from_slice(&payload);
+        m.on_command(&Principal::user("zach", "R"), &cmd);
+        assert_eq!(m.on_command(&pat(), b"READ 0"), payload);
+    }
+
+    #[test]
+    fn backup_destroy() {
+        let mut b = BackupServerLogic::new();
+        b.on_command(&pat(), b"ARCHIVE thesis.tex v1");
+        assert_eq!(b.on_command(&pat(), b"COUNT"), b"1");
+        assert_eq!(b.on_command(&pat(), b"DESTROY thesis.tex"), b"DESTROYED");
+        assert_eq!(b.on_command(&pat(), b"COUNT"), b"0");
+        assert_eq!(b.destroyed, vec![("pat".to_string(), "thesis.tex".to_string())]);
+    }
+}

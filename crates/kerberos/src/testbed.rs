@@ -1,0 +1,214 @@
+//! A deployable campus testbed: one call builds a realm with a KDC,
+//! user workstations, and kerberized servers on a simulated network.
+//!
+//! Used by the integration tests, the attack library, the examples, and
+//! the benchmarks, so every consumer exercises the same deployment.
+
+use crate::appserver::{AppLogic, AppServer};
+use crate::config::ProtocolConfig;
+use crate::database::KdcDatabase;
+use crate::kdc::{Kdc, KDC_PORT};
+use crate::principal::Principal;
+use crate::services::{BackupServerLogic, EchoLogic, FileServerLogic, MailServerLogic};
+use krb_crypto::des::DesKey;
+use krb_crypto::rng::{Drbg, RandomSource};
+use simnet::{Addr, Endpoint, Host, HostId, Network};
+use std::collections::HashMap;
+
+/// The application-server port used throughout the testbed.
+pub const APP_PORT: u16 = 2001;
+/// The client-side ephemeral port used throughout the testbed.
+pub const CLIENT_PORT: u16 = 1024;
+
+/// One deployed realm.
+pub struct DeployedRealm {
+    /// Realm name.
+    pub name: String,
+    /// Active configuration.
+    pub config: ProtocolConfig,
+    /// KDC endpoint.
+    pub kdc_ep: Endpoint,
+    /// KDC host id.
+    pub kdc_host: HostId,
+    /// user name -> workstation endpoint.
+    pub user_eps: HashMap<String, Endpoint>,
+    /// user name -> workstation host id.
+    pub user_hosts: HashMap<String, HostId>,
+    /// user name -> password (so tests can act as the user).
+    pub passwords: HashMap<String, String>,
+    /// service name -> server endpoint.
+    pub service_eps: HashMap<String, Endpoint>,
+    /// service name -> server host id.
+    pub service_hosts: HashMap<String, HostId>,
+    /// service name -> principal.
+    pub service_principals: HashMap<String, Principal>,
+    /// service name -> long-term key (the KDC knows it; tests may need
+    /// it to play the server).
+    pub service_keys: HashMap<String, DesKey>,
+}
+
+impl DeployedRealm {
+    /// The principal for a user name.
+    pub fn user(&self, name: &str) -> Principal {
+        Principal::user(name, &self.name)
+    }
+
+    /// The endpoint of a user's workstation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user was not deployed.
+    pub fn user_ep(&self, name: &str) -> Endpoint {
+        self.user_eps[name]
+    }
+
+    /// The endpoint of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was not deployed.
+    pub fn service_ep(&self, name: &str) -> Endpoint {
+        self.service_eps[name]
+    }
+
+    /// The principal of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was not deployed.
+    pub fn service(&self, name: &str) -> Principal {
+        self.service_principals[name].clone()
+    }
+
+    /// Runs `f` with mutable access to a deployed [`AppServer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service was not deployed or is not an `AppServer`.
+    pub fn with_app_server<R>(
+        &self,
+        net: &mut Network,
+        service: &str,
+        f: impl FnOnce(&mut AppServer) -> R,
+    ) -> R {
+        let hid = self.service_hosts[service];
+        let svc = net
+            .host_mut(hid)
+            .service_mut(APP_PORT)
+            .expect("service bound")
+            .as_any_mut()
+            .expect("inspectable")
+            .downcast_mut::<AppServer>()
+            .expect("an AppServer");
+        f(svc)
+    }
+
+    /// Runs `f` with mutable access to the deployed [`Kdc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KDC host does not hold a `Kdc`.
+    pub fn with_kdc<R>(&self, net: &mut Network, f: impl FnOnce(&mut Kdc) -> R) -> R {
+        let svc = net
+            .host_mut(self.kdc_host)
+            .service_mut(KDC_PORT)
+            .expect("KDC bound")
+            .as_any_mut()
+            .expect("inspectable")
+            .downcast_mut::<Kdc>()
+            .expect("a Kdc");
+        f(svc)
+    }
+}
+
+/// Builds the application logic for a well-known service name.
+fn logic_for(service: &str) -> Box<dyn AppLogic> {
+    match service {
+        "files" => Box::new(FileServerLogic::new()),
+        "mail" => Box::new(MailServerLogic::new()),
+        "backup" => Box::new(BackupServerLogic::new()),
+        _ => Box::new(EchoLogic),
+    }
+}
+
+/// Deploys a realm onto `net`: a KDC at `10.<idx>.0.250`, one
+/// workstation per user at `10.<idx>.0.<n>`, one server host per service
+/// at `10.<idx>.1.<n>`.
+pub fn deploy_realm(
+    net: &mut Network,
+    realm: &str,
+    subnet: u8,
+    config: &ProtocolConfig,
+    users: &[(&str, &str)],
+    services: &[&str],
+    seed: u64,
+) -> DeployedRealm {
+    let mut rng = Drbg::new(seed);
+    let mut db = KdcDatabase::new(realm);
+    db.add_tgs(rng.gen_des_key());
+
+    let mut deployed = DeployedRealm {
+        name: realm.to_string(),
+        config: config.clone(),
+        kdc_ep: Endpoint::new(Addr::new(10, subnet, 0, 250), KDC_PORT),
+        kdc_host: HostId(0), // fixed up below
+        user_eps: HashMap::new(),
+        user_hosts: HashMap::new(),
+        passwords: HashMap::new(),
+        service_eps: HashMap::new(),
+        service_hosts: HashMap::new(),
+        service_principals: HashMap::new(),
+        service_keys: HashMap::new(),
+    };
+
+    // Users and their workstations.
+    for (i, (name, password)) in users.iter().enumerate() {
+        db.add_user(name, password);
+        let addr = Addr::new(10, subnet, 0, (i + 1) as u8);
+        let hid = net.add_host(Host::new(&format!("ws-{name}.{realm}"), vec![addr]));
+        deployed.user_eps.insert(name.to_string(), Endpoint::new(addr, CLIENT_PORT));
+        deployed.user_hosts.insert(name.to_string(), hid);
+        deployed.passwords.insert(name.to_string(), password.to_string());
+    }
+
+    // Services and their hosts.
+    for (i, service) in services.iter().enumerate() {
+        let key = rng.gen_des_key();
+        let hostname = format!("{service}host");
+        let principal = db.add_service(service, &hostname, key);
+        let addr = Addr::new(10, subnet, 1, (i + 1) as u8);
+        let mut host = Host::new(&format!("{hostname}.{realm}"), vec![addr]).multi_user();
+        host.bind(
+            APP_PORT,
+            Box::new(AppServer::new(config.clone(), principal.clone(), key, logic_for(service), seed ^ (i as u64 + 1))),
+        );
+        let hid = net.add_host(host);
+        deployed.service_eps.insert(service.to_string(), Endpoint::new(addr, APP_PORT));
+        deployed.service_hosts.insert(service.to_string(), hid);
+        deployed.service_principals.insert(service.to_string(), principal);
+        deployed.service_keys.insert(service.to_string(), key);
+    }
+
+    // The KDC host.
+    let kdc_addr = Addr::new(10, subnet, 0, 250);
+    let mut kdc_host = Host::new(&format!("kerberos.{realm}"), vec![kdc_addr]).multi_user();
+    kdc_host.bind(KDC_PORT, Box::new(Kdc::new(config.clone(), db, seed ^ 0x6b64_6373)));
+    deployed.kdc_host = net.add_host(kdc_host);
+
+    deployed
+}
+
+/// The standard small campus used by tests and benchmarks: users pat,
+/// sam, zach (zach is the adversary's account — a legitimate but
+/// malicious insider); services echo, files, mail, backup.
+pub fn standard_campus(net: &mut Network, config: &ProtocolConfig, seed: u64) -> DeployedRealm {
+    deploy_realm(
+        net,
+        "ATHENA.MIT.EDU",
+        0,
+        config,
+        &[("pat", "correct-horse-battery"), ("sam", "wombat7"), ("zach", "attacker-owned")],
+        &["echo", "files", "mail", "backup"],
+        seed,
+    )
+}

@@ -1,0 +1,217 @@
+//! Tickets: `{T_c,s}K_s`.
+//!
+//! "A ticket contains assorted information identifying the principal,
+//! encrypted in the private key of the service."
+
+use crate::encoding::{Codec, Decoder, Encoder, MsgType};
+use crate::enclayer::EncLayer;
+use crate::error::KrbError;
+use crate::flags::TicketFlags;
+use crate::principal::Principal;
+use krb_crypto::des::DesKey;
+use krb_crypto::rng::RandomSource;
+
+/// Encodes a principal into an encoder.
+pub(crate) fn put_principal(e: &mut Encoder, p: &Principal) {
+    e.put_str(&p.name).put_str(&p.instance).put_str(&p.realm);
+}
+
+/// Decodes a principal.
+pub(crate) fn take_principal(d: &mut Decoder<'_>) -> Result<Principal, KrbError> {
+    Ok(Principal { name: d.take_str()?, instance: d.take_str()?, realm: d.take_str()? })
+}
+
+/// The plaintext contents of a ticket.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ticket {
+    /// Ticket flags.
+    pub flags: TicketFlags,
+    /// The client the ticket vouches for.
+    pub client: Principal,
+    /// The service it is good for.
+    pub service: Principal,
+    /// The client network address the ticket is bound to; `None` if
+    /// omitted (permitted in V5 — the paper discusses whether the field
+    /// buys anything at all).
+    pub addr: Option<u32>,
+    /// When initial authentication happened (µs, local KDC clock).
+    pub auth_time: u64,
+    /// Start of validity (µs).
+    pub start_time: u64,
+    /// End of validity (µs).
+    pub end_time: u64,
+    /// The (multi-)session key.
+    pub session_key: DesKey,
+    /// Realms transited to obtain this ticket (V5 inter-realm path).
+    pub transited: Vec<String>,
+}
+
+impl Ticket {
+    /// Serializes the plaintext fields.
+    pub fn encode(&self, codec: Codec) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.put_u32(u32::from(self.flags.0));
+        put_principal(&mut e, &self.client);
+        put_principal(&mut e, &self.service);
+        match self.addr {
+            Some(a) => e.put_u8(1).put_u32(a),
+            None => e.put_u8(0),
+        };
+        e.put_u64(self.auth_time).put_u64(self.start_time).put_u64(self.end_time);
+        e.put_u64(self.session_key.to_u64());
+        e.put_u32(self.transited.len() as u32);
+        for r in &self.transited {
+            e.put_str(r);
+        }
+        codec.wrap(MsgType::Ticket, e.finish())
+    }
+
+    /// Parses the plaintext fields.
+    pub fn decode(codec: Codec, data: &[u8]) -> Result<Ticket, KrbError> {
+        let body = codec.unwrap(MsgType::Ticket, data)?;
+        let mut d = Decoder::new(body);
+        let flags = TicketFlags(d.take_u32()? as u16);
+        let client = take_principal(&mut d)?;
+        let service = take_principal(&mut d)?;
+        let addr = match d.take_u8()? {
+            0 => None,
+            1 => Some(d.take_u32()?),
+            _ => return Err(KrbError::Decode("bad addr option")),
+        };
+        let auth_time = d.take_u64()?;
+        let start_time = d.take_u64()?;
+        let end_time = d.take_u64()?;
+        let session_key = DesKey::from_u64(d.take_u64()?);
+        let n = d.take_u32()? as usize;
+        if n > 64 {
+            return Err(KrbError::Decode("transited list too long"));
+        }
+        let mut transited = Vec::with_capacity(n);
+        for _ in 0..n {
+            transited.push(d.take_str()?);
+        }
+        Ok(Ticket {
+            flags,
+            client,
+            service,
+            addr,
+            auth_time,
+            start_time,
+            end_time,
+            session_key,
+            transited,
+        })
+    }
+
+    /// Encrypts the ticket under `sealing_key` (normally the service's
+    /// private key; under ENC-TKT-IN-SKEY, a session key).
+    pub fn seal(
+        &self,
+        codec: Codec,
+        layer: EncLayer,
+        sealing_key: &DesKey,
+        rng: &mut dyn RandomSource,
+    ) -> Result<Vec<u8>, KrbError> {
+        layer.seal(sealing_key, 0, &self.encode(codec), rng)
+    }
+
+    /// Decrypts and parses a sealed ticket.
+    pub fn unseal(
+        codec: Codec,
+        layer: EncLayer,
+        sealing_key: &DesKey,
+        data: &[u8],
+    ) -> Result<Ticket, KrbError> {
+        let pt = layer.open(sealing_key, 0, data)?;
+        Ticket::decode(codec, &pt)
+    }
+
+    /// Validity check against a local clock reading (µs).
+    pub fn valid_at(&self, now_us: u64, skew_us: u64) -> bool {
+        now_us + skew_us >= self.start_time && now_us <= self.end_time + skew_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use krb_crypto::rng::Drbg;
+
+    fn sample() -> Ticket {
+        Ticket {
+            flags: TicketFlags::empty().with(TicketFlags::INITIAL),
+            client: Principal::user("pat", "ATHENA"),
+            service: Principal::service("rlogin", "myhost", "ATHENA"),
+            addr: Some(0x0a000001),
+            auth_time: 1_000_000,
+            start_time: 1_000_000,
+            end_time: 301_000_000,
+            session_key: DesKey::from_u64(0x1122334455667788),
+            transited: vec![],
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_both() {
+        for codec in [Codec::Legacy, Codec::Typed] {
+            let t = sample();
+            assert_eq!(Ticket::decode(codec, &t.encode(codec)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn roundtrip_no_addr_and_transited() {
+        let mut t = sample();
+        t.addr = None;
+        t.transited = vec!["REALM.A".into(), "REALM.B".into()];
+        for codec in [Codec::Legacy, Codec::Typed] {
+            assert_eq!(Ticket::decode(codec, &t.encode(codec)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn seal_unseal() {
+        let mut rng = Drbg::new(1);
+        let ks = DesKey::from_u64(0x0123456789abcdef).with_odd_parity();
+        let t = sample();
+        for layer in [EncLayer::V4Pcbc, EncLayer::V5Cbc { confounder: true }, EncLayer::HardenedCbc] {
+            let sealed = t.seal(Codec::Typed, layer, &ks, &mut rng).unwrap();
+            assert_eq!(Ticket::unseal(Codec::Typed, layer, &ks, &sealed).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn unseal_wrong_key_fails() {
+        let mut rng = Drbg::new(2);
+        let ks = DesKey::from_u64(0x0123456789abcdef).with_odd_parity();
+        let other = DesKey::from_u64(0xfedcba9876543210).with_odd_parity();
+        let sealed = sample().seal(Codec::Typed, EncLayer::V5Cbc { confounder: true }, &ks, &mut rng).unwrap();
+        assert!(Ticket::unseal(Codec::Typed, EncLayer::V5Cbc { confounder: true }, &other, &sealed).is_err());
+    }
+
+    #[test]
+    fn validity_window() {
+        let t = sample();
+        let skew = 300_000_000; // 5 minutes in µs
+        assert!(t.valid_at(1_000_000, skew));
+        assert!(t.valid_at(301_000_000, skew));
+        // Within skew of expiry: still accepted.
+        assert!(t.valid_at(301_000_000 + skew, skew));
+        // Beyond skew: rejected.
+        assert!(!t.valid_at(301_000_000 + skew + 1, skew));
+        // Before start but within skew: accepted.
+        assert!(t.valid_at(0, skew));
+        assert!(!Ticket { start_time: 400_000_000_000, ..sample() }.valid_at(0, skew));
+    }
+
+    #[test]
+    fn sealed_tickets_differ_per_encryption_with_confounder() {
+        let mut rng = Drbg::new(3);
+        let ks = DesKey::from_u64(0x0123456789abcdef).with_odd_parity();
+        let t = sample();
+        let layer = EncLayer::V5Cbc { confounder: true };
+        let a = t.seal(Codec::Typed, layer, &ks, &mut rng).unwrap();
+        let b = t.seal(Codec::Typed, layer, &ks, &mut rng).unwrap();
+        assert_ne!(a, b);
+    }
+}

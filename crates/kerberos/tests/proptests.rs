@@ -1,0 +1,261 @@
+//! Property-based tests over the protocol data structures: arbitrary
+//! field values must round-trip through both codecs and every encryption
+//! layer, and the typed codec must always reject cross-type reads.
+
+use kerberos::authenticator::Authenticator;
+use kerberos::encoding::{Codec, MsgType};
+use kerberos::enclayer::EncLayer;
+use kerberos::flags::{KdcOptions, TicketFlags};
+use kerberos::messages::{ApReq, AsRep, AsReq, EncApRepPart, EncKdcRepPart, KrbErrorMsg, PaData, TgsReq};
+use kerberos::principal::Principal;
+use kerberos::session::{decode_priv_draft3, encode_priv_draft3, Direction, PrivPart};
+use kerberos::ticket::Ticket;
+use krb_crypto::des::DesKey;
+use krb_crypto::rng::Drbg;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,11}"
+}
+
+fn arb_principal() -> impl Strategy<Value = Principal> {
+    (arb_name(), prop_oneof![Just(String::new()), arb_name()], arb_name()).prop_map(
+        |(name, instance, realm)| Principal { name, instance, realm: realm.to_uppercase() },
+    )
+}
+
+fn arb_ticket() -> impl Strategy<Value = Ticket> {
+    (
+        any::<u16>(),
+        arb_principal(),
+        arb_principal(),
+        any::<Option<u32>>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(arb_name(), 0..4),
+    )
+        .prop_map(|(flags, client, service, addr, auth, start, end, skey, transited)| Ticket {
+            flags: TicketFlags(flags),
+            client,
+            service,
+            addr,
+            auth_time: auth,
+            start_time: start,
+            end_time: end,
+            session_key: DesKey::from_u64(skey),
+            transited,
+        })
+}
+
+fn arb_authenticator() -> impl Strategy<Value = Authenticator> {
+    (
+        arb_principal(),
+        any::<u32>(),
+        any::<u64>(),
+        proptest::option::of(arb_principal()),
+        any::<Option<u64>>(),
+        any::<Option<u64>>(),
+    )
+        .prop_map(|(client, addr, timestamp, binding, subkey, seq)| Authenticator {
+            client,
+            addr,
+            timestamp,
+            cksum: None,
+            service_binding: binding,
+            subkey,
+            seq_init: seq,
+        })
+}
+
+fn codecs() -> impl Strategy<Value = Codec> {
+    prop_oneof![Just(Codec::Legacy), Just(Codec::Typed)]
+}
+
+fn layers() -> impl Strategy<Value = EncLayer> {
+    prop_oneof![
+        Just(EncLayer::V4Pcbc),
+        Just(EncLayer::V5Cbc { confounder: false }),
+        Just(EncLayer::V5Cbc { confounder: true }),
+        Just(EncLayer::HardenedCbc),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn ticket_roundtrip(t in arb_ticket(), codec in codecs()) {
+        let bytes = t.encode(codec);
+        prop_assert_eq!(Ticket::decode(codec, &bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn ticket_seal_roundtrip(t in arb_ticket(), codec in codecs(), layer in layers(), k in any::<u64>()) {
+        let key = DesKey::from_u64(k).with_odd_parity();
+        let mut rng = Drbg::new(1);
+        let sealed = t.seal(codec, layer, &key, &mut rng).unwrap();
+        prop_assert_eq!(Ticket::unseal(codec, layer, &key, &sealed).unwrap(), t);
+    }
+
+    #[test]
+    fn authenticator_roundtrip(a in arb_authenticator(), codec in codecs()) {
+        let bytes = a.encode(codec);
+        prop_assert_eq!(Authenticator::decode(codec, &bytes).unwrap(), a);
+    }
+
+    /// Under the typed codec NO ticket may ever read as an
+    /// authenticator — the property the paper says "the most simple
+    /// analysis" should verify.
+    #[test]
+    fn typed_codec_never_confuses_types(t in arb_ticket()) {
+        let bytes = t.encode(Codec::Typed);
+        prop_assert!(Authenticator::decode(Codec::Typed, &bytes).is_err());
+        let a = Authenticator::basic(t.client.clone(), 1, 2);
+        let bytes = a.encode(Codec::Typed);
+        prop_assert!(Ticket::decode(Codec::Typed, &bytes).is_err());
+    }
+
+    #[test]
+    fn as_req_roundtrip(
+        client in arb_principal(),
+        nonce in any::<u64>(),
+        lifetime in any::<u64>(),
+        addr in any::<u32>(),
+        options in any::<u16>(),
+        pa_blob in proptest::collection::vec(any::<u8>(), 0..32),
+        codec in codecs(),
+    ) {
+        let m = AsReq {
+            service: Principal::tgs(&client.realm),
+            client,
+            nonce,
+            lifetime_us: lifetime,
+            addr,
+            options: KdcOptions(options),
+            padata: vec![PaData::EncTimestamp(pa_blob.clone()), PaData::DhPublic(pa_blob)],
+        };
+        prop_assert_eq!(AsReq::decode(codec, &m.encode(codec)).unwrap(), m);
+    }
+
+    #[test]
+    fn as_rep_roundtrip(
+        challenge in any::<Option<u64>>(),
+        dh in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..96)),
+        enc in proptest::collection::vec(any::<u8>(), 0..64),
+        codec in codecs(),
+    ) {
+        let m = AsRep { challenge_r: challenge, dh_public: dh, enc_part: enc };
+        prop_assert_eq!(AsRep::decode(codec, &m.encode(codec)).unwrap(), m);
+    }
+
+    #[test]
+    fn tgs_req_roundtrip(
+        service in arb_principal(),
+        options in any::<u16>(),
+        nonce in any::<u64>(),
+        lifetime in any::<u64>(),
+        add in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..48)),
+        fwd in any::<Option<u64>>(),
+        authz in proptest::collection::vec(any::<u8>(), 0..32),
+        tgt in proptest::collection::vec(any::<u8>(), 0..48),
+        auth in proptest::collection::vec(any::<u8>(), 0..48),
+        codec in codecs(),
+    ) {
+        let m = TgsReq {
+            tgt,
+            authenticator: auth,
+            service,
+            options: KdcOptions(options),
+            nonce,
+            lifetime_us: lifetime,
+            additional_ticket: add,
+            forward_addr: fwd,
+            authz_data: authz,
+        };
+        prop_assert_eq!(TgsReq::decode(codec, &m.encode(codec)).unwrap(), m.clone());
+        // The checksum body must be sensitive to every protected field.
+        let mut m2 = m.clone();
+        m2.nonce = m.nonce.wrapping_add(1);
+        prop_assert_ne!(m.checksum_body(), m2.checksum_body());
+    }
+
+    #[test]
+    fn kdc_rep_part_roundtrip(
+        skey in any::<u64>(),
+        nonce in any::<u64>(),
+        ticket in proptest::collection::vec(any::<u8>(), 0..64),
+        end in any::<u64>(),
+        st in any::<u64>(),
+        codec in codecs(),
+    ) {
+        let p = EncKdcRepPart {
+            session_key: DesKey::from_u64(skey),
+            nonce,
+            ticket,
+            end_time: end,
+            server_time: st,
+            ticket_cksum: None,
+        };
+        let enc = p.encode(codec, MsgType::EncTgsRepPart);
+        prop_assert_eq!(EncKdcRepPart::decode(codec, MsgType::EncTgsRepPart, &enc).unwrap(), p);
+    }
+
+    #[test]
+    fn ap_messages_roundtrip(
+        ticket in proptest::collection::vec(any::<u8>(), 0..64),
+        auth in proptest::collection::vec(any::<u8>(), 0..64),
+        mutual in any::<bool>(),
+        echo in any::<u64>(),
+        subkey in any::<Option<u64>>(),
+        seq in any::<Option<u64>>(),
+        codec in codecs(),
+    ) {
+        let q = ApReq { ticket, authenticator: auth, mutual };
+        prop_assert_eq!(ApReq::decode(codec, &q.encode(codec)).unwrap(), q);
+        let p = EncApRepPart { ts_echo: echo, subkey, seq_init: seq };
+        prop_assert_eq!(EncApRepPart::decode(codec, &p.encode(codec)).unwrap(), p);
+    }
+
+    #[test]
+    fn error_roundtrip(code in any::<u32>(), text in "[ -~]{0,40}", challenge in any::<Option<u64>>(), codec in codecs()) {
+        let e = KrbErrorMsg { code, text, challenge };
+        prop_assert_eq!(KrbErrorMsg::decode(codec, &e.encode(codec)).unwrap(), e);
+    }
+
+    #[test]
+    fn priv_part_draft3_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+        ts in any::<u64>(),
+        dir in prop_oneof![Just(Direction::ClientToServer), Just(Direction::ServerToClient)],
+        addr in any::<u32>(),
+    ) {
+        let p = PrivPart { data, ts_or_seq: ts, direction: dir, addr };
+        let enc = encode_priv_draft3(&p);
+        prop_assert_eq!(enc.len() % 8, 0);
+        prop_assert_eq!(decode_priv_draft3(&enc).unwrap(), p);
+    }
+
+    /// Decoding arbitrary junk never panics, only errors.
+    #[test]
+    fn decoders_never_panic(junk in proptest::collection::vec(any::<u8>(), 0..256), codec in codecs()) {
+        let _ = Ticket::decode(codec, &junk);
+        let _ = Authenticator::decode(codec, &junk);
+        let _ = AsReq::decode(codec, &junk);
+        let _ = AsRep::decode(codec, &junk);
+        let _ = TgsReq::decode(codec, &junk);
+        let _ = ApReq::decode(codec, &junk);
+        let _ = KrbErrorMsg::decode(codec, &junk);
+        let _ = decode_priv_draft3(&junk);
+    }
+
+    /// Opening arbitrary junk through any encryption layer never
+    /// panics; the hardened layer always rejects it.
+    #[test]
+    fn enc_layers_never_panic_on_junk(junk in proptest::collection::vec(any::<u8>(), 0..256), layer in layers(), k in any::<u64>()) {
+        let key = DesKey::from_u64(k).with_odd_parity();
+        let r = layer.open(&key, 0, &junk);
+        if layer == EncLayer::HardenedCbc {
+            prop_assert!(r.is_err());
+        }
+    }
+}

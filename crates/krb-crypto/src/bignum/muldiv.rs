@@ -1,0 +1,285 @@
+//! Multiplication, shifts, and Knuth Algorithm D division for [`BigUint`].
+
+use super::BigUint;
+use crate::error::CryptoError;
+
+impl BigUint {
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = u64::from(out[i + j]) + u64::from(a) * u64::from(b) + carry;
+                out[i + j] = cur as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = u64::from(out[k]) + carry;
+                out[k] = cur as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() { src[i + 1] << (32 - bit_shift) } else { 0 };
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Division with remainder: returns `(self / divisor, self % divisor)`.
+    pub fn divrem(&self, divisor: &BigUint) -> Result<(BigUint, BigUint), CryptoError> {
+        if divisor.is_zero() {
+            return Err(CryptoError::DivideByZero);
+        }
+        if self.cmp_big(divisor) == std::cmp::Ordering::Less {
+            return Ok((BigUint::zero(), self.clone()));
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.divrem_small(divisor.limbs[0]);
+            return Ok((q, BigUint::from_u64(u64::from(r))));
+        }
+        Ok(self.divrem_knuth(divisor))
+    }
+
+    /// Convenience: `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        Ok(self.divrem(m)?.1)
+    }
+
+    /// Divides by a single limb.
+    fn divrem_small(&self, d: u32) -> (BigUint, u32) {
+        debug_assert!(d != 0);
+        let mut out = vec![0u32; self.limbs.len()];
+        let mut rem = 0u64;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 32) | u64::from(self.limbs[i]);
+            out[i] = (cur / u64::from(d)) as u32;
+            rem = cur % u64::from(d);
+        }
+        let mut q = BigUint { limbs: out };
+        q.normalize();
+        (q, rem as u32)
+    }
+
+    /// Knuth TAOCP vol. 2, Algorithm D (multi-limb division).
+    fn divrem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor.shl_bits(shift);
+        let u_big = self.shl_bits(shift);
+        let mut u = u_big.limbs.clone();
+        u.resize(self.limbs.len() + 1, 0);
+
+        let v_limbs = &v.limbs;
+        debug_assert_eq!(v_limbs.len(), n);
+        let vn1 = u128::from(v_limbs[n - 1]);
+        let vn2 = u128::from(v_limbs[n - 2]);
+
+        let mut q = vec![0u32; m + 1];
+        const B: u128 = 1 << 32;
+
+        // D2-D7: main loop over quotient digits.
+        for j in (0..=m).rev() {
+            // D3: estimate the quotient digit. Using u128 sidesteps the
+            // classical overflow pitfalls in the correction loop.
+            let top = (u128::from(u[j + n]) << 32) | u128::from(u[j + n - 1]);
+            let mut qhat = top / vn1;
+            let mut rhat = top % vn1;
+            while qhat >= B || qhat * vn2 > (rhat << 32) + u128::from(u[j + n - 2]) {
+                qhat -= 1;
+                rhat += vn1;
+                if rhat >= B {
+                    break;
+                }
+            }
+
+            // D4: multiply and subtract (Warren, Hacker's Delight,
+            // divmnu formulation).
+            let qhat64 = qhat as u64;
+            let mut k: i64 = 0;
+            for i in 0..n {
+                let p: u64 = qhat64 * u64::from(v_limbs[i]);
+                let t: i64 = i64::from(u[j + i]) - k - (p & 0xffff_ffff) as i64;
+                u[j + i] = t as u32;
+                k = (p >> 32) as i64 - (t >> 32);
+            }
+            let t: i64 = i64::from(u[j + n]) - k;
+            u[j + n] = t as u32;
+
+            // D5-D6: if we subtracted too much, add one divisor back.
+            if t < 0 {
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let sum = u64::from(u[j + i]) + u64::from(v_limbs[i]) + carry;
+                    u[j + i] = sum as u32;
+                    carry = sum >> 32;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u32);
+            }
+            q[j] = qhat as u32;
+        }
+
+        // D8: denormalize the remainder.
+        let mut r = BigUint { limbs: u[..n].to_vec() };
+        r.normalize();
+        let r = r.shr_bits(shift);
+        let mut quot = BigUint { limbs: q };
+        quot.normalize();
+        (quot, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(hex: &str) -> BigUint {
+        BigUint::from_hex(hex).unwrap()
+    }
+
+    #[test]
+    fn mul_small() {
+        assert_eq!(BigUint::from_u64(6).mul(&BigUint::from_u64(7)).to_u64(), Some(42));
+        assert_eq!(BigUint::zero().mul(&BigUint::from_u64(7)), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_carries() {
+        let a = BigUint::from_u64(u64::MAX);
+        let sq = a.mul(&a);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1.
+        assert_eq!(sq.to_hex(), "fffffffffffffffe0000000000000001");
+    }
+
+    #[test]
+    fn shifts() {
+        let a = n("deadbeefcafebabe");
+        assert_eq!(a.shl_bits(0), a);
+        assert_eq!(a.shl_bits(4).to_hex(), "deadbeefcafebabe0");
+        assert_eq!(a.shl_bits(64).to_hex(), "deadbeefcafebabe0000000000000000");
+        assert_eq!(a.shr_bits(4).to_hex(), "deadbeefcafebab");
+        assert_eq!(a.shr_bits(64), BigUint::zero());
+        assert_eq!(a.shl_bits(37).shr_bits(37), a);
+    }
+
+    #[test]
+    fn div_small() {
+        let (q, r) = BigUint::from_u64(1000).divrem(&BigUint::from_u64(7)).unwrap();
+        assert_eq!(q.to_u64(), Some(142));
+        assert_eq!(r.to_u64(), Some(6));
+    }
+
+    #[test]
+    fn div_by_zero() {
+        assert!(BigUint::from_u64(5).divrem(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn div_smaller_dividend() {
+        let (q, r) = BigUint::from_u64(5).divrem(&BigUint::from_u64(100)).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn div_multi_limb() {
+        let a = n("1fffffffffffffffffffffffffffffffffffffffffffffffff");
+        let b = n("ffffffffffffffffffffff");
+        let (q, r) = a.divrem(&b).unwrap();
+        // Verify by reconstruction.
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_exact() {
+        let b = n("123456789abcdef0123456789");
+        let q0 = n("fedcba9876543210");
+        let a = b.mul(&q0);
+        let (q, r) = a.divrem(&b).unwrap();
+        assert_eq!(q, q0);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn div_knuth_addback_case() {
+        // A case engineered to hit the rare D6 add-back path:
+        // dividend = 0x7fff800000000001_00000000, divisor = 0x800000000001.
+        let a = n("7fff80000000000100000000");
+        let b = n("800000000001");
+        let (q, r) = a.divrem(&b).unwrap();
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn reconstruction_randomish() {
+        // Deterministic pseudo-random reconstruction checks.
+        let mut x = n("2b7e151628aed2a6abf7158809cf4f3c");
+        let mut y = n("9e3779b97f4a7c15");
+        for _ in 0..50 {
+            let (q, r) = x.divrem(&y).unwrap();
+            assert_eq!(q.mul(&y).add(&r), x, "x={x} y={y}");
+            assert!(r < y);
+            // Evolve the pair.
+            x = x.mul(&n("10001")).add(&y);
+            y = y.add(&n("deadbeef"));
+        }
+    }
+}

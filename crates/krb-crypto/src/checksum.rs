@@ -1,0 +1,178 @@
+//! The Draft-3 checksum menu, classified the way the paper says it should
+//! have been.
+//!
+//! "Three types are specified: CRC-32, MD4 and MD4 encrypted with DES.
+//! However, no mention is made of their attributes ... A better
+//! classification is whether or not a checksum is collision-proof."
+//! We add an encrypted-CRC-32 variant to demonstrate the paper's point
+//! that "encrypting a checksum provides very little protection; if the
+//! checksum is not collision-proof and the data is public, an adversary
+//! can compute the value and replace the data with another message with
+//! the same checksum value."
+
+use crate::crc32::crc32;
+use crate::des::DesKey;
+use crate::error::CryptoError;
+use crate::md4::md4;
+use crate::modes;
+
+/// The checksum algorithms available to the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ChecksumType {
+    /// Plain CRC-32: linear, trivially forgeable.
+    Crc32,
+    /// CRC-32 encrypted under the session key. Keyed but still NOT
+    /// collision-proof: equal plaintext CRCs imply equal ciphertexts.
+    Crc32Des,
+    /// Plain MD4: collision-proof against the 1991 generic adversary,
+    /// but unkeyed, so an adversary can simply recompute it.
+    Md4,
+    /// MD4 encrypted under a DES key: keyed AND collision-proof.
+    Md4Des,
+}
+
+impl ChecksumType {
+    /// Whether an adversary (generic, non-cryptanalytic) can construct a
+    /// second message with the same checksum.
+    pub fn is_collision_proof(self) -> bool {
+        matches!(self, ChecksumType::Md4 | ChecksumType::Md4Des)
+    }
+
+    /// Whether computing the checksum requires a key.
+    pub fn is_keyed(self) -> bool {
+        matches!(self, ChecksumType::Crc32Des | ChecksumType::Md4Des)
+    }
+
+    /// Whether the checksum actually authenticates data an adversary can
+    /// both read and rewrite: it must be keyed *and* collision-proof.
+    /// This is the predicate Draft 3 failed to state.
+    pub fn protects_public_data(self) -> bool {
+        self.is_keyed() && self.is_collision_proof()
+    }
+}
+
+/// A computed checksum value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checksum {
+    /// Which algorithm produced it.
+    pub ctype: ChecksumType,
+    /// The checksum bytes (4 for CRC variants, 16 for MD4 variants).
+    pub value: Vec<u8>,
+}
+
+/// Computes a checksum of `data`. `key` is required for (and only for)
+/// the keyed types.
+pub fn compute(ctype: ChecksumType, key: Option<&DesKey>, data: &[u8]) -> Result<Checksum, CryptoError> {
+    let value = match (ctype, key) {
+        (ChecksumType::Crc32, None) => crc32(data).to_be_bytes().to_vec(),
+        (ChecksumType::Md4, None) => md4(data).to_vec(),
+        (ChecksumType::Crc32Des, Some(k)) => {
+            let mut block = [0u8; 8];
+            block[..4].copy_from_slice(&crc32(data).to_be_bytes());
+            modes::ecb_encrypt(k, &block)?
+        }
+        (ChecksumType::Md4Des, Some(k)) => {
+            // Encrypt the digest under a key variant (k XOR F0F0...) so a
+            // session key misused elsewhere cannot be replayed into the
+            // MAC role — the key-usage separation the paper asks for.
+            let variant = k.xored(0xf0f0_f0f0_f0f0_f0f0);
+            modes::cbc_encrypt(&variant, 0, &md4(data))?
+        }
+        _ => return Err(CryptoError::KeyMismatch),
+    };
+    Ok(Checksum { ctype, value })
+}
+
+/// Verifies `cksum` over `data`.
+pub fn verify(cksum: &Checksum, key: Option<&DesKey>, data: &[u8]) -> Result<(), CryptoError> {
+    let recomputed = compute(cksum.ctype, key, data)?;
+    if recomputed.value == cksum.value {
+        Ok(())
+    } else {
+        Err(CryptoError::ChecksumMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc32::forge_suffix;
+
+    fn key() -> DesKey {
+        DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity()
+    }
+
+    #[test]
+    fn all_types_roundtrip() {
+        let data = b"KRB_TGS_REQ body";
+        for (ct, k) in [
+            (ChecksumType::Crc32, None),
+            (ChecksumType::Md4, None),
+            (ChecksumType::Crc32Des, Some(key())),
+            (ChecksumType::Md4Des, Some(key())),
+        ] {
+            let c = compute(ct, k.as_ref(), data).unwrap();
+            verify(&c, k.as_ref(), data).unwrap();
+            assert!(verify(&c, k.as_ref(), b"tampered").is_err());
+        }
+    }
+
+    #[test]
+    fn key_misuse_rejected() {
+        assert_eq!(compute(ChecksumType::Crc32, Some(&key()), b"x"), Err(CryptoError::KeyMismatch));
+        assert_eq!(compute(ChecksumType::Md4Des, None, b"x"), Err(CryptoError::KeyMismatch));
+    }
+
+    /// Even the *encrypted* CRC is forgeable without knowing the key: the
+    /// adversary patches the modified message so its plain CRC collides,
+    /// and the sealed (encrypted) checksum then verifies unchanged.
+    #[test]
+    fn encrypted_crc_is_still_forgeable() {
+        let original = b"options=NONE                    authz=";
+        let sealed = compute(ChecksumType::Crc32Des, Some(&key()), original).unwrap();
+
+        let modified = b"options=ENC-TKT-IN-SKEY authz=";
+        let patch = forge_suffix(modified, crc32(original));
+        let mut forged = modified.to_vec();
+        forged.extend_from_slice(&patch);
+
+        // The victim verifies the attacker's message against the original
+        // sealed checksum — and it passes.
+        assert!(verify(&sealed, Some(&key()), &forged).is_ok());
+        assert!(!ChecksumType::Crc32Des.protects_public_data());
+    }
+
+    #[test]
+    fn md4des_resists_the_same_forgery() {
+        let original = b"options=NONE                    authz=";
+        let sealed = compute(ChecksumType::Md4Des, Some(&key()), original).unwrap();
+        let modified = b"options=ENC-TKT-IN-SKEY authz=PATCHME";
+        assert!(verify(&sealed, Some(&key()), modified).is_err());
+        assert!(ChecksumType::Md4Des.protects_public_data());
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert!(!ChecksumType::Crc32.is_collision_proof());
+        assert!(!ChecksumType::Crc32Des.is_collision_proof());
+        assert!(ChecksumType::Md4.is_collision_proof());
+        assert!(ChecksumType::Md4Des.is_collision_proof());
+        assert!(!ChecksumType::Crc32.is_keyed());
+        assert!(ChecksumType::Md4Des.is_keyed());
+        // Only MD4+DES authenticates attacker-rewritable data.
+        assert!(!ChecksumType::Crc32.protects_public_data());
+        assert!(!ChecksumType::Crc32Des.protects_public_data());
+        assert!(!ChecksumType::Md4.protects_public_data());
+        assert!(ChecksumType::Md4Des.protects_public_data());
+    }
+
+    #[test]
+    fn md4des_key_variant_differs_from_raw_key_use() {
+        // The MAC must not equal a bare CBC encryption under the session
+        // key itself, or ciphertext could be replayed into the MAC role.
+        let data = b"some message";
+        let mac = compute(ChecksumType::Md4Des, Some(&key()), data).unwrap();
+        let naive = modes::cbc_encrypt(&key(), 0, &md4(data)).unwrap();
+        assert_ne!(mac.value, naive);
+    }
+}

@@ -1,0 +1,191 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) and a forgery
+//! helper exploiting its linearity.
+//!
+//! Draft 3 of Kerberos V5 permitted CRC-32 as the checksum "sealed within
+//! the encrypted portion of the message". The paper's Appendix shows that
+//! because CRC-32 is not collision-proof, an attacker who controls any
+//! field of the checksummed data (the "additional authorization data"
+//! field) can patch a modified request so its CRC matches the original.
+//! [`forge_suffix`] implements exactly that computation.
+
+/// The reflected CRC-32 lookup table.
+fn table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Map from the top byte of a table entry back to its index. The top
+/// bytes of the 256 CRC-32 table entries are a permutation of 0..=255,
+/// which is what makes the backward (forgery) pass possible.
+fn top_index() -> &'static [u8; 256] {
+    static TOP: std::sync::OnceLock<[u8; 256]> = std::sync::OnceLock::new();
+    TOP.get_or_init(|| {
+        let t = table();
+        let mut m = [0u8; 256];
+        for (i, &e) in t.iter().enumerate() {
+            m[(e >> 24) as usize] = i as u8;
+        }
+        m
+    })
+}
+
+/// Updates a raw (pre-final-XOR) register with one byte.
+fn step(r: u32, b: u8) -> u32 {
+    (r >> 8) ^ table()[((r ^ u32::from(b)) & 0xff) as usize]
+}
+
+/// Computes the CRC-32 of `data` (init 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+pub fn crc32(data: &[u8]) -> u32 {
+    !data.iter().fold(0xffff_ffffu32, |r, &b| step(r, b))
+}
+
+/// Incremental CRC-32, for streaming use.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    raw: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh CRC computation.
+    pub fn new() -> Self {
+        Crc32 { raw: 0xffff_ffff }
+    }
+
+    /// Absorbs more data.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.raw = step(self.raw, b);
+        }
+    }
+
+    /// Returns the final checksum.
+    pub fn finish(&self) -> u32 {
+        !self.raw
+    }
+
+    /// Exposes the raw register (used by [`forge_suffix`]).
+    fn raw(&self) -> u32 {
+        self.raw
+    }
+}
+
+/// Computes the 4-byte suffix `patch` such that
+/// `crc32(prefix || patch) == target`.
+///
+/// This is the paper's cut-and-paste enabler: an attacker who modifies a
+/// checksummed request and controls a 4-byte window (e.g. within the
+/// "additional authorization data") can make the CRC of the forged
+/// message equal that of the legitimate one, defeating any protection
+/// the checksum was thought to give — even when the checksum itself is
+/// transmitted under encryption, because the attacker never needs to see
+/// it, only to *preserve* it.
+pub fn forge_suffix(prefix: &[u8], target: u32) -> [u8; 4] {
+    let mut cur = Crc32::new();
+    cur.update(prefix);
+    let current_raw = cur.raw();
+    let target_raw = !target;
+
+    // Backward pass: recover the table indices each of the four forged
+    // bytes must select, using only the (known) high bytes of the
+    // intermediate registers.
+    let t = table();
+    let top = top_index();
+    let mut d = target_raw;
+    let mut idx = [0u8; 4];
+    for i in (0..4).rev() {
+        let ti = top[(d >> 24) as usize];
+        idx[i] = ti;
+        d = (d ^ t[ti as usize]) << 8;
+    }
+
+    // Forward pass: now that every intermediate register is known in
+    // full, pick the byte that produces each required index.
+    let mut r = current_raw;
+    let mut patch = [0u8; 4];
+    for i in 0..4 {
+        patch[i] = idx[i] ^ (r & 0xff) as u8;
+        r = step(r, patch[i]);
+    }
+    debug_assert_eq!(r, target_raw);
+    patch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical check value: CRC-32("123456789") = 0xCBF43926.
+    #[test]
+    fn check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+        assert_eq!(crc32(b"abc"), 0x352441C2);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"incremental checksum equivalence";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..20]);
+        c.update(&data[20..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn forge_hits_arbitrary_target() {
+        let msg = b"TGS-REQ: client=zach, service=rlogin.myhost, options=ENC-TKT-IN-SKEY";
+        for target in [0u32, 0xDEADBEEF, crc32(b"the original request"), 0xFFFFFFFF] {
+            let patch = forge_suffix(msg, target);
+            let mut forged = msg.to_vec();
+            forged.extend_from_slice(&patch);
+            assert_eq!(crc32(&forged), target);
+        }
+    }
+
+    #[test]
+    fn forge_collides_two_distinct_messages() {
+        // The actual attack shape: make a *modified* request collide with
+        // the CRC of the original request.
+        let original = b"options=NONE|tickets=[client-tgt]|authz=";
+        let modified = b"options=ENC-TKT-IN-SKEY|tickets=[attacker-tgt]|authz=";
+        let patch = forge_suffix(modified, crc32(original));
+        let mut forged = modified.to_vec();
+        forged.extend_from_slice(&patch);
+        assert_eq!(crc32(&forged), crc32(original));
+        assert_ne!(forged.as_slice(), original.as_slice());
+    }
+
+    #[test]
+    fn top_bytes_are_a_permutation() {
+        let t = table();
+        let mut seen = [false; 256];
+        for &e in t.iter() {
+            let hi = (e >> 24) as usize;
+            assert!(!seen[hi]);
+            seen[hi] = true;
+        }
+    }
+}

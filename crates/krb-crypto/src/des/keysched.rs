@@ -1,0 +1,91 @@
+//! DES key schedule: PC-1, the sixteen rotations, and PC-2.
+
+use super::{DesKey, PC1, PC2, SHIFTS};
+
+/// The sixteen 48-bit round keys, stored right-aligned in u64s.
+pub type RoundKeys = [u64; 16];
+
+/// An expanded DES key.
+#[derive(Clone)]
+pub struct KeySchedule {
+    round_keys: RoundKeys,
+}
+
+impl KeySchedule {
+    /// Expands `key` into sixteen round keys.
+    pub fn new(key: &DesKey) -> Self {
+        let k = key.to_u64();
+
+        // PC-1: 64 -> 56 bits, split into C (high 28) and D (low 28).
+        let mut cd: u64 = 0;
+        for &src in PC1.iter() {
+            cd = (cd << 1) | ((k >> (64 - u64::from(src))) & 1);
+        }
+        let mut c = (cd >> 28) & 0x0fff_ffff;
+        let mut d = cd & 0x0fff_ffff;
+
+        let mut round_keys = [0u64; 16];
+        for (round, &shift) in SHIFTS.iter().enumerate() {
+            c = rotl28(c, shift);
+            d = rotl28(d, shift);
+            let merged = (c << 28) | d;
+            // PC-2: 56 -> 48 bits.
+            let mut rk: u64 = 0;
+            for &src in PC2.iter() {
+                rk = (rk << 1) | ((merged >> (56 - u64::from(src))) & 1);
+            }
+            round_keys[round] = rk;
+        }
+        KeySchedule { round_keys }
+    }
+
+    /// Returns the round keys in encryption order.
+    pub fn round_keys(&self) -> &RoundKeys {
+        &self.round_keys
+    }
+}
+
+/// Rotates a 28-bit value left by `n` bits.
+fn rotl28(v: u64, n: u8) -> u64 {
+    debug_assert!(n == 1 || n == 2);
+    ((v << n) | (v >> (28 - n))) & 0x0fff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotl28_wraps() {
+        assert_eq!(rotl28(0x0800_0000, 1), 1);
+        assert_eq!(rotl28(0x0C00_0000, 2), 3);
+        assert_eq!(rotl28(1, 1), 2);
+    }
+
+    /// First round key from the classic worked example
+    /// (key 0x133457799BBCDFF1): K1 = 000110 110000 001011 101111
+    /// 111111 000111 000001 110010.
+    #[test]
+    fn worked_example_round_one() {
+        let ks = KeySchedule::new(&DesKey::from_u64(0x133457799BBCDFF1));
+        assert_eq!(ks.round_keys()[0], 0b000110_110000_001011_101111_111111_000111_000001_110010);
+    }
+
+    /// Last round key from the same example: K16 = 110010 110011 110110
+    /// 001011 000011 100001 011111 110101.
+    #[test]
+    fn worked_example_round_sixteen() {
+        let ks = KeySchedule::new(&DesKey::from_u64(0x133457799BBCDFF1));
+        assert_eq!(
+            ks.round_keys()[15],
+            0b110010_110011_110110_001011_000011_100001_011111_110101
+        );
+    }
+
+    #[test]
+    fn weak_key_has_identical_round_keys() {
+        let ks = KeySchedule::new(&DesKey::from_u64(0x0101010101010101));
+        let first = ks.round_keys()[0];
+        assert!(ks.round_keys().iter().all(|&rk| rk == first));
+    }
+}

@@ -1,0 +1,160 @@
+//! Triple DES (EDE3), the era's alternative cipher.
+//!
+//! "Version 5 supports alternative encryption algorithms as options" —
+//! this is the one a 1991 deployment worried about 56-bit keys would
+//! have reached for. Encrypt–decrypt–encrypt keying keeps backward
+//! compatibility: with all three keys equal, EDE3 degenerates to single
+//! DES (tested below).
+
+use crate::des::{decrypt_block, encrypt_block, DesKey, KeySchedule};
+use crate::error::CryptoError;
+
+/// A 168-bit (3 × 56) triple-DES key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct TripleDesKey(pub [DesKey; 3]);
+
+impl core::fmt::Debug for TripleDesKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "TripleDesKey(****)")
+    }
+}
+
+/// Expanded schedules for one EDE3 key.
+pub struct TripleSchedule {
+    k1: KeySchedule,
+    k2: KeySchedule,
+    k3: KeySchedule,
+}
+
+impl TripleDesKey {
+    /// Builds from three independent keys (keying option 1).
+    pub fn new(k1: DesKey, k2: DesKey, k3: DesKey) -> Self {
+        TripleDesKey([k1, k2, k3])
+    }
+
+    /// Two-key variant (keying option 2): K1, K2, K1.
+    pub fn two_key(k1: DesKey, k2: DesKey) -> Self {
+        TripleDesKey([k1, k2, k1])
+    }
+
+    /// Expands all three schedules.
+    pub fn schedule(&self) -> TripleSchedule {
+        TripleSchedule { k1: self.0[0].schedule(), k2: self.0[1].schedule(), k3: self.0[2].schedule() }
+    }
+
+    /// Encrypts one block: `E_k3(D_k2(E_k1(p)))`.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        let s = self.schedule();
+        encrypt_block(&s.k3, decrypt_block(&s.k2, encrypt_block(&s.k1, block)))
+    }
+
+    /// Decrypts one block: `D_k1(E_k2(D_k3(c)))`.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        let s = self.schedule();
+        decrypt_block(&s.k1, encrypt_block(&s.k2, decrypt_block(&s.k3, block)))
+    }
+}
+
+/// EDE3-CBC encryption. `data` must be a whole number of blocks.
+pub fn ede3_cbc_encrypt(key: &TripleDesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if !data.len().is_multiple_of(8) {
+        return Err(CryptoError::BadLength { what: "EDE3-CBC input", len: data.len() });
+    }
+    let s = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    let mut prev = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let p = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        let c = encrypt_block(&s.k3, decrypt_block(&s.k2, encrypt_block(&s.k1, p ^ prev)));
+        out[i * 8..i * 8 + 8].copy_from_slice(&c.to_be_bytes());
+        prev = c;
+    }
+    Ok(out)
+}
+
+/// EDE3-CBC decryption.
+pub fn ede3_cbc_decrypt(key: &TripleDesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if !data.len().is_multiple_of(8) {
+        return Err(CryptoError::BadLength { what: "EDE3-CBC input", len: data.len() });
+    }
+    let s = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    let mut prev = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let c = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        let p = decrypt_block(&s.k1, encrypt_block(&s.k2, decrypt_block(&s.k3, c))) ^ prev;
+        out[i * 8..i * 8 + 8].copy_from_slice(&p.to_be_bytes());
+        prev = c;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Drbg, RandomSource};
+
+    fn keys() -> (DesKey, DesKey, DesKey) {
+        let mut rng = Drbg::new(3);
+        (rng.gen_des_key(), rng.gen_des_key(), rng.gen_des_key())
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let (a, b, c) = keys();
+        let k = TripleDesKey::new(a, b, c);
+        for pt in [0u64, 1, u64::MAX, 0x0123456789ABCDEF] {
+            assert_eq!(k.decrypt_block(k.encrypt_block(pt)), pt);
+        }
+    }
+
+    /// The EDE compatibility property: all keys equal -> single DES.
+    #[test]
+    fn degenerates_to_single_des() {
+        let (a, _, _) = keys();
+        let k = TripleDesKey::new(a, a, a);
+        for pt in [0u64, 42, 0xFEDCBA9876543210] {
+            assert_eq!(k.encrypt_block(pt), a.encrypt_block(pt));
+            assert_eq!(k.decrypt_block(pt), a.decrypt_block(pt));
+        }
+    }
+
+    #[test]
+    fn two_key_matches_explicit_three() {
+        let (a, b, _) = keys();
+        let two = TripleDesKey::two_key(a, b);
+        let three = TripleDesKey::new(a, b, a);
+        assert_eq!(two.encrypt_block(7), three.encrypt_block(7));
+    }
+
+    #[test]
+    fn cbc_roundtrip_and_iv_sensitivity() {
+        let (a, b, c) = keys();
+        let k = TripleDesKey::new(a, b, c);
+        let data = crate::modes::pad_zero(b"triple-DES protects long-term keys against 56-bit search");
+        let ct = ede3_cbc_encrypt(&k, 9, &data).unwrap();
+        assert_eq!(ede3_cbc_decrypt(&k, 9, &ct).unwrap(), data);
+        assert_ne!(ede3_cbc_encrypt(&k, 10, &data).unwrap(), ct);
+        assert!(ede3_cbc_encrypt(&k, 0, b"short").is_err());
+    }
+
+    #[test]
+    fn distinct_from_single_des_with_distinct_keys() {
+        let (a, b, c) = keys();
+        let k = TripleDesKey::new(a, b, c);
+        assert_ne!(k.encrypt_block(1), a.encrypt_block(1));
+    }
+
+    /// CBC under EDE3 retains the prefix property — the chosen-plaintext
+    /// splice is a property of the *mode*, not the cipher, so switching
+    /// algorithms alone would not have fixed A7.
+    #[test]
+    fn cbc_prefix_property_survives_cipher_upgrade() {
+        let (a, b, c) = keys();
+        let k = TripleDesKey::new(a, b, c);
+        let data = crate::modes::pad_zero(b"AUTHENTICATOR+CHECKSUM+remainder-to-splice-away!");
+        let ct = ede3_cbc_encrypt(&k, 5, &data).unwrap();
+        let pt = ede3_cbc_decrypt(&k, 5, &ct[..16]).unwrap();
+        assert_eq!(pt, &data[..16]);
+    }
+}

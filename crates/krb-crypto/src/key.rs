@@ -1,0 +1,88 @@
+//! Purpose-tagged keys.
+//!
+//! The paper's hardware section argues that "keys should be tagged with
+//! their purpose. A login key should be used only to decrypt the
+//! ticket-granting ticket; the key associated with it should be used only
+//! for obtaining service tickets, etc." This module provides the tag
+//! vocabulary; enforcement lives in the `hardware` crate's encryption
+//! unit and, in software, in the hardened encryption layer.
+
+use crate::des::DesKey;
+
+/// What a key is allowed to be used for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeyPurpose {
+    /// A user's long-term password-derived key; may only decrypt AS
+    /// replies.
+    ClientLogin,
+    /// A service's long-term key; may only decrypt tickets.
+    Service,
+    /// The TGS session key from a ticket-granting ticket; may only seal
+    /// TGS requests and unseal TGS replies.
+    TgsSession,
+    /// An application (multi-)session key from a service ticket.
+    AppSession,
+    /// A negotiated true session key (subkey).
+    Subkey,
+    /// The KDC master key protecting the principal database.
+    KdcMaster,
+    /// The keystore channel key.
+    KeyStore,
+    /// Unrestricted — models V4, where nothing distinguished key uses.
+    Any,
+}
+
+impl KeyPurpose {
+    /// Whether a key tagged `self` may be used where `required` is
+    /// expected. `Any` is the V4 footgun: usable everywhere.
+    pub fn permits(self, required: KeyPurpose) -> bool {
+        self == KeyPurpose::Any || self == required
+    }
+}
+
+/// A DES key bound to a declared purpose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaggedKey {
+    /// The raw key material.
+    pub key: DesKey,
+    /// What this key may be used for.
+    pub purpose: KeyPurpose,
+}
+
+impl TaggedKey {
+    /// Tags `key` with `purpose`.
+    pub fn new(key: DesKey, purpose: KeyPurpose) -> Self {
+        TaggedKey { key, purpose }
+    }
+
+    /// An untagged (V4-semantics) key.
+    pub fn untagged(key: DesKey) -> Self {
+        TaggedKey { key, purpose: KeyPurpose::Any }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_permits_everything() {
+        for p in [
+            KeyPurpose::ClientLogin,
+            KeyPurpose::Service,
+            KeyPurpose::TgsSession,
+            KeyPurpose::AppSession,
+            KeyPurpose::Subkey,
+            KeyPurpose::KdcMaster,
+        ] {
+            assert!(KeyPurpose::Any.permits(p));
+        }
+    }
+
+    #[test]
+    fn specific_purpose_is_exclusive() {
+        assert!(KeyPurpose::ClientLogin.permits(KeyPurpose::ClientLogin));
+        assert!(!KeyPurpose::ClientLogin.permits(KeyPurpose::Service));
+        assert!(!KeyPurpose::Service.permits(KeyPurpose::Any));
+    }
+}

@@ -1,0 +1,162 @@
+//! MD4 message digest (RFC 1186/1320), from scratch.
+//!
+//! Draft 3 of Kerberos V5 specified three checksum types: CRC-32, MD4,
+//! and MD4 encrypted with DES. The paper's analysis turns on whether a
+//! checksum is "collision-proof" — MD4 was *believed* to be in 1991 (it
+//! has since been thoroughly broken, but the 1991-era protocol analysis
+//! only needs "the adversary in our model cannot construct collisions",
+//! which holds for the generic adversary the attack library implements).
+
+const A0: u32 = 0x6745_2301;
+const B0: u32 = 0xefcd_ab89;
+const C0: u32 = 0x98ba_dcfe;
+const D0: u32 = 0x1032_5476;
+
+fn f(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) | (!x & z)
+}
+
+fn g(x: u32, y: u32, z: u32) -> u32 {
+    (x & y) | (x & z) | (y & z)
+}
+
+fn h(x: u32, y: u32, z: u32) -> u32 {
+    x ^ y ^ z
+}
+
+/// Compresses one 64-byte block into the state.
+fn compress(state: &mut [u32; 4], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
+    let mut x = [0u32; 16];
+    for (i, w) in x.iter_mut().enumerate() {
+        *w = u32::from_le_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+    }
+
+    let [mut a, mut b, mut c, mut d] = *state;
+
+    // Round 1.
+    const S1: [u32; 4] = [3, 7, 11, 19];
+    for i in 0..16 {
+        let v = a.wrapping_add(f(b, c, d)).wrapping_add(x[i]).rotate_left(S1[i % 4]);
+        (a, b, c, d) = (d, v, b, c);
+    }
+
+    // Round 2.
+    const S2: [u32; 4] = [3, 5, 9, 13];
+    const K2: [usize; 16] = [0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15];
+    for (i, &k) in K2.iter().enumerate() {
+        let v = a
+            .wrapping_add(g(b, c, d))
+            .wrapping_add(x[k])
+            .wrapping_add(0x5a82_7999)
+            .rotate_left(S2[i % 4]);
+        (a, b, c, d) = (d, v, b, c);
+    }
+
+    // Round 3.
+    const S3: [u32; 4] = [3, 9, 11, 15];
+    const K3: [usize; 16] = [0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15];
+    for (i, &k) in K3.iter().enumerate() {
+        let v = a
+            .wrapping_add(h(b, c, d))
+            .wrapping_add(x[k])
+            .wrapping_add(0x6ed9_eba1)
+            .rotate_left(S3[i % 4]);
+        (a, b, c, d) = (d, v, b, c);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+}
+
+/// Computes the 16-byte MD4 digest of `data`.
+pub fn md4(data: &[u8]) -> [u8; 16] {
+    let mut state = [A0, B0, C0, D0];
+
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        compress(&mut state, block);
+    }
+
+    // Merkle-Damgard padding: 0x80, zeros, 64-bit little-endian bit
+    // length.
+    let rem = chunks.remainder();
+    let bitlen = (data.len() as u64).wrapping_mul(8);
+    let mut tail = Vec::with_capacity(128);
+    tail.extend_from_slice(rem);
+    tail.push(0x80);
+    while tail.len() % 64 != 56 {
+        tail.push(0);
+    }
+    tail.extend_from_slice(&bitlen.to_le_bytes());
+    for block in tail.chunks_exact(64) {
+        compress(&mut state, block);
+    }
+
+    let mut out = [0u8; 16];
+    for (i, w) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Returns the digest as a lowercase hex string, for tests and logs.
+pub fn md4_hex(data: &[u8]) -> String {
+    md4(data).iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full RFC 1320 test suite.
+    #[test]
+    fn rfc1320_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+            (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+            (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+            (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+            (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+            (
+                b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "043f8582f241db351ce627e153e7f0e4",
+            ),
+            (
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "e33b4ddc9c38f2199c3e7b164fcc0536",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(md4_hex(input), want, "input {:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn length_extension_boundaries() {
+        // Exercise padding at the 55/56/63/64-byte boundaries.
+        for n in [55usize, 56, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xabu8; n];
+            let d = md4(&data);
+            // Must differ from a one-byte-longer input.
+            let mut data2 = data.clone();
+            data2.push(0xab);
+            assert_ne!(d, md4(&data2), "len {n}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_avalanche() {
+        let base = b"authenticator: client=pat addr=10.0.0.7 time=667000000";
+        let d0 = md4(base);
+        let mut flipped = base.to_vec();
+        flipped[10] ^= 1;
+        let d1 = md4(&flipped);
+        let differing: u32 = d0.iter().zip(d1.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
+        // Expect roughly half of 128 bits to flip; demand at least a
+        // quarter to catch gross implementation errors.
+        assert!(differing > 32, "only {differing} bits differ");
+    }
+}

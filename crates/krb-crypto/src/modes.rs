@@ -1,0 +1,258 @@
+//! DES modes of operation: ECB, CBC (FIPS 81), and the nonstandard PCBC
+//! mode used by Kerberos V4.
+//!
+//! The mode-level structure here is load-bearing for the paper's attacks:
+//!
+//! - CBC has the *prefix property* — a prefix of a ciphertext is a valid
+//!   encryption of the corresponding plaintext prefix (used by the
+//!   inter-session chosen-plaintext attack on `KRB_PRIV`).
+//! - PCBC has the *block-swap property* — exchanging two ciphertext
+//!   blocks garbles only the corresponding plaintext blocks, leaving all
+//!   later blocks intact (message-stream modification).
+
+use crate::des::{decrypt_block, encrypt_block, DesKey, KeySchedule};
+use crate::error::CryptoError;
+
+/// Converts an 8-byte chunk to a big-endian u64.
+fn load_block(chunk: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(chunk);
+    u64::from_be_bytes(b)
+}
+
+/// Writes a u64 as 8 big-endian bytes into `out`.
+fn store_block(v: u64, out: &mut [u8]) {
+    out.copy_from_slice(&v.to_be_bytes());
+}
+
+/// Zero-pads `data` up to a multiple of the DES block size. Kerberos V4
+/// framed the true length inside the plaintext, so zero padding is what
+/// the historical protocol used.
+pub fn pad_zero(data: &[u8]) -> Vec<u8> {
+    let mut v = data.to_vec();
+    let rem = v.len() % 8;
+    if rem != 0 {
+        v.resize(v.len() + (8 - rem), 0);
+    }
+    v
+}
+
+/// Requires `data` to be a whole number of blocks.
+fn check_blocks(data: &[u8]) -> Result<(), CryptoError> {
+    if !data.len().is_multiple_of(8) {
+        return Err(CryptoError::BadLength {
+            what: "block-mode input",
+            len: data.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Encrypts in ECB mode. `data` must be a multiple of 8 bytes.
+pub fn ecb_encrypt(key: &DesKey, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let ks = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        store_block(encrypt_block(&ks, load_block(chunk)), &mut out[i * 8..i * 8 + 8]);
+    }
+    Ok(out)
+}
+
+/// Decrypts in ECB mode. `data` must be a multiple of 8 bytes.
+pub fn ecb_decrypt(key: &DesKey, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let ks = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        store_block(decrypt_block(&ks, load_block(chunk)), &mut out[i * 8..i * 8 + 8]);
+    }
+    Ok(out)
+}
+
+/// Encrypts in CBC mode with the given IV.
+pub fn cbc_encrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let ks = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    let mut prev = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let ct = encrypt_block(&ks, load_block(chunk) ^ prev);
+        store_block(ct, &mut out[i * 8..i * 8 + 8]);
+        prev = ct;
+    }
+    Ok(out)
+}
+
+/// Decrypts in CBC mode with the given IV.
+pub fn cbc_decrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let ks = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    let mut prev = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let ct = load_block(chunk);
+        store_block(decrypt_block(&ks, ct) ^ prev, &mut out[i * 8..i * 8 + 8]);
+        prev = ct;
+    }
+    Ok(out)
+}
+
+/// Encrypts in Kerberos V4's PCBC (propagating CBC) mode:
+/// `C_i = E(P_i ^ P_{i-1} ^ C_{i-1})` with `P_0 ^ C_0` seeded by the IV.
+pub fn pcbc_encrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let ks = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    let mut chain = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let p = load_block(chunk);
+        let c = encrypt_block(&ks, p ^ chain);
+        store_block(c, &mut out[i * 8..i * 8 + 8]);
+        chain = p ^ c;
+    }
+    Ok(out)
+}
+
+/// Decrypts PCBC mode.
+pub fn pcbc_decrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let ks = key.schedule();
+    let mut out = vec![0u8; data.len()];
+    let mut chain = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let c = load_block(chunk);
+        let p = decrypt_block(&ks, c) ^ chain;
+        store_block(p, &mut out[i * 8..i * 8 + 8]);
+        chain = p ^ c;
+    }
+    Ok(out)
+}
+
+/// Encrypts a whole message with a precomputed key schedule in CBC mode.
+/// Exposed for the throughput benchmarks, which must not re-run the key
+/// schedule per message.
+pub fn cbc_encrypt_with(ks: &KeySchedule, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    check_blocks(data)?;
+    let mut out = vec![0u8; data.len()];
+    let mut prev = iv;
+    for (i, chunk) in data.chunks_exact(8).enumerate() {
+        let ct = encrypt_block(ks, load_block(chunk) ^ prev);
+        store_block(ct, &mut out[i * 8..i * 8 + 8]);
+        prev = ct;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> DesKey {
+        DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity()
+    }
+
+    #[test]
+    fn ecb_roundtrip() {
+        let data = b"8 bytes!8 bytes!";
+        let ct = ecb_encrypt(&key(), data).unwrap();
+        assert_eq!(ecb_decrypt(&key(), &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn ecb_leaks_equal_blocks() {
+        // The motivation for chaining modes: identical plaintext blocks
+        // yield identical ciphertext blocks under ECB.
+        let ct = ecb_encrypt(&key(), b"samesamesamesame").unwrap();
+        assert_eq!(&ct[0..8], &ct[8..16]);
+    }
+
+    #[test]
+    fn cbc_roundtrip() {
+        let data = pad_zero(b"The Kerberos authentication system");
+        let ct = cbc_encrypt(&key(), 42, &data).unwrap();
+        assert_eq!(cbc_decrypt(&key(), 42, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn cbc_hides_equal_blocks() {
+        let ct = cbc_encrypt(&key(), 7, b"samesamesamesame").unwrap();
+        assert_ne!(&ct[0..8], &ct[8..16]);
+    }
+
+    #[test]
+    fn cbc_iv_matters() {
+        let data = pad_zero(b"identical plaintext");
+        let a = cbc_encrypt(&key(), 1, &data).unwrap();
+        let b = cbc_encrypt(&key(), 2, &data).unwrap();
+        assert_ne!(a, b);
+    }
+
+    /// The CBC prefix property the chosen-plaintext attack relies on:
+    /// truncating a ciphertext to k blocks yields a valid encryption of
+    /// the first k plaintext blocks.
+    #[test]
+    fn cbc_prefix_property() {
+        let data = pad_zero(b"AUTHENTICATOR...CHECKSUM+++remainder of the message");
+        let ct = cbc_encrypt(&key(), 99, &data).unwrap();
+        let prefix_ct = &ct[..16];
+        let prefix_pt = cbc_decrypt(&key(), 99, prefix_ct).unwrap();
+        assert_eq!(prefix_pt, &data[..16]);
+    }
+
+    #[test]
+    fn pcbc_roundtrip() {
+        let data = pad_zero(b"propagating cipher block chaining");
+        let ct = pcbc_encrypt(&key(), 3, &data).unwrap();
+        assert_eq!(pcbc_decrypt(&key(), 3, &ct).unwrap(), data);
+    }
+
+    /// PCBC's fatal propagation property (paper, "The Encryption
+    /// Layer"): swapping ciphertext blocks i and i+1 garbles only those
+    /// two plaintext blocks; every later block decrypts correctly.
+    #[test]
+    fn pcbc_block_swap_leaves_suffix_intact() {
+        let data = pad_zero(b"0000000011111111222222223333333344444444");
+        let mut ct = pcbc_encrypt(&key(), 5, &data).unwrap();
+        let (a, b) = (load_block(&ct[8..16]), load_block(&ct[16..24]));
+        store_block(b, &mut ct[8..16]);
+        store_block(a, &mut ct[16..24]);
+        let pt = pcbc_decrypt(&key(), 5, &ct).unwrap();
+        // Blocks 1 and 2 are garbled...
+        assert_ne!(&pt[8..24], &data[8..24]);
+        // ...but block 0 and every block after the swap are intact.
+        assert_eq!(&pt[..8], &data[..8]);
+        assert_eq!(&pt[24..], &data[24..]);
+    }
+
+    /// CBC does NOT have the swap-tolerance property: garbling propagates
+    /// only one block, so the block after the swap is also damaged — but
+    /// crucially, in CBC an attacker splicing blocks garbles a bounded,
+    /// predictable region, which is why a MAC is still required.
+    #[test]
+    fn cbc_block_swap_garbles_bounded_region() {
+        let data = pad_zero(b"0000000011111111222222223333333344444444");
+        let mut ct = cbc_encrypt(&key(), 5, &data).unwrap();
+        let (a, b) = (load_block(&ct[8..16]), load_block(&ct[16..24]));
+        store_block(b, &mut ct[8..16]);
+        store_block(a, &mut ct[16..24]);
+        let pt = cbc_decrypt(&key(), 5, &ct).unwrap();
+        assert_eq!(&pt[..8], &data[..8]);
+        assert_eq!(&pt[32..], &data[32..]);
+    }
+
+    #[test]
+    fn rejects_partial_blocks() {
+        assert!(ecb_encrypt(&key(), b"short").is_err());
+        assert!(cbc_encrypt(&key(), 0, b"123456789").is_err());
+        assert!(pcbc_decrypt(&key(), 0, &[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn pad_zero_behaviour() {
+        assert_eq!(pad_zero(b"").len(), 0);
+        assert_eq!(pad_zero(b"1").len(), 8);
+        assert_eq!(pad_zero(b"12345678").len(), 8);
+        assert_eq!(pad_zero(b"123456789").len(), 16);
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic random sources for protocol use.
+//!
+//! Every random choice in the simulated protocols flows through a
+//! [`RandomSource`] so runs are reproducible. Two implementations model
+//! the paper's dichotomy: a decent seeded DRBG (standing in for the
+//! proposed hardware random number generator / network random service),
+//! and [`BadLcg`], the "user workstations are not particularly good
+//! sources of random keys" failure mode — its outputs can be regenerated
+//! by an attacker who learns one of them.
+
+use crate::des::DesKey;
+
+/// A source of random 64-bit values.
+pub trait RandomSource {
+    /// Returns the next pseudo-random u64.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly-distributed value in `[0, bound)`.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Fills `buf` with random bytes.
+    fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_be_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Generates a fresh parity-correct, non-weak DES key.
+    fn gen_des_key(&mut self) -> DesKey {
+        loop {
+            let k = DesKey::from_u64(self.next_u64()).with_odd_parity();
+            if !k.is_weak() && !k.is_semi_weak() {
+                return k;
+            }
+        }
+    }
+}
+
+/// A seeded SplitMix64-based deterministic generator. Good statistical
+/// quality, reproducible; stands in for the paper's proposed hardware
+/// RNG and network random service.
+#[derive(Clone, Debug)]
+pub struct Drbg {
+    state: u64,
+}
+
+impl Drbg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Drbg { state: seed }
+    }
+}
+
+impl RandomSource for Drbg {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea & Flood), public domain constants.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A deliberately weak linear congruential generator seeded from a
+/// low-entropy value (e.g. time-of-day), modelling a 1990 workstation's
+/// key generation. [`BadLcg::replay_from`] lets an attacker who learns
+/// any single output regenerate the whole stream.
+#[derive(Clone, Debug)]
+pub struct BadLcg {
+    state: u64,
+}
+
+impl BadLcg {
+    /// Seeds from a (low-entropy) value.
+    pub fn new(seed: u64) -> Self {
+        BadLcg { state: seed }
+    }
+
+    /// Reconstructs the generator from one observed output: the state IS
+    /// the output, so the attack is trivial. This is exactly why the
+    /// paper wants key generation moved to a hardware unit or network
+    /// random service.
+    pub fn replay_from(observed_output: u64) -> Self {
+        BadLcg { state: observed_output }
+    }
+}
+
+impl RandomSource for BadLcg {
+    fn next_u64(&mut self) -> u64 {
+        // Classic MMIX LCG constants (Knuth).
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drbg_reproducible() {
+        let mut a = Drbg::new(42);
+        let mut b = Drbg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn drbg_seed_sensitivity() {
+        let mut a = Drbg::new(42);
+        let mut b = Drbg::new(43);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = Drbg::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..50 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_des_key_is_sound() {
+        let mut r = Drbg::new(9);
+        for _ in 0..100 {
+            let k = r.gen_des_key();
+            assert!(k.has_odd_parity());
+            assert!(!k.is_weak());
+        }
+    }
+
+    #[test]
+    fn bad_lcg_stream_recoverable_from_one_output() {
+        let mut victim = BadLcg::new(667_000_000); // Seeded from "time".
+        let first = victim.next_u64();
+        let mut attacker = BadLcg::replay_from(first);
+        for _ in 0..10 {
+            assert_eq!(attacker.next_u64(), victim.next_u64());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunk() {
+        let mut r = Drbg::new(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

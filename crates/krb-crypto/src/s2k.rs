@@ -1,0 +1,121 @@
+//! String-to-key: deriving a DES key from a typed password.
+//!
+//! "The client key Kc is derived from a non-invertible transform of the
+//! user's typed password. Thus, all privileges depend ultimately on this
+//! one key." The transform is *publicly known*, which is exactly what
+//! makes the recorded-AS-reply dictionary attack work: a guess at the
+//! password can be confirmed offline by deriving the candidate key and
+//! trying it against the recorded reply.
+
+use crate::des::DesKey;
+use crate::modes;
+
+/// Reverses the bits within a byte (the V4 fan-fold flips alternate
+/// chunks).
+fn reverse_bits(b: u8) -> u8 {
+    b.reverse_bits()
+}
+
+/// Fan-folds arbitrary-length input into 8 bytes, bit-reversing alternate
+/// chunks as the historical V4 algorithm did.
+fn fanfold(input: &[u8]) -> [u8; 8] {
+    let mut acc = [0u8; 8];
+    for (chunk_idx, chunk) in input.chunks(8).enumerate() {
+        if chunk_idx % 2 == 0 {
+            for (i, &b) in chunk.iter().enumerate() {
+                acc[i] ^= b;
+            }
+        } else {
+            // Odd chunks are reversed end-to-end and bit-reversed.
+            for (i, &b) in chunk.iter().rev().enumerate() {
+                acc[i] ^= reverse_bits(b);
+            }
+        }
+    }
+    acc
+}
+
+/// Derives a DES key from a password, V4 style (no salt).
+///
+/// Shape of the historical algorithm: fan-fold the password into a
+/// candidate key, then use that key to CBC-MAC the password itself; the
+/// final block, parity-adjusted, is the key. Weak keys are perturbed.
+pub fn string_to_key_v4(password: &str) -> DesKey {
+    string_to_key_salted(password, "")
+}
+
+/// Derives a DES key from a password and a salt (V5 added salting with
+/// the principal name to stop cross-realm precomputation).
+pub fn string_to_key_v5(password: &str, salt: &str) -> DesKey {
+    string_to_key_salted(password, salt)
+}
+
+fn string_to_key_salted(password: &str, salt: &str) -> DesKey {
+    let mut input = Vec::with_capacity(password.len() + salt.len());
+    input.extend_from_slice(password.as_bytes());
+    input.extend_from_slice(salt.as_bytes());
+    if input.is_empty() {
+        input.push(0);
+    }
+
+    let candidate = DesKey::from_bytes(fanfold(&input)).with_odd_parity();
+
+    // CBC-MAC the padded password under the candidate key, IV = candidate.
+    let padded = modes::pad_zero(&input);
+    let ct = modes::cbc_encrypt(&candidate, candidate.to_u64(), &padded)
+        .expect("padded input is block-aligned");
+    let last = &ct[ct.len() - 8..];
+    let mut key = DesKey::from_bytes(last.try_into().expect("slice is 8 bytes")).with_odd_parity();
+
+    // Perturb weak and semi-weak keys, as the historical library did.
+    if key.is_weak() || key.is_semi_weak() {
+        key = key.xored(0xf0).with_odd_parity();
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(string_to_key_v4("hunter2"), string_to_key_v4("hunter2"));
+        assert_eq!(
+            string_to_key_v5("hunter2", "ATHENA.MIT.EDUpat"),
+            string_to_key_v5("hunter2", "ATHENA.MIT.EDUpat")
+        );
+    }
+
+    #[test]
+    fn different_passwords_different_keys() {
+        assert_ne!(string_to_key_v4("hunter2"), string_to_key_v4("hunter3"));
+        assert_ne!(string_to_key_v4(""), string_to_key_v4(" "));
+    }
+
+    #[test]
+    fn salt_separates_realms() {
+        let k1 = string_to_key_v5("hunter2", "REALM.Apat");
+        let k2 = string_to_key_v5("hunter2", "REALM.Bpat");
+        assert_ne!(k1, k2);
+        // V4, unsalted, gives the same key everywhere — the
+        // precomputation weakness V5 fixed.
+        assert_eq!(string_to_key_v4("hunter2"), string_to_key_v4("hunter2"));
+    }
+
+    #[test]
+    fn output_has_parity_and_strength() {
+        for pw in ["", "a", "hunter2", "correct horse battery staple", "密码"] {
+            let k = string_to_key_v4(pw);
+            assert!(k.has_odd_parity(), "password {pw:?}");
+            assert!(!k.is_weak() && !k.is_semi_weak(), "password {pw:?}");
+        }
+    }
+
+    #[test]
+    fn long_passwords_fold() {
+        let long = "x".repeat(1000);
+        let k = string_to_key_v4(&long);
+        assert!(k.has_odd_parity());
+    }
+}

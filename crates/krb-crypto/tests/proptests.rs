@@ -1,0 +1,203 @@
+//! Property-based tests over the crypto substrate's core invariants.
+
+use krb_crypto::bignum::{mod_exp, mod_inverse, BigUint};
+use krb_crypto::crc32::{crc32, forge_suffix};
+use krb_crypto::des::DesKey;
+use krb_crypto::md4::md4;
+use krb_crypto::modes;
+use krb_crypto::s2k::string_to_key_v4;
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = DesKey> {
+    any::<u64>().prop_map(|v| DesKey::from_u64(v).with_odd_parity())
+}
+
+fn arb_blocks() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|v| {
+        let mut v = v;
+        v.resize(v.len().div_ceil(8) * 8, 0);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn des_block_roundtrip(k in any::<u64>(), pt in any::<u64>()) {
+        let key = DesKey::from_u64(k);
+        prop_assert_eq!(key.decrypt_block(key.encrypt_block(pt)), pt);
+    }
+
+    #[test]
+    fn des_complementation(k in any::<u64>(), pt in any::<u64>()) {
+        let key = DesKey::from_u64(k);
+        let comp = DesKey::from_u64(!k);
+        prop_assert_eq!(comp.encrypt_block(!pt), !key.encrypt_block(pt));
+    }
+
+    #[test]
+    fn ecb_roundtrip(key in arb_key(), data in arb_blocks()) {
+        let ct = modes::ecb_encrypt(&key, &data).unwrap();
+        prop_assert_eq!(modes::ecb_decrypt(&key, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn cbc_roundtrip(key in arb_key(), iv in any::<u64>(), data in arb_blocks()) {
+        let ct = modes::cbc_encrypt(&key, iv, &data).unwrap();
+        prop_assert_eq!(modes::cbc_decrypt(&key, iv, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn pcbc_roundtrip(key in arb_key(), iv in any::<u64>(), data in arb_blocks()) {
+        let ct = modes::pcbc_encrypt(&key, iv, &data).unwrap();
+        prop_assert_eq!(modes::pcbc_decrypt(&key, iv, &ct).unwrap(), data);
+    }
+
+    /// CBC prefix property: any block-aligned ciphertext prefix decrypts
+    /// to the corresponding plaintext prefix.
+    #[test]
+    fn cbc_prefix_property(key in arb_key(), iv in any::<u64>(), data in arb_blocks(), cut in 0usize..4) {
+        let ct = modes::cbc_encrypt(&key, iv, &data).unwrap();
+        let cut = (cut * 8).min(ct.len());
+        let pt = modes::cbc_decrypt(&key, iv, &ct[..cut]).unwrap();
+        prop_assert_eq!(&pt[..], &data[..cut]);
+    }
+
+    /// PCBC swap tolerance: swapping two interior ciphertext blocks
+    /// leaves every block after the swapped pair intact.
+    #[test]
+    fn pcbc_swap_suffix_intact(key in arb_key(), iv in any::<u64>(), mut data in arb_blocks(), at in 0usize..3) {
+        data.resize(data.len().max(40), 7); // at least 5 blocks
+        let mut ct = modes::pcbc_encrypt(&key, iv, &data).unwrap();
+        let a = at * 8;
+        let b = a + 8;
+        let (x, y) = (ct[a..a + 8].to_vec(), ct[b..b + 8].to_vec());
+        ct[a..a + 8].copy_from_slice(&y);
+        ct[b..b + 8].copy_from_slice(&x);
+        let pt = modes::pcbc_decrypt(&key, iv, &ct).unwrap();
+        prop_assert_eq!(&pt[b + 8..], &data[b + 8..]);
+        prop_assert_eq!(&pt[..a], &data[..a]);
+    }
+
+    #[test]
+    fn crc_forge_any_target(msg in proptest::collection::vec(any::<u8>(), 0..64), target in any::<u32>()) {
+        let patch = forge_suffix(&msg, target);
+        let mut forged = msg.clone();
+        forged.extend_from_slice(&patch);
+        prop_assert_eq!(crc32(&forged), target);
+    }
+
+    /// CRC-32 is affine: crc(a) ^ crc(b) ^ crc(c) == crc(a^b^c) for
+    /// equal-length inputs.
+    #[test]
+    fn crc_linearity(
+        a in proptest::collection::vec(any::<u8>(), 16),
+        b in proptest::collection::vec(any::<u8>(), 16),
+        c in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let x: Vec<u8> = a.iter().zip(&b).zip(&c).map(|((p, q), r)| p ^ q ^ r).collect();
+        prop_assert_eq!(crc32(&x), crc32(&a) ^ crc32(&b) ^ crc32(&c));
+    }
+
+    #[test]
+    fn md4_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        if a != b {
+            prop_assert_ne!(md4(&a), md4(&b));
+        }
+    }
+
+    #[test]
+    fn bignum_add_sub(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (BigUint::from_u64(a), BigUint::from_u64(b));
+        prop_assert_eq!(x.add(&y).sub(&y), x);
+    }
+
+    #[test]
+    fn bignum_mul_commutes(a in any::<u128>(), b in any::<u128>()) {
+        let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
+        let y = BigUint::from_hex(&format!("{b:x}")).unwrap();
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+    }
+
+    #[test]
+    fn bignum_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
+        let y = BigUint::from_hex(&format!("{b:x}")).unwrap();
+        let z = BigUint::from_hex(&format!("{c:x}")).unwrap();
+        prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
+    }
+
+    #[test]
+    fn bignum_divrem_reconstructs(a in any::<u128>(), b in 1u128..) {
+        let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
+        let y = BigUint::from_hex(&format!("{b:x}")).unwrap();
+        let (q, r) = x.divrem(&y).unwrap();
+        prop_assert_eq!(q.mul(&y).add(&r), x);
+        prop_assert!(r < y);
+    }
+
+    #[test]
+    fn bignum_divrem_wide(limbs_a in proptest::collection::vec(any::<u32>(), 1..12), limbs_b in proptest::collection::vec(any::<u32>(), 1..8)) {
+        let x = BigUint::from_bytes_be(&limbs_a.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>());
+        let y = BigUint::from_bytes_be(&limbs_b.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>());
+        if !y.is_zero() {
+            let (q, r) = x.divrem(&y).unwrap();
+            prop_assert_eq!(q.mul(&y).add(&r), x.clone());
+            prop_assert!(r < y);
+        }
+    }
+
+    #[test]
+    fn bignum_shift_inverse(a in any::<u128>(), s in 0usize..96) {
+        let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
+        prop_assert_eq!(x.shl_bits(s).shr_bits(s), x);
+    }
+
+    #[test]
+    fn bignum_hex_roundtrip(limbs in proptest::collection::vec(any::<u32>(), 0..10)) {
+        let x = BigUint::from_bytes_be(&limbs.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>());
+        prop_assert_eq!(BigUint::from_hex(&x.to_hex()).unwrap(), x);
+    }
+
+    /// Homomorphism: g^(a+b) = g^a * g^b (mod p).
+    #[test]
+    fn mod_exp_homomorphism(a in any::<u32>(), b in any::<u32>()) {
+        let p = BigUint::from_u64(1_000_003);
+        let g = BigUint::from_u64(2);
+        let ga = mod_exp(&g, &BigUint::from_u64(a.into()), &p).unwrap();
+        let gb = mod_exp(&g, &BigUint::from_u64(b.into()), &p).unwrap();
+        let gab = mod_exp(&g, &BigUint::from_u64(u64::from(a) + u64::from(b)), &p).unwrap();
+        prop_assert_eq!(ga.mul(&gb).rem(&p).unwrap(), gab);
+    }
+
+    #[test]
+    fn mod_inverse_correct(a in 1u64..1_000_003) {
+        let p = BigUint::from_u64(1_000_003); // prime
+        let x = BigUint::from_u64(a);
+        let inv = mod_inverse(&x, &p).unwrap();
+        prop_assert_eq!(x.mul(&inv).rem(&p).unwrap(), BigUint::one());
+    }
+
+    #[test]
+    fn s2k_always_sound(pw in "\\PC{0,40}") {
+        let k = string_to_key_v4(&pw);
+        prop_assert!(k.has_odd_parity());
+        prop_assert!(!k.is_weak());
+        prop_assert!(!k.is_semi_weak());
+    }
+}
+
+proptest! {
+    /// Montgomery exponentiation agrees with the division-based path on
+    /// arbitrary odd moduli.
+    #[test]
+    fn montgomery_matches_division(base in any::<u128>(), exp in any::<u64>(), m in any::<u128>()) {
+        let modulus = BigUint::from_hex(&format!("{:x}", m | 1)).unwrap(); // force odd
+        if modulus.bit_len() >= 2 {
+            let b = BigUint::from_hex(&format!("{base:x}")).unwrap();
+            let e = BigUint::from_u64(exp);
+            let want = mod_exp(&b, &e, &modulus).unwrap();
+            let got = krb_crypto::bignum::mod_exp_fast(&b, &e, &modulus).unwrap();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Simulated time and per-host clocks.
+//!
+//! "The security of Kerberos depends critically on synchronized clocks."
+//! Each host owns a [`Clock`] that derives its local reading from the
+//! network's true time plus a settable offset and a drift rate. The time
+//! services in [`crate::time`] adjust offsets; the adversary can spoof
+//! the unauthenticated one.
+
+/// A point in simulated time, in microseconds since the simulation epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds. Negative spans are
+/// expressed at use sites via [`Clock::set_offset_us`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Milliseconds constructor.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Seconds constructor.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Minutes constructor.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+
+    /// The span in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+}
+
+impl SimTime {
+    /// Adds a duration.
+    pub fn plus(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+
+    /// Absolute difference between two times.
+    pub fn abs_diff(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0.abs_diff(other.0))
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn minus(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+/// A host's clock: local = true + offset + drift.
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    offset_us: i64,
+    /// Drift in parts per million of true elapsed time.
+    drift_ppm: i64,
+}
+
+impl Clock {
+    /// A perfectly synchronized clock.
+    pub fn synced() -> Self {
+        Clock { offset_us: 0, drift_ppm: 0 }
+    }
+
+    /// A clock with a fixed offset (positive = fast) and drift rate.
+    pub fn skewed(offset_us: i64, drift_ppm: i64) -> Self {
+        Clock { offset_us, drift_ppm }
+    }
+
+    /// Reads the local time given the network's true time.
+    pub fn now(&self, true_time: SimTime) -> SimTime {
+        let drift = (true_time.0 as i64).saturating_mul(self.drift_ppm) / 1_000_000;
+        let local = true_time.0 as i64 + self.offset_us + drift;
+        SimTime(local.max(0) as u64)
+    }
+
+    /// Overwrites the offset so that the local reading at `true_time`
+    /// becomes `target` (what a time-sync protocol does).
+    pub fn sync_to(&mut self, true_time: SimTime, target: SimTime) {
+        let drift = (true_time.0 as i64).saturating_mul(self.drift_ppm) / 1_000_000;
+        self.offset_us = target.0 as i64 - true_time.0 as i64 - drift;
+    }
+
+    /// Directly sets the offset in microseconds.
+    pub fn set_offset_us(&mut self, offset_us: i64) {
+        self.offset_us = offset_us;
+    }
+
+    /// Current offset in microseconds.
+    pub fn offset_us(&self) -> i64 {
+        self.offset_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synced_clock_tracks_truth() {
+        let c = Clock::synced();
+        assert_eq!(c.now(SimTime(1_000_000)), SimTime(1_000_000));
+    }
+
+    #[test]
+    fn offset_applies() {
+        let c = Clock::skewed(5_000_000, 0);
+        assert_eq!(c.now(SimTime(1_000_000)), SimTime(6_000_000));
+        let slow = Clock::skewed(-500_000, 0);
+        assert_eq!(slow.now(SimTime(1_000_000)), SimTime(500_000));
+    }
+
+    #[test]
+    fn negative_local_clamps_to_zero() {
+        let c = Clock::skewed(-10_000_000, 0);
+        assert_eq!(c.now(SimTime(1_000_000)), SimTime(0));
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        // 100 ppm fast: after 10^6 us true, +100 us.
+        let c = Clock::skewed(0, 100);
+        assert_eq!(c.now(SimTime(1_000_000)), SimTime(1_000_100));
+        assert_eq!(c.now(SimTime(10_000_000)), SimTime(10_001_000));
+    }
+
+    #[test]
+    fn sync_to_cancels_skew() {
+        let mut c = Clock::skewed(123_456, 42);
+        let t = SimTime(9_999_999);
+        c.sync_to(t, SimTime(5_000_000));
+        assert_eq!(c.now(t), SimTime(5_000_000));
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(SimDuration::from_secs(2).0, 2_000_000);
+        assert_eq!(SimDuration::from_mins(5).as_secs(), 300);
+        assert_eq!(SimTime(10).plus(SimDuration(5)), SimTime(15));
+        assert_eq!(SimTime(10).abs_diff(SimTime(4)), SimDuration(6));
+        assert_eq!(SimTime(3).minus(SimDuration(10)), SimTime(0));
+    }
+}

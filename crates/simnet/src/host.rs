@@ -1,0 +1,143 @@
+//! Hosts and the services they run.
+
+use crate::clock::{Clock, SimTime};
+use crate::net::{Addr, Endpoint};
+use std::collections::HashMap;
+
+/// Index of a host within its network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HostId(pub usize);
+
+/// Context handed to a service for one request.
+#[derive(Clone, Debug)]
+pub struct ServiceCtx {
+    /// The *local* clock reading of the host running the service — NOT
+    /// true time. Timestamp checks use this, which is what makes
+    /// clock-spoofing attacks effective.
+    pub local_time: SimTime,
+    /// Host name, for logs.
+    pub host_name: String,
+    /// The address the request arrived on.
+    pub host_addr: Addr,
+    /// Whether this host is a multi-user machine (affects the
+    /// environment-model attacks on cached credentials).
+    pub multi_user: bool,
+}
+
+/// A network service bound to a port: handles one datagram, optionally
+/// replies. All Kerberos exchanges in this reproduction are
+/// query/response, matching the original UDP transport.
+pub trait Service {
+    /// Handles `req` from `from`; returns the reply payload, if any.
+    fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], from: Endpoint) -> Option<Vec<u8>>;
+
+    /// Downcast support so tests and attack forensics can inspect a
+    /// bound service's internal state. Implementations that want to be
+    /// inspectable return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// A machine on the network.
+pub struct Host {
+    /// Human-readable name.
+    pub name: String,
+    /// Addresses this host answers on (multi-homing: the V4 ticket
+    /// address-binding problem).
+    pub addrs: Vec<Addr>,
+    /// This host's clock.
+    pub clock: Clock,
+    /// Bound services, by port.
+    pub(crate) services: HashMap<u16, Box<dyn Service>>,
+    /// Whether other users may be logged in concurrently (the paper's
+    /// workstation vs. multi-user-host distinction).
+    pub multi_user: bool,
+}
+
+impl Host {
+    /// A single-user workstation with a synchronized clock.
+    pub fn new(name: &str, addrs: Vec<Addr>) -> Self {
+        Host {
+            name: name.to_string(),
+            addrs,
+            clock: Clock::synced(),
+            services: HashMap::new(),
+            multi_user: false,
+        }
+    }
+
+    /// Marks the host as multi-user (server-class machine).
+    pub fn multi_user(mut self) -> Self {
+        self.multi_user = true;
+        self
+    }
+
+    /// Sets the host clock.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Binds a service to a port, replacing any previous binding.
+    pub fn bind(&mut self, port: u16, service: Box<dyn Service>) {
+        self.services.insert(port, service);
+    }
+
+    /// Removes the service on `port`.
+    pub fn unbind(&mut self, port: u16) -> Option<Box<dyn Service>> {
+        self.services.remove(&port)
+    }
+
+    /// Borrows the service bound to `port`.
+    pub fn service(&self, port: u16) -> Option<&dyn Service> {
+        self.services.get(&port).map(|b| b.as_ref())
+    }
+
+    /// Mutably borrows the service bound to `port`.
+    pub fn service_mut(&mut self, port: u16) -> Option<&mut (dyn Service + 'static)> {
+        self.services.get_mut(&port).map(|b| b.as_mut())
+    }
+
+    /// The host's primary address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host has no addresses.
+    pub fn primary_addr(&self) -> Addr {
+        self.addrs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_flags() {
+        let h = Host::new("ws1", vec![Addr::new(10, 0, 0, 1)]);
+        assert!(!h.multi_user);
+        let m = Host::new("srv", vec![Addr::new(10, 0, 0, 2)]).multi_user();
+        assert!(m.multi_user);
+        assert_eq!(m.primary_addr(), Addr::new(10, 0, 0, 2));
+    }
+
+    #[test]
+    fn bind_unbind() {
+        struct Nop;
+        impl Service for Nop {
+            fn handle(&mut self, _: &mut ServiceCtx, _: &[u8], _: Endpoint) -> Option<Vec<u8>> {
+                None
+            }
+        }
+        let mut h = Host::new("x", vec![Addr::new(1, 2, 3, 4)]);
+        h.bind(88, Box::new(Nop));
+        assert!(h.unbind(88).is_some());
+        assert!(h.unbind(88).is_none());
+    }
+}

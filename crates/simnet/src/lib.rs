@@ -1,0 +1,29 @@
+//! # simnet
+//!
+//! A deterministic simulated network for the Kerberos-limitations
+//! reproduction. It substitutes for MIT's campus network while granting
+//! the adversary exactly the powers the paper's threat model assumes:
+//!
+//! - **Passive wiretap** — every datagram is recorded in
+//!   [`net::Network::traffic_log`].
+//! - **Active wiretap** — an in-path [`adversary::Tap`] may rewrite or
+//!   drop any datagram.
+//! - **Forgery & replay** — [`net::Network::inject`] puts arbitrary
+//!   datagrams (any source address) on the wire.
+//! - **Clock games** — per-host [`clock::Clock`]s with offset and drift,
+//!   synced through spoofable ([`time::TimeService`]) or authenticated
+//!   ([`time::AuthTimeService`]) time protocols.
+//! - **Blind spoofing** — [`stream`] reproduces the 4.2BSD
+//!   predictable-ISN stream layer of Morris '85.
+
+pub mod adversary;
+pub mod clock;
+pub mod host;
+pub mod net;
+pub mod stream;
+pub mod time;
+
+pub use adversary::{RecordingTap, ScriptedTap, Tap, Verdict};
+pub use clock::{Clock, SimDuration, SimTime};
+pub use host::{Host, HostId, Service, ServiceCtx};
+pub use net::{Addr, Datagram, Endpoint, NetError, Network, TrafficRecord};

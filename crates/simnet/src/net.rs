@@ -1,0 +1,399 @@
+//! The network core: addresses, datagrams, routing, and the adversary's
+//! hooks.
+//!
+//! The threat model is the paper's: "the protocols should be secure even
+//! if the network is under the complete control of an adversary." Every
+//! datagram that crosses the network is recorded in a traffic log the
+//! attack code can read (passive wiretap), passes through an optional
+//! in-path [`crate::adversary::Tap`] that may drop or rewrite it (active
+//! wiretap), and can be re-sent later with any source address via
+//! [`Network::inject`] (replay / spoofing). Nothing about a source
+//! address is authenticated, exactly as on a 1990 campus network.
+
+use crate::adversary::{Tap, Verdict};
+use crate::clock::{SimDuration, SimTime};
+use crate::host::{Host, HostId, ServiceCtx};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A network address (an IPv4-style 32-bit value).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Convenience constructor from dotted-quad-style parts.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Addr(u32::from_be_bytes([a, b, c, d]))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A (address, port) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Endpoint {
+    /// Network address.
+    pub addr: Addr,
+    /// Port number.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Constructor.
+    pub fn new(addr: Addr, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+/// One datagram on the wire.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Datagram {
+    /// Claimed source (forgeable!).
+    pub src: Endpoint,
+    /// Destination.
+    pub dst: Endpoint,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// An entry in the traffic log: what crossed the wire, and when (true
+/// time).
+#[derive(Clone, Debug)]
+pub struct TrafficRecord {
+    /// When the datagram crossed the network, in true time.
+    pub at: SimTime,
+    /// The datagram as actually delivered (post-tap).
+    pub dgram: Datagram,
+    /// Whether this was a request (`true`) or a reply.
+    pub is_request: bool,
+}
+
+/// Network-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// No host owns the destination address.
+    NoRoute(Addr),
+    /// The destination host has no service on that port.
+    PortClosed(Endpoint),
+    /// The in-path adversary dropped the datagram.
+    Dropped,
+    /// The service did not produce a reply.
+    NoReply,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoRoute(a) => write!(f, "no route to {a}"),
+            NetError::PortClosed(e) => write!(f, "port closed: {}:{}", e.addr, e.port),
+            NetError::Dropped => write!(f, "datagram dropped in transit"),
+            NetError::NoReply => write!(f, "no reply from service"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The simulated network.
+pub struct Network {
+    hosts: Vec<Host>,
+    addr_map: HashMap<Addr, HostId>,
+    true_time: SimTime,
+    /// Fixed one-way latency applied to every hop.
+    pub latency: SimDuration,
+    tap: Option<Box<dyn Tap>>,
+    log: Vec<TrafficRecord>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// An empty network at time zero.
+    pub fn new() -> Self {
+        Network {
+            hosts: Vec::new(),
+            addr_map: HashMap::new(),
+            true_time: SimTime(0),
+            latency: SimDuration::from_millis(2),
+            tap: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Adds a host; its addresses must be unique on the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the host's addresses is already claimed.
+    pub fn add_host(&mut self, host: Host) -> HostId {
+        let id = HostId(self.hosts.len());
+        for &a in &host.addrs {
+            let prev = self.addr_map.insert(a, id);
+            assert!(prev.is_none(), "duplicate address {a}");
+        }
+        self.hosts.push(host);
+        id
+    }
+
+    /// Installs the in-path adversary tap (replacing any previous one).
+    pub fn set_tap(&mut self, tap: Box<dyn Tap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Removes and returns the tap, for inspection of recorded state.
+    pub fn take_tap(&mut self) -> Option<Box<dyn Tap>> {
+        self.tap.take()
+    }
+
+    /// The network's true time.
+    pub fn now(&self) -> SimTime {
+        self.true_time
+    }
+
+    /// Advances true time.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.true_time = self.true_time.plus(d);
+    }
+
+    /// Local clock reading of a host.
+    pub fn host_time(&self, id: HostId) -> SimTime {
+        self.hosts[id.0].clock.now(self.true_time)
+    }
+
+    /// Immutable host access.
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.0]
+    }
+
+    /// Mutable host access.
+    pub fn host_mut(&mut self, id: HostId) -> &mut Host {
+        &mut self.hosts[id.0]
+    }
+
+    /// Looks up the host owning `addr`.
+    pub fn host_by_addr(&self, addr: Addr) -> Option<HostId> {
+        self.addr_map.get(&addr).copied()
+    }
+
+    /// The full traffic log (the passive wiretap).
+    pub fn traffic_log(&self) -> &[TrafficRecord] {
+        &self.log
+    }
+
+    /// Clears the traffic log.
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+
+    /// Sends `payload` from `from` to `to` and waits for the (single)
+    /// reply: the universal query/response primitive. Both directions
+    /// cross the adversary.
+    pub fn rpc(&mut self, from: Endpoint, to: Endpoint, payload: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        let request = Datagram { src: from, dst: to, payload };
+        let reply = self.deliver(request, true)?.ok_or(NetError::NoReply)?;
+        // The reply crosses the wire too.
+        match self.transit(reply, false)? {
+            Some(d) => Ok(d.payload),
+            None => Err(NetError::Dropped),
+        }
+    }
+
+    /// Sends a datagram without expecting a reply (e.g. one-way
+    /// notifications). Returns the service's optional reply payload
+    /// *undelivered* — used by attack code that impersonates.
+    pub fn send_oneway(&mut self, from: Endpoint, to: Endpoint, payload: Vec<u8>) -> Result<(), NetError> {
+        let d = Datagram { src: from, dst: to, payload };
+        self.deliver(d, true)?;
+        Ok(())
+    }
+
+    /// The adversary's injection primitive: put an arbitrary datagram on
+    /// the wire — any source address, any content (forgery, replay) —
+    /// and collect the reply the victim service produces, if the reply
+    /// routes somewhere the adversary can see. Injection does NOT pass
+    /// the tap (the adversary does not attack itself) but IS logged.
+    pub fn inject(&mut self, dgram: Datagram) -> Result<Option<Vec<u8>>, NetError> {
+        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request: true });
+        let reply = self.dispatch(dgram)?;
+        if let Some(r) = &reply {
+            self.log.push(TrafficRecord { at: self.true_time, dgram: r.clone(), is_request: false });
+        }
+        Ok(reply.map(|d| d.payload))
+    }
+
+    /// Runs one datagram through tap + log + dispatch. Returns the
+    /// service's reply datagram (not yet transited back).
+    fn deliver(&mut self, dgram: Datagram, is_request: bool) -> Result<Option<Datagram>, NetError> {
+        let dgram = match self.transit(dgram, is_request)? {
+            Some(d) => d,
+            None => return Err(NetError::Dropped),
+        };
+        self.dispatch(dgram)
+    }
+
+    /// Tap + log for one hop; `None` means dropped.
+    fn transit(&mut self, mut dgram: Datagram, is_request: bool) -> Result<Option<Datagram>, NetError> {
+        self.advance(self.latency);
+        if let Some(tap) = &mut self.tap {
+            match tap.on_packet(&mut dgram, self.true_time) {
+                Verdict::Deliver => {}
+                Verdict::Drop => {
+                    self.log.push(TrafficRecord { at: self.true_time, dgram, is_request });
+                    return Ok(None);
+                }
+            }
+        }
+        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request });
+        Ok(Some(dgram))
+    }
+
+    /// Hands a datagram to the destination service and returns its reply.
+    fn dispatch(&mut self, dgram: Datagram) -> Result<Option<Datagram>, NetError> {
+        let hid = self.host_by_addr(dgram.dst.addr).ok_or(NetError::NoRoute(dgram.dst.addr))?;
+        // Temporarily detach the service to satisfy the borrow checker.
+        let mut service = self.hosts[hid.0]
+            .services
+            .remove(&dgram.dst.port)
+            .ok_or(NetError::PortClosed(dgram.dst))?;
+
+        let host = &self.hosts[hid.0];
+        let mut ctx = ServiceCtx {
+            local_time: host.clock.now(self.true_time),
+            host_name: host.name.clone(),
+            host_addr: dgram.dst.addr,
+            multi_user: host.multi_user,
+        };
+        let reply = service.handle(&mut ctx, &dgram.payload, dgram.src);
+        self.hosts[hid.0].services.insert(dgram.dst.port, service);
+
+        Ok(reply.map(|payload| Datagram { src: dgram.dst, dst: dgram.src, payload }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Service;
+
+    /// A service that replies with its payload reversed.
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&mut self, _ctx: &mut ServiceCtx, req: &[u8], _from: Endpoint) -> Option<Vec<u8>> {
+            let mut v = req.to_vec();
+            v.reverse();
+            Some(v)
+        }
+    }
+
+    fn build() -> (Network, Endpoint, Endpoint) {
+        let mut net = Network::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        net.add_host(Host::new("client", vec![a]));
+        let mut server = Host::new("server", vec![b]);
+        server.bind(7, Box::new(Echo));
+        net.add_host(server);
+        (net, Endpoint::new(a, 1024), Endpoint::new(b, 7))
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let (mut net, c, s) = build();
+        let reply = net.rpc(c, s, b"hello".to_vec()).unwrap();
+        assert_eq!(reply, b"olleh");
+    }
+
+    #[test]
+    fn rpc_advances_time() {
+        let (mut net, c, s) = build();
+        let t0 = net.now();
+        net.rpc(c, s, b"x".to_vec()).unwrap();
+        assert!(net.now() > t0);
+    }
+
+    #[test]
+    fn no_route() {
+        let (mut net, c, _) = build();
+        let bogus = Endpoint::new(Addr::new(192, 168, 9, 9), 7);
+        assert!(matches!(net.rpc(c, bogus, vec![]), Err(NetError::NoRoute(_))));
+    }
+
+    #[test]
+    fn port_closed() {
+        let (mut net, c, s) = build();
+        let closed = Endpoint::new(s.addr, 9999);
+        assert!(matches!(net.rpc(c, closed, vec![]), Err(NetError::PortClosed(_))));
+    }
+
+    #[test]
+    fn traffic_is_logged_both_directions() {
+        let (mut net, c, s) = build();
+        net.rpc(c, s, b"secret".to_vec()).unwrap();
+        let log = net.traffic_log();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].is_request);
+        assert_eq!(log[0].dgram.payload, b"secret");
+        assert!(!log[1].is_request);
+        assert_eq!(log[1].dgram.payload, b"terces");
+    }
+
+    #[test]
+    fn inject_with_forged_source() {
+        let (mut net, _, s) = build();
+        // The adversary claims to be 10.9.9.9 — nothing stops it.
+        let forged = Endpoint::new(Addr::new(10, 9, 9, 9), 5555);
+        let reply = net
+            .inject(Datagram { src: forged, dst: s, payload: b"spoof".to_vec() })
+            .unwrap();
+        assert_eq!(reply.unwrap(), b"foops");
+    }
+
+    #[test]
+    fn replay_from_log() {
+        let (mut net, c, s) = build();
+        net.rpc(c, s, b"original".to_vec()).unwrap();
+        let recorded = net.traffic_log()[0].dgram.clone();
+        let replayed = net.inject(recorded).unwrap();
+        assert_eq!(replayed.unwrap(), b"lanigiro");
+    }
+
+    #[test]
+    fn duplicate_addr_panics() {
+        let mut net = Network::new();
+        let a = Addr::new(1, 1, 1, 1);
+        net.add_host(Host::new("one", vec![a]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.add_host(Host::new("two", vec![a]));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn multi_homed_host_reachable_on_all_addrs() {
+        let mut net = Network::new();
+        let a1 = Addr::new(10, 0, 0, 5);
+        let a2 = Addr::new(192, 168, 0, 5);
+        let mut h = Host::new("gateway", vec![a1, a2]);
+        h.bind(7, Box::new(Echo));
+        net.add_host(h);
+        let c = Endpoint::new(Addr::new(10, 0, 0, 6), 1);
+        net.add_host(Host::new("c", vec![Addr::new(10, 0, 0, 6)]));
+        assert_eq!(net.rpc(c, Endpoint::new(a1, 7), b"ab".to_vec()).unwrap(), b"ba");
+        assert_eq!(net.rpc(c, Endpoint::new(a2, 7), b"cd".to_vec()).unwrap(), b"dc");
+    }
+}

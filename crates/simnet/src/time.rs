@@ -1,0 +1,260 @@
+//! Time services: the unauthenticated protocol hosts actually used in
+//! 1990, and an authenticated alternative.
+//!
+//! "Since some time synchronization protocols are unauthenticated, and
+//! hosts are still using these protocols despite the existence of better
+//! ones, such attacks are not difficult." The unauthenticated service
+//! here is RFC-868-shaped: a 4-byte seconds value, no integrity. The
+//! adversary tap can rewrite it at will, which is the lever for the
+//! stale-authenticator replay attack (A3).
+
+use crate::host::{HostId, Service, ServiceCtx};
+use crate::net::{Endpoint, NetError, Network};
+
+/// The conventional port for the time service.
+pub const TIME_PORT: u16 = 37;
+
+/// An RFC-868-style time server: replies with the server's local clock
+/// reading in seconds, unauthenticated.
+pub struct TimeService;
+
+impl Service for TimeService {
+    fn handle(&mut self, ctx: &mut ServiceCtx, _req: &[u8], _from: Endpoint) -> Option<Vec<u8>> {
+        let secs = (ctx.local_time.0 / 1_000_000) as u32;
+        Some(secs.to_be_bytes().to_vec())
+    }
+}
+
+/// An authenticated time server: appends a MAC over the time value,
+/// keyed with a key shared with legitimate clients. (In a full Kerberos
+/// deployment this would itself be a kerberized service — the circular
+/// bootstrap the paper points out; here the key is pre-shared.)
+pub struct AuthTimeService {
+    key: krb_key::MacKey,
+}
+
+/// A tiny keyed-MAC namespace so `simnet` does not depend on
+/// `krb-crypto`. The MAC is a 64-bit mix; adequate for distinguishing
+/// "adversary rewrote the bytes" in the simulation (the adversary in our
+/// model cannot invert it), not a real MAC design.
+pub mod krb_key {
+    /// Key for the toy MAC.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct MacKey(pub u64);
+
+    /// A 64-bit keyed mix over `data`.
+    pub fn mac(key: MacKey, data: &[u8]) -> u64 {
+        let mut h = key.0 ^ 0x9e37_79b9_7f4a_7c15;
+        for &b in data {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        h
+    }
+}
+
+impl AuthTimeService {
+    /// A server sharing `key` with its clients.
+    pub fn new(key: krb_key::MacKey) -> Self {
+        AuthTimeService { key }
+    }
+}
+
+impl Service for AuthTimeService {
+    fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], _from: Endpoint) -> Option<Vec<u8>> {
+        let secs = (ctx.local_time.0 / 1_000_000) as u32;
+        let mut reply = secs.to_be_bytes().to_vec();
+        // Echo the client's nonce under the MAC to prevent replay of old
+        // time responses.
+        let mut mac_input = reply.clone();
+        mac_input.extend_from_slice(req);
+        reply.extend_from_slice(&krb_key::mac(self.key, &mac_input).to_be_bytes());
+        Some(reply)
+    }
+}
+
+/// Outcome of a time synchronization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The host accepted the server's time.
+    Synced,
+    /// The (authenticated) reply failed verification and was ignored.
+    Rejected,
+}
+
+/// Synchronizes `host`'s clock from an unauthenticated time server: the
+/// host believes whatever 4-byte value arrives.
+pub fn sync_unauthenticated(
+    net: &mut Network,
+    host: HostId,
+    server: Endpoint,
+) -> Result<SyncOutcome, NetError> {
+    let from = Endpoint::new(net.host(host).primary_addr(), 1023);
+    let reply = net.rpc(from, server, b"time?".to_vec())?;
+    if reply.len() < 4 {
+        return Err(NetError::NoReply);
+    }
+    let secs = u32::from_be_bytes(reply[..4].try_into().expect("4 bytes"));
+    let target = crate::clock::SimTime(u64::from(secs) * 1_000_000);
+    let true_now = net.now();
+    net.host_mut(host).clock.sync_to(true_now, target);
+    Ok(SyncOutcome::Synced)
+}
+
+/// Synchronizes from an authenticated server; forged or tampered replies
+/// are rejected and the clock is left alone.
+pub fn sync_authenticated(
+    net: &mut Network,
+    host: HostId,
+    server: Endpoint,
+    key: krb_key::MacKey,
+    nonce: u64,
+) -> Result<SyncOutcome, NetError> {
+    let from = Endpoint::new(net.host(host).primary_addr(), 1023);
+    let reply = net.rpc(from, server, nonce.to_be_bytes().to_vec())?;
+    if reply.len() < 12 {
+        return Ok(SyncOutcome::Rejected);
+    }
+    let secs = u32::from_be_bytes(reply[..4].try_into().expect("4 bytes"));
+    let claimed_mac = u64::from_be_bytes(reply[4..12].try_into().expect("8 bytes"));
+    let mut mac_input = reply[..4].to_vec();
+    mac_input.extend_from_slice(&nonce.to_be_bytes());
+    if krb_key::mac(key, &mac_input) != claimed_mac {
+        return Ok(SyncOutcome::Rejected);
+    }
+    let target = crate::clock::SimTime(u64::from(secs) * 1_000_000);
+    let true_now = net.now();
+    net.host_mut(host).clock.sync_to(true_now, target);
+    Ok(SyncOutcome::Synced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ScriptedTap, Verdict};
+    use crate::clock::{Clock, SimDuration, SimTime};
+    use crate::host::Host;
+    use crate::net::{Addr, Datagram, Network};
+
+    fn build() -> (Network, HostId, Endpoint) {
+        let mut net = Network::new();
+        let ws = net.add_host(
+            Host::new("ws", vec![Addr::new(10, 0, 0, 1)]).with_clock(Clock::skewed(3_000_000, 0)),
+        );
+        let mut ts = Host::new("timehost", vec![Addr::new(10, 0, 0, 9)]);
+        ts.bind(TIME_PORT, Box::new(TimeService));
+        net.add_host(ts);
+        (net, ws, Endpoint::new(Addr::new(10, 0, 0, 9), TIME_PORT))
+    }
+
+    #[test]
+    fn unauthenticated_sync_corrects_skew() {
+        let (mut net, ws, server) = build();
+        net.advance(SimDuration::from_secs(100));
+        assert_ne!(net.host_time(ws), net.now());
+        sync_unauthenticated(&mut net, ws, server).unwrap();
+        // Local now matches the server's second-granularity reading.
+        let diff = net.host_time(ws).abs_diff(net.now());
+        assert!(diff < SimDuration::from_secs(2), "diff {diff:?}");
+    }
+
+    #[test]
+    fn unauthenticated_sync_is_spoofable() {
+        let (mut net, ws, server) = build();
+        net.advance(SimDuration::from_secs(1000));
+        // The adversary rewrites the reply: "it is now t - 600s".
+        net.set_tap(Box::new(ScriptedTap::new(|d: &mut Datagram, _| {
+            if d.src.port == TIME_PORT {
+                let old = u32::from_be_bytes(d.payload[..4].try_into().unwrap());
+                d.payload[..4].copy_from_slice(&(old - 600).to_be_bytes());
+            }
+            Verdict::Deliver
+        })));
+        sync_unauthenticated(&mut net, ws, server).unwrap();
+        // The workstation's clock is now ~10 minutes slow.
+        let behind = net.now().abs_diff(net.host_time(ws));
+        assert!(behind > SimDuration::from_secs(590), "behind {behind:?}");
+    }
+
+    #[test]
+    fn authenticated_sync_rejects_spoof() {
+        let mut net = Network::new();
+        let key = krb_key::MacKey(0xdead_beef_cafe_f00d);
+        let ws = net.add_host(
+            Host::new("ws", vec![Addr::new(10, 0, 0, 1)]).with_clock(Clock::skewed(3_000_000, 0)),
+        );
+        let mut ts = Host::new("timehost", vec![Addr::new(10, 0, 0, 9)]);
+        ts.bind(TIME_PORT, Box::new(AuthTimeService::new(key)));
+        net.add_host(ts);
+        let server = Endpoint::new(Addr::new(10, 0, 0, 9), TIME_PORT);
+
+        net.advance(SimDuration::from_secs(1000));
+        net.set_tap(Box::new(ScriptedTap::new(|d: &mut Datagram, _| {
+            if d.src.port == TIME_PORT {
+                let old = u32::from_be_bytes(d.payload[..4].try_into().unwrap());
+                d.payload[..4].copy_from_slice(&(old - 600).to_be_bytes());
+            }
+            Verdict::Deliver
+        })));
+        let before = net.host(ws).clock.offset_us();
+        let out = sync_authenticated(&mut net, ws, server, key, 42).unwrap();
+        assert_eq!(out, SyncOutcome::Rejected);
+        assert_eq!(net.host(ws).clock.offset_us(), before);
+    }
+
+    #[test]
+    fn authenticated_sync_accepts_genuine() {
+        let mut net = Network::new();
+        let key = krb_key::MacKey(7);
+        let ws = net.add_host(
+            Host::new("ws", vec![Addr::new(10, 0, 0, 1)]).with_clock(Clock::skewed(-2_000_000, 0)),
+        );
+        let mut ts = Host::new("timehost", vec![Addr::new(10, 0, 0, 9)]);
+        ts.bind(TIME_PORT, Box::new(AuthTimeService::new(key)));
+        net.add_host(ts);
+        let server = Endpoint::new(Addr::new(10, 0, 0, 9), TIME_PORT);
+        net.advance(SimDuration::from_secs(50));
+        let out = sync_authenticated(&mut net, ws, server, key, 1).unwrap();
+        assert_eq!(out, SyncOutcome::Synced);
+        assert!(net.host_time(ws).abs_diff(net.now()) < SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn auth_reply_nonce_prevents_time_replay() {
+        // A recorded old authenticated reply cannot satisfy a new nonce.
+        let key = krb_key::MacKey(9);
+        let mut old_reply = 100u32.to_be_bytes().to_vec();
+        let mut mac_in = old_reply.clone();
+        mac_in.extend_from_slice(&1u64.to_be_bytes());
+        old_reply.extend_from_slice(&krb_key::mac(key, &mac_in).to_be_bytes());
+
+        // Verify against nonce 2: mismatch.
+        let secs_bytes = &old_reply[..4];
+        let claimed = u64::from_be_bytes(old_reply[4..12].try_into().unwrap());
+        let mut check = secs_bytes.to_vec();
+        check.extend_from_slice(&2u64.to_be_bytes());
+        assert_ne!(krb_key::mac(key, &check), claimed);
+    }
+
+    #[test]
+    fn time_service_reports_local_not_true_time() {
+        let mut net = Network::new();
+        // The time server itself can be skewed — trusting it propagates
+        // the skew.
+        let mut ts = Host::new("t", vec![Addr::new(1, 1, 1, 1)]).with_clock(Clock::skewed(60_000_000, 0));
+        ts.bind(TIME_PORT, Box::new(TimeService));
+        net.add_host(ts);
+        net.add_host(Host::new("c", vec![Addr::new(1, 1, 1, 2)]));
+        let reply = net
+            .rpc(
+                Endpoint::new(Addr::new(1, 1, 1, 2), 1023),
+                Endpoint::new(Addr::new(1, 1, 1, 1), TIME_PORT),
+                vec![],
+            )
+            .unwrap();
+        let secs = u32::from_be_bytes(reply[..4].try_into().unwrap());
+        assert!(secs >= 60);
+        let _ = SimTime(0);
+    }
+}

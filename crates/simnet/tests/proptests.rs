@@ -1,0 +1,106 @@
+//! Property tests for the simulator substrate: segment codec, clock
+//! algebra, and network invariants.
+
+use proptest::prelude::*;
+use simnet::clock::Clock;
+use simnet::stream::{IsnGenerator, Segment};
+use simnet::{Addr, Datagram, Endpoint, Host, Network, Service, ServiceCtx, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn segment_codec_roundtrip(tag in 1u8..=5, a in any::<u32>(), b in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let seg = match tag {
+            1 => Segment::Syn { isn: a },
+            2 => Segment::SynAck { isn: a, ack: b },
+            3 => Segment::Ack { seq: a, ack: b },
+            4 => Segment::Data { seq: a, ack: b, payload },
+            _ => Segment::Rst,
+        };
+        prop_assert_eq!(Segment::decode(&seg.encode()), Some(seg));
+    }
+
+    #[test]
+    fn segment_decode_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Segment::decode(&junk);
+    }
+
+    /// sync_to always lands the clock exactly on target, whatever the
+    /// prior offset and drift.
+    #[test]
+    fn clock_sync_is_exact(offset in -1_000_000_000i64..1_000_000_000, drift in -500i64..500, t in 0u64..10_000_000_000, target in 0u64..10_000_000_000) {
+        let mut c = Clock::skewed(offset, drift);
+        c.sync_to(SimTime(t), SimTime(target));
+        prop_assert_eq!(c.now(SimTime(t)), SimTime(target));
+    }
+
+    /// ISN prediction from (base, time, count) always matches the
+    /// generator: the attacker's model is exact.
+    #[test]
+    fn isn_prediction_exact(base in any::<u32>(), secs in 0u64..100_000, n in 1u32..1000) {
+        let mut gen = IsnGenerator::new(base);
+        let t = SimTime(secs * 1_000_000);
+        let mut last = 0;
+        for _ in 0..n {
+            last = gen.next(t);
+        }
+        let predictor = IsnGenerator::new(base);
+        prop_assert_eq!(predictor.predict(t, n), last);
+    }
+
+    /// Every delivered datagram appears in the traffic log: the passive
+    /// wiretap is complete.
+    #[test]
+    fn traffic_log_is_complete(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..8)) {
+        struct Sink;
+        impl Service for Sink {
+            fn handle(&mut self, _: &mut ServiceCtx, req: &[u8], _: Endpoint) -> Option<Vec<u8>> {
+                Some(req.to_vec())
+            }
+        }
+        let mut net = Network::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        net.add_host(Host::new("c", vec![a]));
+        let mut srv = Host::new("s", vec![b]);
+        srv.bind(7, Box::new(Sink));
+        net.add_host(srv);
+        for p in &payloads {
+            net.rpc(Endpoint::new(a, 1), Endpoint::new(b, 7), p.clone()).unwrap();
+        }
+        // Two log records per rpc (request + reply), in order.
+        prop_assert_eq!(net.traffic_log().len(), payloads.len() * 2);
+        for (i, p) in payloads.iter().enumerate() {
+            prop_assert_eq!(&net.traffic_log()[2 * i].dgram.payload, p);
+            prop_assert!(net.traffic_log()[2 * i].is_request);
+        }
+    }
+
+    /// Injection with any source reaches the service; replies route back
+    /// to the forged source without complaint.
+    #[test]
+    fn forged_sources_always_accepted(src_addr in any::<u32>(), src_port in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+        struct Sink;
+        impl Service for Sink {
+            fn handle(&mut self, _: &mut ServiceCtx, req: &[u8], _: Endpoint) -> Option<Vec<u8>> {
+                Some(req.to_vec())
+            }
+        }
+        let mut net = Network::new();
+        let b = Addr::new(10, 0, 0, 2);
+        let mut srv = Host::new("s", vec![b]);
+        srv.bind(7, Box::new(Sink));
+        net.add_host(srv);
+        let forged = Endpoint::new(Addr(src_addr), src_port);
+        let reply = net
+            .inject(Datagram { src: forged, dst: Endpoint::new(b, 7), payload: payload.clone() })
+            .unwrap();
+        prop_assert_eq!(reply, Some(payload));
+    }
+
+    #[test]
+    fn durations_add_up(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let t = SimTime(0).plus(SimDuration(a)).plus(SimDuration(b));
+        prop_assert_eq!(t, SimTime(a + b));
+        prop_assert_eq!(SimTime(a).abs_diff(SimTime(b)), SimDuration(a.abs_diff(b)));
+    }
+}

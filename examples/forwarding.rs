@@ -1,0 +1,93 @@
+//! Ticket forwarding and the cascading-trust problem — the paper's
+//! argument for deleting the feature, run live.
+//!
+//! Run: `cargo run --example forwarding`
+
+use kerberos_limits::krb::client::{forward_tgt, get_service_ticket, login, LoginInput, TgsParams};
+use kerberos_limits::krb::flags::TicketFlags;
+use kerberos_limits::krb::testbed::standard_campus;
+use kerberos_limits::krb::ticket::Ticket;
+use kerberos_limits::krb::{Principal, ProtocolConfig};
+use kerberos_limits::net::{Addr, Endpoint, Host, Network, SimDuration};
+use krb_crypto::rng::Drbg;
+
+fn main() {
+    let config = ProtocolConfig::v5_draft3();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 7);
+    let mut rng = Drbg::new(8);
+
+    // Two hosts the user might hop through.
+    let compute = Addr::new(10, 0, 3, 3);
+    net.add_host(Host::new("compute", vec![compute]).multi_user());
+    let lab = Addr::new(10, 0, 3, 66);
+    net.add_host(Host::new("insecure-lab-box", vec![lab]).multi_user());
+
+    println!("== forwarding works ==");
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .expect("login");
+    println!("pat logs in on the workstation (TGT bound to {})", realm.user_ep("pat").addr);
+
+    let fwd = forward_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, compute.0, &mut rng)
+        .expect("forwarded TGT");
+    println!("forwarded TGT obtained, bound to {compute}");
+    let st = get_service_ticket(
+        &mut net,
+        &config,
+        Endpoint::new(compute, 1024),
+        realm.kdc_ep,
+        &fwd,
+        &realm.service("files"),
+        TgsParams::default(),
+        &mut rng,
+    )
+    .expect("ticket from the compute server");
+    println!("...and it mints service tickets from the compute server ({})\n", st.service);
+
+    println!("== the cascading-trust gap ==");
+    // Chain A: one clean hop. Chain B: laundered through the insecure
+    // lab box.
+    let direct = forward_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, compute.0, &mut rng)
+        .expect("direct");
+    let via_lab = forward_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, lab.0, &mut rng)
+        .expect("hop 1");
+    let laundered = forward_tgt(
+        &mut net,
+        &config,
+        Endpoint::new(lab, 1024),
+        realm.kdc_ep,
+        &via_lab,
+        compute.0,
+        &mut rng,
+    )
+    .expect("hop 2");
+
+    let tgs_key = realm.with_kdc(&mut net, |kdc| kdc.db.lookup(&Principal::tgs(&realm.name)).unwrap().key);
+    let show = |label: &str, cred: &kerberos_limits::krb::Credential| {
+        let t = Ticket::unseal(config.codec, config.ticket_layer, &tgs_key, &cred.sealed_ticket).unwrap();
+        println!(
+            "{label}: FORWARDED={} addr={:?} transited={:?}",
+            t.flags.has(TicketFlags::FORWARDED),
+            t.addr.map(Addr),
+            t.transited
+        );
+    };
+    show("direct chain   ", &direct);
+    show("laundered chain", &laundered);
+    println!(
+        "\nThe two tickets are indistinguishable to the receiving server: the flag says\n\
+         'forwarded' but records no origin. \"A host A may be willing to trust\n\
+         credentials from host B, and B may be willing to trust host C, but A may not\n\
+         be willing to accept tickets originally created on host C.\" Hence the\n\
+         paper's recommendation: \"we suggest that ticket-forwarding be deleted.\""
+    );
+}

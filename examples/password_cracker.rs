@@ -1,0 +1,88 @@
+//! The paper's password-guessing attack, as the intruder would run it:
+//! wiretap the login dialog, then grind a dictionary against the
+//! recorded reply — and the two fixes (exponential key exchange,
+//! preauthentication) shutting it down.
+//!
+//! Run: `cargo run --release --example password_cracker`
+
+use kerberos_limits::atk::pw_guess::crack_as_reply;
+use kerberos_limits::atk::workload::guess_list;
+use kerberos_limits::krb::client::{login, LoginInput};
+use kerberos_limits::krb::messages::{AsRep, WireKind};
+use kerberos_limits::krb::testbed::standard_campus;
+use kerberos_limits::krb::ProtocolConfig;
+use kerberos_limits::net::{Network, SimDuration};
+use krb_crypto::rng::Drbg;
+use std::time::Instant;
+
+fn main() {
+    let guesses = guess_list();
+    println!("cracker dictionary: {} guesses (words + 1990-style mutations)\n", guesses.len());
+
+    for config in ProtocolConfig::presets() {
+        println!("=== {} ===", config.name);
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let realm = standard_campus(&mut net, &config, 1);
+        let mut rng = Drbg::new(2);
+
+        // sam logs in; sam's password is a dictionary word with a digit.
+        let sam = realm.user("sam");
+        login(
+            &mut net,
+            &config,
+            realm.user_ep("sam"),
+            realm.kdc_ep,
+            &sam,
+            LoginInput::Password("wombat7"),
+            &mut rng,
+        )
+        .expect("victim login");
+
+        // The wiretap picks the AS reply (and any cleartext challenge)
+        // out of the traffic log.
+        let sam_ep = realm.user_ep("sam");
+        let mut challenge = None;
+        let mut enc_part = None;
+        for r in net.traffic_log() {
+            if r.dgram.dst != sam_ep {
+                continue;
+            }
+            match r.dgram.payload.first().copied().and_then(WireKind::from_u8) {
+                Some(WireKind::Err) => {
+                    if let Ok(e) = kerberos_limits::krb::messages::KrbErrorMsg::decode(config.codec, &r.dgram.payload)
+                    {
+                        challenge = e.challenge.or(challenge);
+                    }
+                }
+                Some(WireKind::AsRep) => {
+                    let rep = AsRep::decode(config.codec, &r.dgram.payload).expect("parse");
+                    if rep.dh_public.is_some() {
+                        println!("  wiretap: AS reply is sealed under an exponential-key-exchange layer");
+                        println!("  -> nothing to grind a dictionary against. SAFE.\n");
+                        enc_part = None;
+                        break;
+                    }
+                    enc_part = Some(rep.enc_part);
+                }
+                _ => {}
+            }
+        }
+
+        if let Some(enc) = enc_part {
+            let t0 = Instant::now();
+            match crack_as_reply(&config, &sam, &enc, challenge, &guesses) {
+                Some(pw) => println!(
+                    "  CRACKED: sam's password is {pw:?} ({} guesses max, {:.2}s)\n",
+                    guesses.len(),
+                    t0.elapsed().as_secs_f64()
+                ),
+                None => println!("  no guess verified (strong password)\n"),
+            }
+        }
+    }
+
+    println!("paper: \"An intruder who has recorded many such login dialogs has good odds of");
+    println!("finding several new passwords; empirically, users do not pick good passwords");
+    println!("unless forced to.\"");
+}

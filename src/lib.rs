@@ -1,0 +1,27 @@
+//! # kerberos-limits
+//!
+//! A full reproduction of Steven M. Bellovin & Michael Merritt,
+//! *Limitations of the Kerberos Authentication System* (USENIX Winter
+//! 1991): Kerberos V4 and the V5-Draft-3 mechanisms the paper analyzes,
+//! every attack it describes, and every protocol change it recommends —
+//! all running over a deterministic simulated network whose adversary has
+//! the full powers the paper assumes.
+//!
+//! This crate re-exports the workspace members:
+//!
+//! - [`crypto`] — DES, MD4, CRC-32, bignum/DH, discrete-log attackers.
+//! - [`net`] — the discrete-event network simulator and adversary tap.
+//! - [`krb`] — the Kerberos protocol itself, with switchable hardening.
+//! - [`hw`] — the proposed cryptographic hardware (encryption unit,
+//!   keystore, handheld authenticator).
+//! - [`atk`] — the executable attack library and the attack/defense
+//!   matrix.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! reproduced results.
+
+pub use attacks as atk;
+pub use hardware as hw;
+pub use kerberos as krb;
+pub use krb_crypto as crypto;
+pub use simnet as net;

@@ -1,0 +1,279 @@
+//! Inter-realm authentication end-to-end: hierarchical realms, static
+//! routing, transited-path recording, and the trust problems the paper
+//! describes.
+
+use kerberos::appserver::connect_app;
+use kerberos::client::{login, LoginInput};
+use kerberos::crossrealm::{cross_realm_ticket, RealmTopology, TrustPolicy};
+use kerberos::kdc::Kdc;
+use kerberos::testbed::deploy_realm;
+use kerberos::ticket::Ticket;
+use kerberos::{KrbError, Principal, ProtocolConfig};
+use krb_crypto::rng::{Drbg, RandomSource};
+use simnet::{Network, SimDuration};
+
+/// Deploys a chain of realms LEAF -> MID -> ROOT with shared inter-realm
+/// keys along the chain, users in LEAF, and services everywhere.
+fn deploy_chain(config: &ProtocolConfig) -> (Network, Vec<kerberos::testbed::DeployedRealm>, RealmTopology) {
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let mut rng = Drbg::new(0xc4a1);
+
+    let leaf = deploy_realm(&mut net, "LEAF", 1, config, &[("pat", "pw-pat")], &["echo"], 11);
+    let mid = deploy_realm(&mut net, "MID", 2, config, &[], &["echo"], 12);
+    let root = deploy_realm(&mut net, "ROOT", 3, config, &[], &["echo", "files"], 13);
+
+    // Install pairwise inter-realm keys (LEAF<->MID, MID<->ROOT).
+    let k_leaf_mid = rng.gen_des_key();
+    let k_mid_root = rng.gen_des_key();
+    let add_cross = |net: &mut Network, realm: &kerberos::testbed::DeployedRealm, remote: &str, key| {
+        realm.with_kdc(net, |kdc: &mut Kdc| {
+            kdc.db.add_cross_realm(remote, key);
+        });
+    };
+    add_cross(&mut net, &leaf, "MID", k_leaf_mid);
+    add_cross(&mut net, &mid, "LEAF", k_leaf_mid);
+    add_cross(&mut net, &mid, "ROOT", k_mid_root);
+    add_cross(&mut net, &root, "MID", k_mid_root);
+
+    let mut topo = RealmTopology::new();
+    topo.add_realm("LEAF", leaf.kdc_ep);
+    topo.add_realm("MID", mid.kdc_ep);
+    topo.add_realm("ROOT", root.kdc_ep);
+    topo.add_route("LEAF", "ROOT", "MID");
+    topo.add_route("MID", "ROOT", "ROOT");
+    topo.add_route("LEAF", "MID", "MID");
+
+    (net, vec![leaf, mid, root], topo)
+}
+
+fn login_pat(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    leaf: &kerberos::testbed::DeployedRealm,
+    rng: &mut dyn RandomSource,
+) -> kerberos::Credential {
+    login(
+        net,
+        config,
+        leaf.user_ep("pat"),
+        leaf.kdc_ep,
+        &leaf.user("pat"),
+        LoginInput::Password("pw-pat"),
+        rng,
+    )
+    .expect("home login")
+}
+
+#[test]
+fn two_hop_cross_realm_auth_works() {
+    for config in [ProtocolConfig::v5_draft3(), ProtocolConfig::hardened()] {
+        let (mut net, realms, topo) = deploy_chain(&config);
+        let (leaf, root) = (&realms[0], &realms[2]);
+        let mut rng = Drbg::new(21);
+        let tgt = login_pat(&mut net, &config, leaf, &mut rng);
+
+        let remote_service = root.service("files");
+        let (cred, path) = cross_realm_ticket(
+            &mut net,
+            &config,
+            &topo,
+            leaf.user_ep("pat"),
+            &tgt,
+            &remote_service,
+            &mut rng,
+        )
+        .expect("cross-realm chain");
+        assert_eq!(path, vec!["LEAF", "MID", "ROOT"]);
+        assert_eq!(cred.client, leaf.user("pat"));
+        assert_eq!(cred.service, remote_service);
+
+        // The credential actually works against the remote server.
+        let mut conn = connect_app(
+            &mut net,
+            &config,
+            leaf.user_ep("pat"),
+            root.service_ep("files"),
+            &cred,
+            &mut rng,
+        )
+        .expect("remote session");
+        let reply = conn.request(&mut net, b"PUT remote.txt via two realms", &mut rng).unwrap();
+        assert_eq!(reply, b"OK", "config {}", config.name);
+    }
+}
+
+#[test]
+fn transited_path_is_recorded_in_the_ticket() {
+    let config = ProtocolConfig::v5_draft3();
+    let (mut net, realms, topo) = deploy_chain(&config);
+    let (leaf, root) = (&realms[0], &realms[2]);
+    let mut rng = Drbg::new(22);
+    let tgt = login_pat(&mut net, &config, leaf, &mut rng);
+    let (cred, _) = cross_realm_ticket(
+        &mut net,
+        &config,
+        &topo,
+        leaf.user_ep("pat"),
+        &tgt,
+        &root.service("files"),
+        &mut rng,
+    )
+    .unwrap();
+
+    // Unseal server-side (we know the key from the deployment) and
+    // inspect the transited list.
+    let files_key = root.service_keys["files"];
+    let t = Ticket::unseal(config.codec, config.ticket_layer, &files_key, &cred.sealed_ticket).unwrap();
+    assert!(
+        t.transited.contains(&"LEAF".to_string()) || t.transited.contains(&"MID".to_string()),
+        "transited = {:?}",
+        t.transited
+    );
+
+    // A trust policy distrusting MID rejects this path; one distrusting
+    // an uninvolved realm accepts it.
+    assert!(TrustPolicy::distrusting(&["MID"]).evaluate(&t.transited).is_err());
+    assert!(TrustPolicy::distrusting(&["EVIL"]).evaluate(&t.transited).is_ok());
+}
+
+#[test]
+fn missing_route_blocks_the_walk() {
+    let config = ProtocolConfig::v5_draft3();
+    let (mut net, realms, mut topo) = deploy_chain(&config);
+    let (leaf, root) = (&realms[0], &realms[2]);
+    // Remove the static route: the paper's "no scalable mechanism to
+    // learn of grandchildren" problem.
+    topo.routes.get_mut("LEAF").unwrap().remove("ROOT");
+    let mut rng = Drbg::new(23);
+    let tgt = login_pat(&mut net, &config, leaf, &mut rng);
+    let err = cross_realm_ticket(
+        &mut net,
+        &config,
+        &topo,
+        leaf.user_ep("pat"),
+        &tgt,
+        &root.service("files"),
+        &mut rng,
+    )
+    .unwrap_err();
+    assert!(matches!(err, KrbError::RealmPathRejected(_)));
+}
+
+#[test]
+fn kdc_without_interrealm_key_refuses() {
+    let config = ProtocolConfig::v5_draft3();
+    let (mut net, realms, mut topo) = deploy_chain(&config);
+    let (leaf, root) = (&realms[0], &realms[2]);
+    // Lie in the routing table: claim LEAF can reach ROOT directly.
+    topo.routes.get_mut("LEAF").unwrap().insert("ROOT".into(), "ROOT".into());
+    let mut rng = Drbg::new(24);
+    let tgt = login_pat(&mut net, &config, leaf, &mut rng);
+    let err = cross_realm_ticket(
+        &mut net,
+        &config,
+        &topo,
+        leaf.user_ep("pat"),
+        &tgt,
+        &root.service("files"),
+        &mut rng,
+    )
+    .unwrap_err();
+    // The LEAF KDC has no key for ROOT: the request dies at the first
+    // hop.
+    assert!(matches!(err, KrbError::Remote(_)), "got {err}");
+}
+
+#[test]
+fn enc_tkt_in_skey_cannot_cross_realms() {
+    // "ENC-TKT-IN-SKEY and REUSE-KEY require the ticket-granting server
+    // to decrypt a ticket. It cannot do this if the ticket had been
+    // issued by another realm."
+    let mut config = ProtocolConfig::v5_draft3();
+    config.allow_enc_tkt_in_skey = true;
+    let (mut net, realms, topo) = deploy_chain(&config);
+    let (leaf, mid) = (&realms[0], &realms[1]);
+    let mut rng = Drbg::new(25);
+    let tgt = login_pat(&mut net, &config, leaf, &mut rng);
+
+    // Get a MID TGT (one hop).
+    let (mid_tgt, _) = cross_realm_ticket(
+        &mut net,
+        &config,
+        &topo,
+        leaf.user_ep("pat"),
+        &tgt,
+        &Principal::tgs("MID"),
+        &mut rng,
+    )
+    .unwrap_or_else(|_| {
+        // Walking to the TGS principal itself: do it manually.
+        let cred = kerberos::client::get_service_ticket(
+            &mut net,
+            &config,
+            leaf.user_ep("pat"),
+            leaf.kdc_ep,
+            &tgt,
+            &Principal::tgs("MID"),
+            kerberos::TgsParams::default(),
+            &mut rng,
+        )
+        .expect("one-hop TGT");
+        (cred, vec![])
+    });
+
+    // Ask MID's TGS for an ENC-TKT-IN-SKEY ticket using the LEAF TGT
+    // (sealed under LEAF's key, which MID cannot unseal) as the
+    // additional ticket.
+    let err = kerberos::client::get_service_ticket(
+        &mut net,
+        &config,
+        leaf.user_ep("pat"),
+        mid.kdc_ep,
+        &mid_tgt,
+        &mid.service("echo"),
+        kerberos::TgsParams {
+            options: kerberos::flags::KdcOptions::empty()
+                .with(kerberos::flags::KdcOptions::ENC_TKT_IN_SKEY),
+            additional_ticket: Some(tgt.sealed_ticket.clone()),
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .unwrap_err();
+    assert!(matches!(err, KrbError::Remote(_)));
+}
+
+#[test]
+fn direct_peering_also_works() {
+    // Tandem (non-hierarchical) links are permitted: LEAF <-> ROOT
+    // directly.
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let mut rng = Drbg::new(26);
+
+    let a = deploy_realm(&mut net, "ALPHA", 4, &config, &[("pat", "pw")], &[], 31);
+    let b = deploy_realm(&mut net, "BETA", 5, &config, &[], &["echo"], 32);
+    let k = rng.gen_des_key();
+    a.with_kdc(&mut net, |kdc: &mut Kdc| {
+        kdc.db.add_cross_realm("BETA", k);
+    });
+    b.with_kdc(&mut net, |kdc: &mut Kdc| {
+        kdc.db.add_cross_realm("ALPHA", k);
+    });
+    let mut topo = RealmTopology::new();
+    topo.add_realm("ALPHA", a.kdc_ep);
+    topo.add_realm("BETA", b.kdc_ep);
+    topo.add_route("ALPHA", "BETA", "BETA");
+
+    let tgt = login(&mut net, &config, a.user_ep("pat"), a.kdc_ep, &a.user("pat"), LoginInput::Password("pw"), &mut rng)
+        .unwrap();
+    let (cred, path) =
+        cross_realm_ticket(&mut net, &config, &topo, a.user_ep("pat"), &tgt, &b.service("echo"), &mut rng).unwrap();
+    assert_eq!(path, vec!["ALPHA", "BETA"]);
+    let mut conn =
+        connect_app(&mut net, &config, a.user_ep("pat"), b.service_ep("echo"), &cred, &mut rng).unwrap();
+    let reply = conn.request(&mut net, b"hello across realms", &mut rng).unwrap();
+    assert!(reply.ends_with(b"hello across realms"));
+}

@@ -1,0 +1,324 @@
+//! The paper's hardware proposals, deployed end-to-end: an encryption
+//! unit whose keys never reach host memory, backed by a networked
+//! keystore reached over a kerberized KRB_PRIV session, plus the random
+//! number service and handheld-authenticator login.
+
+use hardware::keystore::KeyStoreLogic;
+use hardware::randsvc::RandomServiceLogic;
+use hardware::{EncryptionUnit, HandheldAuthenticator};
+use kerberos::appserver::{connect_app, AppServer};
+use kerberos::client::{get_service_ticket, login, LoginInput, TgsParams};
+use kerberos::testbed::{standard_campus, APP_PORT};
+use kerberos::ProtocolConfig;
+use krb_crypto::des::DesKey;
+use krb_crypto::key::KeyPurpose;
+use krb_crypto::rng::{Drbg, RandomSource};
+use simnet::{Addr, Endpoint, Host, Network, SimDuration};
+
+/// Adds a kerberized keystore service to the campus.
+fn add_keystore(net: &mut Network, realm: &kerberos::testbed::DeployedRealm, seed: u64) -> Endpoint {
+    let config = realm.config.clone();
+    let mut rng = Drbg::new(seed);
+    let key = rng.gen_des_key();
+    // Register the service principal in the KDC.
+    let principal = realm.with_kdc(net, |kdc| kdc.db.add_service("keystore", "vaulthost", key));
+    let addr = Addr::new(10, 0, 2, 1);
+    let mut host = Host::new("vaulthost", vec![addr]).multi_user();
+    host.bind(
+        APP_PORT,
+        Box::new(AppServer::new(config, principal, key, Box::new(KeyStoreLogic::new()), seed ^ 1)),
+    );
+    net.add_host(host);
+    Endpoint::new(addr, APP_PORT)
+}
+
+#[test]
+fn unit_plus_keystore_full_cycle() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 77);
+    let keystore_ep = add_keystore(&mut net, &realm, 78);
+    let mut rng = Drbg::new(79);
+
+    // A server host's encryption unit holds its service key and a
+    // keystore channel key. Nothing below ever surfaces key bytes.
+    let mut unit = EncryptionUnit::new(config.clone(), 80);
+    let files_key = realm.service_keys["files"];
+    let _files_slot = unit.load_key(files_key, KeyPurpose::Service);
+    let channel = unit.gen_key(KeyPurpose::KeyStore);
+    let session_slot = unit.gen_key(KeyPurpose::AppSession);
+
+    // Export a sealed blob and park it in the keystore over a
+    // kerberized KRB_PRIV session (as the paper requires).
+    let blob = unit.export_sealed_blob(session_slot, channel).expect("export");
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .expect("login");
+    let ks_principal = kerberos::Principal::service("keystore", "vaulthost", &realm.name);
+    let st = get_service_ticket(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &tgt,
+        &ks_principal,
+        TgsParams::default(),
+        &mut rng,
+    )
+    .expect("keystore ticket");
+    let mut conn =
+        connect_app(&mut net, &config, realm.user_ep("pat"), keystore_ep, &st, &mut rng).expect("session");
+
+    let mut cmd = b"STORE session-backup ".to_vec();
+    cmd.extend_from_slice(&blob);
+    assert_eq!(conn.request(&mut net, &cmd, &mut rng).unwrap(), b"STORED");
+
+    // Fetch it back and import into a fresh unit (e.g. after reboot:
+    // "keys be kept in volatile memory, and downloaded from a secure
+    // keystore on request").
+    let fetched = conn.request(&mut net, b"FETCH session-backup", &mut rng).unwrap();
+    assert!(fetched.starts_with(b"BLOB "));
+    let blob_back = &fetched[5..];
+    assert_eq!(blob_back, &blob[..]);
+
+    let restored = unit.import_sealed_blob(blob_back, channel).expect("import");
+    // The restored slot seals/opens interchangeably with the original.
+    let ct = unit.seal_data(session_slot, 5, b"before reboot").unwrap();
+    assert_eq!(unit.open_data(restored, 5, &ct).unwrap(), b"before reboot");
+
+    // The wiretap saw the blob only inside KRB_PRIV ciphertext — the
+    // raw blob bytes never crossed in the clear.
+    let leaked = net.traffic_log().iter().any(|r| {
+        r.dgram
+            .payload
+            .windows(blob.len().min(16))
+            .any(|w| w == &blob[..blob.len().min(16)])
+    });
+    assert!(!leaked, "sealed blob visible on the wire");
+}
+
+#[test]
+fn keystore_refuses_plain_access() {
+    // The paper: "Only encrypted transfer (KRB_PRIV) should be
+    // employed." The hardened deployment refuses plaintext commands.
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 81);
+    let keystore_ep = add_keystore(&mut net, &realm, 82);
+    let r = net.inject(simnet::Datagram {
+        src: Endpoint::new(Addr::new(10, 0, 0, 1), 5555),
+        dst: keystore_ep,
+        payload: kerberos::messages::frame(kerberos::messages::WireKind::AppData, b"FETCH anything".to_vec()),
+    });
+    let reply = r.unwrap().unwrap();
+    // An error, not a blob.
+    assert_eq!(reply.first(), Some(&(kerberos::messages::WireKind::Err as u8)));
+}
+
+#[test]
+fn random_service_issues_keys_over_the_network() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 83);
+    let mut rng = Drbg::new(84);
+
+    // Deploy the random service kerberized.
+    let key = rng.gen_des_key();
+    let principal = realm.with_kdc(&mut net, |kdc| kdc.db.add_service("random", "rnghost", key));
+    let addr = Addr::new(10, 0, 2, 2);
+    let mut host = Host::new("rnghost", vec![addr]).multi_user();
+    host.bind(
+        APP_PORT,
+        Box::new(AppServer::new(config.clone(), principal.clone(), key, Box::new(RandomServiceLogic::new(85)), 86)),
+    );
+    net.add_host(host);
+    let rng_ep = Endpoint::new(addr, APP_PORT);
+
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .unwrap();
+    let st = get_service_ticket(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &tgt,
+        &principal,
+        TgsParams::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let mut conn = connect_app(&mut net, &config, realm.user_ep("pat"), rng_ep, &st, &mut rng).unwrap();
+    let key_bytes = conn.request(&mut net, b"KEY", &mut rng).unwrap();
+    let k = DesKey::from_bytes(key_bytes.try_into().expect("8 bytes"));
+    assert!(k.has_odd_parity() && !k.is_weak());
+}
+
+#[test]
+fn handheld_login_over_the_network_with_real_device() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 87);
+    let mut rng = Drbg::new(88);
+
+    let mut device = HandheldAuthenticator::enroll(realm.user("pat"), "correct-horse-battery");
+    let cell = std::cell::RefCell::new(&mut device);
+    let answer = |r: u64| cell.borrow_mut().respond(r);
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Handheld(&answer),
+        &mut rng,
+    )
+    .expect("device login");
+    assert_eq!(tgt.client, realm.user("pat"));
+    drop(tgt);
+    assert_eq!(device.uses, 1);
+}
+
+/// The paper's preferred alternative to treating clients as services:
+/// "having clients register separate instances as services, with truly
+/// random keys. Keys could be supplied to the client by the keystore."
+#[test]
+fn per_instance_keys_from_random_service_and_keystore() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 91);
+    let keystore_ep = add_keystore(&mut net, &realm, 92);
+    let mut rng = Drbg::new(93);
+
+    // A truly random key for pat's encrypted-mail instance (pat.email),
+    // as the random service would mint it.
+    let mut rsl = hardware::randsvc::RandomServiceLogic::new(94);
+    let key_bytes =
+        kerberos::appserver::AppLogic::on_command(&mut rsl, &realm.user("pat"), b"KEY");
+    let instance_key = DesKey::from_bytes(key_bytes.clone().try_into().expect("8 bytes"));
+
+    // Register pat.email as a service principal with that key.
+    let pat_email = realm.with_kdc(&mut net, |kdc| {
+        kdc.db.add_service("pat", "email", instance_key)
+    });
+    assert_eq!(pat_email, kerberos::Principal::user_instance("pat", "email", &realm.name));
+
+    // Park the key in the keystore over KRB_PRIV for later retrieval.
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .unwrap();
+    let ks_principal = kerberos::Principal::service("keystore", "vaulthost", &realm.name);
+    let st = get_service_ticket(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &tgt,
+        &ks_principal,
+        TgsParams::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let mut conn =
+        connect_app(&mut net, &config, realm.user_ep("pat"), keystore_ep, &st, &mut rng).unwrap();
+    let mut cmd = b"STORE pat.email-key ".to_vec();
+    cmd.extend_from_slice(&key_bytes);
+    assert_eq!(conn.request(&mut net, &cmd, &mut rng).unwrap(), b"STORED");
+
+    // Another user can now obtain a ticket TO pat.email (user-to-user
+    // mail encryption) without pat re-entering a password — the whole
+    // point of the instance scheme.
+    let sam_tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("sam"),
+        realm.kdc_ep,
+        &realm.user("sam"),
+        LoginInput::Password("wombat7"),
+        &mut rng,
+    )
+    .unwrap();
+    let mail_ticket = get_service_ticket(
+        &mut net,
+        &config,
+        realm.user_ep("sam"),
+        realm.kdc_ep,
+        &sam_tgt,
+        &pat_email,
+        TgsParams::default(),
+        &mut rng,
+    )
+    .expect("ticket for pat's mail instance");
+    assert_eq!(mail_ticket.service, pat_email);
+}
+
+/// KRB_SAFE end-to-end over the network: integrity-protected commands
+/// with data in the clear.
+#[test]
+fn krb_safe_commands_over_the_network() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 95);
+    let mut rng = Drbg::new(96);
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .unwrap();
+    let st = get_service_ticket(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &tgt,
+        &realm.service("echo"),
+        TgsParams::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let mut conn =
+        connect_app(&mut net, &config, realm.user_ep("pat"), realm.service_ep("echo"), &st, &mut rng)
+            .unwrap();
+    let reply = conn.request_safe(&mut net, &config, b"integrity-only command").unwrap();
+    assert!(reply.ends_with(b"integrity-only command"));
+
+    // The command travelled in the clear (visible to the wiretap) —
+    // KRB_SAFE protects integrity, not confidentiality.
+    let seen = net
+        .traffic_log()
+        .iter()
+        .any(|r| r.dgram.payload.windows(22).any(|w| w == b"integrity-only command"));
+    assert!(seen, "KRB_SAFE data should be visible on the wire");
+}

@@ -1,0 +1,263 @@
+//! Ticket renewal and forwarding: the "Scope of Tickets" section made
+//! executable, including the cascading-trust gap the paper uses to argue
+//! that "ticket-forwarding be deleted".
+
+use kerberos::appserver::connect_app;
+use kerberos::client::{forward_tgt, get_service_ticket, login, renew_tgt, LoginInput, TgsParams};
+use kerberos::flags::{KdcOptions, TicketFlags};
+use kerberos::testbed::standard_campus;
+use kerberos::ticket::Ticket;
+use kerberos::{Principal, ProtocolConfig};
+use krb_crypto::rng::Drbg;
+use simnet::{Addr, Endpoint, Host, Network, SimDuration};
+
+fn setup(config: &ProtocolConfig, seed: u64) -> (Network, kerberos::testbed::DeployedRealm, Drbg) {
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, config, seed);
+    (net, realm, Drbg::new(seed ^ 0x11fe))
+}
+
+#[test]
+fn renewal_extends_the_validity_window() {
+    for config in [ProtocolConfig::v5_draft3(), ProtocolConfig::hardened()] {
+        let (mut net, realm, mut rng) = setup(&config, 61);
+        let tgt = login(
+            &mut net,
+            &config,
+            realm.user_ep("pat"),
+            realm.kdc_ep,
+            &realm.user("pat"),
+            LoginInput::Password("correct-horse-battery"),
+            &mut rng,
+        )
+        .unwrap();
+
+        // Six hours later, renew (still inside the 8h lifetime).
+        net.advance(SimDuration::from_secs(6 * 3600));
+        let renewed = renew_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, &mut rng)
+            .expect("renewal");
+        assert!(renewed.end_time > tgt.end_time, "config {}", config.name);
+        // Renewal keeps the session key (it reissues the same ticket).
+        assert_eq!(renewed.session_key, tgt.session_key);
+
+        // The renewed TGT still works for service tickets after the
+        // original would have expired.
+        net.advance(SimDuration::from_secs(3 * 3600));
+        let st = get_service_ticket(
+            &mut net,
+            &config,
+            realm.user_ep("pat"),
+            realm.kdc_ep,
+            &renewed,
+            &realm.service("echo"),
+            TgsParams::default(),
+            &mut rng,
+        )
+        .expect("ticket from renewed TGT");
+        // And the stale original does not.
+        assert!(get_service_ticket(
+            &mut net,
+            &config,
+            realm.user_ep("pat"),
+            realm.kdc_ep,
+            &tgt,
+            &realm.service("echo"),
+            TgsParams::default(),
+            &mut rng,
+        )
+        .is_err());
+        drop(st);
+    }
+}
+
+#[test]
+fn renewal_of_nonrenewable_ticket_refused() {
+    // Build a deployment whose KDC grants only what is asked: request a
+    // TGT without the RENEWABLE option by crafting the AS request
+    // directly.
+    use kerberos::messages::{AsRep, AsReq, EncKdcRepPart};
+    let config = ProtocolConfig::v5_draft3();
+    let (mut net, realm, mut rng) = setup(&config, 62);
+    use krb_crypto::rng::RandomSource;
+    let nonce = rng.next_u64();
+    let req = AsReq {
+        client: realm.user("pat"),
+        service: Principal::tgs(&realm.name),
+        nonce,
+        lifetime_us: config.ticket_lifetime_us,
+        addr: realm.user_ep("pat").addr.0,
+        options: KdcOptions::empty(), // Neither forwardable nor renewable.
+        padata: vec![],
+    };
+    let reply = net.rpc(realm.user_ep("pat"), realm.kdc_ep, req.encode(config.codec)).unwrap();
+    let rep = AsRep::decode(config.codec, &reply).unwrap();
+    let kc = krb_crypto::s2k::string_to_key_v5("correct-horse-battery", &realm.user("pat").salt());
+    let pt = config.ticket_layer.open(&kc, 0, &rep.enc_part).unwrap();
+    let part = EncKdcRepPart::decode(config.codec, kerberos::encoding::MsgType::EncAsRepPart, &pt).unwrap();
+    let tgt = kerberos::Credential {
+        client: realm.user("pat"),
+        service: Principal::tgs(&realm.name),
+        sealed_ticket: part.ticket,
+        session_key: part.session_key,
+        end_time: part.end_time,
+    };
+
+    let err = renew_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, &mut rng).unwrap_err();
+    assert!(err.to_string().contains("not renewable"), "{err}");
+}
+
+#[test]
+fn forwarding_rebinds_the_address_and_works_from_the_new_host() {
+    let config = ProtocolConfig::v5_draft3(); // Address-bound tickets.
+    let (mut net, realm, mut rng) = setup(&config, 63);
+    // A remote compute server the user wants to work from.
+    let remote_addr = Addr::new(10, 0, 3, 3);
+    net.add_host(Host::new("compute", vec![remote_addr]).multi_user());
+    let remote_ep = Endpoint::new(remote_addr, 1024);
+
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .unwrap();
+
+    // The home TGT is bound to the workstation: used from the compute
+    // server, the KDC rejects it (address mismatch).
+    assert!(get_service_ticket(
+        &mut net,
+        &config,
+        remote_ep,
+        realm.kdc_ep,
+        &tgt,
+        &realm.service("files"),
+        TgsParams::default(),
+        &mut rng,
+    )
+    .is_err());
+
+    // Forward: obtain a TGT bound to the compute server, transfer it
+    // (the credential bytes travel by some secure means), use it there.
+    let fwd = forward_tgt(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &tgt,
+        remote_addr.0,
+        &mut rng,
+    )
+    .expect("forwarded TGT");
+    let st = get_service_ticket(
+        &mut net,
+        &config,
+        remote_ep,
+        realm.kdc_ep,
+        &fwd,
+        &realm.service("files"),
+        TgsParams::default(),
+        &mut rng,
+    )
+    .expect("service ticket from forwarded TGT");
+    let mut conn = connect_app(&mut net, &config, remote_ep, realm.service_ep("files"), &st, &mut rng)
+        .expect("session from compute server");
+    assert_eq!(conn.request(&mut net, b"PUT from-compute.txt hi", &mut rng).unwrap(), b"OK");
+}
+
+#[test]
+fn forwarding_nonforwardable_ticket_refused() {
+    // Same manual AS request as above, without FORWARDABLE.
+    use kerberos::messages::{AsRep, AsReq, EncKdcRepPart};
+    let config = ProtocolConfig::v5_draft3();
+    let (mut net, realm, mut rng) = setup(&config, 64);
+    use krb_crypto::rng::RandomSource;
+    let req = AsReq {
+        client: realm.user("pat"),
+        service: Principal::tgs(&realm.name),
+        nonce: rng.next_u64(),
+        lifetime_us: config.ticket_lifetime_us,
+        addr: realm.user_ep("pat").addr.0,
+        options: KdcOptions::empty(),
+        padata: vec![],
+    };
+    let reply = net.rpc(realm.user_ep("pat"), realm.kdc_ep, req.encode(config.codec)).unwrap();
+    let rep = AsRep::decode(config.codec, &reply).unwrap();
+    let kc = krb_crypto::s2k::string_to_key_v5("correct-horse-battery", &realm.user("pat").salt());
+    let pt = config.ticket_layer.open(&kc, 0, &rep.enc_part).unwrap();
+    let part = EncKdcRepPart::decode(config.codec, kerberos::encoding::MsgType::EncAsRepPart, &pt).unwrap();
+    let tgt = kerberos::Credential {
+        client: realm.user("pat"),
+        service: Principal::tgs(&realm.name),
+        sealed_ticket: part.ticket,
+        session_key: part.session_key,
+        end_time: part.end_time,
+    };
+    let err =
+        forward_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, 0x0a000303, &mut rng)
+            .unwrap_err();
+    assert!(err.to_string().contains("not forwardable"), "{err}");
+}
+
+/// The cascading-trust gap: "Kerberos has a flag bit to indicate that a
+/// ticket was forwarded, but does not include the original source."
+#[test]
+fn forwarded_tickets_do_not_record_their_origin() {
+    let config = ProtocolConfig::v5_draft3();
+    let (mut net, realm, mut rng) = setup(&config, 65);
+    let insecure_addr = Addr::new(10, 0, 3, 66);
+    net.add_host(Host::new("insecure-lab-machine", vec![insecure_addr]).multi_user());
+    let trusted_addr = Addr::new(10, 0, 3, 7);
+    net.add_host(Host::new("trusted-server", vec![trusted_addr]).multi_user());
+
+    let tgt = login(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        realm.kdc_ep,
+        &realm.user("pat"),
+        LoginInput::Password("correct-horse-battery"),
+        &mut rng,
+    )
+    .unwrap();
+
+    // Chain A: workstation -> trusted-server (one hop).
+    let fwd_direct =
+        forward_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, trusted_addr.0, &mut rng)
+            .unwrap();
+    // Chain B: workstation -> insecure-lab-machine -> trusted-server.
+    let fwd_via_insecure =
+        forward_tgt(&mut net, &config, realm.user_ep("pat"), realm.kdc_ep, &tgt, insecure_addr.0, &mut rng)
+            .unwrap();
+    let fwd_twice = forward_tgt(
+        &mut net,
+        &config,
+        Endpoint::new(insecure_addr, 1024),
+        realm.kdc_ep,
+        &fwd_via_insecure,
+        trusted_addr.0,
+        &mut rng,
+    )
+    .unwrap();
+
+    // Unseal both (we own the testbed's TGS key path — compare the
+    // plaintext tickets a server would see).
+    let tgs_key = realm.with_kdc(&mut net, |kdc| kdc.db.lookup(&Principal::tgs(&realm.name)).unwrap().key);
+    let t_direct =
+        Ticket::unseal(config.codec, config.ticket_layer, &tgs_key, &fwd_direct.sealed_ticket).unwrap();
+    let t_laundered =
+        Ticket::unseal(config.codec, config.ticket_layer, &tgs_key, &fwd_twice.sealed_ticket).unwrap();
+
+    // Both carry the FORWARDED flag and the same final address class —
+    // and NOTHING distinguishing the chain that passed through the
+    // insecure host. That is the paper's cascading-trust complaint.
+    assert!(t_direct.flags.has(TicketFlags::FORWARDED));
+    assert!(t_laundered.flags.has(TicketFlags::FORWARDED));
+    assert_eq!(t_direct.addr, t_laundered.addr);
+    assert_eq!(t_direct.client, t_laundered.client);
+    assert_eq!(t_direct.transited, t_laundered.transited);
+}

@@ -5,9 +5,12 @@
 //! password classes here drive the guessing experiments (E2); the
 //! mail-check session generator drives the ticket-exposure experiment
 //! (E9).
+//!
+//! All randomness flows through [`testkit::TestRng`], so every
+//! generated population — and therefore every attack campaign built on
+//! one — is replayable from a single printed seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::TestRng;
 
 /// The attacker's base dictionary: common words and names of the era.
 pub const DICTIONARY: &[&str] = &[
@@ -75,13 +78,13 @@ pub enum PasswordClass {
 }
 
 /// Generates a password of the given class.
-pub fn generate_password(class: PasswordClass, rng: &mut StdRng) -> String {
+pub fn generate_password(class: PasswordClass, rng: &mut TestRng) -> String {
     match class {
-        PasswordClass::DictionaryWord => DICTIONARY[rng.gen_range(0..DICTIONARY.len())].to_string(),
+        PasswordClass::DictionaryWord => rng.pick(DICTIONARY).to_string(),
         PasswordClass::MutatedWord => {
-            let w = DICTIONARY[rng.gen_range(0..DICTIONARY.len())];
-            match rng.gen_range(0..3) {
-                0 => format!("{w}{}", rng.gen_range(0..10)),
+            let w = *rng.pick(DICTIONARY);
+            match rng.below(3) {
+                0 => format!("{w}{}", rng.below(10)),
                 1 => {
                     let mut c = w.chars();
                     match c.next() {
@@ -94,7 +97,7 @@ pub fn generate_password(class: PasswordClass, rng: &mut StdRng) -> String {
         }
         PasswordClass::Random => (0..8)
             .map(|_| {
-                let c = rng.gen_range(33u8..127);
+                let c = 33 + rng.below(127 - 33) as u8;
                 c as char
             })
             .collect(),
@@ -107,11 +110,11 @@ pub fn generate_population(
     mix: &[(PasswordClass, f64)],
     seed: u64,
 ) -> Vec<(String, String, PasswordClass)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::new(seed);
     let total: f64 = mix.iter().map(|(_, w)| w).sum();
     (0..n)
         .map(|i| {
-            let mut pick = rng.gen_range(0.0..total);
+            let mut pick = rng.next_f64() * total;
             let mut class = mix[0].0;
             for (c, w) in mix {
                 if pick < *w {
@@ -159,7 +162,7 @@ mod tests {
 
     #[test]
     fn classes_generate_expected_shapes() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = TestRng::new(1);
         let w = generate_password(PasswordClass::DictionaryWord, &mut rng);
         assert!(DICTIONARY.contains(&w.as_str()));
         let r = generate_password(PasswordClass::Random, &mut rng);
@@ -182,6 +185,13 @@ mod tests {
     }
 
     #[test]
+    fn population_replayable_from_seed() {
+        let mix = [(PasswordClass::DictionaryWord, 1.0), (PasswordClass::MutatedWord, 1.0)];
+        assert_eq!(generate_population(50, &mix, 123), generate_population(50, &mix, 123));
+        assert_ne!(generate_population(50, &mix, 123), generate_population(50, &mix, 124));
+    }
+
+    #[test]
     fn guess_list_covers_mutations() {
         let g = guess_list();
         assert!(g.contains(&"wombat".to_string()));
@@ -193,7 +203,7 @@ mod tests {
 
     #[test]
     fn mutated_passwords_are_found_by_guess_list() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = TestRng::new(2);
         let g = guess_list();
         for _ in 0..50 {
             let pw = generate_password(PasswordClass::MutatedWord, &mut rng);

@@ -1,71 +1,57 @@
 //! E4 (bench half) — modular exponentiation cost per DH group, and the
 //! full-exchange overhead the login DH layer adds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use krb_crypto::bignum::mod_exp;
 use krb_crypto::dh::DhGroup;
 use krb_crypto::rng::Drbg;
+use testkit::bench::Harness;
 
-fn bench_modexp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dh_modexp");
-    group.sample_size(20);
+fn bench_modexp(h: &mut Harness) {
     for g in [DhGroup::toy64(), DhGroup::small192(), DhGroup::oakley768(), DhGroup::oakley1024()] {
         let mut rng = Drbg::new(4);
         let kp = g.keypair(160.min(g.p.bit_len() - 1), &mut rng).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(g.name), &g, |b, g| {
-            b.iter(|| mod_exp(&g.g, &kp.private, &g.p).unwrap());
-        });
+        h.run(&format!("dh_modexp/{}", g.name), || mod_exp(&g.g, &kp.private, &g.p).unwrap());
     }
-    group.finish();
 }
 
-fn bench_full_exchange(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dh_full_exchange");
-    group.sample_size(10);
+fn bench_full_exchange(h: &mut Harness) {
     for g in [DhGroup::small192(), DhGroup::oakley768()] {
-        group.bench_with_input(BenchmarkId::from_parameter(g.name), &g, |b, g| {
-            let mut rng = Drbg::new(5);
-            b.iter(|| {
-                let a = g.keypair(160.min(g.p.bit_len() - 1), &mut rng).unwrap();
-                let bb = g.keypair(160.min(g.p.bit_len() - 1), &mut rng).unwrap();
-                let s = g.shared_secret(&bb.public, &a.private).unwrap();
-                DhGroup::derive_key(&s)
-            });
+        let mut rng = Drbg::new(5);
+        h.run(&format!("dh_full_exchange/{}", g.name), || {
+            let a = g.keypair(160.min(g.p.bit_len() - 1), &mut rng).unwrap();
+            let bb = g.keypair(160.min(g.p.bit_len() - 1), &mut rng).unwrap();
+            let s = g.shared_secret(&bb.public, &a.private).unwrap();
+            DhGroup::derive_key(&s)
         });
     }
-    group.finish();
 }
 
-fn bench_dlog_attack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dlog_bsgs");
-    group.sample_size(10);
+fn bench_dlog_attack(h: &mut Harness) {
     let g = DhGroup::toy64();
     for bits in [16usize, 20, 24] {
         let mut rng = Drbg::new(6);
         let kp = g.keypair(bits, &mut rng).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(bits), &kp, |b, kp| {
-            b.iter(|| krb_crypto::dlog::bsgs(&g.g, &kp.public, &g.p, 1u64 << bits).unwrap());
+        h.run(&format!("dlog_bsgs/{bits}"), || {
+            krb_crypto::dlog::bsgs(&g.g, &kp.public, &g.p, 1u64 << bits).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_montgomery(c: &mut Criterion) {
+fn bench_montgomery(h: &mut Harness) {
     use krb_crypto::bignum::MontgomeryCtx;
-    let mut group = c.benchmark_group("modexp_impl_768bit");
-    group.sample_size(20);
     let g = DhGroup::oakley768();
     let mut rng = Drbg::new(7);
     let kp = g.keypair(160, &mut rng).unwrap();
-    group.bench_function("division-based", |b| {
-        b.iter(|| mod_exp(&g.g, &kp.private, &g.p).unwrap());
-    });
-    group.bench_function("montgomery", |b| {
-        let ctx = MontgomeryCtx::new(&g.p).unwrap();
-        b.iter(|| ctx.mod_exp(&g.g, &kp.private).unwrap());
-    });
-    group.finish();
+    h.run("modexp_impl_768bit/division-based", || mod_exp(&g.g, &kp.private, &g.p).unwrap());
+    let ctx = MontgomeryCtx::new(&g.p).unwrap();
+    h.run("modexp_impl_768bit/montgomery", || ctx.mod_exp(&g.g, &kp.private).unwrap());
 }
 
-criterion_group!(benches, bench_modexp, bench_full_exchange, bench_dlog_attack, bench_montgomery);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("dh_cost");
+    bench_modexp(&mut h);
+    bench_full_exchange(&mut h);
+    bench_dlog_attack(&mut h);
+    bench_montgomery(&mut h);
+    h.finish();
+}

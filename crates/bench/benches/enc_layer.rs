@@ -1,69 +1,68 @@
 //! E6 — encryption-layer throughput: V4 PCBC vs Draft-3 CBC(+confounder)
 //! vs hardened CBC+MAC, across message sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kerberos::enclayer::EncLayer;
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::Drbg;
+use testkit::bench::{Harness, Throughput};
 
-fn bench_seal(c: &mut Criterion) {
+const LAYERS: [(&str, EncLayer); 3] = [
+    ("v4-pcbc", EncLayer::V4Pcbc),
+    ("v5-cbc-conf", EncLayer::V5Cbc { confounder: true }),
+    ("hardened-cbc-mac", EncLayer::HardenedCbc),
+];
+
+fn bench_seal(h: &mut Harness) {
     let key = DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity();
-    let mut group = c.benchmark_group("enc_layer_seal");
     for size in [64usize, 1024, 8192] {
         let data = vec![0x5au8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        for (name, layer) in [
-            ("v4-pcbc", EncLayer::V4Pcbc),
-            ("v5-cbc-conf", EncLayer::V5Cbc { confounder: true }),
-            ("hardened-cbc-mac", EncLayer::HardenedCbc),
-        ] {
-            group.bench_with_input(BenchmarkId::new(name, size), &data, |b, data| {
-                let mut rng = Drbg::new(1);
-                b.iter(|| layer.seal(&key, 7, std::hint::black_box(data), &mut rng).unwrap());
-            });
+        for (name, layer) in LAYERS {
+            let mut rng = Drbg::new(1);
+            h.run_throughput(
+                &format!("enc_layer_seal/{name}/{size}"),
+                Throughput::Bytes(size as u64),
+                || layer.seal(&key, 7, std::hint::black_box(&data), &mut rng).unwrap(),
+            );
         }
     }
-    group.finish();
 }
 
-fn bench_open(c: &mut Criterion) {
+fn bench_open(h: &mut Harness) {
     let key = DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity();
-    let mut group = c.benchmark_group("enc_layer_open");
     for size in [64usize, 1024, 8192] {
         let data = vec![0x5au8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        for (name, layer) in [
-            ("v4-pcbc", EncLayer::V4Pcbc),
-            ("v5-cbc-conf", EncLayer::V5Cbc { confounder: true }),
-            ("hardened-cbc-mac", EncLayer::HardenedCbc),
-        ] {
+        for (name, layer) in LAYERS {
             let mut rng = Drbg::new(1);
             let ct = layer.seal(&key, 7, &data, &mut rng).unwrap();
-            group.bench_with_input(BenchmarkId::new(name, size), &ct, |b, ct| {
-                b.iter(|| layer.open(&key, 7, std::hint::black_box(ct)).unwrap());
-            });
+            h.run_throughput(
+                &format!("enc_layer_open/{name}/{size}"),
+                Throughput::Bytes(size as u64),
+                || layer.open(&key, 7, std::hint::black_box(&ct)).unwrap(),
+            );
         }
     }
-    group.finish();
 }
 
-fn bench_checksums(c: &mut Criterion) {
+fn bench_checksums(h: &mut Harness) {
     use krb_crypto::checksum::{compute, ChecksumType};
     let key = DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity();
     let data = vec![0xa5u8; 1024];
-    let mut group = c.benchmark_group("checksum_1k");
     for (name, ctype, keyed) in [
         ("crc32", ChecksumType::Crc32, false),
         ("crc32-des", ChecksumType::Crc32Des, true),
         ("md4", ChecksumType::Md4, false),
         ("md4-des", ChecksumType::Md4Des, true),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| compute(ctype, keyed.then_some(&key), std::hint::black_box(&data)).unwrap());
+        h.run(&format!("checksum_1k/{name}"), || {
+            compute(ctype, keyed.then_some(&key), std::hint::black_box(&data)).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_seal, bench_open, bench_checksums);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("enc_layer");
+    bench_seal(&mut h);
+    bench_open(&mut h);
+    bench_checksums(&mut h);
+    h.finish();
+}

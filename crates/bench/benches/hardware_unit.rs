@@ -1,35 +1,35 @@
 //! E8 — the overhead of routing cryptographic operations through the
 //! (simulated) host encryption unit instead of software key handling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hardware::EncryptionUnit;
 use kerberos::enclayer::EncLayer;
 use kerberos::ProtocolConfig;
 use krb_crypto::des::DesKey;
 use krb_crypto::key::KeyPurpose;
 use krb_crypto::rng::Drbg;
+use testkit::bench::Harness;
 
-fn bench_seal_paths(c: &mut Criterion) {
+fn bench_seal_paths(h: &mut Harness) {
     let config = ProtocolConfig::hardened();
     let key = DesKey::from_u64(0x0123456789ABCDEF).with_odd_parity();
     let data = vec![0x5au8; 256];
 
     // Software path: key in host memory.
-    c.bench_function("seal_256B_software", |b| {
-        let mut rng = Drbg::new(1);
-        b.iter(|| EncLayer::HardenedCbc.seal(&key, 3, std::hint::black_box(&data), &mut rng).unwrap());
+    let mut rng = Drbg::new(1);
+    h.run("seal_256B_software", || {
+        EncLayer::HardenedCbc.seal(&key, 3, std::hint::black_box(&data), &mut rng).unwrap()
     });
 
     // Hardware path: key sealed in the unit, addressed by handle, audit
     // log appended per op.
-    c.bench_function("seal_256B_hardware_unit", |b| {
-        let mut unit = EncryptionUnit::new(config.clone(), 2);
-        let slot = unit.load_key(key, KeyPurpose::AppSession);
-        b.iter(|| unit.seal_data(slot, 3, std::hint::black_box(&data)).unwrap());
+    let mut unit = EncryptionUnit::new(config.clone(), 2);
+    let slot = unit.load_key(key, KeyPurpose::AppSession);
+    h.run("seal_256B_hardware_unit", || {
+        unit.seal_data(slot, 3, std::hint::black_box(&data)).unwrap()
     });
 }
 
-fn bench_unit_ticket_ops(c: &mut Criterion) {
+fn bench_unit_ticket_ops(h: &mut Harness) {
     use kerberos::flags::TicketFlags;
     use kerberos::principal::Principal;
     use kerberos::ticket::Ticket;
@@ -49,19 +49,21 @@ fn bench_unit_ticket_ops(c: &mut Criterion) {
     };
     let sealed = ticket.seal(config.codec, config.ticket_layer, &service_key, &mut rng).unwrap();
 
-    c.bench_function("decrypt_ticket_software", |b| {
-        b.iter(|| {
-            Ticket::unseal(config.codec, config.ticket_layer, &service_key, std::hint::black_box(&sealed))
-                .unwrap()
-        });
+    h.run("decrypt_ticket_software", || {
+        Ticket::unseal(config.codec, config.ticket_layer, &service_key, std::hint::black_box(&sealed))
+            .unwrap()
     });
 
-    c.bench_function("decrypt_ticket_hardware_unit", |b| {
-        let mut unit = EncryptionUnit::new(config.clone(), 4);
-        let slot = unit.load_key(service_key, KeyPurpose::Service);
-        b.iter(|| unit.decrypt_ticket(slot, std::hint::black_box(&sealed)).unwrap());
+    let mut unit = EncryptionUnit::new(config.clone(), 4);
+    let slot = unit.load_key(service_key, KeyPurpose::Service);
+    h.run("decrypt_ticket_hardware_unit", || {
+        unit.decrypt_ticket(slot, std::hint::black_box(&sealed)).unwrap()
     });
 }
 
-criterion_group!(benches, bench_seal_paths, bench_unit_ticket_ops);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("hardware_unit");
+    bench_seal_paths(&mut h);
+    bench_unit_ticket_ops(&mut h);
+    h.finish();
+}

@@ -2,12 +2,12 @@
 //! recorded AS reply, per configuration.
 
 use attacks::pw_guess::crack_as_reply;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use kerberos::encoding::MsgType;
 use kerberos::messages::EncKdcRepPart;
 use kerberos::{Principal, ProtocolConfig};
 use krb_crypto::rng::{Drbg, RandomSource};
 use krb_crypto::s2k;
+use testkit::bench::{Harness, Throughput};
 
 /// Builds a realistic sealed AS-reply part under the victim's key.
 fn sealed_reply(config: &ProtocolConfig, client: &Principal, password: &str) -> Vec<u8> {
@@ -27,33 +27,33 @@ fn sealed_reply(config: &ProtocolConfig, client: &Principal, password: &str) -> 
         .unwrap()
 }
 
-fn bench_guess_rate(c: &mut Criterion) {
+fn bench_guess_rate(h: &mut Harness) {
     let client = Principal::user("victim", "ATHENA");
     // 512 wrong guesses: measures the *verification* rate (the attack's
     // inner loop), not the lucky hit.
     let guesses: Vec<String> = (0..512).map(|i| format!("wrong-guess-{i}")).collect();
-    let mut group = c.benchmark_group("pw_guess_rate");
-    group.throughput(Throughput::Elements(guesses.len() as u64));
-    group.sample_size(10);
     for config in [ProtocolConfig::v4(), ProtocolConfig::v5_draft3()] {
         let sealed = sealed_reply(&config, &client, "the-actual-password");
-        group.bench_with_input(BenchmarkId::from_parameter(config.name), &sealed, |b, sealed| {
-            b.iter(|| crack_as_reply(&config, &client, std::hint::black_box(sealed), None, &guesses));
-        });
+        h.run_throughput(
+            &format!("pw_guess_rate/{}", config.name),
+            Throughput::Elements(guesses.len() as u64),
+            || crack_as_reply(&config, &client, std::hint::black_box(&sealed), None, &guesses),
+        );
     }
-    group.finish();
 }
 
-fn bench_s2k(c: &mut Criterion) {
+fn bench_s2k(h: &mut Harness) {
     // string-to-key dominates each guess: measure it alone.
-    c.bench_function("string_to_key", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            s2k::string_to_key_v5(std::hint::black_box("candidate-password"), &i.to_string())
-        });
+    let mut i = 0u64;
+    h.run("string_to_key", || {
+        i += 1;
+        s2k::string_to_key_v5(std::hint::black_box("candidate-password"), &i.to_string())
     });
 }
 
-criterion_group!(benches, bench_guess_rate, bench_s2k);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("pw_guess");
+    bench_guess_rate(&mut h);
+    bench_s2k(&mut h);
+    h.finish();
+}

@@ -1,57 +1,52 @@
 //! E3 (bench half) — replay-cache offer throughput as the cache grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kerberos::replay_cache::ReplayCache;
+use testkit::bench::Harness;
 
-fn bench_offer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replay_cache_offer");
-    group.sample_size(20);
+fn bench_offer(h: &mut Harness) {
     for preload in [0usize, 1_000, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(preload), &preload, |b, &preload| {
-            // Steady state: each offer advances time so the window holds
-            // ~preload live entries (old ones expire as new arrive).
-            let window = 300_000_000u64;
-            let step = if preload == 0 { window } else { window / preload as u64 };
-            let mut cache = ReplayCache::new(window);
-            let mut now = 0u64;
-            let mut n = 0u64;
-            for _ in 0..preload {
-                n += 1;
-                now += step;
-                cache.offer(&n.to_be_bytes(), now);
-            }
-            b.iter(|| {
-                n += 1;
-                now += step;
-                cache.offer(&n.to_be_bytes(), now)
-            });
+        // Steady state: each offer advances time so the window holds
+        // ~preload live entries (old ones expire as new arrive).
+        let window = 300_000_000u64;
+        let step = if preload == 0 { window } else { window / preload as u64 };
+        let mut cache = ReplayCache::new(window);
+        let mut now = 0u64;
+        let mut n = 0u64;
+        for _ in 0..preload {
+            n += 1;
+            now += step;
+            cache.offer(&n.to_be_bytes(), now);
+        }
+        h.run(&format!("replay_cache_offer/{preload}"), || {
+            n += 1;
+            now += step;
+            cache.offer(&n.to_be_bytes(), now)
         });
     }
-    group.finish();
 }
 
-fn bench_purge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replay_cache_purge");
-    group.sample_size(20);
+fn bench_purge(h: &mut Harness) {
     for size in [1_000usize, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter_with_setup(
-                || {
-                    let mut cache = ReplayCache::new(300_000_000);
-                    for i in 0..size as u64 {
-                        cache.offer(&i.to_be_bytes(), i * 1000);
-                    }
-                    cache
-                },
-                |mut cache| {
-                    cache.purge(size as u64 * 1000 + 300_000_001);
-                    cache
-                },
-            );
-        });
+        h.run_with_setup(
+            &format!("replay_cache_purge/{size}"),
+            || {
+                let mut cache = ReplayCache::new(300_000_000);
+                for i in 0..size as u64 {
+                    cache.offer(&i.to_be_bytes(), i * 1000);
+                }
+                cache
+            },
+            |mut cache| {
+                cache.purge(size as u64 * 1000 + 300_000_001);
+                cache
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_offer, bench_purge);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("replay_cache");
+    bench_offer(&mut h);
+    bench_purge(&mut h);
+    h.finish();
+}

@@ -1,11 +1,11 @@
 //! E7 (bench half) — session send/receive throughput: timestamp caching
 //! vs sequence numbers, as session history grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kerberos::session::{Direction, Session};
 use kerberos::{Principal, ProtocolConfig};
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::Drbg;
+use testkit::bench::Harness;
 
 fn make_pair(config: &ProtocolConfig) -> (Session, Session) {
     let key = DesKey::from_u64(0x2468ACE013579BDF).with_odd_parity();
@@ -14,32 +14,27 @@ fn make_pair(config: &ProtocolConfig) -> (Session, Session) {
     (c, s)
 }
 
-fn bench_roundtrip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("session_roundtrip");
+fn main() {
+    let mut h = Harness::new("seq_vs_ts");
     for (label, config, history) in [
         ("timestamps-fresh", ProtocolConfig::v5_draft3(), 0usize),
         ("timestamps-10k-history", ProtocolConfig::v5_draft3(), 10_000),
         ("seqnums-fresh", ProtocolConfig::hardened(), 0),
         ("seqnums-10k-history", ProtocolConfig::hardened(), 10_000),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            let mut rng = Drbg::new(7);
-            let (mut cs, mut ss) = make_pair(&config);
-            // Pre-populate history.
-            for i in 0..history {
-                let w = cs.send_priv(b"warm", 1_000 + i as u64, 7, &mut rng).unwrap();
-                ss.recv_priv(&w, 1_000 + i as u64).unwrap();
-            }
-            let mut t = 1_000_000u64;
-            b.iter(|| {
-                t += 1;
-                let w = cs.send_priv(std::hint::black_box(b"command bytes"), t, 7, &mut rng).unwrap();
-                ss.recv_priv(&w, t).unwrap()
-            });
+        let mut rng = Drbg::new(7);
+        let (mut cs, mut ss) = make_pair(&config);
+        // Pre-populate history.
+        for i in 0..history {
+            let w = cs.send_priv(b"warm", 1_000 + i as u64, 7, &mut rng).unwrap();
+            ss.recv_priv(&w, 1_000 + i as u64).unwrap();
+        }
+        let mut t = 1_000_000u64;
+        h.run(&format!("session_roundtrip/{label}"), || {
+            t += 1;
+            let w = cs.send_priv(std::hint::black_box(b"command bytes"), t, 7, &mut rng).unwrap();
+            ss.recv_priv(&w, t).unwrap()
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_roundtrip);
-criterion_main!(benches);

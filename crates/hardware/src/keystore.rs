@@ -12,12 +12,19 @@
 
 use kerberos::appserver::AppLogic;
 use kerberos::principal::Principal;
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Shared blob storage: (owner, label) -> bytes.
 pub type BlobStore = Arc<Mutex<HashMap<(String, String), Vec<u8>>>>;
+
+/// Locks the store, recovering from poisoning: a panicking client
+/// thread must not brick the keystore, and every command leaves the map
+/// structurally consistent (single-key inserts/removes), so the data is
+/// safe to keep serving.
+fn lock(blobs: &BlobStore) -> MutexGuard<'_, HashMap<(String, String), Vec<u8>>> {
+    blobs.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Commands: `STORE <label> <bytes>`, `FETCH <label>`, `DELETE <label>`,
 /// `LIST`. Blobs are namespaced per authenticated principal — "the key
@@ -55,12 +62,12 @@ impl AppLogic for KeyStoreLogic {
             b"STORE" => {
                 let (label, blob) = split(&rest);
                 let label = String::from_utf8_lossy(&label).into_owned();
-                self.blobs.lock().insert((owner, label), blob);
+                lock(&self.blobs).insert((owner, label), blob);
                 b"STORED".to_vec()
             }
             b"FETCH" => {
                 let label = String::from_utf8_lossy(&rest).into_owned();
-                match self.blobs.lock().get(&(owner, label)) {
+                match lock(&self.blobs).get(&(owner, label)) {
                     Some(b) => {
                         let mut v = b"BLOB ".to_vec();
                         v.extend_from_slice(b);
@@ -71,13 +78,13 @@ impl AppLogic for KeyStoreLogic {
             }
             b"DELETE" => {
                 let label = String::from_utf8_lossy(&rest).into_owned();
-                match self.blobs.lock().remove(&(owner, label)) {
+                match lock(&self.blobs).remove(&(owner, label)) {
                     Some(_) => b"DELETED".to_vec(),
                     None => b"ENOENT".to_vec(),
                 }
             }
             b"LIST" => {
-                let blobs = self.blobs.lock();
+                let blobs = lock(&self.blobs);
                 let mut labels: Vec<&str> = blobs
                     .keys()
                     .filter(|(o, _)| *o == owner)
@@ -118,6 +125,23 @@ mod tests {
         // Even a same-name user in a different realm is distinct.
         let impostor = Principal::user("pat", "EVIL");
         assert_eq!(ks.on_command(&impostor, b"FETCH k"), b"ENOENT");
+    }
+
+    #[test]
+    fn survives_lock_poisoning() {
+        let mut ks = KeyStoreLogic::new();
+        ks.on_command(&pat(), b"STORE k v");
+        // Poison the mutex: a thread panics while holding the lock.
+        let blobs = ks.blobs.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = blobs.lock().unwrap();
+            panic!("die holding the keystore lock");
+        })
+        .join();
+        assert!(ks.blobs.lock().is_err(), "mutex should be poisoned");
+        // The keystore keeps serving the (consistent) data regardless.
+        assert_eq!(ks.on_command(&pat(), b"FETCH k"), b"BLOB v");
+        assert_eq!(ks.on_command(&pat(), b"DELETE k"), b"DELETED");
     }
 
     #[test]

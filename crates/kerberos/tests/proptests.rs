@@ -1,6 +1,8 @@
 //! Property-based tests over the protocol data structures: arbitrary
 //! field values must round-trip through both codecs and every encryption
 //! layer, and the typed codec must always reject cross-type reads.
+//!
+//! Runs on `testkit::prop`; replay failures with the printed seed.
 
 use kerberos::authenticator::Authenticator;
 use kerberos::encoding::{Codec, MsgType};
@@ -12,10 +14,10 @@ use kerberos::session::{decode_priv_draft3, encode_priv_draft3, Direction, PrivP
 use kerberos::ticket::Ticket;
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::Drbg;
-use proptest::prelude::*;
+use testkit::prelude::*;
 
 fn arb_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9]{0,11}"
+    (string::of("a-z", 1..=1), string::of("a-z0-9", 0..=11)).prop_map(|(head, tail)| head + &tail)
 }
 
 fn arb_principal() -> impl Strategy<Value = Principal> {
@@ -34,7 +36,7 @@ fn arb_ticket() -> impl Strategy<Value = Ticket> {
         any::<u64>(),
         any::<u64>(),
         any::<u64>(),
-        proptest::collection::vec(arb_name(), 0..4),
+        collection::vec(arb_name(), 0..4),
     )
         .prop_map(|(flags, client, service, addr, auth, start, end, skey, transited)| Ticket {
             flags: TicketFlags(flags),
@@ -54,7 +56,7 @@ fn arb_authenticator() -> impl Strategy<Value = Authenticator> {
         arb_principal(),
         any::<u32>(),
         any::<u64>(),
-        proptest::option::of(arb_principal()),
+        option::of(arb_principal()),
         any::<Option<u64>>(),
         any::<Option<u64>>(),
     )
@@ -82,14 +84,12 @@ fn layers() -> impl Strategy<Value = EncLayer> {
     ]
 }
 
-proptest! {
-    #[test]
+testkit::prop! {
     fn ticket_roundtrip(t in arb_ticket(), codec in codecs()) {
         let bytes = t.encode(codec);
         prop_assert_eq!(Ticket::decode(codec, &bytes).unwrap(), t);
     }
 
-    #[test]
     fn ticket_seal_roundtrip(t in arb_ticket(), codec in codecs(), layer in layers(), k in any::<u64>()) {
         let key = DesKey::from_u64(k).with_odd_parity();
         let mut rng = Drbg::new(1);
@@ -97,7 +97,6 @@ proptest! {
         prop_assert_eq!(Ticket::unseal(codec, layer, &key, &sealed).unwrap(), t);
     }
 
-    #[test]
     fn authenticator_roundtrip(a in arb_authenticator(), codec in codecs()) {
         let bytes = a.encode(codec);
         prop_assert_eq!(Authenticator::decode(codec, &bytes).unwrap(), a);
@@ -106,7 +105,6 @@ proptest! {
     /// Under the typed codec NO ticket may ever read as an
     /// authenticator — the property the paper says "the most simple
     /// analysis" should verify.
-    #[test]
     fn typed_codec_never_confuses_types(t in arb_ticket()) {
         let bytes = t.encode(Codec::Typed);
         prop_assert!(Authenticator::decode(Codec::Typed, &bytes).is_err());
@@ -115,14 +113,13 @@ proptest! {
         prop_assert!(Ticket::decode(Codec::Typed, &bytes).is_err());
     }
 
-    #[test]
     fn as_req_roundtrip(
         client in arb_principal(),
         nonce in any::<u64>(),
         lifetime in any::<u64>(),
         addr in any::<u32>(),
         options in any::<u16>(),
-        pa_blob in proptest::collection::vec(any::<u8>(), 0..32),
+        pa_blob in collection::vec(any::<u8>(), 0..32),
         codec in codecs(),
     ) {
         let m = AsReq {
@@ -137,28 +134,26 @@ proptest! {
         prop_assert_eq!(AsReq::decode(codec, &m.encode(codec)).unwrap(), m);
     }
 
-    #[test]
     fn as_rep_roundtrip(
         challenge in any::<Option<u64>>(),
-        dh in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..96)),
-        enc in proptest::collection::vec(any::<u8>(), 0..64),
+        dh in option::of(collection::vec(any::<u8>(), 0..96)),
+        enc in collection::vec(any::<u8>(), 0..64),
         codec in codecs(),
     ) {
         let m = AsRep { challenge_r: challenge, dh_public: dh, enc_part: enc };
         prop_assert_eq!(AsRep::decode(codec, &m.encode(codec)).unwrap(), m);
     }
 
-    #[test]
     fn tgs_req_roundtrip(
         service in arb_principal(),
         options in any::<u16>(),
         nonce in any::<u64>(),
         lifetime in any::<u64>(),
-        add in proptest::option::of(proptest::collection::vec(any::<u8>(), 0..48)),
+        add in option::of(collection::vec(any::<u8>(), 0..48)),
         fwd in any::<Option<u64>>(),
-        authz in proptest::collection::vec(any::<u8>(), 0..32),
-        tgt in proptest::collection::vec(any::<u8>(), 0..48),
-        auth in proptest::collection::vec(any::<u8>(), 0..48),
+        authz in collection::vec(any::<u8>(), 0..32),
+        tgt in collection::vec(any::<u8>(), 0..48),
+        auth in collection::vec(any::<u8>(), 0..48),
         codec in codecs(),
     ) {
         let m = TgsReq {
@@ -179,11 +174,10 @@ proptest! {
         prop_assert_ne!(m.checksum_body(), m2.checksum_body());
     }
 
-    #[test]
     fn kdc_rep_part_roundtrip(
         skey in any::<u64>(),
         nonce in any::<u64>(),
-        ticket in proptest::collection::vec(any::<u8>(), 0..64),
+        ticket in collection::vec(any::<u8>(), 0..64),
         end in any::<u64>(),
         st in any::<u64>(),
         codec in codecs(),
@@ -200,10 +194,9 @@ proptest! {
         prop_assert_eq!(EncKdcRepPart::decode(codec, MsgType::EncTgsRepPart, &enc).unwrap(), p);
     }
 
-    #[test]
     fn ap_messages_roundtrip(
-        ticket in proptest::collection::vec(any::<u8>(), 0..64),
-        auth in proptest::collection::vec(any::<u8>(), 0..64),
+        ticket in collection::vec(any::<u8>(), 0..64),
+        auth in collection::vec(any::<u8>(), 0..64),
         mutual in any::<bool>(),
         echo in any::<u64>(),
         subkey in any::<Option<u64>>(),
@@ -216,15 +209,13 @@ proptest! {
         prop_assert_eq!(EncApRepPart::decode(codec, &p.encode(codec)).unwrap(), p);
     }
 
-    #[test]
-    fn error_roundtrip(code in any::<u32>(), text in "[ -~]{0,40}", challenge in any::<Option<u64>>(), codec in codecs()) {
+    fn error_roundtrip(code in any::<u32>(), text in string::printable(0..=40), challenge in any::<Option<u64>>(), codec in codecs()) {
         let e = KrbErrorMsg { code, text, challenge };
         prop_assert_eq!(KrbErrorMsg::decode(codec, &e.encode(codec)).unwrap(), e);
     }
 
-    #[test]
     fn priv_part_draft3_roundtrip(
-        data in proptest::collection::vec(any::<u8>(), 0..128),
+        data in collection::vec(any::<u8>(), 0..128),
         ts in any::<u64>(),
         dir in prop_oneof![Just(Direction::ClientToServer), Just(Direction::ServerToClient)],
         addr in any::<u32>(),
@@ -236,8 +227,7 @@ proptest! {
     }
 
     /// Decoding arbitrary junk never panics, only errors.
-    #[test]
-    fn decoders_never_panic(junk in proptest::collection::vec(any::<u8>(), 0..256), codec in codecs()) {
+    fn decoders_never_panic(junk in collection::vec(any::<u8>(), 0..256), codec in codecs()) {
         let _ = Ticket::decode(codec, &junk);
         let _ = Authenticator::decode(codec, &junk);
         let _ = AsReq::decode(codec, &junk);
@@ -250,8 +240,7 @@ proptest! {
 
     /// Opening arbitrary junk through any encryption layer never
     /// panics; the hardened layer always rejects it.
-    #[test]
-    fn enc_layers_never_panic_on_junk(junk in proptest::collection::vec(any::<u8>(), 0..256), layer in layers(), k in any::<u64>()) {
+    fn enc_layers_never_panic_on_junk(junk in collection::vec(any::<u8>(), 0..256), layer in layers(), k in any::<u64>()) {
         let key = DesKey::from_u64(k).with_odd_parity();
         let r = layer.open(&key, 0, &junk);
         if layer == EncLayer::HardenedCbc {

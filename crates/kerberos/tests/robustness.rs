@@ -9,8 +9,8 @@ use kerberos::messages::WireKind;
 use kerberos::services::EchoLogic;
 use kerberos::{Principal, ProtocolConfig};
 use krb_crypto::rng::{Drbg, RandomSource};
-use proptest::prelude::*;
 use simnet::{Addr, Endpoint, Service, ServiceCtx, SimTime};
+use testkit::prelude::*;
 
 fn ctx() -> ServiceCtx {
     ServiceCtx {
@@ -41,11 +41,8 @@ fn app(config: &ProtocolConfig) -> AppServer {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn kdc_survives_arbitrary_bytes(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+testkit::prop! {
+    fn kdc_survives_arbitrary_bytes [64] (junk in collection::vec(any::<u8>(), 0..512)) {
         for config in ProtocolConfig::presets() {
             let mut k = kdc(&config);
             let from = Endpoint::new(Addr::new(10, 0, 0, 1), 1024);
@@ -55,8 +52,7 @@ proptest! {
 
     /// Arbitrary bytes with a valid wire-kind prefix reach deeper code
     /// paths; still no panics.
-    #[test]
-    fn kdc_survives_kind_prefixed_junk(kind in 1u8..=11, junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn kdc_survives_kind_prefixed_junk [64] (kind in 1u8..=11, junk in collection::vec(any::<u8>(), 0..512)) {
         for config in ProtocolConfig::presets() {
             let mut k = kdc(&config);
             let from = Endpoint::new(Addr::new(10, 0, 0, 1), 1024);
@@ -66,8 +62,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn app_server_survives_arbitrary_bytes(kind in 0u8..=12, junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+    fn app_server_survives_arbitrary_bytes [64] (kind in 0u8..=12, junk in collection::vec(any::<u8>(), 0..512)) {
         for config in ProtocolConfig::presets() {
             let mut s = app(&config);
             let from = Endpoint::new(Addr::new(10, 0, 0, 1), 1024);
@@ -79,8 +74,7 @@ proptest! {
 
     /// Replies to junk, when produced, are well-formed error messages —
     /// not panics, not leaks.
-    #[test]
-    fn junk_yields_errors_not_tickets(junk in proptest::collection::vec(any::<u8>(), 1..256)) {
+    fn junk_yields_errors_not_tickets [64] (junk in collection::vec(any::<u8>(), 1..256)) {
         let config = ProtocolConfig::v5_draft3();
         let mut k = kdc(&config);
         let from = Endpoint::new(Addr::new(10, 0, 0, 1), 1024);

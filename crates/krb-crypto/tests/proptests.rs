@@ -1,4 +1,7 @@
 //! Property-based tests over the crypto substrate's core invariants.
+//!
+//! Runs on `testkit::prop` — deterministic and hermetic. Replay any
+//! failure with the printed `TESTKIT_SEED`.
 
 use krb_crypto::bignum::{mod_exp, mod_inverse, BigUint};
 use krb_crypto::crc32::{crc32, forge_suffix};
@@ -6,47 +9,42 @@ use krb_crypto::des::DesKey;
 use krb_crypto::md4::md4;
 use krb_crypto::modes;
 use krb_crypto::s2k::string_to_key_v4;
-use proptest::prelude::*;
+use testkit::prelude::*;
 
 fn arb_key() -> impl Strategy<Value = DesKey> {
     any::<u64>().prop_map(|v| DesKey::from_u64(v).with_odd_parity())
 }
 
 fn arb_blocks() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|v| {
+    collection::vec(any::<u8>(), 0..32).prop_map(|v| {
         let mut v = v;
         v.resize(v.len().div_ceil(8) * 8, 0);
         v
     })
 }
 
-proptest! {
-    #[test]
+testkit::prop! {
     fn des_block_roundtrip(k in any::<u64>(), pt in any::<u64>()) {
         let key = DesKey::from_u64(k);
         prop_assert_eq!(key.decrypt_block(key.encrypt_block(pt)), pt);
     }
 
-    #[test]
     fn des_complementation(k in any::<u64>(), pt in any::<u64>()) {
         let key = DesKey::from_u64(k);
         let comp = DesKey::from_u64(!k);
         prop_assert_eq!(comp.encrypt_block(!pt), !key.encrypt_block(pt));
     }
 
-    #[test]
     fn ecb_roundtrip(key in arb_key(), data in arb_blocks()) {
         let ct = modes::ecb_encrypt(&key, &data).unwrap();
         prop_assert_eq!(modes::ecb_decrypt(&key, &ct).unwrap(), data);
     }
 
-    #[test]
     fn cbc_roundtrip(key in arb_key(), iv in any::<u64>(), data in arb_blocks()) {
         let ct = modes::cbc_encrypt(&key, iv, &data).unwrap();
         prop_assert_eq!(modes::cbc_decrypt(&key, iv, &ct).unwrap(), data);
     }
 
-    #[test]
     fn pcbc_roundtrip(key in arb_key(), iv in any::<u64>(), data in arb_blocks()) {
         let ct = modes::pcbc_encrypt(&key, iv, &data).unwrap();
         prop_assert_eq!(modes::pcbc_decrypt(&key, iv, &ct).unwrap(), data);
@@ -54,7 +52,6 @@ proptest! {
 
     /// CBC prefix property: any block-aligned ciphertext prefix decrypts
     /// to the corresponding plaintext prefix.
-    #[test]
     fn cbc_prefix_property(key in arb_key(), iv in any::<u64>(), data in arb_blocks(), cut in 0usize..4) {
         let ct = modes::cbc_encrypt(&key, iv, &data).unwrap();
         let cut = (cut * 8).min(ct.len());
@@ -64,8 +61,8 @@ proptest! {
 
     /// PCBC swap tolerance: swapping two interior ciphertext blocks
     /// leaves every block after the swapped pair intact.
-    #[test]
-    fn pcbc_swap_suffix_intact(key in arb_key(), iv in any::<u64>(), mut data in arb_blocks(), at in 0usize..3) {
+    fn pcbc_swap_suffix_intact(key in arb_key(), iv in any::<u64>(), data in arb_blocks(), at in 0usize..3) {
+        let mut data = data;
         data.resize(data.len().max(40), 7); // at least 5 blocks
         let mut ct = modes::pcbc_encrypt(&key, iv, &data).unwrap();
         let a = at * 8;
@@ -78,8 +75,7 @@ proptest! {
         prop_assert_eq!(&pt[..a], &data[..a]);
     }
 
-    #[test]
-    fn crc_forge_any_target(msg in proptest::collection::vec(any::<u8>(), 0..64), target in any::<u32>()) {
+    fn crc_forge_any_target(msg in collection::vec(any::<u8>(), 0..64), target in any::<u32>()) {
         let patch = forge_suffix(&msg, target);
         let mut forged = msg.clone();
         forged.extend_from_slice(&patch);
@@ -88,37 +84,32 @@ proptest! {
 
     /// CRC-32 is affine: crc(a) ^ crc(b) ^ crc(c) == crc(a^b^c) for
     /// equal-length inputs.
-    #[test]
     fn crc_linearity(
-        a in proptest::collection::vec(any::<u8>(), 16),
-        b in proptest::collection::vec(any::<u8>(), 16),
-        c in proptest::collection::vec(any::<u8>(), 16),
+        a in collection::vec(any::<u8>(), 16),
+        b in collection::vec(any::<u8>(), 16),
+        c in collection::vec(any::<u8>(), 16),
     ) {
         let x: Vec<u8> = a.iter().zip(&b).zip(&c).map(|((p, q), r)| p ^ q ^ r).collect();
         prop_assert_eq!(crc32(&x), crc32(&a) ^ crc32(&b) ^ crc32(&c));
     }
 
-    #[test]
-    fn md4_injective_in_practice(a in proptest::collection::vec(any::<u8>(), 0..64), b in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn md4_injective_in_practice(a in collection::vec(any::<u8>(), 0..64), b in collection::vec(any::<u8>(), 0..64)) {
         if a != b {
             prop_assert_ne!(md4(&a), md4(&b));
         }
     }
 
-    #[test]
     fn bignum_add_sub(a in any::<u64>(), b in any::<u64>()) {
         let (x, y) = (BigUint::from_u64(a), BigUint::from_u64(b));
         prop_assert_eq!(x.add(&y).sub(&y), x);
     }
 
-    #[test]
     fn bignum_mul_commutes(a in any::<u128>(), b in any::<u128>()) {
         let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
         let y = BigUint::from_hex(&format!("{b:x}")).unwrap();
         prop_assert_eq!(x.mul(&y), y.mul(&x));
     }
 
-    #[test]
     fn bignum_distributes(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
         let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
         let y = BigUint::from_hex(&format!("{b:x}")).unwrap();
@@ -126,7 +117,6 @@ proptest! {
         prop_assert_eq!(x.mul(&y.add(&z)), x.mul(&y).add(&x.mul(&z)));
     }
 
-    #[test]
     fn bignum_divrem_reconstructs(a in any::<u128>(), b in 1u128..) {
         let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
         let y = BigUint::from_hex(&format!("{b:x}")).unwrap();
@@ -135,8 +125,7 @@ proptest! {
         prop_assert!(r < y);
     }
 
-    #[test]
-    fn bignum_divrem_wide(limbs_a in proptest::collection::vec(any::<u32>(), 1..12), limbs_b in proptest::collection::vec(any::<u32>(), 1..8)) {
+    fn bignum_divrem_wide(limbs_a in collection::vec(any::<u32>(), 1..12), limbs_b in collection::vec(any::<u32>(), 1..8)) {
         let x = BigUint::from_bytes_be(&limbs_a.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>());
         let y = BigUint::from_bytes_be(&limbs_b.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>());
         if !y.is_zero() {
@@ -146,20 +135,17 @@ proptest! {
         }
     }
 
-    #[test]
     fn bignum_shift_inverse(a in any::<u128>(), s in 0usize..96) {
         let x = BigUint::from_hex(&format!("{a:x}")).unwrap();
         prop_assert_eq!(x.shl_bits(s).shr_bits(s), x);
     }
 
-    #[test]
-    fn bignum_hex_roundtrip(limbs in proptest::collection::vec(any::<u32>(), 0..10)) {
+    fn bignum_hex_roundtrip(limbs in collection::vec(any::<u32>(), 0..10)) {
         let x = BigUint::from_bytes_be(&limbs.iter().flat_map(|l| l.to_be_bytes()).collect::<Vec<_>>());
         prop_assert_eq!(BigUint::from_hex(&x.to_hex()).unwrap(), x);
     }
 
     /// Homomorphism: g^(a+b) = g^a * g^b (mod p).
-    #[test]
     fn mod_exp_homomorphism(a in any::<u32>(), b in any::<u32>()) {
         let p = BigUint::from_u64(1_000_003);
         let g = BigUint::from_u64(2);
@@ -169,7 +155,6 @@ proptest! {
         prop_assert_eq!(ga.mul(&gb).rem(&p).unwrap(), gab);
     }
 
-    #[test]
     fn mod_inverse_correct(a in 1u64..1_000_003) {
         let p = BigUint::from_u64(1_000_003); // prime
         let x = BigUint::from_u64(a);
@@ -177,19 +162,23 @@ proptest! {
         prop_assert_eq!(x.mul(&inv).rem(&p).unwrap(), BigUint::one());
     }
 
-    #[test]
-    fn s2k_always_sound(pw in "\\PC{0,40}") {
+    fn s2k_always_sound(pw in string::printable(0..=40)) {
         let k = string_to_key_v4(&pw);
         prop_assert!(k.has_odd_parity());
         prop_assert!(!k.is_weak());
         prop_assert!(!k.is_semi_weak());
     }
-}
 
-proptest! {
+    /// s2k is sound on non-ASCII passwords too (the old regex strategy
+    /// covered arbitrary printable unicode).
+    fn s2k_sound_on_unicode(pw in string::of("a-z°±é漢字🦀", 0..=24)) {
+        let k = string_to_key_v4(&pw);
+        prop_assert!(k.has_odd_parity());
+        prop_assert!(!k.is_weak());
+    }
+
     /// Montgomery exponentiation agrees with the division-based path on
     /// arbitrary odd moduli.
-    #[test]
     fn montgomery_matches_division(base in any::<u128>(), exp in any::<u64>(), m in any::<u128>()) {
         let modulus = BigUint::from_hex(&format!("{:x}", m | 1)).unwrap(); // force odd
         if modulus.bit_len() >= 2 {

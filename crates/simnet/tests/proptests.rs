@@ -1,14 +1,13 @@
 //! Property tests for the simulator substrate: segment codec, clock
-//! algebra, and network invariants.
+//! algebra, and network invariants. Runs on `testkit::prop`.
 
-use proptest::prelude::*;
 use simnet::clock::Clock;
 use simnet::stream::{IsnGenerator, Segment};
 use simnet::{Addr, Datagram, Endpoint, Host, Network, Service, ServiceCtx, SimDuration, SimTime};
+use testkit::prelude::*;
 
-proptest! {
-    #[test]
-    fn segment_codec_roundtrip(tag in 1u8..=5, a in any::<u32>(), b in any::<u32>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+testkit::prop! {
+    fn segment_codec_roundtrip(tag in 1u8..=5, a in any::<u32>(), b in any::<u32>(), payload in collection::vec(any::<u8>(), 0..64)) {
         let seg = match tag {
             1 => Segment::Syn { isn: a },
             2 => Segment::SynAck { isn: a, ack: b },
@@ -19,14 +18,12 @@ proptest! {
         prop_assert_eq!(Segment::decode(&seg.encode()), Some(seg));
     }
 
-    #[test]
-    fn segment_decode_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn segment_decode_never_panics(junk in collection::vec(any::<u8>(), 0..64)) {
         let _ = Segment::decode(&junk);
     }
 
     /// sync_to always lands the clock exactly on target, whatever the
     /// prior offset and drift.
-    #[test]
     fn clock_sync_is_exact(offset in -1_000_000_000i64..1_000_000_000, drift in -500i64..500, t in 0u64..10_000_000_000, target in 0u64..10_000_000_000) {
         let mut c = Clock::skewed(offset, drift);
         c.sync_to(SimTime(t), SimTime(target));
@@ -35,7 +32,6 @@ proptest! {
 
     /// ISN prediction from (base, time, count) always matches the
     /// generator: the attacker's model is exact.
-    #[test]
     fn isn_prediction_exact(base in any::<u32>(), secs in 0u64..100_000, n in 1u32..1000) {
         let mut gen = IsnGenerator::new(base);
         let t = SimTime(secs * 1_000_000);
@@ -49,8 +45,7 @@ proptest! {
 
     /// Every delivered datagram appears in the traffic log: the passive
     /// wiretap is complete.
-    #[test]
-    fn traffic_log_is_complete(payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..8)) {
+    fn traffic_log_is_complete(payloads in collection::vec(collection::vec(any::<u8>(), 0..32), 1..8)) {
         struct Sink;
         impl Service for Sink {
             fn handle(&mut self, _: &mut ServiceCtx, req: &[u8], _: Endpoint) -> Option<Vec<u8>> {
@@ -77,8 +72,7 @@ proptest! {
 
     /// Injection with any source reaches the service; replies route back
     /// to the forged source without complaint.
-    #[test]
-    fn forged_sources_always_accepted(src_addr in any::<u32>(), src_port in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..32)) {
+    fn forged_sources_always_accepted(src_addr in any::<u32>(), src_port in any::<u16>(), payload in collection::vec(any::<u8>(), 0..32)) {
         struct Sink;
         impl Service for Sink {
             fn handle(&mut self, _: &mut ServiceCtx, req: &[u8], _: Endpoint) -> Option<Vec<u8>> {
@@ -97,7 +91,6 @@ proptest! {
         prop_assert_eq!(reply, Some(payload));
     }
 
-    #[test]
     fn durations_add_up(a in 0u64..1_000_000, b in 0u64..1_000_000) {
         let t = SimTime(0).plus(SimDuration(a)).plus(SimDuration(b));
         prop_assert_eq!(t, SimTime(a + b));

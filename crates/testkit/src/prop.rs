@@ -1,0 +1,928 @@
+//! A deterministic property-testing mini-framework.
+//!
+//! Replaces the crates-io `proptest` dependency with an in-tree engine
+//! that is hermetic (no network, no build scripts) and bit-for-bit
+//! reproducible: every generated case is a pure function of
+//! (`TESTKIT_SEED`, test name, case index). On failure the runner
+//! greedily shrinks the counterexample and prints the seed plus a
+//! one-line replay recipe.
+//!
+//! The surface deliberately mirrors the subset of proptest this
+//! repository used:
+//!
+//! - [`any::<T>()`](any) for integers, `bool`, `u128`, and `Option<T>`;
+//! - integer ranges as strategies (`0usize..4`, `1u8..=5`, `1u128..`);
+//! - [`Just`], [`prop_oneof!`], `.prop_map(..)`;
+//! - [`collection::vec`], [`option::of`], [`string::of`];
+//! - the [`prop!`] macro generating one `#[test]` per property, with an
+//!   optional per-test case count: `fn name [64] (x in strat) { .. }`.
+//!
+//! Case counts: default [`DEFAULT_CASES`], overridable globally with the
+//! `TESTKIT_CASES` environment variable or per test via the `[n]`
+//! bracket in [`prop!`].
+
+use crate::rng::{seed_from_env, TestRng, SEED_ENV};
+use std::fmt::Debug;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// Environment variable overriding the per-property case count.
+pub const CASES_ENV: &str = "TESTKIT_CASES";
+
+/// A generator of values of one type, with optional shrinking.
+///
+/// `generate` must be a pure function of the RNG stream; `shrink`
+/// proposes strictly "simpler" candidate values (toward zero, shorter,
+/// `None`), which the runner re-tests greedily.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing value. Candidates are
+    /// tried in order; the first that still fails becomes the new
+    /// current value. Strategies with no meaningful simplification
+    /// (mapped or union strategies) return an empty list.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Maps generated values through `f` (shrinking does not cross the
+    /// map — `f` is not invertible).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A boxed, type-erased strategy (the element type of [`prop_oneof!`]).
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Boxes a strategy, erasing its concrete type.
+pub fn boxed<S>(s: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V: Clone + Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Constant and mapped strategies
+// ---------------------------------------------------------------------
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A uniform choice between boxed strategies over one value type.
+/// Usually built via [`prop_oneof!`].
+pub struct Union<V: Clone + Debug> {
+    variants: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug> Union<V> {
+    /// A union over the given variants (must be non-empty).
+    pub fn new(variants: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.index(self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies of one value type:
+/// `prop_oneof![Just(Codec::Legacy), Just(Codec::Typed)]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($variant:expr),+ $(,)?) => {
+        $crate::prop::Union::new(vec![$($crate::prop::boxed($variant)),+])
+    };
+}
+
+// ---------------------------------------------------------------------
+// Integers and bool
+// ---------------------------------------------------------------------
+
+/// An integer type samplable by offset arithmetic in `u128` space.
+pub trait SampleInt: Copy + Clone + Debug + PartialOrd + 'static {
+    /// Type minimum.
+    const MIN_VALUE: Self;
+    /// Type maximum.
+    const MAX_VALUE: Self;
+
+    /// `self - lo` as an unsigned offset.
+    fn offset_from(self, lo: Self) -> u128;
+
+    /// `lo + offset` (offset must be in range).
+    fn from_offset(lo: Self, offset: u128) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),+ $(,)?) => {$(
+        impl SampleInt for $t {
+            const MIN_VALUE: Self = <$t>::MIN;
+            const MAX_VALUE: Self = <$t>::MAX;
+
+            fn offset_from(self, lo: Self) -> u128 {
+                (self as $u).wrapping_sub(lo as $u) as u128
+            }
+
+            fn from_offset(lo: Self, offset: u128) -> Self {
+                (lo as $u).wrapping_add(offset as $u) as $t
+            }
+        }
+    )+};
+}
+
+impl_sample_int! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+}
+
+/// Uniform integers in an inclusive range, shrinking toward the low
+/// bound.
+#[derive(Clone, Debug)]
+pub struct IntRange<T: SampleInt> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: SampleInt> IntRange<T> {
+    /// The inclusive range `[lo, hi]`.
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo <= hi, "empty integer range");
+        IntRange { lo, hi }
+    }
+
+    /// Number of values minus one (the maximum offset).
+    fn max_offset(&self) -> u128 {
+        self.hi.offset_from(self.lo)
+    }
+}
+
+impl<T: SampleInt> Strategy for IntRange<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let span = self.max_offset();
+        if span == u128::MAX {
+            return T::from_offset(self.lo, rng.next_u128());
+        }
+        T::from_offset(self.lo, rng.below_u128(span + 1))
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let off = value.offset_from(self.lo);
+        let mut candidates = Vec::new();
+        for c in [0u128, off / 2, off.saturating_sub(1)] {
+            if c < off && !candidates.contains(&c) {
+                candidates.push(c);
+            }
+        }
+        candidates.into_iter().map(|c| T::from_offset(self.lo, c)).collect()
+    }
+}
+
+impl<T: SampleInt> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.offset_from(self.start); // >= 1, no overflow
+        T::from_offset(self.start, rng.below_u128(span))
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        IntRange::new(self.start, *value).shrink(value)
+    }
+}
+
+impl<T: SampleInt> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        IntRange::new(*self.start(), *self.end()).generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        IntRange::new(*self.start(), *self.end()).shrink(value)
+    }
+}
+
+impl<T: SampleInt> Strategy for std::ops::RangeFrom<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        IntRange::new(self.start, T::MAX_VALUE).generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        IntRange::new(self.start, T::MAX_VALUE).shrink(value)
+    }
+}
+
+/// Uniform `bool`, shrinking `true` to `false`.
+#[derive(Clone, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy (see [`any`]).
+pub trait Arbitrary: Clone + Debug + Sized {
+    /// The strategy type [`any`] returns.
+    type Strat: Strategy<Value = Self>;
+
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strat;
+}
+
+/// The canonical full-domain strategy for `T`: `any::<u64>()`,
+/// `any::<Option<u32>>()`, `any::<bool>()`, ...
+pub fn any<T: Arbitrary>() -> T::Strat {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strat = IntRange<$t>;
+
+            fn arbitrary() -> Self::Strat {
+                IntRange::new(<$t>::MIN, <$t>::MAX)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    type Strat = AnyBool;
+
+    fn arbitrary() -> Self::Strat {
+        AnyBool
+    }
+}
+
+impl<T: Arbitrary + 'static> Arbitrary for Option<T> {
+    type Strat = option::OptionStrategy<T::Strat>;
+
+    fn arbitrary() -> Self::Strat {
+        option::of(any::<T>())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Collections, options, strings
+// ---------------------------------------------------------------------
+
+/// Length/size specifications: an exact `usize`, `lo..hi`, or
+/// `lo..=hi`.
+pub trait IntoSizeRange {
+    /// Returns the inclusive `(min, max)` pair.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Vector strategies.
+pub mod collection {
+    use super::*;
+
+    /// Generates `Vec`s with lengths in `size` and elements from
+    /// `elem`. Shrinks by truncation, single-element removal, then
+    /// element-wise shrinking.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `vec(any::<u8>(), 0..32)` — the proptest idiom, verbatim.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.min + rng.below_u128((self.max - self.min + 1) as u128) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Structural shrinks first: shorter vectors are simpler.
+            if len > self.min {
+                out.push(value[..self.min].to_vec());
+                let half = (self.min + len) / 2;
+                if half > self.min && half < len {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..len - 1].to_vec());
+                // Dropping a single interior element (keep the tail).
+                if len >= 2 {
+                    let mut v = value.clone();
+                    v.remove(0);
+                    out.push(v);
+                }
+            }
+            // Element-wise: replace each element by its first shrink.
+            for i in 0..len {
+                if let Some(simpler) = self.elem.shrink(&value[i]).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = simpler;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::*;
+
+    /// `None` a quarter of the time, `Some` otherwise; shrinks toward
+    /// `None`, then through the inner value.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `of(strategy)` — mirrors `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            match value {
+                None => Vec::new(),
+                Some(v) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(v).into_iter().map(Some));
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// String strategies over explicit character sets (the hermetic stand-in
+/// for proptest's regex strategies).
+pub mod string {
+    use super::*;
+
+    /// Strings with characters from a fixed set, shrinking by
+    /// truncation.
+    #[derive(Clone, Debug)]
+    pub struct StringStrategy {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// `of("a-z0-9", 0..=11)`: charset syntax supports `x-y` spans and
+    /// literal characters ('-' first or last is literal).
+    pub fn of(charset: &str, size: impl IntoSizeRange) -> StringStrategy {
+        let (min, max) = size.bounds();
+        let chars = expand_charset(charset);
+        assert!(!chars.is_empty(), "empty charset {charset:?}");
+        StringStrategy { chars, min, max }
+    }
+
+    /// ASCII-printable strings (space through `~`), the stand-in for
+    /// `"[ -~]{..}"` and arbitrary-password regexes.
+    pub fn printable(size: impl IntoSizeRange) -> StringStrategy {
+        of(" -~", size)
+    }
+
+    fn expand_charset(spec: &str) -> Vec<char> {
+        let raw: Vec<char> = spec.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if i + 2 < raw.len() && raw[i + 1] == '-' {
+                let (lo, hi) = (raw[i] as u32, raw[i + 2] as u32);
+                assert!(lo <= hi, "inverted span in charset {spec:?}");
+                for c in lo..=hi {
+                    if let Some(c) = char::from_u32(c) {
+                        out.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(raw[i]);
+                i += 1;
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    impl Strategy for StringStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = self.min + rng.below_u128((self.max - self.min + 1) as u128) as usize;
+            (0..len).map(|_| *rng.pick(&self.chars)).collect()
+        }
+
+        fn shrink(&self, value: &String) -> Vec<String> {
+            let mut out = Vec::new();
+            let chars: Vec<char> = value.chars().collect();
+            let len = chars.len();
+            if len > self.min {
+                out.push(chars[..self.min].iter().collect());
+                let half = (self.min + len) / 2;
+                if half > self.min && half < len {
+                    out.push(chars[..half].iter().collect());
+                }
+                out.push(chars[..len - 1].iter().collect());
+            }
+            // Replace each char with the simplest charset char.
+            let simplest = self.chars[0];
+            for i in 0..len {
+                if chars[i] != simplest {
+                    let mut v = chars.clone();
+                    v[i] = simplest;
+                    out.push(v.into_iter().collect());
+                }
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+}
+
+// ---------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------
+
+/// Cap on property executions spent shrinking one failure.
+const MAX_SHRINK_RUNS: usize = 400;
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Runs `f`, suppressing the default panic-hook output for any panic it
+/// raises (the runner catches those panics on purpose — each failing
+/// case re-executes many times during shrinking).
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    QUIET_PANICS.with(|q| q.set(q.get() + 1));
+    let r = f();
+    QUIET_PANICS.with(|q| q.set(q.get() - 1));
+    r
+}
+
+/// Installs (once) the panic hook honoring [`with_quiet_panics`].
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if QUIET_PANICS.with(|q| q.get()) == 0 {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn run_case<V, F>(f: &F, value: &V) -> Result<(), String>
+where
+    V: Clone,
+    F: Fn(V),
+{
+    let v = value.clone();
+    let result = with_quiet_panics(|| panic::catch_unwind(AssertUnwindSafe(|| f(v))));
+    result.map_err(panic_message)
+}
+
+fn env_cases() -> Option<usize> {
+    std::env::var(CASES_ENV).ok().map(|s| {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{CASES_ENV}={s:?} is not a positive integer"))
+    })
+}
+
+/// Runs a property with the default / environment case count. Invoked
+/// by [`prop!`]; callable directly for ad-hoc properties.
+pub fn run<S, F>(name: &str, strategy: S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    run_with(name, None, strategy, f);
+}
+
+/// Runs a property with an explicit case-count override (`None` =
+/// `TESTKIT_CASES` or [`DEFAULT_CASES`]).
+pub fn run_with<S, F>(name: &str, cases_override: Option<usize>, strategy: S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    install_quiet_hook();
+    let seed = seed_from_env();
+    let cases = cases_override.or_else(env_cases).unwrap_or(DEFAULT_CASES);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(seed, name, case as u64);
+        let value = strategy.generate(&mut rng);
+        if let Err(first_msg) = run_case(&f, &value) {
+            let (min, msg, steps) = shrink_failure(&strategy, value, first_msg, &f);
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (root seed {seed}, {steps} shrink steps)\n\
+                 minimal counterexample: {min:?}\n\
+                 failure: {msg}\n\
+                 replay: {SEED_ENV}={seed} cargo test -q {short}",
+                short = name.rsplit("::").next().unwrap_or(name),
+            );
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly replace the failing value with the
+/// first proposed candidate that still fails, until no candidate fails
+/// or the run budget is exhausted.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    f: &F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    let mut steps = 0;
+    let mut runs = 0;
+    'outer: loop {
+        for candidate in strategy.shrink(&value) {
+            if runs >= MAX_SHRINK_RUNS {
+                break 'outer;
+            }
+            runs += 1;
+            if let Err(msg) = run_case(f, &candidate) {
+                value = candidate;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
+/// Declares property tests. Each entry becomes a named `#[test]`:
+///
+/// ```ignore
+/// testkit::prop! {
+///     #[test-doc-or-attrs]
+///     fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+///
+///     // Optional per-test case count in brackets:
+///     fn expensive_property [16] (v in collection::vec(any::<u8>(), 0..512)) {
+///         ...
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop {
+    ($($(#[$meta:meta])* fn $name:ident $([$cases:expr])? ($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            #[allow(unused_mut, unused_assignments)]
+            let mut cases: Option<usize> = None;
+            $(cases = Some($cases);)?
+            let strategy = ($($strat,)+);
+            $crate::prop::run_with(
+                concat!(module_path!(), "::", stringify!($name)),
+                cases,
+                strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+    )+};
+}
+
+/// Drop-in for proptest's `prop_assert!` (plain assertion under this
+/// runner: the panic is caught, shrunk, and reported with the seed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Drop-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Drop-in for proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        install_quiet_hook();
+        let r = with_quiet_panics(|| panic::catch_unwind(f));
+        panic_message(r.expect_err("expected the property to fail"))
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0usize);
+        run_with("tk::count", Some(33), (any::<u64>(),), |(_v,)| {
+            counter.set(counter.get() + 1);
+        });
+        assert_eq!(counter.get(), 33);
+    }
+
+    #[test]
+    fn cases_are_deterministic_for_fixed_seed() {
+        let collect = || {
+            let mut got = Vec::new();
+            for case in 0..10 {
+                let mut rng = TestRng::for_case(42, "tk::det", case);
+                got.push((any::<u64>(), collection::vec(any::<u8>(), 0..9)).generate(&mut rng));
+            }
+            got
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn failure_reports_seed_and_shrinks_to_minimum() {
+        // Fails for any v >= 10: greedy shrinking must land exactly on 10.
+        let msg = catch(|| {
+            run_with("tk::ge10", Some(200), (0u64..1000,), |(v,)| {
+                assert!(v < 10, "value {v} too big");
+            });
+        });
+        assert!(msg.contains("minimal counterexample: (10,)"), "got: {msg}");
+        assert!(msg.contains(&format!("root seed {}", crate::rng::DEFAULT_SEED)), "got: {msg}");
+        assert!(msg.contains("replay: TESTKIT_SEED="), "got: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_minimal_length() {
+        // Fails whenever the vec has >= 3 elements; minimal failing
+        // example is any 3-element vec, and element-wise shrinking
+        // drives every element to 0.
+        let msg = catch(|| {
+            run_with(
+                "tk::vec3",
+                Some(200),
+                (collection::vec(any::<u8>(), 0..64),),
+                |(v,)| assert!(v.len() < 3),
+            );
+        });
+        assert!(msg.contains("minimal counterexample: ([0, 0, 0],)"), "got: {msg}");
+    }
+
+    #[test]
+    fn option_shrinks_toward_none_then_inner() {
+        let s = option::of(0u32..100);
+        assert_eq!(s.shrink(&None), Vec::<Option<u32>>::new());
+        let shrinks = s.shrink(&Some(7));
+        assert_eq!(shrinks[0], None);
+        assert!(shrinks.contains(&Some(0)));
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let a = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&a));
+            let b = (1u8..=5).generate(&mut rng);
+            assert!((1..=5).contains(&b));
+            let c = (-500i64..500).generate(&mut rng);
+            assert!((-500..500).contains(&c));
+            let d = (1u128..).generate(&mut rng);
+            assert!(d >= 1);
+        }
+    }
+
+    #[test]
+    fn full_domain_ints_cover_extremes_in_shrink_space() {
+        let s = any::<i64>();
+        // Shrinking moves toward i64::MIN (the range's low bound).
+        let c = s.shrink(&0);
+        assert!(c.contains(&i64::MIN));
+    }
+
+    #[test]
+    fn oneof_samples_every_variant() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        let mut rng = TestRng::new(8);
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn string_strategy_respects_charset_and_len() {
+        let s = string::of("a-c_", 2..=4);
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.chars().count()), "{v:?}");
+            assert!(v.chars().all(|c| "abc_".contains(c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms_values() {
+        let s = (0u8..10).prop_map(|v| v * 2);
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    // The macro itself, in its natural habitat.
+    crate::prop! {
+        fn macro_generated_property(a in any::<u32>(), b in any::<u32>()) {
+            crate::prop_assert_eq!(
+                u64::from(a) + u64::from(b),
+                u64::from(b) + u64::from(a)
+            );
+        }
+
+        fn macro_with_case_override [7] (v in 0u8..10) {
+            crate::prop_assert!(v < 10);
+        }
+    }
+}

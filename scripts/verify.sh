@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline:
+#   1. hermeticity guard — no crates-io (non-path) dependency anywhere
+#   2. release build of every target (including benches)
+#   3. full test suite
+#
+# Usage: scripts/verify.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== hermeticity guard =="
+# Every [dependencies]/[dev-dependencies] entry in every manifest must be
+# a `{ path = ... }` / `.workspace = true` dependency. A crates-io dep
+# looks like `foo = "1.2"` or `foo = { version = "1.2", ... }`; keys that
+# legitimately carry bare version strings are excluded.
+bad=$(grep -rn --include=Cargo.toml -E '^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*("[^"]*"|\{[^}]*version[[:space:]]*=)' . \
+      --exclude-dir=target \
+      | grep -vE '(^|/)Cargo\.toml:[0-9]+:[[:space:]]*(version|edition|license|description|name|resolver|harness)[[:space:]]*=' \
+      | grep -vE 'path[[:space:]]*=' || true)
+if [ -n "$bad" ]; then
+    echo "non-path dependencies found:"
+    echo "$bad"
+    exit 1
+fi
+# Belt and braces: cargo's own view must agree (exactly the workspace
+# members, nothing fetched).
+if command -v python3 >/dev/null 2>&1; then
+    cargo metadata --format-version 1 --offline \
+        | python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+external = [p["name"] for p in meta["packages"] if p["source"] is not None]
+if external:
+    sys.exit("external packages in cargo metadata: %s" % ", ".join(sorted(set(external))))
+'
+else
+    echo "(python3 not found; skipping cargo-metadata cross-check)"
+fi
+echo "ok: all dependencies are in-tree path dependencies"
+
+echo "== release build (all targets) =="
+cargo build --workspace --release --all-targets --offline
+
+echo "== tests =="
+cargo test -q --workspace --offline
+
+echo "verify: OK"

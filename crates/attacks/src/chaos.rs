@@ -1,0 +1,198 @@
+//! Chaos soak (experiment E12): honest traffic under an adversarial
+//! *environment* rather than an adversarial wiretapper — drops,
+//! duplicates, reordering, and KDC crash windows — asserting two
+//! properties the paper takes for granted and real deployments must
+//! earn:
+//!
+//! - **Liveness**: every honest client authenticates within the
+//!   bounded retry budget (backoff + replica failover), for any seed.
+//! - **Safety**: the fault layer changes *availability only* — the
+//!   attack × configuration verdicts (E1) are bit-identical with and
+//!   without environment faults.
+//!
+//! All faults flow from one seed, so a failing soak replays exactly.
+
+use crate::env::AttackEnv;
+use kerberos::appserver::connect_app;
+use kerberos::client::{get_service_ticket_at, login_at, LoginInput, TgsParams};
+use kerberos::ProtocolConfig;
+use simnet::{FaultPlan, FaultStats, LinkFaults, SimDuration, SimTime};
+
+/// One chaos soak campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct SoakConfig {
+    /// Seed for the fault plan (and everything derived from it).
+    pub seed: u64,
+    /// Rounds of honest traffic; each round is one login → TGS → AP →
+    /// command flow per user, ~6 simulated minutes apart (so hardened
+    /// rate limiting never conflates rounds).
+    pub rounds: u32,
+    /// Fault rates applied to every user↔KDC link, both directions.
+    pub faults: LinkFaults,
+    /// Slave-KDC replicas to deploy (clients walk master + replicas).
+    pub replicas: usize,
+    /// Crash the master KDC for a window covering the middle rounds.
+    pub crash_master: bool,
+}
+
+impl SoakConfig {
+    /// The standard soak: 10% drop + duplication + reordering, one
+    /// replica, a master crash mid-campaign.
+    pub fn standard(seed: u64) -> Self {
+        SoakConfig {
+            seed,
+            rounds: 6,
+            faults: LinkFaults {
+                drop: 0.10,
+                duplicate: 0.10,
+                reorder: 0.10,
+                ..LinkFaults::none()
+            },
+            replicas: 1,
+            crash_master: true,
+        }
+    }
+}
+
+/// What a soak campaign observed.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Total authentication flows attempted (rounds × users).
+    pub auth_total: u32,
+    /// Flows that authenticated and ran their command.
+    pub auth_ok: u32,
+    /// Flows that failed despite the retry budget, as `(round, user,
+    /// error)` — liveness violations.
+    pub failures: Vec<(u32, String, String)>,
+    /// What the fault layer actually did.
+    pub stats: FaultStats,
+}
+
+impl SoakReport {
+    /// Liveness: every honest flow completed.
+    pub fn all_authenticated(&self) -> bool {
+        self.auth_ok == self.auth_total && self.failures.is_empty()
+    }
+}
+
+/// Runs one soak campaign against `config`.
+pub fn run_soak(config: &ProtocolConfig, soak: &SoakConfig) -> SoakReport {
+    let mut env = AttackEnv::new(config, soak.seed);
+    env.realm.add_kdc_replicas(&mut env.net, soak.replicas, soak.seed ^ 0x5afe);
+
+    // One plan covers every user↔KDC link (master and replicas alike);
+    // the master additionally rides out a crash window spanning the
+    // middle third of the campaign.
+    let mut plan = FaultPlan::new(soak.seed);
+    let kdc_addrs: Vec<_> =
+        env.realm.kdc_eps().iter().map(|ep| ep.addr).collect();
+    for user_ep in env.realm.user_eps.values() {
+        for kdc in &kdc_addrs {
+            plan = plan.with_link_both(user_ep.addr, *kdc, soak.faults);
+        }
+    }
+    let round_us: u64 = 360_000_000; // 6 simulated minutes per round
+    if soak.crash_master {
+        let t0 = env.net.now().0;
+        plan = plan.crash(
+            env.realm.kdc_ep.addr,
+            SimTime(t0 + (soak.rounds as u64 / 3) * round_us),
+            SimTime(t0 + (2 * soak.rounds as u64 / 3) * round_us),
+        );
+    }
+    env.net.set_fault_plan(plan);
+
+    let users: Vec<String> = {
+        let mut v: Vec<String> = env.realm.user_eps.keys().cloned().collect();
+        v.sort(); // HashMap order must not leak into the simulation
+        v
+    };
+    let kdcs = env.realm.kdc_eps();
+
+    let mut report = SoakReport {
+        auth_total: 0,
+        auth_ok: 0,
+        failures: Vec::new(),
+        stats: FaultStats::default(),
+    };
+
+    for round in 0..soak.rounds {
+        for user in &users {
+            report.auth_total += 1;
+            let pw = env.realm.passwords[user].clone();
+            let user_ep = env.realm.user_ep(user);
+            let principal = env.realm.user(user);
+            let flow = login_at(
+                &mut env.net,
+                &env.config,
+                user_ep,
+                &kdcs,
+                &principal,
+                LoginInput::Password(&pw),
+                &mut env.rng,
+            )
+            .and_then(|tgt| {
+                get_service_ticket_at(
+                    &mut env.net,
+                    &env.config,
+                    user_ep,
+                    &kdcs,
+                    &tgt,
+                    &env.realm.service("echo"),
+                    TgsParams::default(),
+                    &mut env.rng,
+                )
+            })
+            .and_then(|st| {
+                connect_app(
+                    &mut env.net,
+                    &env.config,
+                    user_ep,
+                    env.realm.service_ep("echo"),
+                    &st,
+                    &mut env.rng,
+                )
+            })
+            .and_then(|mut conn| {
+                let mut rng = env.rng.clone();
+                conn.request(&mut env.net, format!("soak r{round}").as_bytes(), &mut rng)
+            });
+            match flow {
+                Ok(_) => report.auth_ok += 1,
+                Err(e) => report.failures.push((round, user.clone(), e.to_string())),
+            }
+        }
+        env.net.advance(SimDuration(round_us));
+        env.net.pump();
+    }
+
+    if let Some(plan) = env.net.fault_plan() {
+        report.stats = plan.stats.clone();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_soak_is_live_for_hardened() {
+        let report = run_soak(&ProtocolConfig::hardened(), &SoakConfig::standard(0xC0A0));
+        assert!(
+            report.all_authenticated(),
+            "liveness violations: {:?}",
+            report.failures
+        );
+        assert!(report.stats.dropped > 0, "the soak actually faulted something");
+    }
+
+    #[test]
+    fn soak_is_replayable_from_its_seed() {
+        let a = run_soak(&ProtocolConfig::v5_draft3(), &SoakConfig::standard(7));
+        let b = run_soak(&ProtocolConfig::v5_draft3(), &SoakConfig::standard(7));
+        assert_eq!(a.auth_ok, b.auth_ok);
+        assert_eq!(a.stats.dropped, b.stats.dropped);
+        assert_eq!(a.stats.duplicated, b.stats.duplicated);
+    }
+}

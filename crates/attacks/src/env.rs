@@ -6,7 +6,36 @@ use kerberos::client::{get_service_ticket, login, Credential, LoginInput, TgsPar
 use kerberos::testbed::{standard_campus, DeployedRealm};
 use kerberos::{KrbError, Principal, ProtocolConfig};
 use krb_crypto::rng::Drbg;
-use simnet::{Endpoint, Network, SimDuration};
+use simnet::{Endpoint, FaultPlan, LinkFaults, Network, SimDuration};
+use std::cell::RefCell;
+
+/// Environment faults applied to every [`AttackEnv`] built inside
+/// [`with_fault_profile`]: the given link faults on each user↔KDC link
+/// (both directions), from the given seed.
+///
+/// Only the KDC links are faulted: the attack scripts' own raw-wire
+/// moves ([`Network::inject`], taps) already bypass the fault layer by
+/// design, and faulting application links would change what a *passive*
+/// adversary observes rather than what the robustness layer defends.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultProfile {
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Per-link fault rates for user↔KDC links.
+    pub faults: LinkFaults,
+}
+
+thread_local! {
+    static FAULT_PROFILE: RefCell<Option<FaultProfile>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `profile` applied to every [`AttackEnv`] it builds.
+pub fn with_fault_profile<R>(profile: FaultProfile, f: impl FnOnce() -> R) -> R {
+    FAULT_PROFILE.with(|p| *p.borrow_mut() = Some(profile));
+    let out = f();
+    FAULT_PROFILE.with(|p| *p.borrow_mut() = None);
+    out
+}
 
 /// The attack stage: a network, a deployed realm, and a deterministic
 /// RNG for the scripted participants.
@@ -27,6 +56,13 @@ impl AttackEnv {
         let mut net = Network::new();
         net.advance(SimDuration::from_secs(1_000_000));
         let realm = standard_campus(&mut net, config, seed);
+        if let Some(profile) = FAULT_PROFILE.with(|p| *p.borrow()) {
+            let mut plan = FaultPlan::new(profile.seed);
+            for ep in realm.user_eps.values() {
+                plan = plan.with_link_both(ep.addr, realm.kdc_ep.addr, profile.faults);
+            }
+            net.set_fault_plan(plan);
+        }
         AttackEnv { net, realm, config: config.clone(), rng: Drbg::new(seed ^ 0xa77a) }
     }
 

@@ -25,6 +25,7 @@
 //! | A14 | post-authentication connection hijack | Scope of Tickets |
 
 pub mod blind_spoof;
+pub mod chaos;
 pub mod chosen_plaintext;
 pub mod cross_stream;
 pub mod cut_paste;

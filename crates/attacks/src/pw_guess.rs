@@ -167,9 +167,21 @@ impl Attack for ActiveHarvest {
             options: kerberos::flags::KdcOptions::empty(),
             padata,
         };
-        let reply = match env.net.rpc(attacker_ep, env.realm.kdc_ep, req.encode(config.codec)) {
-            Ok(r) => r,
-            Err(e) => return report(false, format!("harvest request failed: {e}")),
+        // The attacker sits on the same lossy wire as everyone else
+        // (chaos soak): resend the identical request on loss, like any
+        // UDP client would. On a perfect network this is a single shot.
+        let wire = req.encode(config.codec);
+        let mut sent = 0u32;
+        let reply = loop {
+            sent += 1;
+            match env.net.rpc(attacker_ep, env.realm.kdc_ep, wire.clone()) {
+                Ok(r) => break r,
+                Err(_) if sent < 8 && env.net.faults_enabled() => {
+                    env.net.advance(simnet::SimDuration::from_millis(100 * sent as u64));
+                    env.net.pump();
+                }
+                Err(e) => return report(false, format!("harvest request failed: {e}")),
+            }
         };
         if let Ok((WireKind::Err, _)) = deframe(&reply) {
             let e = KrbErrorMsg::decode(config.codec, &reply)

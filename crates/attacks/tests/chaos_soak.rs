@@ -1,0 +1,154 @@
+//! The chaos soak (experiment E12): liveness and safety under a
+//! faulted network.
+//!
+//! - **Liveness**: across ≥5 distinct fault seeds, at ≥10% drop +
+//!   duplication + reordering on every user↔KDC link, with a master-KDC
+//!   crash window mid-campaign, every honest flow authenticates within
+//!   the bounded retry budget.
+//! - **Safety**: the E1 attack × configuration verdict grid is
+//!   bit-identical with and without environment faults — the fault
+//!   layer buys availability, never a different security verdict.
+//! - **Replay defense across restarts**: a live authenticator replayed
+//!   across an application-server crash/restart is still caught when
+//!   the replay cache persists, and sails through when it does not.
+
+use attacks::chaos::{run_soak, SoakConfig};
+use attacks::env::{with_fault_profile, AttackEnv, FaultProfile};
+use attacks::matrix::run_matrix;
+use kerberos::messages::WireKind;
+use kerberos::ProtocolConfig;
+use simnet::{Datagram, FaultPlan, LinkFaults, SimDuration, SimTime};
+
+const SOAK_SEEDS: [u64; 5] = [1, 2, 3, 4, 5];
+
+fn soak_faults() -> LinkFaults {
+    LinkFaults { drop: 0.10, duplicate: 0.10, reorder: 0.10, ..LinkFaults::none() }
+}
+
+#[test]
+fn soak_liveness_across_seeds_and_presets() {
+    for config in ProtocolConfig::presets() {
+        for seed in SOAK_SEEDS {
+            let report = run_soak(&config, &SoakConfig::standard(seed));
+            assert!(
+                report.all_authenticated(),
+                "liveness violated (config {}, seed {seed}): {:?}",
+                config.name,
+                report.failures
+            );
+            // The campaign genuinely exercised the fault layer.
+            assert!(report.stats.dropped > 0, "seed {seed}: nothing dropped");
+            assert!(report.stats.duplicated > 0, "seed {seed}: nothing duplicated");
+            assert!(report.stats.reordered > 0, "seed {seed}: nothing reordered");
+            assert!(report.stats.host_down > 0, "seed {seed}: master crash never bit");
+            assert!(report.stats.restarts >= 1, "seed {seed}: master never restarted");
+        }
+    }
+}
+
+/// The verdict grid — every (attack, config, succeeded) triple — does
+/// not move under environment faults. Faults may change *evidence*
+/// strings (retry counts, timings), never who wins.
+#[test]
+fn e1_matrix_verdicts_identical_under_faults() {
+    let clean: Vec<(&str, &str, bool)> =
+        run_matrix(0xE1).iter().map(|r| (r.id, r.config, r.succeeded)).collect();
+    let faulted: Vec<(&str, &str, bool)> = with_fault_profile(
+        FaultProfile { seed: 0xFA017, faults: soak_faults() },
+        || run_matrix(0xE1).iter().map(|r| (r.id, r.config, r.succeeded)).collect(),
+    );
+    assert_eq!(clean, faulted, "a fault plan changed a security verdict");
+}
+
+/// A zero-rate fault plan is a perfect wire: installing it changes not
+/// one byte of the attack traffic. (The broader determinism tests live
+/// in the kerberos crate; this one pins the attack harness itself.)
+#[test]
+fn zero_rate_profile_keeps_matrix_bytes_identical() {
+    let run = |profile: Option<FaultProfile>| -> Vec<(u64, Vec<u8>)> {
+        let body = || {
+            let mut env = AttackEnv::new(&ProtocolConfig::hardened(), 0xE1);
+            env.victim_session("pat", "files").expect("victim session");
+            env.net
+                .traffic_log()
+                .iter()
+                .map(|r| (r.at.0, r.dgram.payload.clone()))
+                .collect()
+        };
+        match profile {
+            Some(p) => with_fault_profile(p, body),
+            None => body(),
+        }
+    };
+    let clean = run(None);
+    let zeroed = run(Some(FaultProfile { seed: 0xFA017, faults: LinkFaults::none() }));
+    assert_eq!(clean, zeroed, "a zero-rate plan must be byte-invisible");
+}
+
+/// A1 across a server crash: the stolen live authenticator is replayed
+/// after the application server restarts. With a persisted replay cache
+/// the replay is still caught; with a volatile cache (the V4 reality)
+/// the restart forgets, and the replay is accepted.
+#[test]
+fn authenticator_replay_across_server_restart() {
+    for (persist, expect_caught) in [(true, true), (false, false)] {
+        // Timestamp-style AP with a replay cache: the configuration for
+        // which the cache is the *only* thing standing between a live
+        // authenticator and a second acceptance.
+        let mut config = ProtocolConfig::hardened();
+        config.auth_style = kerberos::config::AuthStyle::Timestamp;
+        config.persist_replay_cache = persist;
+
+        let mut env = AttackEnv::new(&config, 0xA1);
+        env.victim_session("pat", "files").expect("victim session");
+        let pat = env.user("pat");
+        let files_ep = env.realm.service_ep("files");
+
+        // Passive capture of the AP request (ticket + live
+        // authenticator), exactly as in A1.
+        let captured: Vec<Datagram> = env
+            .net
+            .traffic_log()
+            .iter()
+            .filter(|r| {
+                r.is_request
+                    && r.dgram.dst == files_ep
+                    && r.dgram.payload.first().copied().and_then(WireKind::from_u8)
+                        == Some(WireKind::ApReq)
+            })
+            .map(|r| r.dgram.clone())
+            .collect();
+        assert!(!captured.is_empty(), "no AP request captured");
+
+        // The file server crashes and restarts — a two-second outage,
+        // well inside the authenticator's freshness window.
+        let t = env.net.now();
+        env.net.set_fault_plan(FaultPlan::new(3).crash(
+            files_ep.addr,
+            SimTime(t.0 + 500_000),
+            SimTime(t.0 + 2_500_000),
+        ));
+        env.net.advance(SimDuration::from_secs(3));
+
+        let before = env.realm.with_app_server(&mut env.net, "files", |s| s.accepted_count(&pat));
+        for d in &captured {
+            let _ = env.net.inject(d.clone());
+        }
+        let after = env.realm.with_app_server(&mut env.net, "files", |s| s.accepted_count(&pat));
+        let restarts = env.realm.with_app_server(&mut env.net, "files", |s| s.restarts);
+        assert_eq!(restarts, 1, "the server rode out exactly one crash window");
+
+        if expect_caught {
+            assert_eq!(
+                after, before,
+                "persisted replay cache must survive the restart and refuse the replay"
+            );
+        } else {
+            assert!(
+                after > before,
+                "volatile replay cache forgets on restart: the replay is accepted \
+                 ({before} -> {after})"
+            );
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! E12 — fault tolerance: authentication liveness vs. environment fault
+//! rate, with and without slave-KDC replicas, plus what the faults cost
+//! in retries.
+//!
+//! Run: `cargo run --release -p bench --bin table_fault_tolerance`
+
+use attacks::chaos::{run_soak, SoakConfig};
+use bench::TextTable;
+use kerberos::ProtocolConfig;
+use simnet::LinkFaults;
+
+fn soak_at(rate: f64, replicas: usize, crash: bool, seed: u64) -> SoakConfig {
+    SoakConfig {
+        seed,
+        rounds: 6,
+        faults: LinkFaults { drop: rate, duplicate: rate, reorder: rate, ..LinkFaults::none() },
+        replicas,
+        crash_master: crash,
+    }
+}
+
+fn main() {
+    println!("E12: authentication liveness under environment faults");
+
+    // Part 1: flows completed vs fault rate, per preset (one replica, a
+    // master crash window mid-campaign — the standard soak shape).
+    let rates = [0.0f64, 0.05, 0.10, 0.20, 0.30];
+    let mut table = TextTable::new(&["config", "0%", "5%", "10%", "20%", "30%"]);
+    for config in ProtocolConfig::presets() {
+        let mut cells = vec![config.name.to_string()];
+        for rate in rates {
+            let r = run_soak(&config, &soak_at(rate, 1, true, 0xE12));
+            cells.push(format!("{}/{}", r.auth_ok, r.auth_total));
+        }
+        table.row(&cells);
+    }
+    table.print(
+        "honest flows completed vs per-link fault rate \
+         (drop = duplicate = reorder, user<->KDC links, master crash mid-soak)",
+    );
+
+    // Part 2: replicas are what turn a KDC outage from an authentication
+    // outage into a retry.
+    let mut table = TextTable::new(&["replicas", "flows ok", "host-down hits", "restarts"]);
+    for replicas in [0usize, 1, 2] {
+        let r = run_soak(&ProtocolConfig::hardened(), &soak_at(0.10, replicas, true, 0xE12));
+        table.row(&[
+            replicas.to_string(),
+            format!("{}/{}", r.auth_ok, r.auth_total),
+            r.stats.host_down.to_string(),
+            r.stats.restarts.to_string(),
+        ]);
+    }
+    table.print(
+        "hardened, 10% faults, master crashed for the middle third: \
+         replica count vs liveness (the paper's slave KDCs, recommendation-free \
+         but operationally essential)",
+    );
+
+    // Part 3: what the environment actually did at the standard rate.
+    let r = run_soak(&ProtocolConfig::hardened(), &soak_at(0.10, 1, true, 0xE12));
+    let s = &r.stats;
+    let mut table = TextTable::new(&["dropped", "duplicated", "reordered", "host-down", "restarts"]);
+    table.row(&[
+        s.dropped.to_string(),
+        s.duplicated.to_string(),
+        s.reordered.to_string(),
+        s.host_down.to_string(),
+        s.restarts.to_string(),
+    ]);
+    table.print("fault-layer activity during the standard hardened soak (seed 0xE12)");
+
+    println!(
+        "\nliveness is bounded, not free: each flow retries with exponential backoff \
+         and walks the KDC list (master + replicas), so a crashed master costs \
+         seconds of simulated backoff — never a failed login, and never a changed \
+         security verdict (see the E1 matrix under faults in chaos_soak.rs)."
+    );
+}

@@ -3,7 +3,7 @@
 
 use crate::authenticator::Authenticator;
 use crate::client::{client_local_time_us, Credential};
-use crate::config::{AppProtection, AuthStyle, ProtocolConfig};
+use crate::config::{AppProtection, AuthStyle, ProtocolConfig, RetryPolicy};
 use crate::encoding::Codec;
 use crate::error::KrbError;
 use crate::flags::TicketFlags;
@@ -12,11 +12,12 @@ use crate::messages::{
 };
 use crate::principal::Principal;
 use crate::replay_cache::{CacheVerdict, ReplayCache};
+use crate::retry::{self, reply_transient};
 use crate::session::{Direction, Session};
 use crate::ticket::Ticket;
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::{Drbg, RandomSource};
-use simnet::{Endpoint, Network, Service, ServiceCtx};
+use simnet::{Endpoint, NetError, Network, Service, ServiceCtx, SimDuration};
 use std::collections::HashMap;
 
 /// Application behavior behind the authentication layer.
@@ -70,6 +71,12 @@ pub struct AppServer {
     pub logic: Box<dyn AppLogic>,
     /// Authentication decisions, in order.
     pub auth_log: Vec<AuthEvent>,
+    /// Simulated stable storage: the last replay-cache snapshot (the
+    /// only state that survives a crash window besides the service key).
+    disk: Option<Vec<u8>>,
+    last_snapshot_us: u64,
+    /// Restarts observed (crash windows ridden out).
+    pub restarts: u32,
 }
 
 impl AppServer {
@@ -93,6 +100,20 @@ impl AppServer {
             authorized: HashMap::new(),
             logic,
             auth_log: Vec::new(),
+            disk: None,
+            last_snapshot_us: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Snapshots the replay cache to "disk" when the configured interval
+    /// has elapsed.
+    fn maybe_snapshot(&mut self, now_us: u64) {
+        if self.config.persist_replay_cache
+            && now_us.saturating_sub(self.last_snapshot_us) >= self.config.replay_snapshot_interval_us
+        {
+            self.disk = Some(self.replay_cache.snapshot(now_us));
+            self.last_snapshot_us = now_us;
         }
     }
 
@@ -226,10 +247,29 @@ impl AppServer {
                     && auth.service_binding.as_ref() != Some(&self.principal) {
                         return self.reject(from, "authenticator not bound to this service", err_code::POLICY);
                     }
-                if self.config.replay_cache
-                    && self.replay_cache.offer(&req.authenticator, now_us) == CacheVerdict::Replayed
-                {
-                    return self.reject(from, "authenticator replayed", err_code::REPLAY);
+                if self.config.replay_cache {
+                    match self.replay_cache.check(&req.authenticator, auth.timestamp, now_us) {
+                        CacheVerdict::Replayed => {
+                            return self.reject(from, "authenticator replayed", err_code::REPLAY)
+                        }
+                        CacheVerdict::FailClosed => {
+                            // Inside the post-restart window the cache
+                            // cannot prove this authenticator was never
+                            // presented; refuse and let the client retry
+                            // with a fresh one.
+                            return self.reject(
+                                from,
+                                "server recently restarted; retry with a fresh authenticator",
+                                err_code::TRY_LATER,
+                            );
+                        }
+                        CacheVerdict::Fresh => {
+                            // This was the last validation: record the
+                            // accepted authenticator.
+                            self.replay_cache.commit(&req.authenticator, now_us);
+                            self.maybe_snapshot(now_us);
+                        }
+                    }
                 }
                 self.establish(from, &ticket.clone(), auth.timestamp.wrapping_add(1), auth.subkey, auth.seq_init)
             }
@@ -335,6 +375,28 @@ impl Service for AppServer {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
     }
+
+    /// A crash window ended: sessions, pending challenges, and plain-mode
+    /// authorizations are volatile and gone. The replay cache restores
+    /// from its last snapshot (fail-closing the gap) when persistence is
+    /// configured; otherwise it reboots empty — the exact weakness the
+    /// A1 replay-across-restart scenario exploits.
+    fn on_restart(&mut self, ctx: &mut ServiceCtx) {
+        let boot_us = ctx.local_time.0;
+        let skew = self.config.clock_skew_us;
+        self.sessions.clear();
+        self.pending.clear();
+        self.authorized.clear();
+        self.restarts += 1;
+        self.replay_cache = if self.config.persist_replay_cache {
+            self.disk
+                .as_deref()
+                .and_then(|b| ReplayCache::restore(b, boot_us))
+                .unwrap_or_else(|| ReplayCache::boot_fresh(skew, boot_us))
+        } else {
+            ReplayCache::new(skew)
+        };
+    }
 }
 
 /// A client's live connection to an application server.
@@ -347,6 +409,8 @@ pub struct AppConnection {
     pub server_ep: Endpoint,
     /// Whether plain (unprotected) commands are in use.
     pub plain: bool,
+    /// Retry policy for command datagrams (request-leg drops only).
+    pub retry: RetryPolicy,
 }
 
 /// Connects to an application server: runs the AP exchange (timestamp or
@@ -360,77 +424,162 @@ pub fn connect_app(
     cred: &Credential,
     rng: &mut dyn RandomSource,
 ) -> Result<AppConnection, KrbError> {
-    let now = client_local_time_us(net, client_ep)?;
+    // Session identity (subkey half, sequence base) is drawn once: every
+    // retry attempt negotiates the SAME session, only the authenticator
+    // timestamp is re-stamped so the server's replay cache never sees a
+    // repeat.
     let client_subkey = config.subkey_negotiation.then(|| rng.next_u64());
     let client_seq = rng.next_u64() >> 16;
+    let timeout = Some(SimDuration(config.retry.timeout_us));
 
-    let (reply, expected_echo) = match config.auth_style {
-        AuthStyle::Timestamp => {
-            let auth = Authenticator {
-                client: cred.client.clone(),
-                addr: client_ep.addr.0,
-                timestamp: now,
-                cksum: None,
-                service_binding: config.service_binding.then(|| cred.service.clone()),
-                subkey: client_subkey,
-                seq_init: Some(client_seq),
-            };
-            let sealed_auth = auth.seal(config.codec, config.ticket_layer, &cred.session_key, rng)?;
-            let req = ApReq { ticket: cred.sealed_ticket.clone(), authenticator: sealed_auth, mutual: true };
-            let reply = net.rpc(client_ep, server_ep, req.encode(config.codec))?;
-            (reply, now.wrapping_add(1))
-        }
-        AuthStyle::ChallengeResponse => {
-            let req = ApReq { ticket: cred.sealed_ticket.clone(), authenticator: Vec::new(), mutual: true };
-            let reply = net.rpc(client_ep, server_ep, req.encode(config.codec))?;
-            let (kind, _) = deframe(&reply)?;
-            if kind != WireKind::Err {
-                return Err(KrbError::Remote("expected a challenge".into()));
-            }
-            let err = KrbErrorMsg::decode(config.codec, &reply)?;
-            if err.code != err_code::CHALLENGE_REQUIRED {
-                return Err(KrbError::Remote(format!("server error {}: {}", err.code, err.text)));
-            }
-            let nonce = err.challenge.ok_or(KrbError::Decode("challenge missing"))?;
-            let part =
-                EncApRepPart { ts_echo: nonce.wrapping_add(1), subkey: client_subkey, seq_init: Some(client_seq) };
-            let sealed = config.ticket_layer.seal(&cred.session_key, 0, &part.encode(config.codec), rng)?;
-            let reply = net.rpc(client_ep, server_ep, frame(WireKind::ChallengeResp, sealed))?;
-            (reply, nonce.wrapping_add(2))
+    // Maps a server KRB_ERROR to an attempt verdict; TRY_LATER is the
+    // server's own fail-closed retry request and is transient even on a
+    // perfect wire.
+    let server_err = |net: &Network, code: u32, text: &str| -> retry::AttemptErr {
+        if code == err_code::TRY_LATER {
+            retry::AttemptErr::Transient(KrbError::FailClosed)
+        } else {
+            reply_transient(net, KrbError::Remote(format!("server error {code}: {text}")))
         }
     };
 
-    // Parse the AP reply (mutual authentication).
-    if let Ok((WireKind::Err, _)) = deframe(&reply) {
-        let e = KrbErrorMsg::decode(config.codec, &reply)?;
-        return Err(KrbError::Remote(format!("server error {}: {}", e.code, e.text)));
-    }
-    let rep = ApRep::decode(config.codec, &reply)?;
-    let pt = config.ticket_layer.open(&cred.session_key, 0, &rep.enc_part)?;
-    let part = EncApRepPart::decode(config.codec, &pt)?;
-    if part.ts_echo != expected_echo {
-        return Err(KrbError::Remote("mutual authentication failed".into()));
-    }
+    retry::run(net, &config.retry, client_seq, |net, _attempt| {
+        let now = client_local_time_us(net, client_ep)?;
+        let (reply, expected_echo) = match config.auth_style {
+            AuthStyle::Timestamp => {
+                let auth = Authenticator {
+                    client: cred.client.clone(),
+                    addr: client_ep.addr.0,
+                    timestamp: now,
+                    cksum: None,
+                    service_binding: config.service_binding.then(|| cred.service.clone()),
+                    subkey: client_subkey,
+                    seq_init: Some(client_seq),
+                };
+                let sealed_auth =
+                    auth.seal(config.codec, config.ticket_layer, &cred.session_key, rng)?;
+                let req = ApReq {
+                    ticket: cred.sealed_ticket.clone(),
+                    authenticator: sealed_auth,
+                    mutual: true,
+                };
+                let reply =
+                    net.rpc_with_timeout(client_ep, server_ep, req.encode(config.codec), timeout)?;
+                (reply, now.wrapping_add(1))
+            }
+            AuthStyle::ChallengeResponse => {
+                let req = ApReq {
+                    ticket: cred.sealed_ticket.clone(),
+                    authenticator: Vec::new(),
+                    mutual: true,
+                };
+                let reply =
+                    net.rpc_with_timeout(client_ep, server_ep, req.encode(config.codec), timeout)?;
+                let (kind, _) = deframe(&reply).map_err(|e| reply_transient(net, e))?;
+                if kind != WireKind::Err {
+                    return Err(reply_transient(
+                        net,
+                        KrbError::Remote("expected a challenge".into()),
+                    ));
+                }
+                let err = KrbErrorMsg::decode(config.codec, &reply)
+                    .map_err(|e| reply_transient(net, e))?;
+                if err.code != err_code::CHALLENGE_REQUIRED {
+                    return Err(server_err(net, err.code, &err.text));
+                }
+                let nonce = err
+                    .challenge
+                    .ok_or_else(|| reply_transient(net, KrbError::Decode("challenge missing")))?;
+                let part = EncApRepPart {
+                    ts_echo: nonce.wrapping_add(1),
+                    subkey: client_subkey,
+                    seq_init: Some(client_seq),
+                };
+                let sealed =
+                    config
+                        .ticket_layer
+                        .seal(&cred.session_key, 0, &part.encode(config.codec), rng)?;
+                let reply = net.rpc_with_timeout(
+                    client_ep,
+                    server_ep,
+                    frame(WireKind::ChallengeResp, sealed),
+                    timeout,
+                )?;
+                (reply, nonce.wrapping_add(2))
+            }
+        };
 
-    let key = Session::negotiate_key(
-        &cred.session_key,
-        client_subkey.unwrap_or(0),
-        part.subkey.unwrap_or(0),
-    );
-    let session = Session::new(
-        cred.service.clone(),
-        if config.subkey_negotiation { key } else { cred.session_key },
-        config,
-        Direction::ClientToServer,
-        client_seq,
-        part.seq_init.unwrap_or(0),
-    );
-    Ok(AppConnection {
-        session,
-        client_ep,
-        server_ep,
-        plain: config.app_protection == AppProtection::Plain,
+        // Parse the AP reply (mutual authentication). Failures here are
+        // reply-processing: genuine evidence on a perfect wire, possibly
+        // the network's fault under an active fault plan.
+        if let Ok((WireKind::Err, _)) = deframe(&reply) {
+            let e = KrbErrorMsg::decode(config.codec, &reply).map_err(|e| reply_transient(net, e))?;
+            return Err(server_err(net, e.code, &e.text));
+        }
+        let rep = ApRep::decode(config.codec, &reply).map_err(|e| reply_transient(net, e))?;
+        let pt = config
+            .ticket_layer
+            .open(&cred.session_key, 0, &rep.enc_part)
+            .map_err(|e| reply_transient(net, e.into()))?;
+        let part = EncApRepPart::decode(config.codec, &pt).map_err(|e| reply_transient(net, e))?;
+        if part.ts_echo != expected_echo {
+            return Err(reply_transient(
+                net,
+                KrbError::Remote("mutual authentication failed".into()),
+            ));
+        }
+
+        let key = Session::negotiate_key(
+            &cred.session_key,
+            client_subkey.unwrap_or(0),
+            part.subkey.unwrap_or(0),
+        );
+        let session = Session::new(
+            cred.service.clone(),
+            if config.subkey_negotiation { key } else { cred.session_key },
+            config,
+            Direction::ClientToServer,
+            client_seq,
+            part.seq_init.unwrap_or(0),
+        );
+        Ok(AppConnection {
+            session,
+            client_ep,
+            server_ep,
+            plain: config.app_protection == AppProtection::Plain,
+            retry: config.retry,
+        })
     })
+}
+
+/// Sends `wire` and resends the *identical bytes* when the request leg
+/// was provably dropped: [`NetError::Dropped`] means the server never
+/// saw the datagram, so a resend cannot double-execute a command or
+/// desync strict sequence numbers. Every other failure — including the
+/// ambiguous [`NetError::ReplyLost`], where the server DID execute —
+/// surfaces to the application, which alone knows whether its command
+/// is idempotent.
+fn rpc_resend_on_drop(
+    net: &mut Network,
+    policy: &RetryPolicy,
+    client_ep: Endpoint,
+    server_ep: Endpoint,
+    wire: Vec<u8>,
+) -> Result<Vec<u8>, KrbError> {
+    let budget = if net.faults_enabled() { policy.attempts.max(1) } else { 1 };
+    let jitter = client_ep.addr.0 as u64;
+    let mut sent = 0;
+    loop {
+        sent += 1;
+        match net.rpc(client_ep, server_ep, wire.clone()) {
+            Ok(reply) => return Ok(reply),
+            Err(NetError::Dropped) if sent < budget => {
+                net.advance(SimDuration(policy.delay_us(sent, jitter)));
+                net.pump();
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
 impl AppConnection {
@@ -444,7 +593,7 @@ impl AppConnection {
     ) -> Result<Vec<u8>, KrbError> {
         let now = client_local_time_us(net, self.client_ep)?;
         let wire = self.session.send_safe(data, now, self.client_ep.addr.0, config)?;
-        let reply = net.rpc(self.client_ep, self.server_ep, wire)?;
+        let reply = rpc_resend_on_drop(net, &self.retry, self.client_ep, self.server_ep, wire)?;
         if let Ok((WireKind::Err, _)) = deframe(&reply) {
             return Err(KrbError::Remote("server rejected the safe command".into()));
         }
@@ -462,7 +611,7 @@ impl AppConnection {
         let now = client_local_time_us(net, self.client_ep)?;
         if self.plain {
             let wire = frame(WireKind::AppData, data.to_vec());
-            let reply = net.rpc(self.client_ep, self.server_ep, wire)?;
+            let reply = rpc_resend_on_drop(net, &self.retry, self.client_ep, self.server_ep, wire)?;
             let (kind, body) = deframe(&reply)?;
             if kind != WireKind::AppData {
                 return Err(KrbError::Remote("server refused plain data".into()));
@@ -470,7 +619,7 @@ impl AppConnection {
             return Ok(body.to_vec());
         }
         let wire = self.session.send_priv(data, now, self.client_ep.addr.0, rng)?;
-        let reply = net.rpc(self.client_ep, self.server_ep, wire)?;
+        let reply = rpc_resend_on_drop(net, &self.retry, self.client_ep, self.server_ep, wire)?;
         if let Ok((WireKind::Err, _)) = deframe(&reply) {
             // Fall back to a decode of the error for the message.
             return Err(KrbError::Remote("server rejected the command".into()));

@@ -8,15 +8,16 @@ use crate::error::KrbError;
 use crate::flags::KdcOptions;
 use crate::kdc::hha_key;
 use crate::messages::{
-    deframe, AsRep, AsReq, EncKdcRepPart, KrbErrorMsg, PaData, TgsRep, TgsReq, WireKind,
+    deframe, err_code, AsRep, AsReq, EncKdcRepPart, KrbErrorMsg, PaData, TgsRep, TgsReq, WireKind,
 };
 use crate::principal::Principal;
+use crate::retry::{self, reply_transient, AttemptErr};
 use krb_crypto::checksum;
 use krb_crypto::des::DesKey;
 use krb_crypto::dh::DhGroup;
 use krb_crypto::rng::RandomSource;
 use krb_crypto::s2k;
-use simnet::{Endpoint, Network};
+use simnet::{Endpoint, Network, SimDuration};
 
 /// How the user authenticates at login.
 pub enum LoginInput<'a> {
@@ -46,6 +47,11 @@ pub struct Credential {
 fn check_error(config: &ProtocolConfig, reply: &[u8]) -> Result<(), KrbError> {
     if let Ok((WireKind::Err, _)) = deframe(reply) {
         let e = KrbErrorMsg::decode(config.codec, reply)?;
+        if e.code == err_code::TRY_LATER {
+            // The server is in its fail-closed startup window: an
+            // always-retryable condition, not a verdict.
+            return Err(KrbError::FailClosed);
+        }
         return Err(KrbError::Remote(format!("KDC error {}: {}", e.code, e.text)));
     }
     Ok(())
@@ -63,113 +69,160 @@ pub fn login(
     input: LoginInput<'_>,
     rng: &mut dyn RandomSource,
 ) -> Result<Credential, KrbError> {
+    login_at(net, config, client_ep, &[kdc_ep], client, input, rng)
+}
+
+/// [`login`] with replica failover: walks `kdcs` round-robin across
+/// retry attempts (mirroring a real client's krb.conf list of master +
+/// slave KDCs), with per-attempt timeouts and exponential backoff from
+/// `config.retry`. The nonce is FIXED across attempts — it is what
+/// matches a (possibly duplicated or reordered) reply to this exchange —
+/// while timestamps, preauth blobs, and DH/HHA material are re-stamped
+/// fresh per attempt so a server that already committed an earlier
+/// attempt's blob to its replay cache cannot mistake the retry for a
+/// replay.
+#[allow(clippy::too_many_arguments)]
+pub fn login_at(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    kdcs: &[Endpoint],
+    client: &Principal,
+    input: LoginInput<'_>,
+    rng: &mut dyn RandomSource,
+) -> Result<Credential, KrbError> {
+    assert!(!kdcs.is_empty(), "need at least one KDC endpoint");
     let kc: Option<DesKey> = match &input {
         LoginInput::Password(pw) => Some(s2k::string_to_key_v5(pw, &client.salt())),
         LoginInput::Handheld(_) => None,
     };
 
     let nonce = rng.next_u64();
-    let mut padata = Vec::new();
 
-    // Exponential key exchange under the login dialog.
+    // Exponential key exchange under the login dialog. The keypair is
+    // drawn once: like the nonce, it identifies this logical exchange.
     let dh_group = DhGroup::oakley768();
-    let dh_keypair = if config.dh_login {
-        let kp = dh_group.keypair(160, rng)?;
-        padata.push(PaData::DhPublic(kp.public.to_bytes_be()));
-        Some(kp)
-    } else {
-        None
-    };
+    let dh_keypair = if config.dh_login { Some(dh_group.keypair(160, rng)?) } else { None };
 
-    // Handheld-authenticator deployments run a two-round exchange: the
-    // first request draws a challenge R; the retry proves possession of
-    // {R}K_c via a sealed timestamp (which doubles as
-    // preauthentication).
-    let mut hha_response_key: Option<DesKey> = None;
-    if config.hha_login {
-        let probe = AsReq {
+    let timeout = Some(SimDuration(config.retry.timeout_us));
+    // Each replica deserves the full per-server budget: a client with N
+    // KDCs in its configuration makes N times the attempts, walking the
+    // list round-robin.
+    let mut policy = config.retry;
+    policy.attempts = policy.attempts.saturating_mul(kdcs.len() as u32);
+    retry::run(net, &policy, nonce, |net, attempt| {
+        let kdc_ep = kdcs[attempt as usize % kdcs.len()];
+        let mut padata = Vec::new();
+        if let Some(kp) = &dh_keypair {
+            padata.push(PaData::DhPublic(kp.public.to_bytes_be()));
+        }
+
+        // Handheld-authenticator deployments run a two-round exchange:
+        // the first request draws a challenge R; the retry proves
+        // possession of {R}K_c via a sealed timestamp (which doubles as
+        // preauthentication).
+        let mut hha_response_key: Option<DesKey> = None;
+        if config.hha_login {
+            let probe = AsReq {
+                client: client.clone(),
+                service: Principal::tgs(&client.realm),
+                nonce,
+                lifetime_us: config.ticket_lifetime_us,
+                addr: client_ep.addr.0,
+                options: KdcOptions::empty()
+                    .with(KdcOptions::FORWARDABLE)
+                    .with(KdcOptions::RENEWABLE),
+                padata: padata.clone(),
+            };
+            let reply = net.rpc_with_timeout(client_ep, kdc_ep, probe.encode(config.codec), timeout)?;
+            let err = KrbErrorMsg::decode(config.codec, &reply)
+                .map_err(|_| reply_transient(net, KrbError::Remote("expected a login challenge".into())))?;
+            let r = err
+                .challenge
+                .ok_or_else(|| reply_transient(net, KrbError::Remote("KDC sent no challenge".into())))?;
+            let kprime = match (&input, &kc) {
+                (LoginInput::Handheld(device), _) => device(r),
+                (LoginInput::Password(_), Some(kc)) => hha_key(kc, r),
+                _ => return Err(AttemptErr::Fatal(KrbError::Remote("no way to answer challenge".into()))),
+            };
+            let now = client_local_time_us(net, client_ep)?;
+            let blob = config.ticket_layer.seal(&kprime, 0, &now.to_be_bytes(), rng)?;
+            padata.push(PaData::EncTimestamp(blob));
+            hha_response_key = Some(kprime);
+        } else if config.preauth == PreauthMode::EncTimestamp {
+            // Plain preauthentication: {local time}K_c, stamped fresh
+            // per attempt.
+            if let Some(kc) = &kc {
+                let now = client_local_time_us(net, client_ep)?;
+                let blob = config.ticket_layer.seal(kc, 0, &now.to_be_bytes(), rng)?;
+                padata.push(PaData::EncTimestamp(blob));
+            }
+        }
+
+        // Athena-style default: request forwardable + renewable TGTs.
+        let req = AsReq {
             client: client.clone(),
             service: Principal::tgs(&client.realm),
             nonce,
             lifetime_us: config.ticket_lifetime_us,
             addr: client_ep.addr.0,
-            options: KdcOptions::empty()
-                .with(KdcOptions::FORWARDABLE)
-                .with(KdcOptions::RENEWABLE),
-            padata: padata.clone(),
+            options: KdcOptions::empty().with(KdcOptions::FORWARDABLE).with(KdcOptions::RENEWABLE),
+            padata,
         };
-        let reply = net.rpc(client_ep, kdc_ep, probe.encode(config.codec))?;
-        let err = KrbErrorMsg::decode(config.codec, &reply)
-            .map_err(|_| KrbError::Remote("expected a login challenge".into()))?;
-        let r = err.challenge.ok_or(KrbError::Remote("KDC sent no challenge".into()))?;
-        let kprime = match (&input, &kc) {
-            (LoginInput::Handheld(device), _) => device(r),
-            (LoginInput::Password(_), Some(kc)) => hha_key(kc, r),
-            _ => return Err(KrbError::Remote("no way to answer challenge".into())),
+        let reply = net.rpc_with_timeout(client_ep, kdc_ep, req.encode(config.codec), timeout)?;
+        check_error(config, &reply).map_err(|e| reply_transient(net, e))?;
+        let rep = AsRep::decode(config.codec, &reply).map_err(|e| reply_transient(net, e))?;
+
+        // Peel the DH layer if present.
+        let inner = if let (Some(kp), Some(server_pub)) = (&dh_keypair, &rep.dh_public) {
+            let their = krb_crypto::bignum::BigUint::from_bytes_be(server_pub);
+            let secret = dh_group
+                .shared_secret(&their, &kp.private)
+                .map_err(|e| reply_transient(net, KrbError::from(e)))?;
+            let dh_key = DhGroup::derive_key(&secret);
+            config
+                .ticket_layer
+                .open(&dh_key, 0, &rep.enc_part)
+                .map_err(|e| reply_transient(net, KrbError::from(e)))?
+        } else if config.dh_login {
+            return Err(reply_transient(net, KrbError::Remote("KDC did not complete key exchange".into())));
+        } else {
+            rep.enc_part.clone()
         };
-        let now = client_local_time_us(net, client_ep)?;
-        let blob = config.ticket_layer.seal(&kprime, 0, &now.to_be_bytes(), rng)?;
-        padata.push(PaData::EncTimestamp(blob));
-        hha_response_key = Some(kprime);
-    } else if config.preauth == PreauthMode::EncTimestamp {
-        // Plain preauthentication: {local time}K_c.
-        if let Some(kc) = &kc {
-            let now = client_local_time_us(net, client_ep)?;
-            let blob = config.ticket_layer.seal(kc, 0, &now.to_be_bytes(), rng)?;
-            padata.push(PaData::EncTimestamp(blob));
+
+        // Choose the unsealing key: {R}K_c (already computed during the
+        // challenge round) or K_c.
+        let unseal_key = match (&hha_response_key, &kc) {
+            (Some(k), _) => *k,
+            (None, Some(kc)) => *kc,
+            (None, None) => {
+                return Err(AttemptErr::Fatal(KrbError::Remote(
+                    "handheld login needs a challenge from the KDC".into(),
+                )))
+            }
+        };
+
+        let part_bytes = config
+            .ticket_layer
+            .open(&unseal_key, 0, &inner)
+            .map_err(|e| reply_transient(net, KrbError::from(e)))?;
+        let part = EncKdcRepPart::decode(config.codec, MsgType::EncAsRepPart, &part_bytes)
+            .map_err(|e| reply_transient(net, e))?;
+        // Nonce echo: the KDC proved knowledge of K_c *now* — server-to-
+        // client authentication without trusting the workstation clock.
+        // Under faults this is also what rejects a stale reply from a
+        // different exchange that a duplication or reordering surfaced.
+        if part.nonce != nonce {
+            return Err(reply_transient(net, KrbError::Remote("AS reply nonce mismatch".into())));
         }
-    }
 
-    // Athena-style default: request forwardable + renewable TGTs.
-    let req = AsReq {
-        client: client.clone(),
-        service: Principal::tgs(&client.realm),
-        nonce,
-        lifetime_us: config.ticket_lifetime_us,
-        addr: client_ep.addr.0,
-        options: KdcOptions::empty().with(KdcOptions::FORWARDABLE).with(KdcOptions::RENEWABLE),
-        padata,
-    };
-    let reply = net.rpc(client_ep, kdc_ep, req.encode(config.codec))?;
-    check_error(config, &reply)?;
-    let rep = AsRep::decode(config.codec, &reply)?;
-
-    // Peel the DH layer if present.
-    let inner = if let (Some(kp), Some(server_pub)) = (&dh_keypair, &rep.dh_public) {
-        let their = krb_crypto::bignum::BigUint::from_bytes_be(server_pub);
-        let secret = dh_group.shared_secret(&their, &kp.private)?;
-        let dh_key = DhGroup::derive_key(&secret);
-        config.ticket_layer.open(&dh_key, 0, &rep.enc_part)?
-    } else if config.dh_login {
-        return Err(KrbError::Remote("KDC did not complete key exchange".into()));
-    } else {
-        rep.enc_part.clone()
-    };
-
-    // Choose the unsealing key: {R}K_c (already computed during the
-    // challenge round) or K_c.
-    let unseal_key = match (&hha_response_key, &kc) {
-        (Some(k), _) => *k,
-        (None, Some(kc)) => *kc,
-        (None, None) => {
-            return Err(KrbError::Remote("handheld login needs a challenge from the KDC".into()))
-        }
-    };
-
-    let part_bytes = config.ticket_layer.open(&unseal_key, 0, &inner)?;
-    let part = EncKdcRepPart::decode(config.codec, MsgType::EncAsRepPart, &part_bytes)?;
-    // Nonce echo: the KDC proved knowledge of K_c *now* — server-to-
-    // client authentication without trusting the workstation clock.
-    if part.nonce != nonce {
-        return Err(KrbError::Remote("AS reply nonce mismatch".into()));
-    }
-
-    Ok(Credential {
-        client: client.clone(),
-        service: Principal::tgs(&client.realm),
-        sealed_ticket: part.ticket,
-        session_key: part.session_key,
-        end_time: part.end_time,
+        Ok(Credential {
+            client: client.clone(),
+            service: Principal::tgs(&client.realm),
+            sealed_ticket: part.ticket,
+            session_key: part.session_key,
+            end_time: part.end_time,
+        })
     })
 }
 
@@ -207,57 +260,89 @@ pub fn get_service_ticket(
     params: TgsParams,
     rng: &mut dyn RandomSource,
 ) -> Result<Credential, KrbError> {
+    get_service_ticket_at(net, config, client_ep, &[kdc_ep], tgt, service, params, rng)
+}
+
+/// [`get_service_ticket`] with replica failover: walks `kdcs`
+/// round-robin across retry attempts. The request nonce is fixed (it
+/// matches replies to this exchange); the authenticator is re-stamped
+/// and re-sealed fresh per attempt.
+#[allow(clippy::too_many_arguments)]
+pub fn get_service_ticket_at(
+    net: &mut Network,
+    config: &ProtocolConfig,
+    client_ep: Endpoint,
+    kdcs: &[Endpoint],
+    tgt: &Credential,
+    service: &Principal,
+    params: TgsParams,
+    rng: &mut dyn RandomSource,
+) -> Result<Credential, KrbError> {
+    assert!(!kdcs.is_empty(), "need at least one KDC endpoint");
     let nonce = rng.next_u64();
-    let now = client_local_time_us(net, client_ep)?;
+    let timeout = Some(SimDuration(config.retry.timeout_us));
+    // Full per-server budget times the replica count, as in `login_at`.
+    let mut policy = config.retry;
+    policy.attempts = policy.attempts.saturating_mul(kdcs.len() as u32);
 
-    // Build the request body first so the authenticator can seal a
-    // checksum over it.
-    let mut req = TgsReq {
-        tgt: tgt.sealed_ticket.clone(),
-        authenticator: Vec::new(),
-        service: service.clone(),
-        options: params.options,
-        nonce,
-        lifetime_us: config.ticket_lifetime_us,
-        additional_ticket: params.additional_ticket,
-        forward_addr: params.forward_addr,
-        authz_data: params.authz_data,
-    };
-    let key_opt = config.checksum.is_keyed().then_some(&tgt.session_key);
-    let cksum = checksum::compute(config.checksum, key_opt, &req.checksum_body())?;
+    retry::run(net, &policy, nonce, |net, attempt| {
+        let kdc_ep = kdcs[attempt as usize % kdcs.len()];
+        let now = client_local_time_us(net, client_ep)?;
 
-    let auth = Authenticator {
-        client: tgt.client.clone(),
-        addr: client_ep.addr.0,
-        timestamp: now,
-        cksum: Some(cksum),
-        service_binding: config.service_binding.then(|| service.clone()),
-        subkey: None,
-        seq_init: None,
-    };
-    req.authenticator = auth.seal(config.codec, config.ticket_layer, &tgt.session_key, rng)?;
+        // Build the request body first so the authenticator can seal a
+        // checksum over it.
+        let mut req = TgsReq {
+            tgt: tgt.sealed_ticket.clone(),
+            authenticator: Vec::new(),
+            service: service.clone(),
+            options: params.options,
+            nonce,
+            lifetime_us: config.ticket_lifetime_us,
+            additional_ticket: params.additional_ticket.clone(),
+            forward_addr: params.forward_addr,
+            authz_data: params.authz_data.clone(),
+        };
+        let key_opt = config.checksum.is_keyed().then_some(&tgt.session_key);
+        let cksum = checksum::compute(config.checksum, key_opt, &req.checksum_body())?;
 
-    let reply = net.rpc(client_ep, kdc_ep, req.encode(config.codec))?;
-    check_error(config, &reply)?;
-    let rep = TgsRep::decode(config.codec, &reply)?;
-    let part_bytes = config.ticket_layer.open(&tgt.session_key, 0, &rep.enc_part)?;
-    let part = EncKdcRepPart::decode(config.codec, MsgType::EncTgsRepPart, &part_bytes)?;
-    if part.nonce != nonce {
-        return Err(KrbError::Remote("TGS reply nonce mismatch".into()));
-    }
-    // Recommendation (c): verify the collision-proof checksum binding
-    // the sealed ticket to this reply, if the deployment provides it.
-    if let Some(c) = &part.ticket_cksum {
-        let key_opt = c.ctype.is_keyed().then_some(&tgt.session_key);
-        checksum::verify(c, key_opt, &part.ticket).map_err(|_| KrbError::BadChecksum)?;
-    }
+        let auth = Authenticator {
+            client: tgt.client.clone(),
+            addr: client_ep.addr.0,
+            timestamp: now,
+            cksum: Some(cksum),
+            service_binding: config.service_binding.then(|| service.clone()),
+            subkey: None,
+            seq_init: None,
+        };
+        req.authenticator = auth.seal(config.codec, config.ticket_layer, &tgt.session_key, rng)?;
 
-    Ok(Credential {
-        client: tgt.client.clone(),
-        service: service.clone(),
-        sealed_ticket: part.ticket,
-        session_key: part.session_key,
-        end_time: part.end_time,
+        let reply = net.rpc_with_timeout(client_ep, kdc_ep, req.encode(config.codec), timeout)?;
+        check_error(config, &reply).map_err(|e| reply_transient(net, e))?;
+        let rep = TgsRep::decode(config.codec, &reply).map_err(|e| reply_transient(net, e))?;
+        let part_bytes = config
+            .ticket_layer
+            .open(&tgt.session_key, 0, &rep.enc_part)
+            .map_err(|e| reply_transient(net, KrbError::from(e)))?;
+        let part = EncKdcRepPart::decode(config.codec, MsgType::EncTgsRepPart, &part_bytes)
+            .map_err(|e| reply_transient(net, e))?;
+        if part.nonce != nonce {
+            return Err(reply_transient(net, KrbError::Remote("TGS reply nonce mismatch".into())));
+        }
+        // Recommendation (c): verify the collision-proof checksum binding
+        // the sealed ticket to this reply, if the deployment provides it.
+        if let Some(c) = &part.ticket_cksum {
+            let key_opt = c.ctype.is_keyed().then_some(&tgt.session_key);
+            checksum::verify(c, key_opt, &part.ticket)
+                .map_err(|_| reply_transient(net, KrbError::BadChecksum))?;
+        }
+
+        Ok(Credential {
+            client: tgt.client.clone(),
+            service: service.clone(),
+            sealed_ticket: part.ticket,
+            session_key: part.session_key,
+            end_time: part.end_time,
+        })
     })
 }
 

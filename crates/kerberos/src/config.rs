@@ -49,6 +49,54 @@ pub enum AppProtection {
     Priv,
 }
 
+/// Client-side timeout/retry discipline for KDC and AP exchanges.
+///
+/// Defaults are sized for the simulated campus network: enough attempts
+/// to ride out ≥10% loss on every leg, exponential backoff so a crashed
+/// server is not hammered, and *deterministic* jitter (derived from the
+/// exchange nonce, not a clock) so runs replay exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per logical exchange (first try included).
+    pub attempts: u32,
+    /// Patience per attempt before declaring a timeout, µs.
+    pub timeout_us: u64,
+    /// Backoff before the second attempt, µs; doubles each retry.
+    pub backoff_base_us: u64,
+    /// Ceiling on any single backoff, µs.
+    pub backoff_cap_us: u64,
+}
+
+impl RetryPolicy {
+    /// The standard policy used by every preset.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            attempts: 6,
+            timeout_us: 1_000_000,
+            backoff_base_us: 200_000,
+            backoff_cap_us: 5_000_000,
+        }
+    }
+
+    /// Backoff delay before retry number `attempt` (1-based: the wait
+    /// after the `attempt`-th failure), with deterministic jitter mixed
+    /// in from `jitter_seed` so concurrent clients don't retry in
+    /// lockstep yet every run replays byte-for-byte.
+    pub fn delay_us(&self, attempt: u32, jitter_seed: u64) -> u64 {
+        let exp = self
+            .backoff_base_us
+            .checked_shl(attempt.saturating_sub(1).min(20))
+            .unwrap_or(u64::MAX)
+            .min(self.backoff_cap_us);
+        // SplitMix-style hash of (seed, attempt) for the jitter.
+        let mut z = jitter_seed ^ (u64::from(attempt)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        // Jitter in [0, exp/2): full backoff plus up to 50% extra.
+        exp + if exp > 1 { z % (exp / 2).max(1) } else { 0 }
+    }
+}
+
 /// A complete protocol deployment configuration.
 #[derive(Clone, Debug)]
 pub struct ProtocolConfig {
@@ -112,6 +160,15 @@ pub struct ProtocolConfig {
     pub kdc_rate_limit: Option<u32>,
     /// Post-authentication application data protection.
     pub app_protection: AppProtection,
+    /// Client timeout/retry/failover discipline.
+    pub retry: RetryPolicy,
+    /// Whether servers persist their replay caches across restarts
+    /// (snapshot + fail-closed window). Off = the V4 reality: a volatile
+    /// cache that forgets everything on reboot.
+    pub persist_replay_cache: bool,
+    /// How often a dirty replay cache is snapshotted to stable storage,
+    /// µs.
+    pub replay_snapshot_interval_us: u64,
 }
 
 impl ProtocolConfig {
@@ -141,6 +198,9 @@ impl ProtocolConfig {
             clock_skew_us: 5 * 60 * 1_000_000,
             kdc_rate_limit: None,
             app_protection: AppProtection::Plain,
+            retry: RetryPolicy::standard(),
+            persist_replay_cache: false,
+            replay_snapshot_interval_us: 60_000_000,
         }
     }
 
@@ -171,6 +231,9 @@ impl ProtocolConfig {
             clock_skew_us: 5 * 60 * 1_000_000,
             kdc_rate_limit: None,
             app_protection: AppProtection::Priv,
+            retry: RetryPolicy::standard(),
+            persist_replay_cache: false,
+            replay_snapshot_interval_us: 60_000_000,
         }
     }
 
@@ -200,6 +263,9 @@ impl ProtocolConfig {
             clock_skew_us: 5 * 60 * 1_000_000,
             kdc_rate_limit: Some(32),
             app_protection: AppProtection::Priv,
+            retry: RetryPolicy::standard(),
+            persist_replay_cache: true,
+            replay_snapshot_interval_us: 60_000_000,
         }
     }
 
@@ -232,5 +298,15 @@ mod tests {
     #[test]
     fn skew_is_five_minutes() {
         assert_eq!(ProtocolConfig::v4().clock_skew_us, 300_000_000);
+    }
+
+    #[test]
+    fn retry_backoff_grows_deterministically_and_caps() {
+        let p = RetryPolicy::standard();
+        assert!(p.delay_us(2, 42) > p.delay_us(1, 42) / 2, "roughly doubling");
+        // Cap plus at most 50% jitter, even at absurd attempt counts.
+        assert!(p.delay_us(40, 42) <= p.backoff_cap_us + p.backoff_cap_us / 2);
+        assert_eq!(p.delay_us(3, 7), p.delay_us(3, 7), "jitter is deterministic");
+        assert_ne!(p.delay_us(3, 7), p.delay_us(3, 8), "jitter varies by seed");
     }
 }

@@ -52,6 +52,17 @@ pub enum KrbError {
     Net(String),
     /// Server-side failure with a protocol error message attached.
     Remote(String),
+    /// Every attempt in the retry budget failed; `last` is the final
+    /// attempt's error.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last attempt's error, rendered.
+        last: String,
+    },
+    /// The server is inside its fail-closed startup window and cannot
+    /// prove the request is not a replay; retry with fresh material.
+    FailClosed,
 }
 
 impl fmt::Display for KrbError {
@@ -78,6 +89,12 @@ impl fmt::Display for KrbError {
             KrbError::Crypto(e) => write!(f, "crypto failure: {e}"),
             KrbError::Net(e) => write!(f, "network failure: {e}"),
             KrbError::Remote(e) => write!(f, "remote error: {e}"),
+            KrbError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last error: {last}")
+            }
+            KrbError::FailClosed => {
+                write!(f, "server fail-closed (post-restart window); retry later")
+            }
         }
     }
 }

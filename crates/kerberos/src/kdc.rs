@@ -64,6 +64,13 @@ pub struct Kdc {
     pending_hha: HashMap<(Principal, u32), u64>,
     /// Audit log of issued tickets.
     pub issued: Vec<IssueRecord>,
+    /// Simulated stable storage: the last replay-cache snapshot. This
+    /// field survives a crash window (unlike every volatile structure
+    /// cleared by `on_restart`) precisely because it models the disk.
+    disk: Option<Vec<u8>>,
+    last_snapshot_us: u64,
+    /// Restarts observed (crash windows ridden out).
+    pub restarts: u32,
 }
 
 impl Kdc {
@@ -86,6 +93,20 @@ impl Kdc {
             preauth_cache: ReplayCache::new(skew),
             pending_hha: HashMap::new(),
             issued: Vec::new(),
+            disk: None,
+            last_snapshot_us: 0,
+            restarts: 0,
+        }
+    }
+
+    /// Snapshots the preauth replay cache to "disk" when the configured
+    /// interval has elapsed.
+    fn maybe_snapshot(&mut self, now_us: u64) {
+        if self.config.persist_replay_cache
+            && now_us.saturating_sub(self.last_snapshot_us) >= self.config.replay_snapshot_interval_us
+        {
+            self.disk = Some(self.preauth_cache.snapshot(now_us));
+            self.last_snapshot_us = now_us;
         }
     }
 
@@ -118,7 +139,10 @@ impl Kdc {
         })
     }
 
-    /// Verifies a `{timestamp}key` preauthentication blob.
+    /// Verifies a `{timestamp}key` preauthentication blob. Checks the
+    /// replay cache WITHOUT recording: the blob is committed only when
+    /// the whole request succeeds, so a request that fails later cannot
+    /// poison a legitimate retry.
     fn check_preauth_blob(&mut self, blob: &[u8], key: &DesKey, now_us: u64) -> Result<(), KrbError> {
         let pt = self
             .config
@@ -132,10 +156,11 @@ impl Kdc {
         if ts.abs_diff(now_us) > self.config.clock_skew_us {
             return Err(KrbError::PreauthFailed);
         }
-        if self.preauth_cache.offer(blob, now_us) == CacheVerdict::Replayed {
-            return Err(KrbError::Replay);
+        match self.preauth_cache.check(blob, ts, now_us) {
+            CacheVerdict::Replayed => Err(KrbError::Replay),
+            CacheVerdict::FailClosed => Err(KrbError::FailClosed),
+            CacheVerdict::Fresh => Ok(()),
         }
-        Ok(())
     }
 
     /// Handles KRB_AS_REQ.
@@ -155,6 +180,11 @@ impl Kdc {
             return self.error(err_code::UNKNOWN_PRINCIPAL, "no such service");
         }
 
+        // A preauth blob that passes `check` is remembered here and
+        // committed to the replay cache only once the whole exchange
+        // succeeds.
+        let mut commit_blob: Option<Vec<u8>> = None;
+
         // Handheld-authenticator login is a two-round exchange: the KDC
         // issues a challenge R, and the client proves possession of
         // {R}K_c by sealing a preauthentication timestamp with it. The
@@ -163,8 +193,20 @@ impl Kdc {
         let hha_key_used: Option<(u64, DesKey)> = if self.config.hha_login {
             match Self::preauth_blob(&req) {
                 None => {
-                    let r = self.rng.next_u64();
-                    self.pending_hha.insert((req.client.clone(), from.addr.0), r);
+                    // Challenge issuance is idempotent per (client,
+                    // addr): a retransmitted or duplicated probe gets
+                    // the SAME outstanding R, so a late duplicate on a
+                    // lossy wire cannot invalidate the challenge the
+                    // client is busy answering.
+                    let key = (req.client.clone(), from.addr.0);
+                    let r = match self.pending_hha.get(&key) {
+                        Some(r) => *r,
+                        None => {
+                            let r = self.rng.next_u64();
+                            self.pending_hha.insert(key, r);
+                            r
+                        }
+                    };
                     return KrbErrorMsg {
                         code: err_code::PREAUTH_REQUIRED,
                         text: "respond to login challenge".into(),
@@ -173,15 +215,21 @@ impl Kdc {
                     .encode(self.config.codec);
                 }
                 Some(blob) => {
-                    let Some(r) = self.pending_hha.remove(&(req.client.clone(), from.addr.0)) else {
+                    let key = (req.client.clone(), from.addr.0);
+                    let Some(r) = self.pending_hha.get(&key).copied() else {
                         return self.error(err_code::PREAUTH_FAILED, "no challenge outstanding");
                     };
                     let kprime = hha_key(&client_entry.key, r);
                     if let Err(e) = self.check_preauth_blob(&blob, &kprime, now_us) {
-                        let code =
-                            if e == KrbError::Replay { err_code::REPLAY } else { err_code::PREAUTH_FAILED };
-                        return self.error(code, &e.to_string());
+                        // The challenge stays outstanding: a stale
+                        // duplicate of an EARLIER response must not
+                        // consume the R the honest client is about to
+                        // answer. Guessing against a standing R is
+                        // rate-limited like everything else.
+                        return self.preauth_error(e);
                     }
+                    self.pending_hha.remove(&key);
+                    commit_blob = Some(blob);
                     Some((r, kprime))
                 }
             }
@@ -192,9 +240,9 @@ impl Kdc {
                     return self.error(err_code::PREAUTH_REQUIRED, "preauthentication required");
                 };
                 if let Err(e) = self.check_preauth_blob(&blob, &client_entry.key, now_us) {
-                    let code = if e == KrbError::Replay { err_code::REPLAY } else { err_code::PREAUTH_FAILED };
-                    return self.error(code, &e.to_string());
+                    return self.preauth_error(e);
                 }
+                commit_blob = Some(blob);
             }
             None
         };
@@ -283,8 +331,24 @@ impl Kdc {
             (None, inner)
         };
 
+        // Every check passed: only now does the preauth blob enter the
+        // replay cache (and, on its schedule, the on-disk snapshot).
+        if let Some(blob) = &commit_blob {
+            self.preauth_cache.commit(blob, now_us);
+            self.maybe_snapshot(now_us);
+        }
         self.issued.push(IssueRecord { client: req.client, service: req.service, at_us: now_us });
         AsRep { challenge_r, dh_public, enc_part }.encode(self.config.codec)
+    }
+
+    /// Renders a preauthentication failure as the right KRB_ERROR.
+    fn preauth_error(&self, e: KrbError) -> Vec<u8> {
+        let code = match e {
+            KrbError::Replay => err_code::REPLAY,
+            KrbError::FailClosed => err_code::TRY_LATER,
+            _ => err_code::PREAUTH_FAILED,
+        };
+        self.error(code, &e.to_string())
     }
 
     /// Attempts to unseal a presented TGT under the realm TGS key or any
@@ -572,6 +636,28 @@ impl Service for Kdc {
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         Some(self)
+    }
+
+    /// A crash window ended: volatile state (challenges, rate counters,
+    /// and — without persistence — the preauth replay cache) is gone.
+    /// With persistence the cache restores from the last snapshot and
+    /// fail-closes the gap since it was taken.
+    fn on_restart(&mut self, ctx: &mut ServiceCtx) {
+        let boot_us = ctx.local_time.0;
+        let skew = self.config.clock_skew_us;
+        self.pending_hha.clear();
+        self.req_counts.clear();
+        self.restarts += 1;
+        self.preauth_cache = if self.config.persist_replay_cache {
+            self.disk
+                .as_deref()
+                .and_then(|b| ReplayCache::restore(b, boot_us))
+                .unwrap_or_else(|| ReplayCache::boot_fresh(skew, boot_us))
+        } else {
+            // The V4 reality: a volatile cache that forgets every live
+            // authenticator on reboot.
+            ReplayCache::new(skew)
+        };
     }
 }
 

@@ -36,14 +36,17 @@ pub mod kdc;
 pub mod messages;
 pub mod principal;
 pub mod replay_cache;
+pub mod retry;
 pub mod services;
 pub mod session;
 pub mod testbed;
 pub mod ticket;
 
 pub use authenticator::Authenticator;
-pub use client::{get_service_ticket, login, Credential, LoginInput, TgsParams};
-pub use config::{AppProtection, AuthStyle, Freshness, PreauthMode, ProtocolConfig};
+pub use client::{
+    get_service_ticket, get_service_ticket_at, login, login_at, Credential, LoginInput, TgsParams,
+};
+pub use config::{AppProtection, AuthStyle, Freshness, PreauthMode, ProtocolConfig, RetryPolicy};
 pub use error::KrbError;
 pub use kdc::{Kdc, KDC_PORT};
 pub use principal::Principal;

@@ -508,6 +508,9 @@ pub mod err_code {
     pub const INTEGRITY: u32 = 9;
     /// Rate limit exceeded.
     pub const RATE_LIMITED: u32 = 10;
+    /// Transient server condition (e.g. the fail-closed startup window
+    /// after a restart): the client should retry with fresh material.
+    pub const TRY_LATER: u32 = 11;
 }
 
 /// KRB_ERROR.

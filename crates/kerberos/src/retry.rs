@@ -1,0 +1,230 @@
+//! Client-side retry with exponential backoff, deterministic jitter,
+//! and replica failover.
+//!
+//! Real Kerberos clients sit on lossy UDP and talk to a master KDC plus
+//! replicated slaves; ours sat on a perfect wire with single-shot
+//! exchanges. This module is the thin harness that turns a one-shot
+//! exchange closure into a bounded-retry loop driven by
+//! [`crate::config::RetryPolicy`]:
+//!
+//! - Each attempt gets a fresh timeout window; between attempts the
+//!   client backs off exponentially with jitter derived from the
+//!   exchange nonce (never from a wall clock), so every run replays
+//!   byte-for-byte.
+//! - Attempt errors are split into [`AttemptErr::Transient`] (worth
+//!   retrying: the network ate something, the server is mid-restart)
+//!   and [`AttemptErr::Fatal`] (a real protocol verdict: wrong
+//!   password, replay detected, policy denial).
+//! - Failover is the *caller's* loop: callers pass a target list and
+//!   pick `targets[attempt % targets.len()]` per attempt, walking the
+//!   replica set the way a real client walks its krb.conf KDC list.
+//!
+//! The transient/fatal split has a security-relevant subtlety: on a
+//! perfect network, a reply that fails to decode or verify is *evidence*
+//! (of an attack, of a wrong password) and must surface immediately —
+//! attacks distinguish configurations by exactly these failures. Only
+//! when a fault plan is installed can a garbled reply be the network's
+//! doing, so [`reply_transient`] consults
+//! [`simnet::Network::faults_enabled`] before reclassifying.
+
+use crate::config::RetryPolicy;
+use crate::error::KrbError;
+use simnet::{NetError, Network, SimDuration};
+
+/// One attempt's failure, classified for the retry loop.
+#[derive(Clone, Debug)]
+pub enum AttemptErr {
+    /// Worth retrying: loss, timeout, crash window, fail-closed server.
+    Transient(KrbError),
+    /// A definitive protocol outcome; retrying cannot change it.
+    Fatal(KrbError),
+}
+
+impl AttemptErr {
+    /// The underlying error, either way.
+    pub fn into_inner(self) -> KrbError {
+        match self {
+            AttemptErr::Transient(e) | AttemptErr::Fatal(e) => e,
+        }
+    }
+}
+
+impl From<NetError> for AttemptErr {
+    fn from(e: NetError) -> Self {
+        match e {
+            // The environment ate a datagram or the host is rebooting:
+            // retry. `ReplyLost` is ambiguous (the server DID process
+            // the request) — callers must only retry exchanges that are
+            // idempotent or freshly re-stamped.
+            NetError::Dropped | NetError::ReplyLost | NetError::TimedOut | NetError::HostDown(_) => {
+                AttemptErr::Transient(KrbError::Net(e.to_string()))
+            }
+            // Config errors (no such host/port): retrying is hopeless.
+            NetError::NoRoute(_) | NetError::PortClosed(_) | NetError::NoReply => {
+                AttemptErr::Fatal(KrbError::Net(e.to_string()))
+            }
+        }
+    }
+}
+
+impl From<KrbError> for AttemptErr {
+    fn from(e: KrbError) -> Self {
+        match e {
+            // The server said "try later" (fail-closed startup window).
+            KrbError::FailClosed => AttemptErr::Transient(KrbError::FailClosed),
+            other => AttemptErr::Fatal(other),
+        }
+    }
+}
+
+impl From<krb_crypto::CryptoError> for AttemptErr {
+    fn from(e: krb_crypto::CryptoError) -> Self {
+        AttemptErr::Fatal(KrbError::from(e))
+    }
+}
+
+/// Classifies a *reply-processing* failure: transient when an installed
+/// fault plan could have garbled the reply (corruption, stale
+/// duplicates), fatal on a perfect network where the failure is genuine
+/// evidence. [`KrbError::FailClosed`] is transient either way.
+pub fn reply_transient(net: &Network, e: KrbError) -> AttemptErr {
+    if matches!(e, KrbError::FailClosed) || net.faults_enabled() {
+        AttemptErr::Transient(e)
+    } else {
+        AttemptErr::Fatal(e)
+    }
+}
+
+/// Runs `attempt` up to `policy.attempts` times. The closure receives
+/// the network and the 0-based attempt number (callers use it to pick a
+/// replica and to re-stamp per-attempt material). Between transient
+/// failures the simulated clock advances by the policy's backoff, and
+/// held datagrams get a chance to land.
+///
+/// On a network with NO fault plan installed the budget collapses to a
+/// single attempt and the attempt's own error propagates unchanged:
+/// perfect-wire runs (every existing test, table, and attack trace) are
+/// byte-for-byte identical to the pre-retry implementation.
+pub fn run<T>(
+    net: &mut Network,
+    policy: &RetryPolicy,
+    jitter_seed: u64,
+    mut attempt: impl FnMut(&mut Network, u32) -> Result<T, AttemptErr>,
+) -> Result<T, KrbError> {
+    let budget = if net.faults_enabled() { policy.attempts.max(1) } else { 1 };
+    let mut last: Option<KrbError> = None;
+    for a in 0..budget {
+        match attempt(net, a) {
+            Ok(v) => return Ok(v),
+            Err(AttemptErr::Fatal(e)) => return Err(e),
+            Err(AttemptErr::Transient(e)) => {
+                last = Some(e);
+                if a + 1 < budget {
+                    net.advance(SimDuration(policy.delay_us(a + 1, jitter_seed)));
+                    net.pump();
+                }
+            }
+        }
+    }
+    if budget == 1 {
+        // Single-shot semantics: surface the attempt's raw error.
+        return Err(last.unwrap_or(KrbError::Net("no attempt ran".into())));
+    }
+    Err(KrbError::RetriesExhausted {
+        attempts: budget,
+        last: last.map(|e| e.to_string()).unwrap_or_default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+
+    #[test]
+    fn first_success_wins() {
+        let mut net = Network::new();
+        let r = run(&mut net, &policy(), 1, |_, a| Ok::<u32, AttemptErr>(a));
+        assert_eq!(r.unwrap(), 0);
+    }
+
+    #[test]
+    fn transient_retries_then_succeeds() {
+        let mut net = Network::new();
+        net.set_fault_plan(simnet::FaultPlan::new(1));
+        let t0 = net.now();
+        let r = run(&mut net, &policy(), 1, |_, a| {
+            if a < 2 {
+                Err(AttemptErr::from(NetError::Dropped))
+            } else {
+                Ok(a)
+            }
+        });
+        assert_eq!(r.unwrap(), 2);
+        assert!(net.now() > t0, "backoff advanced the clock");
+    }
+
+    #[test]
+    fn fatal_short_circuits() {
+        let mut net = Network::new();
+        let mut calls = 0;
+        let r: Result<(), _> = run(&mut net, &policy(), 1, |_, _| {
+            calls += 1;
+            Err(AttemptErr::Fatal(KrbError::Replay))
+        });
+        assert_eq!(r, Err(KrbError::Replay));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_last_error() {
+        let mut net = Network::new();
+        net.set_fault_plan(simnet::FaultPlan::new(1));
+        let r: Result<(), _> = run(&mut net, &policy(), 1, |_, _| {
+            Err(AttemptErr::from(NetError::TimedOut))
+        });
+        match r {
+            Err(KrbError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, policy().attempts);
+                assert!(last.contains("timed out"), "last = {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_fault_plan_means_single_shot() {
+        let mut net = Network::new();
+        let mut calls = 0;
+        let r: Result<(), _> = run(&mut net, &policy(), 1, |_, _| {
+            calls += 1;
+            Err(AttemptErr::from(NetError::Dropped))
+        });
+        assert_eq!(calls, 1, "no retries on a perfect wire");
+        assert_eq!(r, Err(KrbError::Net(NetError::Dropped.to_string())));
+    }
+
+    #[test]
+    fn reply_failures_fatal_without_faults_transient_with() {
+        let mut net = Network::new();
+        assert!(matches!(
+            reply_transient(&net, KrbError::BadChecksum),
+            AttemptErr::Fatal(_)
+        ));
+        net.set_fault_plan(simnet::FaultPlan::new(1));
+        assert!(matches!(
+            reply_transient(&net, KrbError::BadChecksum),
+            AttemptErr::Transient(_)
+        ));
+        // Fail-closed is transient either way: the server itself asked
+        // for a retry.
+        let clean = Network::new();
+        assert!(matches!(
+            reply_transient(&clean, KrbError::FailClosed),
+            AttemptErr::Transient(_)
+        ));
+    }
+}

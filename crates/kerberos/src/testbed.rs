@@ -26,10 +26,15 @@ pub struct DeployedRealm {
     pub name: String,
     /// Active configuration.
     pub config: ProtocolConfig,
-    /// KDC endpoint.
+    /// KDC endpoint (the master).
     pub kdc_ep: Endpoint,
-    /// KDC host id.
+    /// KDC host id (the master).
     pub kdc_host: HostId,
+    /// Slave-KDC replica endpoints; empty unless
+    /// [`DeployedRealm::add_kdc_replicas`] was called.
+    pub kdc_replica_eps: Vec<Endpoint>,
+    /// Slave-KDC replica host ids.
+    pub kdc_replica_hosts: Vec<HostId>,
     /// user name -> workstation endpoint.
     pub user_eps: HashMap<String, Endpoint>,
     /// user name -> workstation host id.
@@ -119,6 +124,38 @@ impl DeployedRealm {
             .expect("a Kdc");
         f(svc)
     }
+
+    /// Every KDC endpoint, master first: the list a client walks on
+    /// retry, exactly as a real client walks the KDC list in its
+    /// configuration file.
+    pub fn kdc_eps(&self) -> Vec<Endpoint> {
+        let mut eps = vec![self.kdc_ep];
+        eps.extend_from_slice(&self.kdc_replica_eps);
+        eps
+    }
+
+    /// Deploys `n` slave-KDC replicas at `10.<subnet>.0.<249-i>`, each
+    /// holding a propagated copy of the master database and TGS key.
+    /// Kerberos runs read-only slaves precisely so that "an occasional
+    /// server failure" does not take authentication down; replicas here
+    /// serve AS and TGS exchanges identically to the master.
+    pub fn add_kdc_replicas(&mut self, net: &mut Network, n: usize, seed: u64) {
+        let subnet = self.kdc_ep.addr.0.to_be_bytes()[1];
+        let db = self.with_kdc(net, |k| k.db.clone());
+        let config = self.config.clone();
+        for i in 0..n {
+            let addr = Addr::new(10, subnet, 0, 249 - i as u8);
+            let mut host =
+                Host::new(&format!("kerberos-{}.{}", i + 2, self.name), vec![addr]).multi_user();
+            host.bind(
+                KDC_PORT,
+                Box::new(Kdc::new(config.clone(), db.clone(), seed ^ 0x7265_706c ^ (i as u64))),
+            );
+            let hid = net.add_host(host);
+            self.kdc_replica_eps.push(Endpoint::new(addr, KDC_PORT));
+            self.kdc_replica_hosts.push(hid);
+        }
+    }
 }
 
 /// Builds the application logic for a well-known service name.
@@ -152,6 +189,8 @@ pub fn deploy_realm(
         config: config.clone(),
         kdc_ep: Endpoint::new(Addr::new(10, subnet, 0, 250), KDC_PORT),
         kdc_host: HostId(0), // fixed up below
+        kdc_replica_eps: Vec::new(),
+        kdc_replica_hosts: Vec::new(),
         user_eps: HashMap::new(),
         user_hosts: HashMap::new(),
         passwords: HashMap::new(),

@@ -151,7 +151,10 @@ mod tests {
     fn drop_only_one_direction() {
         let (mut net, c, s) = build();
         // Drop replies only: the request reaches the server (side
-        // effects happen) but the client never learns.
+        // effects happen) but the client never learns. The caller must
+        // see this as the ambiguous `ReplyLost`, not `Dropped` — retry
+        // logic that treats it as "never sent" would violate
+        // at-most-once semantics.
         net.set_tap(Box::new(ScriptedTap::new(|d: &mut Datagram, _| {
             if d.src.port == 7 {
                 Verdict::Drop
@@ -159,6 +162,6 @@ mod tests {
                 Verdict::Deliver
             }
         })));
-        assert_eq!(net.rpc(c, s, b"x".to_vec()), Err(NetError::Dropped));
+        assert_eq!(net.rpc(c, s, b"x".to_vec()), Err(NetError::ReplyLost));
     }
 }

@@ -1,0 +1,414 @@
+//! Deterministic fault injection: the network as an *environment*
+//! hazard, distinct from the adversary.
+//!
+//! The paper's threat model grants the adversary total control of the
+//! wire, but a real campus network also misbehaves on its own: UDP
+//! datagrams are lost, duplicated, reordered, delayed, and occasionally
+//! corrupted; links partition; servers crash and reboot. A [`FaultPlan`]
+//! is a seeded schedule of exactly those hazards. It composes with the
+//! in-path [`crate::adversary::Tap`] (the tap sees every original
+//! datagram first — faults happen downstream of the wiretap point), and
+//! every fault is annotated in the traffic log.
+//!
+//! Division of powers, by design:
+//!
+//! - **FaultPlan** (the environment): random per-link loss, duplication,
+//!   reordering, delay, bit corruption; scheduled partitions; host
+//!   crash/restart windows. All decisions come from a seeded generator —
+//!   replaying a seed replays the exact fault schedule.
+//! - **Tap / inject** (the adversary): targeted inspection, rewriting,
+//!   dropping, forgery, and replay. Adversary traffic sent through
+//!   [`crate::net::Network::send_oneway`] and
+//!   [`crate::net::Network::inject`] bypasses the fault layer entirely —
+//!   the adversary writes to the wire directly and is not at the mercy
+//!   of last-hop packet loss. Only the query/response path
+//!   ([`crate::net::Network::rpc`]) is faulted.
+
+use crate::clock::SimTime;
+use crate::net::Addr;
+
+/// SplitMix64, inlined so `simnet` stays dependency-free. Same
+/// algorithm as the testkit RNG base, so fault schedules replay from
+/// the same kind of seed.
+#[derive(Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p` (clamped to [0, 1]).
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            // Still consume a draw so toggling one rate does not shift
+            // every later decision in the schedule.
+            self.next();
+            return false;
+        }
+        if p >= 1.0 {
+            self.next();
+            return true;
+        }
+        ((self.next() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, n)`; 0 when `n == 0`.
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next() % n
+    }
+}
+
+/// Per-link fault probabilities and magnitudes. All probabilities are
+/// per-datagram and independent; the first that fires wins, checked in
+/// the order: drop, duplicate, reorder, corrupt, delay.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaults {
+    /// Probability the datagram is silently lost.
+    pub drop: f64,
+    /// Probability the datagram is delivered twice (the copy arrives
+    /// one latency later).
+    pub duplicate: f64,
+    /// Probability the datagram is held back and delivered late, out of
+    /// order with respect to traffic sent after it.
+    pub reorder: f64,
+    /// Probability one payload byte is flipped in transit.
+    pub corrupt: f64,
+    /// Probability the datagram is delayed (but stays in order).
+    pub delay: f64,
+    /// Maximum extra latency for a delayed datagram, µs.
+    pub delay_max_us: u64,
+    /// How long a reordered datagram is held before late delivery, µs.
+    pub reorder_hold_us: u64,
+}
+
+impl LinkFaults {
+    /// A perfect link: no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A uniformly lossy link: `rate` applied to drop, duplication, and
+    /// reordering, with sensible hold/delay magnitudes.
+    pub fn lossy(rate: f64) -> Self {
+        LinkFaults {
+            drop: rate,
+            duplicate: rate,
+            reorder: rate,
+            corrupt: 0.0,
+            delay: 0.0,
+            delay_max_us: 50_000,
+            reorder_hold_us: 40_000,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.drop <= 0.0
+            && self.duplicate <= 0.0
+            && self.reorder <= 0.0
+            && self.corrupt <= 0.0
+            && self.delay <= 0.0
+    }
+}
+
+/// What the fault layer did to a datagram, for traffic-log annotation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Lost in transit.
+    Dropped,
+    /// A duplicate delivery of an earlier datagram.
+    Duplicated,
+    /// Held back and delivered out of order.
+    Reordered,
+    /// Payload corrupted (one byte flipped).
+    Corrupted,
+    /// Delivered in order but late.
+    Delayed,
+    /// Blocked by a scheduled link partition.
+    Partitioned,
+    /// The destination host was crashed at delivery time.
+    HostDown,
+}
+
+/// Lifetime fault counters, for tables and soak reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Datagrams lost.
+    pub dropped: u64,
+    /// Duplicate copies created.
+    pub duplicated: u64,
+    /// Datagrams held for out-of-order delivery.
+    pub reordered: u64,
+    /// Datagrams corrupted.
+    pub corrupted: u64,
+    /// Datagrams delayed in order.
+    pub delayed: u64,
+    /// Datagrams blocked by partitions.
+    pub partitioned: u64,
+    /// Deliveries refused because the host was down.
+    pub host_down: u64,
+    /// Host restarts processed (crash windows that ended).
+    pub restarts: u64,
+}
+
+/// The outcome of one per-datagram decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum FaultDecision {
+    /// Deliver untouched.
+    Deliver,
+    /// Lose it.
+    Drop,
+    /// Deliver it, and also deliver a copy later.
+    Duplicate,
+    /// Hold it for `hold_us`, delivering out of order.
+    Reorder {
+        /// Hold time, µs.
+        hold_us: u64,
+    },
+    /// Flip a payload byte chosen by `noise`.
+    Corrupt {
+        /// Deterministic corruption selector.
+        noise: u64,
+    },
+    /// Deliver after `extra_us` of additional latency.
+    Delay {
+        /// Extra latency, µs.
+        extra_us: u64,
+    },
+}
+
+/// A scheduled crash window: the host at `addr` is unreachable from
+/// `from` until `until`; on the first delivery attempt after `until`
+/// every service on the host observes a restart.
+#[derive(Clone, Debug)]
+struct CrashWindow {
+    addr: Addr,
+    from: SimTime,
+    until: SimTime,
+    restart_pending: bool,
+}
+
+/// A scheduled bidirectional partition between two addresses.
+#[derive(Clone, Debug)]
+struct Partition {
+    a: Addr,
+    b: Addr,
+    from: SimTime,
+    until: SimTime,
+}
+
+/// A seeded, deterministic fault schedule for a [`crate::net::Network`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    rng: SplitMix64,
+    default_faults: LinkFaults,
+    /// Directed (src, dst) overrides, first match wins.
+    links: Vec<((Addr, Addr), LinkFaults)>,
+    partitions: Vec<Partition>,
+    crashes: Vec<CrashWindow>,
+    /// Lifetime counters.
+    pub stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan with no faults anywhere: behaviorally identical to having
+    /// no plan at all (the zero-fault determinism guarantee).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            rng: SplitMix64(seed),
+            default_faults: LinkFaults::none(),
+            links: Vec::new(),
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Sets the fault rates applied to every link without an override.
+    pub fn with_default(mut self, faults: LinkFaults) -> Self {
+        self.default_faults = faults;
+        self
+    }
+
+    /// Overrides the fault rates for the directed link `src -> dst`.
+    pub fn with_link(mut self, src: Addr, dst: Addr, faults: LinkFaults) -> Self {
+        self.links.push(((src, dst), faults));
+        self
+    }
+
+    /// Overrides the fault rates in both directions between two hosts.
+    pub fn with_link_both(self, a: Addr, b: Addr, faults: LinkFaults) -> Self {
+        self.with_link(a, b, faults).with_link(b, a, faults)
+    }
+
+    /// Schedules a bidirectional partition between `a` and `b` during
+    /// `[from, until)`.
+    pub fn partition(mut self, a: Addr, b: Addr, from: SimTime, until: SimTime) -> Self {
+        self.partitions.push(Partition { a, b, from, until });
+        self
+    }
+
+    /// Schedules a crash of the host at `addr` during `[from, until)`.
+    /// While down the host answers nothing; the first delivery attempt
+    /// after `until` triggers [`crate::host::Service::on_restart`] on
+    /// every service bound to the host.
+    pub fn crash(mut self, addr: Addr, from: SimTime, until: SimTime) -> Self {
+        self.crashes.push(CrashWindow { addr, from, until, restart_pending: true });
+        self
+    }
+
+    fn faults_for(&self, src: Addr, dst: Addr) -> LinkFaults {
+        self.links
+            .iter()
+            .find(|((s, d), _)| *s == src && *d == dst)
+            .map(|(_, f)| *f)
+            .unwrap_or(self.default_faults)
+    }
+
+    /// Whether `a <-> b` is partitioned at `now`.
+    pub(crate) fn partitioned(&mut self, a: Addr, b: Addr, now: SimTime) -> bool {
+        let hit = self.partitions.iter().any(|p| {
+            now >= p.from && now < p.until && ((p.a == a && p.b == b) || (p.a == b && p.b == a))
+        });
+        if hit {
+            self.stats.partitioned += 1;
+        }
+        hit
+    }
+
+    /// Whether the host at `addr` is crashed at `now`.
+    pub(crate) fn host_down(&mut self, addr: Addr, now: SimTime) -> bool {
+        let down = self.crashes.iter().any(|c| c.addr == addr && now >= c.from && now < c.until);
+        if down {
+            self.stats.host_down += 1;
+        }
+        down
+    }
+
+    /// Consumes a pending restart for `addr`: true exactly once per
+    /// crash window, on the first call after the window has ended.
+    pub(crate) fn take_restart(&mut self, addr: Addr, now: SimTime) -> bool {
+        let mut fired = false;
+        for c in &mut self.crashes {
+            if c.addr == addr && c.restart_pending && now >= c.until {
+                c.restart_pending = false;
+                fired = true;
+            }
+        }
+        if fired {
+            self.stats.restarts += 1;
+        }
+        fired
+    }
+
+    /// Decides the fate of one datagram on `src -> dst`. Consumes a
+    /// fixed number of random draws per probability so schedules stay
+    /// stable under rate tweaks.
+    pub(crate) fn decide(&mut self, src: Addr, dst: Addr) -> FaultDecision {
+        let f = self.faults_for(src, dst);
+        if f.is_zero() {
+            return FaultDecision::Deliver;
+        }
+        if self.rng.chance(f.drop) {
+            self.stats.dropped += 1;
+            return FaultDecision::Drop;
+        }
+        if self.rng.chance(f.duplicate) {
+            self.stats.duplicated += 1;
+            return FaultDecision::Duplicate;
+        }
+        if self.rng.chance(f.reorder) {
+            self.stats.reordered += 1;
+            let hold = f.reorder_hold_us.max(1);
+            return FaultDecision::Reorder { hold_us: hold / 2 + self.rng.below(hold / 2 + 1) };
+        }
+        if self.rng.chance(f.corrupt) {
+            self.stats.corrupted += 1;
+            return FaultDecision::Corrupt { noise: self.rng.next() };
+        }
+        if self.rng.chance(f.delay) {
+            self.stats.delayed += 1;
+            return FaultDecision::Delay { extra_us: self.rng.below(f.delay_max_us.max(1)) };
+        }
+        FaultDecision::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_always_delivers() {
+        let mut p = FaultPlan::new(42);
+        for _ in 0..1000 {
+            assert_eq!(p.decide(Addr::new(1, 0, 0, 1), Addr::new(1, 0, 0, 2)), FaultDecision::Deliver);
+        }
+        assert_eq!(p.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a_src = Addr::new(10, 0, 0, 1);
+        let a_dst = Addr::new(10, 0, 0, 2);
+        let run = |seed| {
+            let mut p = FaultPlan::new(seed).with_default(LinkFaults::lossy(0.3));
+            (0..200).map(|_| p.decide(a_src, a_dst)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let mut p = FaultPlan::new(1)
+            .with_default(LinkFaults::lossy(1.0))
+            .with_link(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2), LinkFaults::none());
+        // The overridden link never faults; the default link always does.
+        for _ in 0..50 {
+            assert_eq!(p.decide(Addr::new(1, 1, 1, 1), Addr::new(2, 2, 2, 2)), FaultDecision::Deliver);
+            assert_ne!(p.decide(Addr::new(3, 3, 3, 3), Addr::new(4, 4, 4, 4)), FaultDecision::Deliver);
+        }
+    }
+
+    #[test]
+    fn lossy_rates_are_roughly_honored() {
+        let mut p = FaultPlan::new(99).with_default(LinkFaults { drop: 0.2, ..LinkFaults::none() });
+        let n = 10_000;
+        for _ in 0..n {
+            p.decide(Addr::new(1, 0, 0, 1), Addr::new(1, 0, 0, 2));
+        }
+        let rate = p.stats.dropped as f64 / n as f64;
+        assert!((0.17..0.23).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn partition_window_applies_both_directions() {
+        let a = Addr::new(1, 0, 0, 1);
+        let b = Addr::new(1, 0, 0, 2);
+        let mut p = FaultPlan::new(0).partition(a, b, SimTime(100), SimTime(200));
+        assert!(!p.partitioned(a, b, SimTime(99)));
+        assert!(p.partitioned(a, b, SimTime(100)));
+        assert!(p.partitioned(b, a, SimTime(150)));
+        assert!(!p.partitioned(a, b, SimTime(200)));
+    }
+
+    #[test]
+    fn crash_window_and_single_restart() {
+        let h = Addr::new(1, 0, 0, 9);
+        let mut p = FaultPlan::new(0).crash(h, SimTime(10), SimTime(20));
+        assert!(!p.host_down(h, SimTime(9)));
+        assert!(p.host_down(h, SimTime(10)));
+        assert!(!p.take_restart(h, SimTime(15)));
+        assert!(!p.host_down(h, SimTime(20)));
+        assert!(p.take_restart(h, SimTime(20)));
+        assert!(!p.take_restart(h, SimTime(21)), "restart fires exactly once");
+    }
+}

@@ -42,6 +42,12 @@ pub trait Service {
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
+
+    /// Called when the host reboots after a scheduled crash window (see
+    /// [`crate::fault::FaultPlan::crash`]). The default does nothing;
+    /// services with volatile state should clear it here — what survives
+    /// a restart is exactly what the service chose to persist.
+    fn on_restart(&mut self, _ctx: &mut ServiceCtx) {}
 }
 
 /// A machine on the network.

@@ -16,8 +16,14 @@
 //! - **Blind spoofing** — [`stream`] reproduces the 4.2BSD
 //!   predictable-ISN stream layer of Morris '85.
 
+//! - **Environment faults** — a seeded [`fault::FaultPlan`] injects
+//!   loss, duplication, reordering, delay, corruption, partitions, and
+//!   host crash/restart events, deterministically and distinctly from
+//!   the adversary.
+
 pub mod adversary;
 pub mod clock;
+pub mod fault;
 pub mod host;
 pub mod net;
 pub mod stream;
@@ -25,5 +31,6 @@ pub mod time;
 
 pub use adversary::{RecordingTap, ScriptedTap, Tap, Verdict};
 pub use clock::{Clock, SimDuration, SimTime};
+pub use fault::{FaultKind, FaultPlan, FaultStats, LinkFaults};
 pub use host::{Host, HostId, Service, ServiceCtx};
 pub use net::{Addr, Datagram, Endpoint, NetError, Network, TrafficRecord};

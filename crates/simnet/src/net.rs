@@ -9,9 +9,16 @@
 //! wiretap), and can be re-sent later with any source address via
 //! [`Network::inject`] (replay / spoofing). Nothing about a source
 //! address is authenticated, exactly as on a 1990 campus network.
+//!
+//! Independently of the adversary, an optional seeded
+//! [`crate::fault::FaultPlan`] models the *environment*: random loss,
+//! duplication, reordering, delay, corruption, partitions, and host
+//! crashes on the query/response path. See [`crate::fault`] for the
+//! division of powers between the two.
 
 use crate::adversary::{Tap, Verdict};
 use crate::clock::{SimDuration, SimTime};
+use crate::fault::{FaultDecision, FaultKind, FaultPlan};
 use crate::host::{Host, HostId, ServiceCtx};
 use std::collections::HashMap;
 use std::fmt;
@@ -77,6 +84,9 @@ pub struct TrafficRecord {
     pub dgram: Datagram,
     /// Whether this was a request (`true`) or a reply.
     pub is_request: bool,
+    /// What the fault layer did to this datagram, if anything. `None`
+    /// for clean deliveries and for adversary (tap) drops.
+    pub fault: Option<FaultKind>,
 }
 
 /// Network-level errors.
@@ -86,10 +96,22 @@ pub enum NetError {
     NoRoute(Addr),
     /// The destination host has no service on that port.
     PortClosed(Endpoint),
-    /// The in-path adversary dropped the datagram.
+    /// The request was lost before reaching the server: the side effect
+    /// definitely did NOT happen.
     Dropped,
     /// The service did not produce a reply.
     NoReply,
+    /// The request was delivered and processed, but the reply was lost:
+    /// the side effect DID happen. Retry logic must treat this as an
+    /// ambiguous outcome, not "never sent". (A real client cannot tell
+    /// this from [`NetError::Dropped`]; the simulator surfaces the
+    /// distinction so tests can assert at-most-once semantics.)
+    ReplyLost,
+    /// The caller's patience window expired before an answer arrived
+    /// (the datagram may still be delivered later): ambiguous outcome.
+    TimedOut,
+    /// The destination host is crashed (scheduled fault window).
+    HostDown(Addr),
 }
 
 impl fmt::Display for NetError {
@@ -99,11 +121,39 @@ impl fmt::Display for NetError {
             NetError::PortClosed(e) => write!(f, "port closed: {}:{}", e.addr, e.port),
             NetError::Dropped => write!(f, "datagram dropped in transit"),
             NetError::NoReply => write!(f, "no reply from service"),
+            NetError::ReplyLost => write!(f, "reply lost in transit (request was processed)"),
+            NetError::TimedOut => write!(f, "request timed out"),
+            NetError::HostDown(a) => write!(f, "host {a} is down"),
         }
     }
 }
 
 impl std::error::Error for NetError {}
+
+/// How long an undeliverable in-flight datagram survives past its due
+/// time before the simulator discards it.
+const STALE_TTL_US: u64 = 60_000_000;
+
+/// A datagram held by the fault layer: a duplicate copy, a reordered
+/// original, or a reply nobody was waiting for.
+#[derive(Clone, Debug)]
+struct StaleDgram {
+    /// When it becomes deliverable.
+    due: SimTime,
+    dgram: Datagram,
+    is_request: bool,
+    kind: FaultKind,
+}
+
+/// Outcome of one transit leg (tap + fault layer).
+enum LegOutcome {
+    /// Delivered to the destination side.
+    Delivered(Datagram),
+    /// Lost (tap drop, fault drop, or partition).
+    Lost,
+    /// Held by the fault layer for later delivery.
+    Held,
+}
 
 /// The simulated network.
 pub struct Network {
@@ -114,6 +164,10 @@ pub struct Network {
     pub latency: SimDuration,
     tap: Option<Box<dyn Tap>>,
     log: Vec<TrafficRecord>,
+    fault: Option<FaultPlan>,
+    /// Datagrams in flight past their exchange: duplicates, reordered
+    /// originals, and late replies.
+    stale: Vec<StaleDgram>,
 }
 
 impl Default for Network {
@@ -132,6 +186,8 @@ impl Network {
             latency: SimDuration::from_millis(2),
             tap: None,
             log: Vec::new(),
+            fault: None,
+            stale: Vec::new(),
         }
     }
 
@@ -158,6 +214,30 @@ impl Network {
     /// Removes and returns the tap, for inspection of recorded state.
     pub fn take_tap(&mut self) -> Option<Box<dyn Tap>> {
         self.tap.take()
+    }
+
+    /// Installs the environment fault plan (replacing any previous one).
+    /// A plan with all-zero rates and no windows behaves exactly like no
+    /// plan at all.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes and returns the fault plan, e.g. to read its stats.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// Borrows the installed fault plan.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Whether an environment fault plan is installed. Clients use this
+    /// to decide whether a garbled reply could be the network's fault
+    /// (retry) or must be genuine (fail).
+    pub fn faults_enabled(&self) -> bool {
+        self.fault.is_some()
     }
 
     /// The network's true time.
@@ -202,69 +282,280 @@ impl Network {
 
     /// Sends `payload` from `from` to `to` and waits for the (single)
     /// reply: the universal query/response primitive. Both directions
-    /// cross the adversary.
+    /// cross the adversary and the fault layer.
     pub fn rpc(&mut self, from: Endpoint, to: Endpoint, payload: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        self.rpc_with_timeout(from, to, payload, None)
+    }
+
+    /// [`Network::rpc`] with an explicit patience window: if more than
+    /// `timeout` elapses before the reply is in hand (delay faults), the
+    /// caller gives up with [`NetError::TimedOut`] and the reply — if
+    /// one is still in flight — may surface during a later exchange.
+    pub fn rpc_with_timeout(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        payload: Vec<u8>,
+        timeout: Option<SimDuration>,
+    ) -> Result<Vec<u8>, NetError> {
+        let start = self.true_time;
+        if self.fault.is_some() {
+            // Datagrams held from earlier exchanges arrive first.
+            self.pump();
+        }
         let request = Datagram { src: from, dst: to, payload };
-        let reply = self.deliver(request, true)?.ok_or(NetError::NoReply)?;
-        // The reply crosses the wire too.
-        match self.transit(reply, false)? {
-            Some(d) => Ok(d.payload),
-            None => Err(NetError::Dropped),
+        let delivered = match self.transit(request, true, true) {
+            LegOutcome::Delivered(d) => d,
+            LegOutcome::Lost => return Err(NetError::Dropped),
+            // The request is still in flight; its fate is unknown.
+            LegOutcome::Held => return Err(NetError::TimedOut),
+        };
+        let reply = self.dispatch(delivered)?.ok_or(NetError::NoReply)?;
+        match self.transit(reply, false, true) {
+            LegOutcome::Delivered(d) => {
+                if let Some(t) = timeout {
+                    if self.true_time.0.saturating_sub(start.0) > t.0 {
+                        // Too late: the caller already gave up; the
+                        // reply stays in flight.
+                        self.stale.push(StaleDgram {
+                            due: self.true_time,
+                            dgram: d,
+                            is_request: false,
+                            kind: FaultKind::Delayed,
+                        });
+                        return Err(NetError::TimedOut);
+                    }
+                }
+                // The awaited reply arrived: older duplicates still in
+                // flight stay queued (the caller reads until it sees a
+                // matching reply, discarding strays).
+                Ok(d.payload)
+            }
+            outcome @ (LegOutcome::Lost | LegOutcome::Held) => {
+                // The fresh reply went missing. If an older reply from
+                // this same peer is in flight (a duplicate or reorder
+                // from an earlier exchange), the caller reads THAT one
+                // instead — it is on the caller's own matching logic
+                // (nonces) to notice the substitution.
+                if let Some(s) =
+                    if self.fault.is_some() { self.pop_due_stale_reply(from, to) } else { None }
+                {
+                    self.log.push(TrafficRecord {
+                        at: self.true_time,
+                        dgram: s.dgram.clone(),
+                        is_request: false,
+                        fault: Some(s.kind),
+                    });
+                    return Ok(s.dgram.payload);
+                }
+                match outcome {
+                    LegOutcome::Lost => Err(NetError::ReplyLost),
+                    _ => Err(NetError::TimedOut),
+                }
+            }
         }
     }
 
     /// Sends a datagram without expecting a reply (e.g. one-way
     /// notifications). Returns the service's optional reply payload
-    /// *undelivered* — used by attack code that impersonates.
+    /// *undelivered* — used by attack code that impersonates. Adversary
+    /// sends bypass the fault layer (raw wire access).
     pub fn send_oneway(&mut self, from: Endpoint, to: Endpoint, payload: Vec<u8>) -> Result<(), NetError> {
         let d = Datagram { src: from, dst: to, payload };
-        self.deliver(d, true)?;
-        Ok(())
+        match self.transit(d, true, false) {
+            LegOutcome::Delivered(d) => {
+                self.dispatch(d)?;
+                Ok(())
+            }
+            _ => Err(NetError::Dropped),
+        }
     }
 
     /// The adversary's injection primitive: put an arbitrary datagram on
     /// the wire — any source address, any content (forgery, replay) —
     /// and collect the reply the victim service produces, if the reply
     /// routes somewhere the adversary can see. Injection does NOT pass
-    /// the tap (the adversary does not attack itself) but IS logged.
+    /// the tap (the adversary does not attack itself) nor the fault
+    /// layer (raw wire access), but IS logged.
     pub fn inject(&mut self, dgram: Datagram) -> Result<Option<Vec<u8>>, NetError> {
-        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request: true });
+        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request: true, fault: None });
         let reply = self.dispatch(dgram)?;
         if let Some(r) = &reply {
-            self.log.push(TrafficRecord { at: self.true_time, dgram: r.clone(), is_request: false });
+            self.log.push(TrafficRecord { at: self.true_time, dgram: r.clone(), is_request: false, fault: None });
         }
         Ok(reply.map(|d| d.payload))
     }
 
-    /// Runs one datagram through tap + log + dispatch. Returns the
-    /// service's reply datagram (not yet transited back).
-    fn deliver(&mut self, dgram: Datagram, is_request: bool) -> Result<Option<Datagram>, NetError> {
-        let dgram = match self.transit(dgram, is_request)? {
-            Some(d) => d,
-            None => return Err(NetError::Dropped),
-        };
-        self.dispatch(dgram)
+    /// Delivers every held datagram that has come due: duplicate and
+    /// reordered requests reach their destination (late side effects);
+    /// the replies they provoke go into flight as late replies. Held
+    /// datagrams past their TTL are discarded.
+    pub fn pump(&mut self) {
+        if self.stale.is_empty() {
+            return;
+        }
+        let now = self.true_time;
+        let mut keep = Vec::new();
+        let mut due_requests = Vec::new();
+        for s in std::mem::take(&mut self.stale) {
+            if now.0 > s.due.0 + STALE_TTL_US {
+                continue; // expired in flight
+            }
+            if s.is_request && s.due <= now {
+                due_requests.push(s);
+            } else {
+                keep.push(s);
+            }
+        }
+        // Stable order: by due time, ties by original insertion order.
+        due_requests.sort_by_key(|s| s.due);
+        self.stale = keep;
+        for s in due_requests {
+            self.log.push(TrafficRecord {
+                at: now,
+                dgram: s.dgram.clone(),
+                is_request: true,
+                fault: Some(s.kind),
+            });
+            if let Ok(Some(reply)) = self.dispatch(s.dgram) {
+                self.stale.push(StaleDgram {
+                    due: SimTime(now.0 + self.latency.0),
+                    dgram: reply,
+                    is_request: false,
+                    kind: s.kind,
+                });
+            }
+        }
     }
 
-    /// Tap + log for one hop; `None` means dropped.
-    fn transit(&mut self, mut dgram: Datagram, is_request: bool) -> Result<Option<Datagram>, NetError> {
+    /// Pops the earliest-due held reply addressed to `to` and claiming
+    /// to come from `peer`, if any is deliverable now. The source match
+    /// models a connected UDP socket: a stale duplicate from the KDC
+    /// cannot be mistaken for an application server's reply — only for
+    /// a later reply from the KDC itself (which the client's nonce
+    /// matching then sorts out).
+    fn pop_due_stale_reply(&mut self, to: Endpoint, peer: Endpoint) -> Option<StaleDgram> {
+        let now = self.true_time;
+        let mut best: Option<usize> = None;
+        for (i, s) in self.stale.iter().enumerate() {
+            if !s.is_request && s.due <= now && s.dgram.dst == to && s.dgram.src == peer {
+                if best.map_or(true, |b| self.stale[b].due > s.due) {
+                    best = Some(i);
+                }
+            }
+        }
+        best.map(|i| self.stale.remove(i))
+    }
+
+    /// Runs one datagram across the wire: latency, adversary tap, and
+    /// (for the rpc path) the fault layer.
+    fn transit(&mut self, mut dgram: Datagram, is_request: bool, faulted: bool) -> LegOutcome {
         self.advance(self.latency);
+        // The adversary taps the wire upstream of the lossy last hop:
+        // it sees every original datagram exactly once, before the
+        // environment has a chance to mangle it.
         if let Some(tap) = &mut self.tap {
             match tap.on_packet(&mut dgram, self.true_time) {
                 Verdict::Deliver => {}
                 Verdict::Drop => {
-                    self.log.push(TrafficRecord { at: self.true_time, dgram, is_request });
-                    return Ok(None);
+                    self.log.push(TrafficRecord { at: self.true_time, dgram, is_request, fault: None });
+                    return LegOutcome::Lost;
                 }
             }
         }
-        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request });
-        Ok(Some(dgram))
+        if faulted {
+            if let Some(mut plan) = self.fault.take() {
+                let outcome = self.apply_fault(&mut plan, dgram, is_request);
+                self.fault = Some(plan);
+                return outcome;
+            }
+        }
+        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request, fault: None });
+        LegOutcome::Delivered(dgram)
+    }
+
+    /// The fault-layer half of [`Network::transit`].
+    fn apply_fault(&mut self, plan: &mut FaultPlan, mut dgram: Datagram, is_request: bool) -> LegOutcome {
+        let now = self.true_time;
+        if plan.partitioned(dgram.src.addr, dgram.dst.addr, now) {
+            self.log.push(TrafficRecord { at: now, dgram, is_request, fault: Some(FaultKind::Partitioned) });
+            return LegOutcome::Lost;
+        }
+        match plan.decide(dgram.src.addr, dgram.dst.addr) {
+            FaultDecision::Deliver => {
+                self.log.push(TrafficRecord { at: now, dgram: dgram.clone(), is_request, fault: None });
+                LegOutcome::Delivered(dgram)
+            }
+            FaultDecision::Drop => {
+                self.log.push(TrafficRecord { at: now, dgram, is_request, fault: Some(FaultKind::Dropped) });
+                LegOutcome::Lost
+            }
+            FaultDecision::Duplicate => {
+                self.log.push(TrafficRecord { at: now, dgram: dgram.clone(), is_request, fault: None });
+                self.stale.push(StaleDgram {
+                    due: SimTime(now.0 + self.latency.0),
+                    dgram: dgram.clone(),
+                    is_request,
+                    kind: FaultKind::Duplicated,
+                });
+                LegOutcome::Delivered(dgram)
+            }
+            FaultDecision::Reorder { hold_us } => {
+                self.log.push(TrafficRecord {
+                    at: now,
+                    dgram: dgram.clone(),
+                    is_request,
+                    fault: Some(FaultKind::Reordered),
+                });
+                self.stale.push(StaleDgram {
+                    due: SimTime(now.0 + hold_us),
+                    dgram,
+                    is_request,
+                    kind: FaultKind::Reordered,
+                });
+                LegOutcome::Held
+            }
+            FaultDecision::Corrupt { noise } => {
+                if !dgram.payload.is_empty() {
+                    let idx = (noise as usize) % dgram.payload.len();
+                    // Guarantee a real flip.
+                    dgram.payload[idx] ^= ((noise >> 32) as u8) | 1;
+                }
+                self.log.push(TrafficRecord {
+                    at: now,
+                    dgram: dgram.clone(),
+                    is_request,
+                    fault: Some(FaultKind::Corrupted),
+                });
+                LegOutcome::Delivered(dgram)
+            }
+            FaultDecision::Delay { extra_us } => {
+                self.advance(SimDuration(extra_us));
+                self.log.push(TrafficRecord {
+                    at: self.true_time,
+                    dgram: dgram.clone(),
+                    is_request,
+                    fault: Some(FaultKind::Delayed),
+                });
+                LegOutcome::Delivered(dgram)
+            }
+        }
     }
 
     /// Hands a datagram to the destination service and returns its reply.
     fn dispatch(&mut self, dgram: Datagram) -> Result<Option<Datagram>, NetError> {
         let hid = self.host_by_addr(dgram.dst.addr).ok_or(NetError::NoRoute(dgram.dst.addr))?;
+        if let Some(mut plan) = self.fault.take() {
+            let down = plan.host_down(dgram.dst.addr, self.true_time);
+            let rebooted = !down && plan.take_restart(dgram.dst.addr, self.true_time);
+            self.fault = Some(plan);
+            if down {
+                return Err(NetError::HostDown(dgram.dst.addr));
+            }
+            if rebooted {
+                self.restart_host(hid, dgram.dst.addr);
+            }
+        }
         // Temporarily detach the service to satisfy the borrow checker.
         let mut service = self.hosts[hid.0]
             .services
@@ -283,11 +574,32 @@ impl Network {
 
         Ok(reply.map(|payload| Datagram { src: dgram.dst, dst: dgram.src, payload }))
     }
+
+    /// Runs [`crate::host::Service::on_restart`] on every service bound
+    /// to a host that has come back from a crash window. Volatile
+    /// in-memory state is the service's to lose.
+    fn restart_host(&mut self, hid: HostId, addr: Addr) {
+        let mut ports: Vec<u16> = self.hosts[hid.0].services.keys().copied().collect();
+        ports.sort_unstable();
+        for port in ports {
+            let Some(mut service) = self.hosts[hid.0].services.remove(&port) else { continue };
+            let host = &self.hosts[hid.0];
+            let mut ctx = ServiceCtx {
+                local_time: host.clock.now(self.true_time),
+                host_name: host.name.clone(),
+                host_addr: addr,
+                multi_user: host.multi_user,
+            };
+            service.on_restart(&mut ctx);
+            self.hosts[hid.0].services.insert(port, service);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::LinkFaults;
     use crate::host::Service;
 
     /// A service that replies with its payload reversed.
@@ -395,5 +707,156 @@ mod tests {
         net.add_host(Host::new("c", vec![Addr::new(10, 0, 0, 6)]));
         assert_eq!(net.rpc(c, Endpoint::new(a1, 7), b"ab".to_vec()).unwrap(), b"ba");
         assert_eq!(net.rpc(c, Endpoint::new(a2, 7), b"cd".to_vec()).unwrap(), b"dc");
+    }
+
+    // ---- fault layer ----
+
+    #[test]
+    fn zero_fault_plan_is_byte_identical() {
+        let run = |with_plan: bool| {
+            let (mut net, c, s) = build();
+            if with_plan {
+                net.set_fault_plan(FaultPlan::new(7));
+            }
+            for i in 0..20u8 {
+                net.rpc(c, s, vec![i, i + 1]).unwrap();
+            }
+            net.traffic_log()
+                .iter()
+                .map(|r| (r.at, r.dgram.clone(), r.is_request, r.fault))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn full_drop_loses_request() {
+        let (mut net, c, s) = build();
+        net.set_fault_plan(
+            FaultPlan::new(1).with_default(LinkFaults { drop: 1.0, ..LinkFaults::none() }),
+        );
+        assert_eq!(net.rpc(c, s, b"x".to_vec()), Err(NetError::Dropped));
+        assert_eq!(net.traffic_log()[0].fault, Some(FaultKind::Dropped));
+    }
+
+    #[test]
+    fn reply_only_drop_is_reply_lost() {
+        let (mut net, c, s) = build();
+        // Faults on the server->client direction only.
+        net.set_fault_plan(
+            FaultPlan::new(1).with_link(s.addr, c.addr, LinkFaults { drop: 1.0, ..LinkFaults::none() }),
+        );
+        assert_eq!(net.rpc(c, s, b"x".to_vec()), Err(NetError::ReplyLost));
+    }
+
+    #[test]
+    fn duplicate_request_is_redelivered_by_pump() {
+        struct Counter(u32);
+        impl Service for Counter {
+            fn handle(&mut self, _: &mut ServiceCtx, _: &[u8], _: Endpoint) -> Option<Vec<u8>> {
+                self.0 += 1;
+                Some(vec![self.0 as u8])
+            }
+        }
+        let mut net = Network::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        net.add_host(Host::new("client", vec![a]));
+        let mut server = Host::new("server", vec![b]);
+        server.bind(7, Box::new(Counter(0)));
+        net.add_host(server);
+        let c = Endpoint::new(a, 1024);
+        let s = Endpoint::new(b, 7);
+        net.set_fault_plan(
+            FaultPlan::new(1).with_link(a, b, LinkFaults { duplicate: 1.0, ..LinkFaults::none() }),
+        );
+        assert_eq!(net.rpc(c, s, b"x".to_vec()).unwrap(), vec![1]);
+        net.advance(SimDuration::from_millis(10));
+        net.pump(); // the duplicate arrives: the server handles it again
+        assert_eq!(
+            net.traffic_log().iter().filter(|r| r.fault == Some(FaultKind::Duplicated)).count(),
+            1,
+            "duplicate request redelivered"
+        );
+        // The duplicate's reply ([2]) is in flight toward the client,
+        // but the next exchange's awaited reply arrives and wins.
+        net.advance(SimDuration::from_millis(10));
+        assert_eq!(net.rpc(c, s, b"y".to_vec()).unwrap(), vec![3]);
+        // When the awaited reply goes missing, the client reads the
+        // stale duplicate instead: a client without duplicate-response
+        // matching would accept it.
+        net.set_fault_plan(
+            FaultPlan::new(2).with_link(b, a, LinkFaults { drop: 1.0, ..LinkFaults::none() }),
+        );
+        assert_eq!(net.rpc(c, s, b"z".to_vec()).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn corruption_flips_a_byte() {
+        let (mut net, c, s) = build();
+        net.set_fault_plan(
+            FaultPlan::new(3).with_link(c.addr, s.addr, LinkFaults { corrupt: 1.0, ..LinkFaults::none() }),
+        );
+        let reply = net.rpc(c, s, b"aaaa".to_vec()).unwrap();
+        assert_ne!(reply, b"aaaa", "echo of corrupted payload differs");
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let (mut net, c, s) = build();
+        let t0 = net.now();
+        net.set_fault_plan(FaultPlan::new(0).partition(
+            c.addr,
+            s.addr,
+            t0,
+            SimTime(t0.0 + 1_000_000),
+        ));
+        assert_eq!(net.rpc(c, s, b"x".to_vec()), Err(NetError::Dropped));
+        net.advance(SimDuration::from_secs(2));
+        assert!(net.rpc(c, s, b"x".to_vec()).is_ok(), "partition healed");
+    }
+
+    #[test]
+    fn crashed_host_is_down_then_restarts() {
+        struct Flagged {
+            restarted: bool,
+        }
+        impl Service for Flagged {
+            fn handle(&mut self, _: &mut ServiceCtx, _: &[u8], _: Endpoint) -> Option<Vec<u8>> {
+                Some(vec![u8::from(self.restarted)])
+            }
+            fn on_restart(&mut self, _: &mut ServiceCtx) {
+                self.restarted = true;
+            }
+        }
+        let mut net = Network::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let b = Addr::new(10, 0, 0, 2);
+        net.add_host(Host::new("client", vec![a]));
+        let mut server = Host::new("server", vec![b]);
+        server.bind(7, Box::new(Flagged { restarted: false }));
+        net.add_host(server);
+        let c = Endpoint::new(a, 1024);
+        let s = Endpoint::new(b, 7);
+        let t0 = net.now();
+        net.set_fault_plan(FaultPlan::new(0).crash(b, t0, SimTime(t0.0 + 1_000_000)));
+        assert_eq!(net.rpc(c, s, b"x".to_vec()), Err(NetError::HostDown(b)));
+        net.advance(SimDuration::from_secs(2));
+        // First contact after the window: the service restarted.
+        assert_eq!(net.rpc(c, s, b"x".to_vec()).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn timeout_on_delayed_reply() {
+        let (mut net, c, s) = build();
+        net.set_fault_plan(FaultPlan::new(1).with_link(
+            s.addr,
+            c.addr,
+            LinkFaults { delay: 1.0, delay_max_us: 5_000_000, ..LinkFaults::none() },
+        ));
+        let r = net.rpc_with_timeout(c, s, b"x".to_vec(), Some(SimDuration::from_millis(10)));
+        // Either the delay draw exceeded 10ms (timeout) or it landed
+        // under it (delivered); with a 5s max it times out for seed 1.
+        assert_eq!(r, Err(NetError::TimedOut));
     }
 }

@@ -45,4 +45,10 @@ cargo build --workspace --release --all-targets --offline
 echo "== tests =="
 cargo test -q --workspace --offline
 
+echo "== chaos soak (pinned fault seeds) =="
+# Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
+# drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts
+# bit-identical under faults, replay caught across server restart.
+cargo test -q -p attacks --test chaos_soak --release --offline
+
 echo "verify: OK"

@@ -103,7 +103,7 @@ impl Attack for ChosenPlaintextSplice {
                     && r.dgram.src == mail_ep
                     && r.dgram.payload.first() == Some(&(WireKind::Priv as u8))
             })
-            .map(|r| r.dgram.payload.clone())
+            .map(|r| r.dgram.payload.to_vec())
             .collect();
 
         // The victim later opens a second mail window with the same
@@ -144,7 +144,7 @@ impl Attack for ChosenPlaintextSplice {
                     let _ = env.net.inject(Datagram {
                         src: second_ep,
                         dst: mail_ep,
-                        payload: spliced,
+                        payload: spliced.into(),
                     });
                 }
             }

@@ -52,7 +52,7 @@ impl Attack for CrossStreamReplay {
             let _ = env.net.inject(Datagram {
                 src: victim_ep,
                 dst: files_ep,
-                payload: frame(WireKind::AppData, b"DEL scratch".to_vec()),
+                payload: frame(WireKind::AppData, b"DEL scratch".to_vec()).into(),
             });
             let dels = deletions(&mut env);
             return if dels.iter().filter(|(_, f)| f == "scratch").count() >= 2 {

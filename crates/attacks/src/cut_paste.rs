@@ -200,7 +200,7 @@ impl Attack for EncTktInSkeyCutPaste {
                         let prefix = &body[..body.len() - 4];
                         forged.authz_data = forge_suffix(prefix, original_crc).to_vec();
                         debug_assert_eq!(crc32(&forged.checksum_body()), original_crc);
-                        d.payload = forged.encode(codec);
+                        d.payload = forged.encode(codec).into();
                     }
                 }
             } else if d.dst == files_ep {

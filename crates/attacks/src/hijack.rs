@@ -50,7 +50,7 @@ impl Attack for ConnectionHijack {
         let _ = env.net.inject(Datagram {
             src: victim_ep,
             dst: files_ep,
-            payload: frame(WireKind::AppData, b"DEL thesis.tex".to_vec()),
+            payload: frame(WireKind::AppData, b"DEL thesis.tex".to_vec()).into(),
         });
 
         let deleted = env.realm.with_app_server(&mut env.net, "files", |s| {

@@ -100,7 +100,7 @@ impl Attack for ReuseSkeyRedirect {
                 if d.payload.first() == Some(&(WireKind::ApReq as u8)) {
                     if let Ok(mut ap) = ApReq::decode(codec, &d.payload) {
                         ap.ticket = t_backup_wire.clone();
-                        d.payload = ap.encode(codec);
+                        d.payload = ap.encode(codec).into();
                     }
                 }
                 d.dst = backup_ep;

@@ -72,7 +72,7 @@ fn zero_rate_profile_keeps_matrix_bytes_identical() {
             env.net
                 .traffic_log()
                 .iter()
-                .map(|r| (r.at.0, r.dgram.payload.clone()))
+                .map(|r| (r.at.0, r.dgram.payload.to_vec()))
                 .collect()
         };
         match profile {

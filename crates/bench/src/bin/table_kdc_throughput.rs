@@ -1,0 +1,135 @@
+//! E13 — DES kernel and KDC throughput: what the fused SP-table kernel
+//! buys, from raw block encryption up through end-to-end authentication.
+//!
+//! Three layers of the same hot path:
+//!   1. raw kernel blocks/sec — fast (fused SP tables) vs the retained
+//!      table-walking reference, same precomputed key schedule;
+//!   2. string-to-key trials/sec — the dictionary-attack inner loop the
+//!      paper warns about (a faster kernel helps the *attacker* too);
+//!   3. end-to-end KDC authentications/sec on the simulated campus.
+//!
+//! Before timing anything, the harness proves the fast kernel bit-exact
+//! against the reference and the FIPS 81 vector; it exits nonzero if
+//! equivalence fails or the fast kernel is not actually faster.
+//!
+//! Run: `cargo run --release -p bench --bin table_kdc_throughput`
+//! Smoke: `KDC_THROUGHPUT_QUICK=1 ...` (fewer iterations, same checks).
+//! Writes `BENCH_crypto.json` in the current directory.
+
+use attacks::env::AttackEnv;
+use bench::{time_us, TextTable};
+use kerberos::ProtocolConfig;
+use krb_crypto::des::{self, DesKey, KeySchedule};
+use krb_crypto::rng::{Drbg, RandomSource};
+use krb_crypto::s2k::string_to_key_v5;
+use std::hint::black_box;
+
+/// Differential + known-answer equivalence gate. Returns false on any
+/// mismatch (the bench then refuses to report numbers for a wrong
+/// kernel).
+fn equivalence_check(trials: usize) -> bool {
+    // FIPS 81 ECB vector, first block.
+    let ks = KeySchedule::new(&DesKey::from_u64(0x0123456789ABCDEF));
+    if des::encrypt_block(&ks, 0x4E6F772069732074) != 0x3FA40E8A984D4815 {
+        eprintln!("equivalence: fast kernel fails FIPS 81 vector");
+        return false;
+    }
+    let mut rng = Drbg::new(0xE13);
+    for i in 0..trials {
+        let key = DesKey::from_u64(rng.next_u64());
+        let block = rng.next_u64();
+        let ks = KeySchedule::new(&key);
+        let fast_ct = des::encrypt_block(&ks, block);
+        if fast_ct != des::reference::encrypt_block(&ks, block)
+            || des::decrypt_block(&ks, fast_ct) != des::reference::decrypt_block(&ks, fast_ct)
+        {
+            eprintln!("equivalence: fast != reference at trial {i} (key {key:?})");
+            return false;
+        }
+    }
+    true
+}
+
+/// Encrypts `n` chained blocks (each ciphertext feeds the next input, so
+/// the work cannot be hoisted) and returns blocks/sec.
+fn blocks_per_sec(n: usize, ks: &KeySchedule, enc: impl Fn(&KeySchedule, u64) -> u64) -> f64 {
+    let (_, us) = time_us(|| {
+        let mut b = 0x0123456789ABCDEFu64;
+        for _ in 0..n {
+            b = enc(ks, b);
+        }
+        black_box(b)
+    });
+    n as f64 / (us / 1e6)
+}
+
+fn main() {
+    let quick = std::env::var("KDC_THROUGHPUT_QUICK").is_ok();
+    let (eq_trials, kernel_blocks, s2k_trials, kdc_auths) =
+        if quick { (64, 200_000, 200, 5) } else { (1024, 2_000_000, 5_000, 60) };
+
+    println!("E13: DES kernel and KDC throughput (quick={quick})");
+
+    if !equivalence_check(eq_trials) {
+        eprintln!("FAIL: fast kernel is not bit-exact with the reference");
+        std::process::exit(1);
+    }
+    println!("equivalence: fast == reference over {eq_trials} random key/block trials + FIPS 81");
+
+    // 1. Raw kernel.
+    let ks = KeySchedule::new(&DesKey::from_u64(0x0123456789ABCDEF));
+    // Warm up once so neither side pays first-touch costs inside the
+    // timed region.
+    blocks_per_sec(kernel_blocks / 10 + 1, &ks, des::encrypt_block);
+    let fast_bps = blocks_per_sec(kernel_blocks, &ks, des::encrypt_block);
+    let ref_blocks = kernel_blocks / 10 + 1; // reference is ~10-50x slower
+    blocks_per_sec(ref_blocks / 10 + 1, &ks, des::reference::encrypt_block);
+    let ref_bps = blocks_per_sec(ref_blocks, &ks, des::reference::encrypt_block);
+    let speedup = fast_bps / ref_bps;
+
+    // 2. String-to-key (the dictionary-attack inner loop).
+    let (_, s2k_us) = time_us(|| {
+        for i in 0..s2k_trials {
+            black_box(string_to_key_v5(&format!("guess{i}"), "ATHENA.MIT.EDUpat"));
+        }
+    });
+    let s2k_per_sec = s2k_trials as f64 / (s2k_us / 1e6);
+
+    // 3. End-to-end authentications on the simulated campus: fresh AS
+    // exchange per iteration (password -> key -> sealed TGT), the KDC
+    // reusing its cached TGS schedule across requests.
+    let config = ProtocolConfig::v5_draft3();
+    let mut env = AttackEnv::new(&config, 0xE13);
+    env.login("pat").expect("warm-up login");
+    let (_, kdc_us) = time_us(|| {
+        for _ in 0..kdc_auths {
+            env.login("pat").expect("login");
+        }
+    });
+    let kdc_per_sec = kdc_auths as f64 / (kdc_us / 1e6);
+
+    let mut table = TextTable::new(&["metric", "value"]);
+    table.row(&["fast kernel (blocks/s)".into(), format!("{fast_bps:.0}")]);
+    table.row(&["reference kernel (blocks/s)".into(), format!("{ref_bps:.0}")]);
+    table.row(&["speedup (x)".into(), format!("{speedup:.1}")]);
+    table.row(&["string-to-key (trials/s)".into(), format!("{s2k_per_sec:.0}")]);
+    table.row(&["KDC AS-exchanges (auths/s)".into(), format!("{kdc_per_sec:.0}")]);
+    table.print("DES kernel and KDC throughput");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E13\",\n  \"quick\": {quick},\n  \
+         \"blocks_per_sec_fast\": {fast_bps:.0},\n  \
+         \"blocks_per_sec_reference\": {ref_bps:.0},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"s2k_trials_per_sec\": {s2k_per_sec:.0},\n  \
+         \"kdc_auths_per_sec\": {kdc_per_sec:.0},\n  \
+         \"equivalence\": \"pass\"\n}}\n"
+    );
+    std::fs::write("BENCH_crypto.json", &json).expect("write BENCH_crypto.json");
+    println!("wrote BENCH_crypto.json");
+
+    if speedup <= 1.0 {
+        eprintln!("FAIL: fast kernel ({fast_bps:.0} blocks/s) is not faster than the reference ({ref_bps:.0} blocks/s)");
+        std::process::exit(1);
+    }
+}

@@ -18,12 +18,15 @@ impl TextTable {
         TextTable { headers, rows: Vec::new(), widths }
     }
 
-    /// Adds a row (cells stringified by the caller).
+    /// Adds a row (cells stringified by the caller). Rows may be wider
+    /// than the header; extra columns get headerless width slots so the
+    /// rendered cells and separator still line up.
     pub fn row(&mut self, cells: &[String]) {
+        if self.widths.len() < cells.len() {
+            self.widths.resize(cells.len(), 0);
+        }
         for (i, c) in cells.iter().enumerate() {
-            if i < self.widths.len() {
-                self.widths[i] = self.widths[i].max(c.len());
-            }
+            self.widths[i] = self.widths[i].max(c.len());
         }
         self.rows.push(cells.to_vec());
     }
@@ -35,7 +38,7 @@ impl TextTable {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+                .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
                 .collect::<Vec<_>>()
                 .join("  ")
         };
@@ -84,6 +87,22 @@ mod tests {
         let out = t.render();
         assert!(out.contains("a-much-longer-name"));
         assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn rows_wider_than_headers_stay_aligned() {
+        let mut t = TextTable::new(&["name"]);
+        t.row(&["x".into(), "a-long-extra-cell".into()]);
+        t.row(&["yy".into(), "z".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        // Separator spans the full (row-derived) width, and both rows
+        // pad their first column to the same offset.
+        let sep = lines[1];
+        assert!(sep.chars().all(|c| c == '-'));
+        assert!(sep.len() >= "a-long-extra-cell".len());
+        let col2 = |l: &str| l.find("a-long-extra-cell").or_else(|| l.find('z'));
+        assert_eq!(col2(lines[2]), col2(lines[3]));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::error::KrbError;
 use krb_crypto::checksum::{self, Checksum, ChecksumType};
-use krb_crypto::des::DesKey;
+use krb_crypto::des::{self, DesKey, ScheduledKey};
 use krb_crypto::modes;
 use krb_crypto::rng::RandomSource;
 
@@ -53,6 +53,9 @@ impl EncLayer {
     /// Seals `plaintext` under `key`. `iv` is honored only by the
     /// hardened layer; V4 uses the key as IV and V5 uses zero — both
     /// historical choices the paper criticizes.
+    ///
+    /// Routes through the thread-local schedule cache; hot paths that
+    /// already hold a [`ScheduledKey`] should call [`EncLayer::seal_with`].
     pub fn seal(
         self,
         key: &DesKey,
@@ -60,34 +63,54 @@ impl EncLayer {
         plaintext: &[u8],
         rng: &mut dyn RandomSource,
     ) -> Result<Vec<u8>, KrbError> {
+        des::with_scheduled(key, |sk| self.seal_with(sk, iv, plaintext, rng))
+    }
+
+    /// Seals `plaintext` with a precomputed schedule: one buffer is
+    /// framed, padded, and encrypted in place. Byte-identical to
+    /// [`EncLayer::seal`].
+    pub fn seal_with(
+        self,
+        key: &ScheduledKey,
+        iv: u64,
+        plaintext: &[u8],
+        rng: &mut dyn RandomSource,
+    ) -> Result<Vec<u8>, KrbError> {
         match self {
             EncLayer::V4Pcbc => {
-                let mut pt = (plaintext.len() as u32).to_be_bytes().to_vec();
-                pt.extend_from_slice(plaintext);
-                let padded = modes::pad_zero(&pt);
-                Ok(modes::pcbc_encrypt(key, key.to_u64(), &padded)?)
+                let mut buf = Vec::with_capacity(plaintext.len() + 12);
+                buf.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+                buf.extend_from_slice(plaintext);
+                buf.resize(buf.len().next_multiple_of(8), 0);
+                modes::pcbc_encrypt_in_place(key.schedule(), key.key().to_u64(), &mut buf)?;
+                Ok(buf)
             }
             EncLayer::V5Cbc { confounder } => {
-                let mut pt = Vec::with_capacity(plaintext.len() + 8);
+                let mut buf = Vec::with_capacity(plaintext.len() + 16);
                 if confounder {
-                    pt.extend_from_slice(&rng.next_u64().to_be_bytes());
+                    buf.extend_from_slice(&rng.next_u64().to_be_bytes());
                 }
-                pt.extend_from_slice(plaintext);
-                let padded = modes::pad_zero(&pt);
-                Ok(modes::cbc_encrypt(key, 0, &padded)?)
+                buf.extend_from_slice(plaintext);
+                buf.resize(buf.len().next_multiple_of(8), 0);
+                modes::cbc_encrypt_in_place(key.schedule(), 0, &mut buf)?;
+                Ok(buf)
             }
             EncLayer::HardenedCbc => {
-                let mut pt = (plaintext.len() as u32).to_be_bytes().to_vec();
-                pt.extend_from_slice(plaintext);
-                let padded = modes::pad_zero(&pt);
-                let mut ct = modes::cbc_encrypt(key, iv, &padded)?;
                 // MAC over IV and plaintext, with a key variant, so
                 // splices, truncations, and cross-IV replays all fail.
-                let mut mac_input = iv.to_be_bytes().to_vec();
-                mac_input.extend_from_slice(&padded);
-                let mac = checksum::compute(ChecksumType::Md4Des, Some(key), &mac_input)?;
-                ct.extend_from_slice(&mac.value);
-                Ok(ct)
+                // The buffer is laid out as IV ‖ padded plaintext so the
+                // MAC input needs no second copy; the IV prefix is
+                // dropped after the in-place encryption.
+                let mut buf = Vec::with_capacity(plaintext.len() + 24);
+                buf.extend_from_slice(&iv.to_be_bytes());
+                buf.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+                buf.extend_from_slice(plaintext);
+                buf.resize(buf.len().next_multiple_of(8), 0);
+                let mac = checksum::compute(ChecksumType::Md4Des, Some(key.key()), &buf)?;
+                modes::cbc_encrypt_in_place(key.schedule(), iv, &mut buf[8..])?;
+                buf.drain(..8);
+                buf.extend_from_slice(&mac.value);
+                Ok(buf)
             }
         }
     }
@@ -96,9 +119,21 @@ impl EncLayer {
     /// returns whatever the bytes decrypt to — garbage in, garbage out,
     /// exactly as in 1991.
     pub fn open(self, key: &DesKey, iv: u64, ciphertext: &[u8]) -> Result<Vec<u8>, KrbError> {
+        des::with_scheduled(key, |sk| self.open_with(sk, iv, ciphertext))
+    }
+
+    /// Opens a sealed message with a precomputed schedule: the
+    /// ciphertext is copied once and decrypted in place.
+    pub fn open_with(
+        self,
+        key: &ScheduledKey,
+        iv: u64,
+        ciphertext: &[u8],
+    ) -> Result<Vec<u8>, KrbError> {
         match self {
             EncLayer::V4Pcbc => {
-                let pt = modes::pcbc_decrypt(key, key.to_u64(), ciphertext)?;
+                let mut pt = ciphertext.to_vec();
+                modes::pcbc_decrypt_in_place(key.schedule(), key.key().to_u64(), &mut pt)?;
                 if pt.len() < 4 {
                     return Err(KrbError::Decode("V4 sealed part too short"));
                 }
@@ -106,37 +141,46 @@ impl EncLayer {
                 if 4 + len > pt.len() {
                     return Err(KrbError::Decode("V4 length field out of range"));
                 }
-                Ok(pt[4..4 + len].to_vec())
+                pt.truncate(4 + len);
+                pt.drain(..4);
+                Ok(pt)
             }
             EncLayer::V5Cbc { confounder } => {
-                let pt = modes::cbc_decrypt(key, 0, ciphertext)?;
+                let mut pt = ciphertext.to_vec();
+                modes::cbc_decrypt_in_place(key.schedule(), 0, &mut pt)?;
                 let skip = if confounder { 8 } else { 0 };
                 if pt.len() < skip {
                     return Err(KrbError::Decode("V5 sealed part too short"));
                 }
                 // No integrity, no framing: the caller parses from the
                 // front and tolerates trailing padding.
-                Ok(pt[skip..].to_vec())
+                pt.drain(..skip);
+                Ok(pt)
             }
             EncLayer::HardenedCbc => {
                 if ciphertext.len() < 16 {
                     return Err(KrbError::Decode("hardened sealed part too short"));
                 }
                 let (ct, mac_bytes) = ciphertext.split_at(ciphertext.len() - 16);
-                let padded = modes::cbc_decrypt(key, iv, ct)?;
-                let mut mac_input = iv.to_be_bytes().to_vec();
-                mac_input.extend_from_slice(&padded);
+                // Decrypt into an IV-prefixed buffer so the MAC input is
+                // already contiguous.
+                let mut buf = Vec::with_capacity(ct.len() + 8);
+                buf.extend_from_slice(&iv.to_be_bytes());
+                buf.extend_from_slice(ct);
+                modes::cbc_decrypt_in_place(key.schedule(), iv, &mut buf[8..])?;
                 let claimed = Checksum { ctype: ChecksumType::Md4Des, value: mac_bytes.to_vec() };
-                checksum::verify(&claimed, Some(key), &mac_input)
+                checksum::verify(&claimed, Some(key.key()), &buf)
                     .map_err(|_| KrbError::IntegrityFailure)?;
-                if padded.len() < 4 {
+                if buf.len() < 12 {
                     return Err(KrbError::Decode("hardened sealed part too short"));
                 }
-                let len = u32::from_be_bytes(padded[..4].try_into().expect("4 bytes")) as usize;
-                if 4 + len > padded.len() {
+                let len = u32::from_be_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+                if 12 + len > buf.len() {
                     return Err(KrbError::Decode("hardened length out of range"));
                 }
-                Ok(padded[4..4 + len].to_vec())
+                buf.truncate(12 + len);
+                buf.drain(..12);
+                Ok(buf)
             }
         }
     }
@@ -266,6 +310,28 @@ mod tests {
         let msg = b"sensitive";
         let ct = EncLayer::HardenedCbc.seal(&key(), 3, msg, &mut rng).unwrap();
         assert!(EncLayer::HardenedCbc.open(&other, 3, &ct).is_err());
+    }
+
+    #[test]
+    fn scheduled_and_cached_paths_agree() {
+        let sk = ScheduledKey::new(key());
+        for layer in [
+            EncLayer::V4Pcbc,
+            EncLayer::V5Cbc { confounder: false },
+            EncLayer::V5Cbc { confounder: true },
+            EncLayer::HardenedCbc,
+        ] {
+            let msg = b"the scheduled path must be byte-identical";
+            let mut rng1 = Drbg::new(77);
+            let mut rng2 = Drbg::new(77);
+            let a = layer.seal(&key(), 9, msg, &mut rng1).unwrap();
+            let b = layer.seal_with(&sk, 9, msg, &mut rng2).unwrap();
+            assert_eq!(a, b, "layer {layer:?}");
+            let pa = layer.open(&key(), 9, &a).unwrap();
+            let pb = layer.open_with(&sk, 9, &b).unwrap();
+            assert_eq!(pa, pb, "layer {layer:?}");
+            assert!(pa.starts_with(msg));
+        }
     }
 
     #[test]

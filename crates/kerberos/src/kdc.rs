@@ -20,7 +20,7 @@ use crate::principal::Principal;
 use crate::replay_cache::{CacheVerdict, ReplayCache};
 use crate::ticket::Ticket;
 use krb_crypto::checksum;
-use krb_crypto::des::DesKey;
+use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::dh::DhGroup;
 use krb_crypto::rng::{Drbg, RandomSource};
 use simnet::{Endpoint, Service, ServiceCtx};
@@ -51,7 +51,7 @@ pub struct Kdc {
     pub config: ProtocolConfig,
     /// The realm database.
     pub db: KdcDatabase,
-    tgs_key: DesKey,
+    tgs_key: ScheduledKey,
     rng: Drbg,
     dh_group: DhGroup,
     /// Per-source AS-request counters for rate limiting: addr ->
@@ -81,7 +81,8 @@ impl Kdc {
     /// Panics if the database lacks the realm's TGS principal.
     pub fn new(config: ProtocolConfig, db: KdcDatabase, rng_seed: u64) -> Self {
         let tgs = Principal::tgs(db.realm());
-        let tgs_key = db.lookup(&tgs).expect("database must contain the realm TGS").key;
+        let tgs_key =
+            ScheduledKey::new(db.lookup(&tgs).expect("database must contain the realm TGS").key);
         let skew = config.clock_skew_us;
         Kdc {
             config,
@@ -269,7 +270,7 @@ impl Kdc {
             session_key,
             transited: vec![],
         };
-        let sealed_ticket = match ticket.seal(self.config.codec, self.config.ticket_layer, &self.tgs_key, &mut self.rng)
+        let sealed_ticket = match ticket.seal_with(self.config.codec, self.config.ticket_layer, &self.tgs_key, &mut self.rng)
         {
             Ok(t) => t,
             Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
@@ -354,7 +355,8 @@ impl Kdc {
     /// Attempts to unseal a presented TGT under the realm TGS key or any
     /// cross-realm key.
     fn unseal_tgt(&self, sealed: &[u8]) -> Result<Ticket, KrbError> {
-        if let Ok(t) = Ticket::unseal(self.config.codec, self.config.ticket_layer, &self.tgs_key, sealed) {
+        if let Ok(t) = Ticket::unseal_with(self.config.codec, self.config.ticket_layer, &self.tgs_key, sealed)
+        {
             return Ok(t);
         }
         // Cross-realm: a remote TGS sealed this with a shared inter-realm
@@ -453,8 +455,12 @@ impl Kdc {
             }
             let lifetime = req.lifetime_us.min(self.config.ticket_lifetime_us);
             let renewed = Ticket { start_time: now_us, end_time: now_us + lifetime, ..tgt.clone() };
-            let sealed_ticket =
-                match renewed.seal(self.config.codec, self.config.ticket_layer, &self.tgs_key, &mut self.rng) {
+            let sealed_ticket = match renewed.seal_with(
+                self.config.codec,
+                self.config.ticket_layer,
+                &self.tgs_key,
+                &mut self.rng,
+            ) {
                     Ok(t) => t,
                     Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
                 };

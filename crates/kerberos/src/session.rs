@@ -13,7 +13,7 @@ use crate::error::KrbError;
 use crate::messages::{frame, WireKind};
 use crate::principal::Principal;
 use krb_crypto::checksum::{self, Checksum};
-use krb_crypto::des::DesKey;
+use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::rng::RandomSource;
 use std::collections::HashSet;
 
@@ -134,6 +134,9 @@ pub struct Session {
     /// Which direction this endpoint sends in.
     pub send_dir: Direction,
     layer: EncLayer,
+    /// The working key with its schedule expanded once at session
+    /// establishment — every seal/open on this session reuses it.
+    skey: ScheduledKey,
     /// Timestamp mode: recently-seen values (grows with traffic — E7
     /// measures this).
     recent: HashSet<u64>,
@@ -163,6 +166,7 @@ impl Session {
             skew_us: config.clock_skew_us,
             send_dir,
             layer: config.priv_layer,
+            skey: ScheduledKey::new(key),
             recent: HashSet::new(),
             send_seq,
             recv_seq,
@@ -200,7 +204,7 @@ impl Session {
             EncLayer::HardenedCbc => encode_priv_hardened(&part),
             _ => encode_priv_draft3(&part),
         };
-        let sealed = self.layer.seal(&self.key, iv, &pt, rng)?;
+        let sealed = self.layer.seal_with(&self.skey, iv, &pt, rng)?;
         Ok(frame(WireKind::Priv, sealed))
     }
 
@@ -215,7 +219,7 @@ impl Session {
             Freshness::Timestamp => 0,
             Freshness::SequenceNumbers => self.recv_seq,
         };
-        let pt = self.layer.open(&self.key, iv, sealed).inspect_err(|_| {
+        let pt = self.layer.open_with(&self.skey, iv, sealed).inspect_err(|_| {
             self.rejected += 1;
         })?;
         let part = match self.layer {

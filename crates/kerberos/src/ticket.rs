@@ -8,7 +8,7 @@ use crate::enclayer::EncLayer;
 use crate::error::KrbError;
 use crate::flags::TicketFlags;
 use crate::principal::Principal;
-use krb_crypto::des::DesKey;
+use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::rng::RandomSource;
 
 /// Encodes a principal into an encoder.
@@ -115,6 +115,18 @@ impl Ticket {
         layer.seal(sealing_key, 0, &self.encode(codec), rng)
     }
 
+    /// [`Ticket::seal`] with a precomputed schedule (the KDC holds one
+    /// for its TGS key).
+    pub fn seal_with(
+        &self,
+        codec: Codec,
+        layer: EncLayer,
+        sealing_key: &ScheduledKey,
+        rng: &mut dyn RandomSource,
+    ) -> Result<Vec<u8>, KrbError> {
+        layer.seal_with(sealing_key, 0, &self.encode(codec), rng)
+    }
+
     /// Decrypts and parses a sealed ticket.
     pub fn unseal(
         codec: Codec,
@@ -123,6 +135,17 @@ impl Ticket {
         data: &[u8],
     ) -> Result<Ticket, KrbError> {
         let pt = layer.open(sealing_key, 0, data)?;
+        Ticket::decode(codec, &pt)
+    }
+
+    /// [`Ticket::unseal`] with a precomputed schedule.
+    pub fn unseal_with(
+        codec: Codec,
+        layer: EncLayer,
+        sealing_key: &ScheduledKey,
+        data: &[u8],
+    ) -> Result<Ticket, KrbError> {
+        let pt = layer.open_with(sealing_key, 0, data)?;
         Ticket::decode(codec, &pt)
     }
 

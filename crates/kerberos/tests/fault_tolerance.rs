@@ -180,7 +180,7 @@ fn last_as_req_to_kdc(net: &Network, kdc_ep: Endpoint) -> Vec<u8> {
         .expect("an AS request was logged")
         .dgram
         .payload
-        .clone()
+        .to_vec()
 }
 
 /// Hardened KDCs snapshot their preauth replay cache to stable storage;
@@ -369,7 +369,7 @@ fn zero_fault_plan_is_byte_identical_end_to_end() {
         conn.request(&mut net, b"determinism", &mut rng).expect("command");
         net.traffic_log()
             .iter()
-            .map(|r| (r.at.0, r.dgram.payload.clone(), r.is_request))
+            .map(|r| (r.at.0, r.dgram.payload.to_vec(), r.is_request))
             .collect()
     }
 

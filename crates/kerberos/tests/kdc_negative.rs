@@ -196,7 +196,7 @@ fn ap_request_with_garbage_ticket_rejected() {
         .inject(Datagram {
             src: Endpoint::new(e.realm.user_ep("zach").addr, 7777),
             dst: files_ep,
-            payload: req.encode(config.codec),
+            payload: req.encode(config.codec).into(),
         })
         .unwrap()
         .unwrap();
@@ -303,7 +303,7 @@ fn servers_reject_commands_without_sessions() {
         .inject(Datagram {
             src: Endpoint::new(e.realm.user_ep("zach").addr, 2222),
             dst: e.realm.service_ep("files"),
-            payload: kerberos::messages::frame(WireKind::Priv, vec![0u8; 32]),
+            payload: kerberos::messages::frame(WireKind::Priv, vec![0u8; 32]).into(),
         })
         .unwrap()
         .unwrap();

@@ -1,0 +1,90 @@
+//! A small thread-local cache of expanded key schedules.
+//!
+//! Kerberos reuses a handful of keys per exchange (the client key, the
+//! TGS key, one session key per peer), so a tiny MRU cache keyed by
+//! `DesKey` removes almost every redundant `KeySchedule::new` on the
+//! protocol path without threading schedules through every signature.
+//! Hot paths that *can* hold a schedule (mode drivers, `ScheduledKey`
+//! holders in the KDC and sessions) still should — the cache is the
+//! safety net for the long tail of callers.
+//!
+//! Entries are `Rc`-shared and the `RefCell` borrow is released before
+//! the callback runs, so re-entrant uses (e.g. a seal that computes a
+//! checksum under a related key) cannot panic; a nested call simply
+//! probes the cache again.
+
+use super::{DesKey, KeySchedule, ScheduledKey};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Slots per thread. Linear scan + move-to-front; an exchange touches
+/// only a few keys, so this stays effectively O(1).
+const SLOTS: usize = 8;
+
+thread_local! {
+    static CACHE: RefCell<Vec<(DesKey, Rc<ScheduledKey>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the cached [`ScheduledKey`] for `key`, expanding and
+/// caching it on a miss.
+pub fn with_scheduled<R>(key: &DesKey, f: impl FnOnce(&ScheduledKey) -> R) -> R {
+    let entry = CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(pos) = cache.iter().position(|(k, _)| k == key) {
+            if pos != 0 {
+                let hit = cache.remove(pos);
+                cache.insert(0, hit);
+            }
+        } else {
+            if cache.len() == SLOTS {
+                cache.pop();
+            }
+            cache.insert(0, (*key, Rc::new(ScheduledKey::new(*key))));
+        }
+        Rc::clone(&cache[0].1)
+    });
+    f(&entry)
+}
+
+/// Runs `f` with the cached [`KeySchedule`] for `key`.
+pub fn with_schedule<R>(key: &DesKey, f: impl FnOnce(&KeySchedule) -> R) -> R {
+    with_scheduled(key, |sk| f(sk.schedule()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::encrypt_block;
+
+    #[test]
+    fn cached_schedule_matches_fresh() {
+        let key = DesKey::from_u64(0x133457799BBCDFF1);
+        let fresh = key.schedule();
+        with_schedule(&key, |ks| {
+            assert_eq!(encrypt_block(ks, 0x0123456789ABCDEF), encrypt_block(&fresh, 0x0123456789ABCDEF));
+        });
+    }
+
+    #[test]
+    fn reentrant_lookup_is_safe() {
+        let a = DesKey::from_u64(0x0123456789ABCDEF);
+        let b = a.xored(0xf0f0_f0f0_f0f0_f0f0);
+        let out = with_scheduled(&a, |ka| {
+            with_scheduled(&b, |kb| kb.encrypt_block(ka.encrypt_block(1)))
+        });
+        assert_eq!(out, b.encrypt_block(a.encrypt_block(1)));
+    }
+
+    #[test]
+    fn eviction_keeps_results_correct() {
+        // Blow through far more keys than SLOTS and re-check each.
+        let keys: Vec<DesKey> =
+            (0u64..40).map(|i| DesKey::from_u64(0x1111_2222_3333_4444 ^ (i << 8))).collect();
+        let expected: Vec<u64> = keys.iter().map(|k| encrypt_block(&k.schedule(), 7)).collect();
+        for _ in 0..2 {
+            for (k, want) in keys.iter().zip(&expected) {
+                assert_eq!(with_schedule(k, |ks| encrypt_block(ks, 7)), *want);
+            }
+        }
+    }
+}

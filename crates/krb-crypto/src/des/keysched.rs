@@ -1,6 +1,19 @@
 //! DES key schedule: PC-1, the sixteen rotations, and PC-2.
+//!
+//! Both permuted choices are applied via `const`-built lookup tables
+//! (one per input byte for PC-1, one per 7-bit chunk for PC-2) instead
+//! of per-bit walks: expanding a key costs 8 + 16×8 table lookups. The
+//! tables are derived at compile time from the FIPS `PC1`/`PC2` tables,
+//! so there is a single source of truth.
+//!
+//! Alongside the classic right-aligned 48-bit round keys (kept for the
+//! reference kernel and the worked-example tests), the schedule stores
+//! each round key pre-split into the two packed halves the fast kernel's
+//! round function consumes (see `fast::split_round_key`).
 
-use super::{DesKey, PC1, PC2, SHIFTS};
+use super::fast::split_round_key;
+use super::tables::{PC1, PC2, SHIFTS};
+use super::DesKey;
 
 /// The sixteen 48-bit round keys, stored right-aligned in u64s.
 pub type RoundKeys = [u64; 16];
@@ -9,39 +22,102 @@ pub type RoundKeys = [u64; 16];
 #[derive(Clone)]
 pub struct KeySchedule {
     round_keys: RoundKeys,
+    sp_keys: [(u32, u32); 16],
+}
+
+/// PC-1 contribution of each key byte: `PC1_T[byte_idx][byte]` is the
+/// 56-bit C‖D value with exactly that byte's selected bits placed.
+static PC1_T: [[u64; 256]; 8] = build_pc1();
+
+/// PC-2 contribution of each 7-bit C‖D chunk.
+static PC2_T: [[u64; 128]; 8] = build_pc2();
+
+const fn build_pc1() -> [[u64; 256]; 8] {
+    let mut t = [[0u64; 256]; 8];
+    let mut byte_idx = 0;
+    while byte_idx < 8 {
+        let mut v = 0;
+        while v < 256 {
+            let mut acc = 0u64;
+            let mut j = 0;
+            while j < 56 {
+                let src = PC1[j] as usize; // 1..=64, MSB-first
+                if (src - 1) / 8 == byte_idx {
+                    let bit = ((v as u64) >> (7 - (src - 1) % 8)) & 1;
+                    acc |= bit << (55 - j);
+                }
+                j += 1;
+            }
+            t[byte_idx][v] = acc;
+            v += 1;
+        }
+        byte_idx += 1;
+    }
+    t
+}
+
+const fn build_pc2() -> [[u64; 128]; 8] {
+    let mut t = [[0u64; 128]; 8];
+    let mut chunk = 0;
+    while chunk < 8 {
+        let mut v = 0;
+        while v < 128 {
+            let mut acc = 0u64;
+            let mut j = 0;
+            while j < 48 {
+                let src = PC2[j] as usize; // 1..=56 into C‖D, MSB-first
+                if (src - 1) / 7 == chunk {
+                    let bit = ((v as u64) >> (6 - (src - 1) % 7)) & 1;
+                    acc |= bit << (47 - j);
+                }
+                j += 1;
+            }
+            t[chunk][v] = acc;
+            v += 1;
+        }
+        chunk += 1;
+    }
+    t
 }
 
 impl KeySchedule {
     /// Expands `key` into sixteen round keys.
     pub fn new(key: &DesKey) -> Self {
-        let k = key.to_u64();
-
         // PC-1: 64 -> 56 bits, split into C (high 28) and D (low 28).
         let mut cd: u64 = 0;
-        for &src in PC1.iter() {
-            cd = (cd << 1) | ((k >> (64 - u64::from(src))) & 1);
+        for (i, &b) in key.0.iter().enumerate() {
+            cd |= PC1_T[i][usize::from(b)];
         }
         let mut c = (cd >> 28) & 0x0fff_ffff;
         let mut d = cd & 0x0fff_ffff;
 
         let mut round_keys = [0u64; 16];
+        let mut sp_keys = [(0u32, 0u32); 16];
         for (round, &shift) in SHIFTS.iter().enumerate() {
             c = rotl28(c, shift);
             d = rotl28(d, shift);
             let merged = (c << 28) | d;
-            // PC-2: 56 -> 48 bits.
+            // PC-2: 56 -> 48 bits, one lookup per 7-bit chunk.
             let mut rk: u64 = 0;
-            for &src in PC2.iter() {
-                rk = (rk << 1) | ((merged >> (56 - u64::from(src))) & 1);
+            let mut m = 0;
+            while m < 8 {
+                rk |= PC2_T[m][((merged >> (49 - 7 * m)) & 0x7f) as usize];
+                m += 1;
             }
             round_keys[round] = rk;
+            sp_keys[round] = split_round_key(rk);
         }
-        KeySchedule { round_keys }
+        KeySchedule { round_keys, sp_keys }
     }
 
     /// Returns the round keys in encryption order.
     pub fn round_keys(&self) -> &RoundKeys {
         &self.round_keys
+    }
+
+    /// Returns the round keys pre-split for the fast kernel.
+    pub(crate) fn sp_keys(&self) -> &[(u32, u32); 16] {
+        &self.sp_keys
     }
 }
 
@@ -87,5 +163,40 @@ mod tests {
         let ks = KeySchedule::new(&DesKey::from_u64(0x0101010101010101));
         let first = ks.round_keys()[0];
         assert!(ks.round_keys().iter().all(|&rk| rk == first));
+    }
+
+    /// The table-driven PC-1/PC-2 must agree with a per-bit walk of the
+    /// FIPS tables for every round, not just the pinned examples.
+    #[test]
+    fn lookup_tables_match_bitwise_walk() {
+        for k in [0x133457799BBCDFF1u64, 0, u64::MAX, 0xA55A_96E1_D00D_FEED] {
+            let key = DesKey::from_u64(k);
+            let fast = KeySchedule::new(&key);
+            let slow = bitwise_schedule(&key);
+            assert_eq!(fast.round_keys(), &slow, "key {k:016X}");
+        }
+    }
+
+    /// The original per-bit schedule, retained as a test oracle.
+    fn bitwise_schedule(key: &DesKey) -> RoundKeys {
+        let k = key.to_u64();
+        let mut cd: u64 = 0;
+        for &src in PC1.iter() {
+            cd = (cd << 1) | ((k >> (64 - u64::from(src))) & 1);
+        }
+        let mut c = (cd >> 28) & 0x0fff_ffff;
+        let mut d = cd & 0x0fff_ffff;
+        let mut round_keys = [0u64; 16];
+        for (round, &shift) in SHIFTS.iter().enumerate() {
+            c = rotl28(c, shift);
+            d = rotl28(d, shift);
+            let merged = (c << 28) | d;
+            let mut rk: u64 = 0;
+            for &src in PC2.iter() {
+                rk = (rk << 1) | ((merged >> (56 - u64::from(src))) & 1);
+            }
+            round_keys[round] = rk;
+        }
+        round_keys
     }
 }

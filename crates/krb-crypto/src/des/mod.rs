@@ -10,12 +10,20 @@
 //! This is a *protocol-research* implementation: table lookups are not
 //! constant-time and no attempt is made to resist side channels, which are
 //! outside the paper's threat model.
+//!
+//! Two kernels coexist: [`fast`] (fused SP-tables, swap-network IP/FP —
+//! the default, re-exported here) and [`reference`] (the original
+//! bit-at-a-time table walk, kept as the equivalence oracle). They are
+//! proven bit-identical by differential proptests in `tests/des_kat.rs`.
 
-mod block;
+mod cache;
+mod fast;
 mod keysched;
+pub mod reference;
 mod tables;
 
-pub use block::{decrypt_block, encrypt_block};
+pub use cache::{with_schedule, with_scheduled};
+pub use fast::{decrypt_block, encrypt_block};
 pub use keysched::{KeySchedule, RoundKeys};
 
 /// A DES key: 8 bytes, of which 56 bits are effective (bit 0 of each byte
@@ -105,18 +113,68 @@ impl DesKey {
         DesKey::from_u64(self.to_u64() ^ mask)
     }
 
-    /// Encrypts one 8-byte block in ECB mode.
+    /// Encrypts one 8-byte block in ECB mode, using the thread-local
+    /// schedule cache. Callers encrypting many blocks under one key
+    /// should hold a [`ScheduledKey`] instead.
     pub fn encrypt_block(&self, block: u64) -> u64 {
-        encrypt_block(&self.schedule(), block)
+        cache::with_schedule(self, |ks| encrypt_block(ks, block))
     }
 
-    /// Decrypts one 8-byte block in ECB mode.
+    /// Decrypts one 8-byte block in ECB mode, using the thread-local
+    /// schedule cache.
     pub fn decrypt_block(&self, block: u64) -> u64 {
-        decrypt_block(&self.schedule(), block)
+        cache::with_schedule(self, |ks| decrypt_block(ks, block))
     }
 }
 
-pub(crate) use tables::{E, FP, IP, P, PC1, PC2, SBOXES, SHIFTS};
+/// A DES key bundled with its expanded schedule — the handle hot paths
+/// hold so the schedule is computed exactly once per key.
+#[derive(Clone)]
+pub struct ScheduledKey {
+    key: DesKey,
+    sched: KeySchedule,
+}
+
+impl ScheduledKey {
+    /// Expands `key` once.
+    pub fn new(key: DesKey) -> Self {
+        ScheduledKey { sched: KeySchedule::new(&key), key }
+    }
+
+    /// The raw key.
+    pub fn key(&self) -> &DesKey {
+        &self.key
+    }
+
+    /// The expanded schedule.
+    pub fn schedule(&self) -> &KeySchedule {
+        &self.sched
+    }
+
+    /// Encrypts one block without rescheduling.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        encrypt_block(&self.sched, block)
+    }
+
+    /// Decrypts one block without rescheduling.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        decrypt_block(&self.sched, block)
+    }
+}
+
+impl From<DesKey> for ScheduledKey {
+    fn from(key: DesKey) -> Self {
+        ScheduledKey::new(key)
+    }
+}
+
+impl core::fmt::Debug for ScheduledKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ScheduledKey(****************)")
+    }
+}
+
+pub(crate) use tables::{E, FP, IP, P, SBOXES};
 
 #[cfg(test)]
 mod tests {

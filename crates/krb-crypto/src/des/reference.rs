@@ -1,10 +1,17 @@
-//! The DES round function and block encrypt/decrypt drivers.
+//! The reference DES kernel: a direct bit-at-a-time transcription of the
+//! FIPS 46-3 tables.
+//!
+//! This was the original production kernel; it is retained verbatim as
+//! the equivalence oracle for the fused-table [`fast`](super::fast)
+//! kernel (differential proptests in `tests/des_kat.rs` pin
+//! `fast == reference` over random keys and blocks) and as the readable
+//! specification of the algorithm.
 
 use super::{KeySchedule, E, FP, IP, P, SBOXES};
 
 /// Applies a FIPS-style permutation table to `v`, treating `v` as a
 /// `width`-bit value whose bit 1 is the MSB.
-fn permute(v: u64, width: u32, table: &[u8]) -> u64 {
+pub(crate) fn permute(v: u64, width: u32, table: &[u8]) -> u64 {
     let mut out = 0u64;
     for &src in table {
         out = (out << 1) | ((v >> (width - u32::from(src))) & 1);

@@ -6,7 +6,7 @@
 //! compatibility: with all three keys equal, EDE3 degenerates to single
 //! DES (tested below).
 
-use crate::des::{decrypt_block, encrypt_block, DesKey, KeySchedule};
+use crate::des::{self, decrypt_block, encrypt_block, DesKey, KeySchedule};
 use crate::error::CryptoError;
 
 /// A 168-bit (3 × 56) triple-DES key.
@@ -26,6 +26,18 @@ pub struct TripleSchedule {
     k3: KeySchedule,
 }
 
+impl TripleSchedule {
+    /// Encrypts one block without rescheduling: `E_k3(D_k2(E_k1(p)))`.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        encrypt_block(&self.k3, decrypt_block(&self.k2, encrypt_block(&self.k1, block)))
+    }
+
+    /// Decrypts one block without rescheduling: `D_k1(E_k2(D_k3(c)))`.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        decrypt_block(&self.k1, encrypt_block(&self.k2, decrypt_block(&self.k3, block)))
+    }
+}
+
 impl TripleDesKey {
     /// Builds from three independent keys (keying option 1).
     pub fn new(k1: DesKey, k2: DesKey, k3: DesKey) -> Self {
@@ -42,50 +54,97 @@ impl TripleDesKey {
         TripleSchedule { k1: self.0[0].schedule(), k2: self.0[1].schedule(), k3: self.0[2].schedule() }
     }
 
+    /// Runs `f` with the three schedules from the thread-local cache,
+    /// expanding only the ones not already cached.
+    fn with_schedules<R>(&self, f: impl FnOnce(&KeySchedule, &KeySchedule, &KeySchedule) -> R) -> R {
+        des::with_scheduled(&self.0[0], |s1| {
+            des::with_scheduled(&self.0[1], |s2| {
+                des::with_scheduled(&self.0[2], |s3| f(s1.schedule(), s2.schedule(), s3.schedule()))
+            })
+        })
+    }
+
     /// Encrypts one block: `E_k3(D_k2(E_k1(p)))`.
     pub fn encrypt_block(&self, block: u64) -> u64 {
-        let s = self.schedule();
-        encrypt_block(&s.k3, decrypt_block(&s.k2, encrypt_block(&s.k1, block)))
+        self.with_schedules(|k1, k2, k3| encrypt_block(k3, decrypt_block(k2, encrypt_block(k1, block))))
     }
 
     /// Decrypts one block: `D_k1(E_k2(D_k3(c)))`.
     pub fn decrypt_block(&self, block: u64) -> u64 {
-        let s = self.schedule();
-        decrypt_block(&s.k1, encrypt_block(&s.k2, decrypt_block(&s.k3, block)))
+        self.with_schedules(|k1, k2, k3| decrypt_block(k1, encrypt_block(k2, decrypt_block(k3, block))))
     }
+}
+
+fn check_blocks(data: &[u8]) -> Result<(), CryptoError> {
+    if !data.len().is_multiple_of(8) {
+        return Err(CryptoError::BadLength { what: "EDE3-CBC input", len: data.len() });
+    }
+    Ok(())
+}
+
+/// EDE3-CBC encryption in place with a precomputed schedule.
+pub fn ede3_cbc_encrypt_in_place(
+    s: &TripleSchedule,
+    iv: u64,
+    data: &mut [u8],
+) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    let mut prev = iv;
+    for chunk in data.chunks_exact_mut(8) {
+        let p = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        prev = s.encrypt_block(p ^ prev);
+        chunk.copy_from_slice(&prev.to_be_bytes());
+    }
+    Ok(())
+}
+
+/// EDE3-CBC decryption in place with a precomputed schedule.
+pub fn ede3_cbc_decrypt_in_place(
+    s: &TripleSchedule,
+    iv: u64,
+    data: &mut [u8],
+) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    let mut prev = iv;
+    for chunk in data.chunks_exact_mut(8) {
+        let c = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        let p = s.decrypt_block(c) ^ prev;
+        chunk.copy_from_slice(&p.to_be_bytes());
+        prev = c;
+    }
+    Ok(())
 }
 
 /// EDE3-CBC encryption. `data` must be a whole number of blocks.
 pub fn ede3_cbc_encrypt(key: &TripleDesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if !data.len().is_multiple_of(8) {
-        return Err(CryptoError::BadLength { what: "EDE3-CBC input", len: data.len() });
-    }
-    let s = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    let mut prev = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let p = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
-        let c = encrypt_block(&s.k3, decrypt_block(&s.k2, encrypt_block(&s.k1, p ^ prev)));
-        out[i * 8..i * 8 + 8].copy_from_slice(&c.to_be_bytes());
-        prev = c;
-    }
+    let mut out = data.to_vec();
+    key.with_schedules(|k1, k2, k3| {
+        let mut prev = iv;
+        check_blocks(&out)?;
+        for chunk in out.chunks_exact_mut(8) {
+            let p = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+            prev = encrypt_block(k3, decrypt_block(k2, encrypt_block(k1, p ^ prev)));
+            chunk.copy_from_slice(&prev.to_be_bytes());
+        }
+        Ok(())
+    })?;
     Ok(out)
 }
 
 /// EDE3-CBC decryption.
 pub fn ede3_cbc_decrypt(key: &TripleDesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    if !data.len().is_multiple_of(8) {
-        return Err(CryptoError::BadLength { what: "EDE3-CBC input", len: data.len() });
-    }
-    let s = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    let mut prev = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let c = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
-        let p = decrypt_block(&s.k1, encrypt_block(&s.k2, decrypt_block(&s.k3, c))) ^ prev;
-        out[i * 8..i * 8 + 8].copy_from_slice(&p.to_be_bytes());
-        prev = c;
-    }
+    let mut out = data.to_vec();
+    key.with_schedules(|k1, k2, k3| {
+        check_blocks(&out)?;
+        let mut prev = iv;
+        for chunk in out.chunks_exact_mut(8) {
+            let c = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+            let p = decrypt_block(k1, encrypt_block(k2, decrypt_block(k3, c))) ^ prev;
+            chunk.copy_from_slice(&p.to_be_bytes());
+            prev = c;
+        }
+        Ok(())
+    })?;
     Ok(out)
 }
 
@@ -136,6 +195,21 @@ mod tests {
         assert_eq!(ede3_cbc_decrypt(&k, 9, &ct).unwrap(), data);
         assert_ne!(ede3_cbc_encrypt(&k, 10, &data).unwrap(), ct);
         assert!(ede3_cbc_encrypt(&k, 0, b"short").is_err());
+    }
+
+    #[test]
+    fn scheduled_ops_match_key_ops() {
+        let (a, b, c) = keys();
+        let k = TripleDesKey::new(a, b, c);
+        let s = k.schedule();
+        assert_eq!(s.encrypt_block(99), k.encrypt_block(99));
+        assert_eq!(s.decrypt_block(99), k.decrypt_block(99));
+        let data = crate::modes::pad_zero(b"in-place EDE3 must match the allocating path");
+        let mut buf = data.clone();
+        ede3_cbc_encrypt_in_place(&s, 4, &mut buf).unwrap();
+        assert_eq!(buf, ede3_cbc_encrypt(&k, 4, &data).unwrap());
+        ede3_cbc_decrypt_in_place(&s, 4, &mut buf).unwrap();
+        assert_eq!(buf, data);
     }
 
     #[test]

@@ -9,8 +9,14 @@
 //! - PCBC has the *block-swap property* — exchanging two ciphertext
 //!   blocks garbles only the corresponding plaintext blocks, leaving all
 //!   later blocks intact (message-stream modification).
+//!
+//! Each mode has an `_in_place` core that transforms a caller-provided
+//! buffer under a precomputed [`KeySchedule`] — the zero-allocation hot
+//! path — plus a thin allocating wrapper with the historical
+//! `(key, data) -> Vec<u8>` signature that routes through the
+//! thread-local schedule cache.
 
-use crate::des::{decrypt_block, encrypt_block, DesKey, KeySchedule};
+use crate::des::{self, decrypt_block, encrypt_block, DesKey, KeySchedule};
 use crate::error::CryptoError;
 
 /// Converts an 8-byte chunk to a big-endian u64.
@@ -48,84 +54,114 @@ fn check_blocks(data: &[u8]) -> Result<(), CryptoError> {
     Ok(())
 }
 
+/// Encrypts `data` in ECB mode in place. `data` must be a multiple of 8
+/// bytes.
+pub fn ecb_encrypt_in_place(ks: &KeySchedule, data: &mut [u8]) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    for chunk in data.chunks_exact_mut(8) {
+        store_block(encrypt_block(ks, load_block(chunk)), chunk);
+    }
+    Ok(())
+}
+
+/// Decrypts `data` in ECB mode in place.
+pub fn ecb_decrypt_in_place(ks: &KeySchedule, data: &mut [u8]) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    for chunk in data.chunks_exact_mut(8) {
+        store_block(decrypt_block(ks, load_block(chunk)), chunk);
+    }
+    Ok(())
+}
+
+/// Encrypts `data` in CBC mode in place with the given IV.
+pub fn cbc_encrypt_in_place(ks: &KeySchedule, iv: u64, data: &mut [u8]) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    let mut prev = iv;
+    for chunk in data.chunks_exact_mut(8) {
+        prev = encrypt_block(ks, load_block(chunk) ^ prev);
+        store_block(prev, chunk);
+    }
+    Ok(())
+}
+
+/// Decrypts `data` in CBC mode in place with the given IV.
+pub fn cbc_decrypt_in_place(ks: &KeySchedule, iv: u64, data: &mut [u8]) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    let mut prev = iv;
+    for chunk in data.chunks_exact_mut(8) {
+        let ct = load_block(chunk);
+        store_block(decrypt_block(ks, ct) ^ prev, chunk);
+        prev = ct;
+    }
+    Ok(())
+}
+
+/// Encrypts `data` in place in Kerberos V4's PCBC (propagating CBC) mode:
+/// `C_i = E(P_i ^ P_{i-1} ^ C_{i-1})` with `P_0 ^ C_0` seeded by the IV.
+pub fn pcbc_encrypt_in_place(ks: &KeySchedule, iv: u64, data: &mut [u8]) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    let mut chain = iv;
+    for chunk in data.chunks_exact_mut(8) {
+        let p = load_block(chunk);
+        let c = encrypt_block(ks, p ^ chain);
+        store_block(c, chunk);
+        chain = p ^ c;
+    }
+    Ok(())
+}
+
+/// Decrypts PCBC mode in place.
+pub fn pcbc_decrypt_in_place(ks: &KeySchedule, iv: u64, data: &mut [u8]) -> Result<(), CryptoError> {
+    check_blocks(data)?;
+    let mut chain = iv;
+    for chunk in data.chunks_exact_mut(8) {
+        let c = load_block(chunk);
+        let p = decrypt_block(ks, c) ^ chain;
+        store_block(p, chunk);
+        chain = p ^ c;
+    }
+    Ok(())
+}
+
 /// Encrypts in ECB mode. `data` must be a multiple of 8 bytes.
 pub fn ecb_encrypt(key: &DesKey, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let ks = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        store_block(encrypt_block(&ks, load_block(chunk)), &mut out[i * 8..i * 8 + 8]);
-    }
+    let mut out = data.to_vec();
+    des::with_schedule(key, |ks| ecb_encrypt_in_place(ks, &mut out))?;
     Ok(out)
 }
 
 /// Decrypts in ECB mode. `data` must be a multiple of 8 bytes.
 pub fn ecb_decrypt(key: &DesKey, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let ks = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        store_block(decrypt_block(&ks, load_block(chunk)), &mut out[i * 8..i * 8 + 8]);
-    }
+    let mut out = data.to_vec();
+    des::with_schedule(key, |ks| ecb_decrypt_in_place(ks, &mut out))?;
     Ok(out)
 }
 
 /// Encrypts in CBC mode with the given IV.
 pub fn cbc_encrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let ks = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    let mut prev = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let ct = encrypt_block(&ks, load_block(chunk) ^ prev);
-        store_block(ct, &mut out[i * 8..i * 8 + 8]);
-        prev = ct;
-    }
+    let mut out = data.to_vec();
+    des::with_schedule(key, |ks| cbc_encrypt_in_place(ks, iv, &mut out))?;
     Ok(out)
 }
 
 /// Decrypts in CBC mode with the given IV.
 pub fn cbc_decrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let ks = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    let mut prev = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let ct = load_block(chunk);
-        store_block(decrypt_block(&ks, ct) ^ prev, &mut out[i * 8..i * 8 + 8]);
-        prev = ct;
-    }
+    let mut out = data.to_vec();
+    des::with_schedule(key, |ks| cbc_decrypt_in_place(ks, iv, &mut out))?;
     Ok(out)
 }
 
-/// Encrypts in Kerberos V4's PCBC (propagating CBC) mode:
-/// `C_i = E(P_i ^ P_{i-1} ^ C_{i-1})` with `P_0 ^ C_0` seeded by the IV.
+/// Encrypts in PCBC mode with the given IV.
 pub fn pcbc_encrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let ks = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    let mut chain = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let p = load_block(chunk);
-        let c = encrypt_block(&ks, p ^ chain);
-        store_block(c, &mut out[i * 8..i * 8 + 8]);
-        chain = p ^ c;
-    }
+    let mut out = data.to_vec();
+    des::with_schedule(key, |ks| pcbc_encrypt_in_place(ks, iv, &mut out))?;
     Ok(out)
 }
 
 /// Decrypts PCBC mode.
 pub fn pcbc_decrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let ks = key.schedule();
-    let mut out = vec![0u8; data.len()];
-    let mut chain = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let c = load_block(chunk);
-        let p = decrypt_block(&ks, c) ^ chain;
-        store_block(p, &mut out[i * 8..i * 8 + 8]);
-        chain = p ^ c;
-    }
+    let mut out = data.to_vec();
+    des::with_schedule(key, |ks| pcbc_decrypt_in_place(ks, iv, &mut out))?;
     Ok(out)
 }
 
@@ -133,14 +169,8 @@ pub fn pcbc_decrypt(key: &DesKey, iv: u64, data: &[u8]) -> Result<Vec<u8>, Crypt
 /// Exposed for the throughput benchmarks, which must not re-run the key
 /// schedule per message.
 pub fn cbc_encrypt_with(ks: &KeySchedule, iv: u64, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    check_blocks(data)?;
-    let mut out = vec![0u8; data.len()];
-    let mut prev = iv;
-    for (i, chunk) in data.chunks_exact(8).enumerate() {
-        let ct = encrypt_block(ks, load_block(chunk) ^ prev);
-        store_block(ct, &mut out[i * 8..i * 8 + 8]);
-        prev = ct;
-    }
+    let mut out = data.to_vec();
+    cbc_encrypt_in_place(ks, iv, &mut out)?;
     Ok(out)
 }
 
@@ -246,6 +276,23 @@ mod tests {
         assert!(ecb_encrypt(&key(), b"short").is_err());
         assert!(cbc_encrypt(&key(), 0, b"123456789").is_err());
         assert!(pcbc_decrypt(&key(), 0, &[0u8; 7]).is_err());
+        let ks = key().schedule();
+        assert!(cbc_encrypt_in_place(&ks, 0, &mut [0u8; 9]).is_err());
+    }
+
+    #[test]
+    fn in_place_matches_allocating() {
+        let ks = key().schedule();
+        let data = pad_zero(b"the in-place drivers and the wrappers must agree");
+        let mut buf = data.clone();
+        cbc_encrypt_in_place(&ks, 11, &mut buf).unwrap();
+        assert_eq!(buf, cbc_encrypt(&key(), 11, &data).unwrap());
+        let mut buf = data.clone();
+        pcbc_encrypt_in_place(&ks, 11, &mut buf).unwrap();
+        assert_eq!(buf, pcbc_encrypt(&key(), 11, &data).unwrap());
+        let mut buf = data.clone();
+        ecb_encrypt_in_place(&ks, &mut buf).unwrap();
+        assert_eq!(buf, ecb_encrypt(&key(), &data).unwrap());
     }
 
     #[test]

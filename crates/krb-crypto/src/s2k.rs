@@ -7,7 +7,7 @@
 //! password can be confirmed offline by deriving the candidate key and
 //! trying it against the recorded reply.
 
-use crate::des::DesKey;
+use crate::des::{DesKey, KeySchedule};
 use crate::modes;
 
 /// Reverses the bits within a byte (the V4 fan-fold flips alternate
@@ -51,7 +51,10 @@ pub fn string_to_key_v5(password: &str, salt: &str) -> DesKey {
 }
 
 fn string_to_key_salted(password: &str, salt: &str) -> DesKey {
-    let mut input = Vec::with_capacity(password.len() + salt.len());
+    // One buffer serves as password‖salt and, zero-padded in place, as
+    // the CBC-MAC input: this is the dictionary-attack inner loop, so it
+    // must not allocate per trial beyond this single Vec.
+    let mut input = Vec::with_capacity((password.len() + salt.len() + 8) & !7);
     input.extend_from_slice(password.as_bytes());
     input.extend_from_slice(salt.as_bytes());
     if input.is_empty() {
@@ -61,10 +64,16 @@ fn string_to_key_salted(password: &str, salt: &str) -> DesKey {
     let candidate = DesKey::from_bytes(fanfold(&input)).with_odd_parity();
 
     // CBC-MAC the padded password under the candidate key, IV = candidate.
-    let padded = modes::pad_zero(&input);
-    let ct = modes::cbc_encrypt(&candidate, candidate.to_u64(), &padded)
+    // The candidate is different on every call, so bypass the schedule
+    // cache and expand it exactly once, explicitly.
+    let rem = input.len() % 8;
+    if rem != 0 {
+        input.resize(input.len() + (8 - rem), 0);
+    }
+    let ks = KeySchedule::new(&candidate);
+    modes::cbc_encrypt_in_place(&ks, candidate.to_u64(), &mut input)
         .expect("padded input is block-aligned");
-    let last = &ct[ct.len() - 8..];
+    let last = &input[input.len() - 8..];
     let mut key = DesKey::from_bytes(last.try_into().expect("slice is 8 bytes")).with_odd_parity();
 
     // Perturb weak and semi-weak keys, as the historical library did.

@@ -132,7 +132,7 @@ mod tests {
         let (mut net, c, s) = build();
         net.set_tap(Box::new(ScriptedTap::new(|d: &mut Datagram, _| {
             if d.dst.port == 7 {
-                d.payload = b"EVIL".to_vec();
+                d.payload = b"EVIL".to_vec().into();
             }
             Verdict::Deliver
         })));

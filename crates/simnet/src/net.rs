@@ -22,6 +22,7 @@ use crate::fault::{FaultDecision, FaultKind, FaultPlan};
 use crate::host::{Host, HostId, ServiceCtx};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A network address (an IPv4-style 32-bit value).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,6 +64,99 @@ impl Endpoint {
     }
 }
 
+/// A datagram payload: shared, cheaply cloneable bytes.
+///
+/// The delivery path clones every datagram at least once (into the
+/// traffic log) and faulted runs clone again for duplicates, reorders,
+/// and late replies. Sharing the buffer turns all of those bookkeeping
+/// clones into reference-count bumps; bytes are copied only when a
+/// holder actually mutates (copy-on-write via [`Arc::make_mut`]) or
+/// explicitly exports with [`Payload::to_vec`].
+///
+/// Derefs to `[u8]` both ways, so reads (`.first()`, slicing,
+/// `.starts_with`) and in-place edits (`p[i] ^= x`, `p.swap(a, b)`)
+/// work as they did when this was a `Vec<u8>`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Payload(Arc<Vec<u8>>);
+
+impl Payload {
+    /// Wraps owned bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Payload(Arc::new(bytes))
+    }
+
+    /// Copies the bytes out (the one deliberate copy at API boundaries).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.as_ref().clone()
+    }
+
+    /// Borrows the bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for Payload {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        Arc::make_mut(&mut self.0).as_mut_slice()
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::new(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload::new(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Self {
+        Payload::new(v.to_vec())
+    }
+}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Payload {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other as &[u8]
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
 /// One datagram on the wire.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Datagram {
@@ -71,7 +165,7 @@ pub struct Datagram {
     /// Destination.
     pub dst: Endpoint,
     /// Payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 /// An entry in the traffic log: what crossed the wire, and when (true
@@ -303,7 +397,7 @@ impl Network {
             // Datagrams held from earlier exchanges arrive first.
             self.pump();
         }
-        let request = Datagram { src: from, dst: to, payload };
+        let request = Datagram { src: from, dst: to, payload: payload.into() };
         let delivered = match self.transit(request, true, true) {
             LegOutcome::Delivered(d) => d,
             LegOutcome::Lost => return Err(NetError::Dropped),
@@ -329,7 +423,7 @@ impl Network {
                 // The awaited reply arrived: older duplicates still in
                 // flight stay queued (the caller reads until it sees a
                 // matching reply, discarding strays).
-                Ok(d.payload)
+                Ok(d.payload.to_vec())
             }
             outcome @ (LegOutcome::Lost | LegOutcome::Held) => {
                 // The fresh reply went missing. If an older reply from
@@ -346,7 +440,7 @@ impl Network {
                         is_request: false,
                         fault: Some(s.kind),
                     });
-                    return Ok(s.dgram.payload);
+                    return Ok(s.dgram.payload.to_vec());
                 }
                 match outcome {
                     LegOutcome::Lost => Err(NetError::ReplyLost),
@@ -361,7 +455,7 @@ impl Network {
     /// *undelivered* — used by attack code that impersonates. Adversary
     /// sends bypass the fault layer (raw wire access).
     pub fn send_oneway(&mut self, from: Endpoint, to: Endpoint, payload: Vec<u8>) -> Result<(), NetError> {
-        let d = Datagram { src: from, dst: to, payload };
+        let d = Datagram { src: from, dst: to, payload: payload.into() };
         match self.transit(d, true, false) {
             LegOutcome::Delivered(d) => {
                 self.dispatch(d)?;
@@ -383,7 +477,7 @@ impl Network {
         if let Some(r) = &reply {
             self.log.push(TrafficRecord { at: self.true_time, dgram: r.clone(), is_request: false, fault: None });
         }
-        Ok(reply.map(|d| d.payload))
+        Ok(reply.map(|d| d.payload.to_vec()))
     }
 
     /// Delivers every held datagram that has come due: duplicate and
@@ -572,7 +666,7 @@ impl Network {
         let reply = service.handle(&mut ctx, &dgram.payload, dgram.src);
         self.hosts[hid.0].services.insert(dgram.dst.port, service);
 
-        Ok(reply.map(|payload| Datagram { src: dgram.dst, dst: dgram.src, payload }))
+        Ok(reply.map(|payload| Datagram { src: dgram.dst, dst: dgram.src, payload: payload.into() }))
     }
 
     /// Runs [`crate::host::Service::on_restart`] on every service bound
@@ -670,7 +764,7 @@ mod tests {
         // The adversary claims to be 10.9.9.9 — nothing stops it.
         let forged = Endpoint::new(Addr::new(10, 9, 9, 9), 5555);
         let reply = net
-            .inject(Datagram { src: forged, dst: s, payload: b"spoof".to_vec() })
+            .inject(Datagram { src: forged, dst: s, payload: b"spoof".to_vec().into() })
             .unwrap();
         assert_eq!(reply.unwrap(), b"foops");
     }

@@ -86,7 +86,7 @@ testkit::prop! {
         net.add_host(srv);
         let forged = Endpoint::new(Addr(src_addr), src_port);
         let reply = net
-            .inject(Datagram { src: forged, dst: Endpoint::new(b, 7), payload: payload.clone() })
+            .inject(Datagram { src: forged, dst: Endpoint::new(b, 7), payload: payload.clone().into() })
             .unwrap();
         prop_assert_eq!(reply, Some(payload));
     }

@@ -45,6 +45,15 @@ cargo build --workspace --release --all-targets --offline
 echo "== tests =="
 cargo test -q --workspace --offline
 
+echo "== crypto bench smoke (fast-kernel equivalence + speedup) =="
+# One quick pass of the E13 throughput harness: proves the fused-table
+# DES kernel bit-exact against the reference (FIPS 81 + differential
+# trials), fails if the fast kernel is not faster, and regenerates
+# BENCH_crypto.json.
+KDC_THROUGHPUT_QUICK=1 cargo run --release --offline -p bench --bin table_kdc_throughput
+grep -q '"equivalence": "pass"' BENCH_crypto.json \
+    || { echo "BENCH_crypto.json missing equivalence pass"; exit 1; }
+
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
 # drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts

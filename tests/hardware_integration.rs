@@ -117,7 +117,7 @@ fn keystore_refuses_plain_access() {
     let r = net.inject(simnet::Datagram {
         src: Endpoint::new(Addr::new(10, 0, 0, 1), 5555),
         dst: keystore_ep,
-        payload: kerberos::messages::frame(kerberos::messages::WireKind::AppData, b"FETCH anything".to_vec()),
+        payload: kerberos::messages::frame(kerberos::messages::WireKind::AppData, b"FETCH anything".to_vec()).into(),
     });
     let reply = r.unwrap().unwrap();
     // An error, not a blob.

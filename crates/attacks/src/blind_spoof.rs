@@ -23,7 +23,7 @@ use krb_crypto::des::DesKey;
 use krb_crypto::rng::{Drbg, RandomSource};
 use simnet::stream::{IsnGenerator, Segment};
 use simnet::{Endpoint, Service, ServiceCtx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The port the kerberized stream daemon listens on.
 const KSHD_PORT: u16 = 544;
@@ -40,7 +40,7 @@ pub struct KerbStreamDaemon {
     principal: kerberos::Principal,
     service_key: DesKey,
     isn: IsnGenerator,
-    conns: HashMap<Endpoint, ConnState>,
+    conns: BTreeMap<Endpoint, ConnState>,
     rng: Drbg,
     /// Commands executed, with the authenticated principal and the
     /// (claimed) source.
@@ -54,7 +54,7 @@ impl KerbStreamDaemon {
             principal,
             service_key,
             isn: IsnGenerator::new(5000),
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             rng: Drbg::new(seed),
             executed: Vec::new(),
         }

@@ -167,7 +167,7 @@ pub fn run_soak(config: &ProtocolConfig, soak: &SoakConfig) -> SoakReport {
     }
 
     if let Some(plan) = env.net.fault_plan() {
-        report.stats = plan.stats.clone();
+        report.stats = plan.stats;
     }
     report
 }

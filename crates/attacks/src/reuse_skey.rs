@@ -61,7 +61,7 @@ impl Attack for ReuseSkeyRedirect {
             Ok(t) => t,
             Err(e) => return report(false, format!("KDC refused REUSE-SKEY: {e}")),
         };
-        if t_backup.session_key != t_files.session_key {
+        if !t_backup.session_key.ct_eq(&t_files.session_key) {
             return report(false, "KDC did not actually share the session key".into());
         }
 

@@ -318,7 +318,9 @@ impl EncryptionUnit {
         if pt.len() < 9 {
             return Err(HwError::Protocol("blob too short".into()));
         }
-        let key = DesKey::from_u64(u64::from_be_bytes(pt[..8].try_into().expect("8 bytes")));
+        let mut kb = [0u8; 8];
+        kb.copy_from_slice(&pt[..8]);
+        let key = DesKey::from_bytes(kb);
         let purpose = purpose_from_tag(pt[8]).ok_or_else(|| HwError::Protocol("bad purpose tag".into()))?;
         let h = self.insert(key, purpose);
         self.log(format!("import_sealed_blob -> {h:?} purpose={purpose:?}"));

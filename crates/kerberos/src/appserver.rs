@@ -18,7 +18,7 @@ use crate::ticket::Ticket;
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::{Drbg, RandomSource};
 use simnet::{Endpoint, NetError, Network, Service, ServiceCtx, SimDuration};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Application behavior behind the authentication layer.
 pub trait AppLogic {
@@ -62,11 +62,11 @@ pub struct AppServer {
     rng: Drbg,
     replay_cache: ReplayCache,
     /// Challenge/response state: peer -> (nonce, ticket).
-    pending: HashMap<Endpoint, (u64, Ticket)>,
+    pending: BTreeMap<Endpoint, (u64, Ticket)>,
     /// Established sessions by peer endpoint.
-    pub sessions: HashMap<Endpoint, Session>,
+    pub sessions: BTreeMap<Endpoint, Session>,
     /// Plain-mode authorization: endpoint -> authenticated principal.
-    authorized: HashMap<Endpoint, Principal>,
+    authorized: BTreeMap<Endpoint, Principal>,
     /// Application behavior.
     pub logic: Box<dyn AppLogic>,
     /// Authentication decisions, in order.
@@ -95,9 +95,9 @@ impl AppServer {
             service_key,
             rng: Drbg::new(rng_seed),
             replay_cache: ReplayCache::new(skew),
-            pending: HashMap::new(),
-            sessions: HashMap::new(),
-            authorized: HashMap::new(),
+            pending: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            authorized: BTreeMap::new(),
             logic,
             auth_log: Vec::new(),
             disk: None,
@@ -187,11 +187,15 @@ impl AppServer {
         self.auth_log.push(AuthEvent::Accepted { client: ticket.client.clone(), from });
 
         let part = EncApRepPart { ts_echo, subkey: server_subkey, seq_init: Some(server_seq) };
-        let sealed = self
-            .config
-            .ticket_layer
-            .seal(&ticket.session_key, 0, &part.encode(self.config.codec), &mut self.rng)
-            .expect("seal AP reply");
+        let sealed = match self.config.ticket_layer.seal(
+            &ticket.session_key,
+            0,
+            &part.encode(self.config.codec),
+            &mut self.rng,
+        ) {
+            Ok(v) => v,
+            Err(e) => return self.reject(from, &e.to_string(), err_code::GENERIC),
+        };
         ApRep { enc_part: sealed }.encode(self.config.codec)
     }
 
@@ -310,7 +314,9 @@ impl AppServer {
         };
         let client = session.peer.clone();
         let reply = self.logic.on_command(&client, &data);
-        let session = self.sessions.get_mut(&from).expect("session still present");
+        let Some(session) = self.sessions.get_mut(&from) else {
+            return self.reject(from, "no session", err_code::GENERIC);
+        };
         session
             .send_priv(&reply, now_us, my_addr, &mut self.rng)
             .unwrap_or_else(|e| KrbErrorMsg { code: err_code::GENERIC, text: e.to_string(), challenge: None }
@@ -332,7 +338,9 @@ impl AppServer {
         };
         let client = session.peer.clone();
         let reply = self.logic.on_command(&client, &data);
-        let session = self.sessions.get_mut(&from).expect("session still present");
+        let Some(session) = self.sessions.get_mut(&from) else {
+            return self.reject(from, "no session", err_code::GENERIC);
+        };
         session
             .send_safe(&reply, now_us, my_addr, &config)
             .unwrap_or_else(|e| KrbErrorMsg { code: err_code::GENERIC, text: e.to_string(), challenge: None }
@@ -520,7 +528,7 @@ pub fn connect_app(
         let pt = config
             .ticket_layer
             .open(&cred.session_key, 0, &rep.enc_part)
-            .map_err(|e| reply_transient(net, e.into()))?;
+            .map_err(|e| reply_transient(net, e))?;
         let part = EncApRepPart::decode(config.codec, &pt).map_err(|e| reply_transient(net, e))?;
         if part.ts_echo != expected_echo {
             return Err(reply_transient(

@@ -81,7 +81,7 @@ impl Authenticator {
 
     /// Parses the plaintext fields.
     pub fn decode(codec: Codec, data: &[u8]) -> Result<Authenticator, KrbError> {
-        let body = codec.unwrap(MsgType::Authenticator, data)?;
+        let body = codec.open(MsgType::Authenticator, data)?;
         let mut d = Decoder::new(body);
         let client = take_principal(&mut d)?;
         let addr = d.take_u32()?;
@@ -90,7 +90,7 @@ impl Authenticator {
             0 => None,
             1 => {
                 let ctype = checksum_from_tag(d.take_u8()?)?;
-                Some(Checksum { ctype, value: d.take_bytes()? })
+                Some(Checksum { ctype, value: d.take_bytes()?.into() })
             }
             _ => return Err(KrbError::Decode("bad cksum option")),
         };
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn roundtrip_full() {
         let a = Authenticator {
-            cksum: Some(Checksum { ctype: ChecksumType::Crc32, value: vec![1, 2, 3, 4] }),
+            cksum: Some(Checksum { ctype: ChecksumType::Crc32, value: vec![1, 2, 3, 4].into() }),
             service_binding: Some(Principal::service("hesiod", "db1", "ATHENA")),
             subkey: Some(0xdeadbeef),
             seq_init: Some(42),

@@ -183,7 +183,7 @@ pub fn login_at(
             config
                 .ticket_layer
                 .open(&dh_key, 0, &rep.enc_part)
-                .map_err(|e| reply_transient(net, KrbError::from(e)))?
+                .map_err(|e| reply_transient(net, e))?
         } else if config.dh_login {
             return Err(reply_transient(net, KrbError::Remote("KDC did not complete key exchange".into())));
         } else {
@@ -205,7 +205,7 @@ pub fn login_at(
         let part_bytes = config
             .ticket_layer
             .open(&unseal_key, 0, &inner)
-            .map_err(|e| reply_transient(net, KrbError::from(e)))?;
+            .map_err(|e| reply_transient(net, e))?;
         let part = EncKdcRepPart::decode(config.codec, MsgType::EncAsRepPart, &part_bytes)
             .map_err(|e| reply_transient(net, e))?;
         // Nonce echo: the KDC proved knowledge of K_c *now* — server-to-
@@ -322,7 +322,7 @@ pub fn get_service_ticket_at(
         let part_bytes = config
             .ticket_layer
             .open(&tgt.session_key, 0, &rep.enc_part)
-            .map_err(|e| reply_transient(net, KrbError::from(e)))?;
+            .map_err(|e| reply_transient(net, e))?;
         let part = EncKdcRepPart::decode(config.codec, MsgType::EncTgsRepPart, &part_bytes)
             .map_err(|e| reply_transient(net, e))?;
         if part.nonce != nonce {

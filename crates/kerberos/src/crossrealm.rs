@@ -19,7 +19,7 @@ use crate::error::KrbError;
 use crate::principal::Principal;
 use krb_crypto::rng::RandomSource;
 use simnet::{Endpoint, Network};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Static inter-realm routing tables: realm -> (destination realm ->
 /// next-hop realm). "Should realm administrators rely on electronic
@@ -27,10 +27,10 @@ use std::collections::HashMap;
 #[derive(Clone, Debug, Default)]
 pub struct RealmTopology {
     /// KDC endpoint of each realm.
-    pub kdc_eps: HashMap<String, Endpoint>,
+    pub kdc_eps: BTreeMap<String, Endpoint>,
     /// `routes[realm]` maps a destination realm to the next hop (a realm
     /// that `realm` shares an inter-realm key with).
-    pub routes: HashMap<String, HashMap<String, String>>,
+    pub routes: BTreeMap<String, BTreeMap<String, String>>,
 }
 
 impl RealmTopology {

@@ -4,7 +4,7 @@ use crate::error::KrbError;
 use crate::principal::Principal;
 use krb_crypto::des::DesKey;
 use krb_crypto::s2k;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One database entry.
 #[derive(Clone, Debug)]
@@ -22,13 +22,13 @@ pub struct DbEntry {
 #[derive(Clone, Debug, Default)]
 pub struct KdcDatabase {
     realm: String,
-    entries: HashMap<Principal, DbEntry>,
+    entries: BTreeMap<Principal, DbEntry>,
 }
 
 impl KdcDatabase {
     /// An empty database for `realm`.
     pub fn new(realm: &str) -> Self {
-        KdcDatabase { realm: realm.into(), entries: HashMap::new() }
+        KdcDatabase { realm: realm.into(), entries: BTreeMap::new() }
     }
 
     /// The realm this database serves.

@@ -137,7 +137,7 @@ impl EncLayer {
                 if pt.len() < 4 {
                     return Err(KrbError::Decode("V4 sealed part too short"));
                 }
-                let len = u32::from_be_bytes(pt[..4].try_into().expect("4 bytes")) as usize;
+                let len = u32::from_be_bytes(crate::encoding::be_array::<4>(&pt[..4])) as usize;
                 if 4 + len > pt.len() {
                     return Err(KrbError::Decode("V4 length field out of range"));
                 }
@@ -168,13 +168,13 @@ impl EncLayer {
                 buf.extend_from_slice(&iv.to_be_bytes());
                 buf.extend_from_slice(ct);
                 modes::cbc_decrypt_in_place(key.schedule(), iv, &mut buf[8..])?;
-                let claimed = Checksum { ctype: ChecksumType::Md4Des, value: mac_bytes.to_vec() };
+                let claimed = Checksum { ctype: ChecksumType::Md4Des, value: mac_bytes.to_vec().into() };
                 checksum::verify(&claimed, Some(key.key()), &buf)
                     .map_err(|_| KrbError::IntegrityFailure)?;
                 if buf.len() < 12 {
                     return Err(KrbError::Decode("hardened sealed part too short"));
                 }
-                let len = u32::from_be_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+                let len = u32::from_be_bytes(crate::encoding::be_array::<4>(&buf[8..12])) as usize;
                 if 12 + len > buf.len() {
                     return Err(KrbError::Decode("hardened length out of range"));
                 }

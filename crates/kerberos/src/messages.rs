@@ -152,7 +152,7 @@ impl AsReq {
         if kind != WireKind::AsReq {
             return Err(KrbError::Decode("not an AS request"));
         }
-        let body = codec.unwrap(MsgType::AsReq, body)?;
+        let body = codec.open(MsgType::AsReq, body)?;
         let mut d = Decoder::new(body);
         let client = take_principal(&mut d)?;
         let service = take_principal(&mut d)?;
@@ -213,7 +213,7 @@ impl EncKdcRepPart {
 
     /// Parses a decrypted reply part.
     pub fn decode(codec: Codec, mtype: MsgType, data: &[u8]) -> Result<EncKdcRepPart, KrbError> {
-        let body = codec.unwrap(mtype, data)?;
+        let body = codec.open(mtype, data)?;
         let mut d = Decoder::new(body);
         let session_key = DesKey::from_u64(d.take_u64()?);
         let nonce = d.take_u64()?;
@@ -224,7 +224,7 @@ impl EncKdcRepPart {
             0 => None,
             1 => {
                 let ctype = checksum_from_tag(d.take_u8()?)?;
-                Some(Checksum { ctype, value: d.take_bytes()? })
+                Some(Checksum { ctype, value: d.take_bytes()?.into() })
             }
             _ => return Err(KrbError::Decode("bad cksum option")),
         };
@@ -261,7 +261,7 @@ impl AsRep {
         if kind != WireKind::AsRep {
             return Err(KrbError::Decode("not an AS reply"));
         }
-        let body = codec.unwrap(MsgType::AsRep, body)?;
+        let body = codec.open(MsgType::AsRep, body)?;
         let mut d = Decoder::new(body);
         Ok(AsRep {
             challenge_r: d.take_opt_u64()?,
@@ -333,7 +333,7 @@ impl TgsReq {
         if kind != WireKind::TgsReq {
             return Err(KrbError::Decode("not a TGS request"));
         }
-        let body = codec.unwrap(MsgType::TgsReq, body)?;
+        let body = codec.open(MsgType::TgsReq, body)?;
         let mut d = Decoder::new(body);
         let tgt = d.take_bytes()?;
         let authenticator = d.take_bytes()?;
@@ -379,7 +379,7 @@ impl TgsRep {
         if kind != WireKind::TgsRep {
             return Err(KrbError::Decode("not a TGS reply"));
         }
-        let body = codec.unwrap(MsgType::TgsRep, body)?;
+        let body = codec.open(MsgType::TgsRep, body)?;
         let mut d = Decoder::new(body);
         Ok(TgsRep { enc_part: d.take_bytes()? })
     }
@@ -415,7 +415,7 @@ impl ApReq {
         if kind != WireKind::ApReq {
             return Err(KrbError::Decode("not an AP request"));
         }
-        let body = codec.unwrap(MsgType::ApReq, body)?;
+        let body = codec.open(MsgType::ApReq, body)?;
         let mut d = Decoder::new(body);
         Ok(ApReq {
             ticket: d.take_bytes()?,
@@ -448,7 +448,7 @@ impl EncApRepPart {
 
     /// Parses a decrypted AP reply part.
     pub fn decode(codec: Codec, data: &[u8]) -> Result<EncApRepPart, KrbError> {
-        let body = codec.unwrap(MsgType::EncApRepPart, data)?;
+        let body = codec.open(MsgType::EncApRepPart, data)?;
         let mut d = Decoder::new(body);
         Ok(EncApRepPart {
             ts_echo: d.take_u64()?,
@@ -479,7 +479,7 @@ impl ApRep {
         if kind != WireKind::ApRep {
             return Err(KrbError::Decode("not an AP reply"));
         }
-        let body = codec.unwrap(MsgType::ApRep, body)?;
+        let body = codec.open(MsgType::ApRep, body)?;
         let mut d = Decoder::new(body);
         Ok(ApRep { enc_part: d.take_bytes()? })
     }
@@ -540,7 +540,7 @@ impl KrbErrorMsg {
         if kind != WireKind::Err {
             return Err(KrbError::Decode("not an error message"));
         }
-        let body = codec.unwrap(MsgType::KrbErr, body)?;
+        let body = codec.open(MsgType::KrbErr, body)?;
         let mut d = Decoder::new(body);
         Ok(KrbErrorMsg { code: d.take_u32()?, text: d.take_str()?, challenge: d.take_opt_u64()? })
     }
@@ -592,7 +592,7 @@ mod tests {
                 ticket: vec![1, 2, 3],
                 end_time: 100,
                 server_time: 50,
-                ticket_cksum: Some(Checksum { ctype: ChecksumType::Md4, value: vec![0; 16] }),
+                ticket_cksum: Some(Checksum { ctype: ChecksumType::Md4, value: vec![0; 16].into() }),
             };
             let enc = p.encode(codec, MsgType::EncAsRepPart);
             assert_eq!(EncKdcRepPart::decode(codec, MsgType::EncAsRepPart, &enc).unwrap(), p);

@@ -28,7 +28,7 @@
 //!   client must retry with a fresh authenticator.
 
 use krb_crypto::md4::md4;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of offering an authenticator to the cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,7 +51,7 @@ const SNAPSHOT_MAGIC: &[u8; 8] = b"RPLYCSH1";
 #[derive(Clone, Debug, Default)]
 pub struct ReplayCache {
     /// Digest of the sealed authenticator -> local time first seen (µs).
-    seen: HashMap<[u8; 16], u64>,
+    seen: BTreeMap<[u8; 16], u64>,
     window_us: u64,
     last_purge_us: u64,
     /// Fail-closed gap `(from, until)`: timestamps strictly inside are
@@ -175,7 +175,8 @@ impl ReplayCache {
         if rest.len() < 24 {
             return None;
         }
-        let u64_at = |b: &[u8], i: usize| u64::from_be_bytes(b[i..i + 8].try_into().unwrap());
+        let u64_at =
+            |b: &[u8], i: usize| u64::from_be_bytes(crate::encoding::be_array::<8>(&b[i..i + 8]));
         let window_us = u64_at(rest, 0);
         let taken_at_us = u64_at(rest, 8);
         let count = u64_at(rest, 16) as usize;
@@ -183,9 +184,9 @@ impl ReplayCache {
         if body.len() != count * 24 {
             return None;
         }
-        let mut seen = HashMap::with_capacity(count);
+        let mut seen = BTreeMap::new();
         for i in 0..count {
-            let digest: [u8; 16] = body[i * 24..i * 24 + 16].try_into().unwrap();
+            let digest: [u8; 16] = crate::encoding::be_array::<16>(&body[i * 24..i * 24 + 16]);
             seen.insert(digest, u64_at(body, i * 24 + 16));
         }
         Some(ReplayCache {
@@ -355,7 +356,7 @@ mod tests {
     fn snapshot_is_deterministic() {
         let build = || {
             let mut c = ReplayCache::new(MIN5);
-            // HashMap iteration order varies; snapshot must not.
+            // BTreeMap iteration order varies; snapshot must not.
             for i in 0..50u64 {
                 c.offer(&i.to_be_bytes(), i);
             }

@@ -3,7 +3,7 @@
 
 use crate::appserver::AppLogic;
 use crate::principal::Principal;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Echo with identity prefix, for smoke tests.
 pub struct EchoLogic;
@@ -21,7 +21,7 @@ impl AppLogic for EchoLogic {
 #[derive(Default)]
 pub struct FileServerLogic {
     /// (owner, name) -> contents.
-    pub files: HashMap<(String, String), Vec<u8>>,
+    pub files: BTreeMap<(String, String), Vec<u8>>,
     /// Deletions performed, for attack forensics.
     pub deletions: Vec<(String, String)>,
 }
@@ -89,7 +89,7 @@ impl AppLogic for FileServerLogic {
 #[derive(Default)]
 pub struct MailServerLogic {
     /// user -> messages.
-    pub boxes: HashMap<String, Vec<Vec<u8>>>,
+    pub boxes: BTreeMap<String, Vec<Vec<u8>>>,
 }
 
 impl MailServerLogic {
@@ -139,7 +139,7 @@ impl AppLogic for MailServerLogic {
 #[derive(Default)]
 pub struct BackupServerLogic {
     /// (owner, name) -> archived contents.
-    pub archives: HashMap<(String, String), Vec<u8>>,
+    pub archives: BTreeMap<(String, String), Vec<u8>>,
     /// Archive destructions, for attack forensics.
     pub destroyed: Vec<(String, String)>,
 }

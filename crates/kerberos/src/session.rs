@@ -9,13 +9,14 @@
 
 use crate::config::{Freshness, ProtocolConfig};
 use crate::enclayer::EncLayer;
+use crate::encoding::be_array;
 use crate::error::KrbError;
 use crate::messages::{frame, WireKind};
 use crate::principal::Principal;
 use krb_crypto::checksum::{self, Checksum};
 use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::rng::RandomSource;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Direction of a session message.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,13 +70,13 @@ pub fn decode_priv_draft3(pt: &[u8]) -> Result<PrivPart, KrbError> {
     if pt.len() < 4 + 13 {
         return Err(KrbError::Decode("priv part too short"));
     }
-    let len = u32::from_be_bytes(pt[pt.len() - 4..].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_be_bytes(be_array::<4>(&pt[pt.len() - 4..])) as usize;
     if len + 13 + 4 > pt.len() {
         return Err(KrbError::Decode("priv length out of range"));
     }
     let data = pt[..len].to_vec();
     let mut off = len;
-    let ts_or_seq = u64::from_be_bytes(pt[off..off + 8].try_into().expect("8 bytes"));
+    let ts_or_seq = u64::from_be_bytes(be_array::<8>(&pt[off..off + 8]));
     off += 8;
     let direction = match pt[off] {
         0 => Direction::ClientToServer,
@@ -83,7 +84,7 @@ pub fn decode_priv_draft3(pt: &[u8]) -> Result<PrivPart, KrbError> {
         _ => return Err(KrbError::Decode("bad direction")),
     };
     off += 1;
-    let addr = u32::from_be_bytes(pt[off..off + 4].try_into().expect("4 bytes"));
+    let addr = u32::from_be_bytes(be_array::<4>(&pt[off..off + 4]));
     Ok(PrivPart { data, ts_or_seq, direction, addr })
 }
 
@@ -102,13 +103,13 @@ fn decode_priv_hardened(pt: &[u8]) -> Result<PrivPart, KrbError> {
     if pt.len() < 4 {
         return Err(KrbError::Decode("priv part too short"));
     }
-    let len = u32::from_be_bytes(pt[..4].try_into().expect("4 bytes")) as usize;
+    let len = u32::from_be_bytes(be_array::<4>(&pt[..4])) as usize;
     if 4 + len + 13 > pt.len() {
         return Err(KrbError::Decode("priv length out of range"));
     }
     let data = pt[4..4 + len].to_vec();
     let mut off = 4 + len;
-    let ts_or_seq = u64::from_be_bytes(pt[off..off + 8].try_into().expect("8 bytes"));
+    let ts_or_seq = u64::from_be_bytes(be_array::<8>(&pt[off..off + 8]));
     off += 8;
     let direction = match pt[off] {
         0 => Direction::ClientToServer,
@@ -116,7 +117,7 @@ fn decode_priv_hardened(pt: &[u8]) -> Result<PrivPart, KrbError> {
         _ => return Err(KrbError::Decode("bad direction")),
     };
     off += 1;
-    let addr = u32::from_be_bytes(pt[off..off + 4].try_into().expect("4 bytes"));
+    let addr = u32::from_be_bytes(be_array::<4>(&pt[off..off + 4]));
     Ok(PrivPart { data, ts_or_seq, direction, addr })
 }
 
@@ -139,7 +140,7 @@ pub struct Session {
     skey: ScheduledKey,
     /// Timestamp mode: recently-seen values (grows with traffic — E7
     /// measures this).
-    recent: HashSet<u64>,
+    recent: BTreeSet<u64>,
     /// Sequence mode: next sequence number to send.
     send_seq: u64,
     /// Sequence mode: next expected receive sequence number.
@@ -167,7 +168,7 @@ impl Session {
             send_dir,
             layer: config.priv_layer,
             skey: ScheduledKey::new(key),
-            recent: HashSet::new(),
+            recent: BTreeSet::new(),
             send_seq,
             recv_seq,
             rejected: 0,
@@ -306,9 +307,9 @@ impl Session {
         let mut off = part_len;
         let tag = body[off];
         off += 1;
-        let clen = u32::from_be_bytes(
-            body.get(off..off + 4).ok_or(KrbError::Decode("safe trailer truncated"))?.try_into().expect("4"),
-        ) as usize;
+        let clen = u32::from_be_bytes(be_array::<4>(
+            body.get(off..off + 4).ok_or(KrbError::Decode("safe trailer truncated"))?,
+        )) as usize;
         off += 4;
         let cval = body.get(off..off + clen).ok_or(KrbError::Decode("safe checksum truncated"))?;
         let ctype = crate::authenticator::checksum_from_tag(tag)?;
@@ -317,7 +318,7 @@ impl Session {
             return Err(KrbError::BadChecksum);
         }
         let key_opt = ctype.is_keyed().then_some(&self.key);
-        let claimed = Checksum { ctype, value: cval.to_vec() };
+        let claimed = Checksum { ctype, value: cval.to_vec().into() };
         if checksum::verify(&claimed, key_opt, &body[..part_len]).is_err() {
             self.rejected += 1;
             return Err(KrbError::BadChecksum);

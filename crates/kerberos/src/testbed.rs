@@ -13,7 +13,7 @@ use crate::services::{BackupServerLogic, EchoLogic, FileServerLogic, MailServerL
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::{Drbg, RandomSource};
 use simnet::{Addr, Endpoint, Host, HostId, Network};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The application-server port used throughout the testbed.
 pub const APP_PORT: u16 = 2001;
@@ -36,20 +36,20 @@ pub struct DeployedRealm {
     /// Slave-KDC replica host ids.
     pub kdc_replica_hosts: Vec<HostId>,
     /// user name -> workstation endpoint.
-    pub user_eps: HashMap<String, Endpoint>,
+    pub user_eps: BTreeMap<String, Endpoint>,
     /// user name -> workstation host id.
-    pub user_hosts: HashMap<String, HostId>,
+    pub user_hosts: BTreeMap<String, HostId>,
     /// user name -> password (so tests can act as the user).
-    pub passwords: HashMap<String, String>,
+    pub passwords: BTreeMap<String, String>,
     /// service name -> server endpoint.
-    pub service_eps: HashMap<String, Endpoint>,
+    pub service_eps: BTreeMap<String, Endpoint>,
     /// service name -> server host id.
-    pub service_hosts: HashMap<String, HostId>,
+    pub service_hosts: BTreeMap<String, HostId>,
     /// service name -> principal.
-    pub service_principals: HashMap<String, Principal>,
+    pub service_principals: BTreeMap<String, Principal>,
     /// service name -> long-term key (the KDC knows it; tests may need
     /// it to play the server).
-    pub service_keys: HashMap<String, DesKey>,
+    pub service_keys: BTreeMap<String, DesKey>,
 }
 
 impl DeployedRealm {
@@ -191,13 +191,13 @@ pub fn deploy_realm(
         kdc_host: HostId(0), // fixed up below
         kdc_replica_eps: Vec::new(),
         kdc_replica_hosts: Vec::new(),
-        user_eps: HashMap::new(),
-        user_hosts: HashMap::new(),
-        passwords: HashMap::new(),
-        service_eps: HashMap::new(),
-        service_hosts: HashMap::new(),
-        service_principals: HashMap::new(),
-        service_keys: HashMap::new(),
+        user_eps: BTreeMap::new(),
+        user_hosts: BTreeMap::new(),
+        passwords: BTreeMap::new(),
+        service_eps: BTreeMap::new(),
+        service_hosts: BTreeMap::new(),
+        service_principals: BTreeMap::new(),
+        service_keys: BTreeMap::new(),
     };
 
     // Users and their workstations.

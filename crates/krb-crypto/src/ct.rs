@@ -1,0 +1,161 @@
+//! Constant-time comparison and a self-redacting byte container.
+//!
+//! The paper's intruders sit *on* the wire and *in* the logs: §4.2's
+//! password-guessing attacker works offline from captured material, so
+//! any channel that leaks key bytes — a `Debug` print reaching a log
+//! line, or a byte-by-byte comparison whose timing reveals a prefix —
+//! widens the attack surface. Rule C001 of `krb-lint` forbids `==` on
+//! key/MAC material; this module is the sanctioned replacement.
+
+use core::fmt;
+
+/// Compares two byte strings in time independent of their contents.
+///
+/// Length is compared first (lengths are public: checksum and key sizes
+/// are fixed by the algorithm), then every byte is XOR-accumulated so a
+/// mismatch in the first byte costs the same as one in the last.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Key or MAC bytes that refuse to be formatted and compare in constant
+/// time.
+///
+/// `Debug` prints a redaction marker plus the (public) length; equality
+/// routes through [`ct_eq`]. Use this instead of `Vec<u8>` anywhere
+/// secret bytes are stored.
+// The manual PartialEq is constant-time byte equality — the same
+// relation the derived Hash hashes over, so Hash/Eq stay consistent.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Default, Hash)]
+pub struct SecretBytes(Vec<u8>);
+
+impl SecretBytes {
+    /// Wraps `bytes`.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        SecretBytes(bytes)
+    }
+
+    /// The wrapped bytes. Callers needing the raw material must ask
+    /// explicitly; there is no `Display` and no leaking `Debug`.
+    pub fn expose(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The (public) length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Constant-time comparison against raw bytes.
+    pub fn ct_eq(&self, other: &[u8]) -> bool {
+        ct_eq(&self.0, other)
+    }
+}
+
+impl fmt::Debug for SecretBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecretBytes(**** {} bytes)", self.0.len())
+    }
+}
+
+impl PartialEq for SecretBytes {
+    fn eq(&self, other: &Self) -> bool {
+        ct_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for SecretBytes {}
+
+impl From<Vec<u8>> for SecretBytes {
+    fn from(v: Vec<u8>) -> Self {
+        SecretBytes(v)
+    }
+}
+
+impl From<&[u8]> for SecretBytes {
+    fn from(v: &[u8]) -> Self {
+        SecretBytes(v.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for SecretBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl core::ops::Deref for SecretBytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq<Vec<u8>> for SecretBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        ct_eq(&self.0, other)
+    }
+}
+
+impl PartialEq<&[u8]> for SecretBytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        ct_eq(&self.0, other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_agrees_with_slice_eq() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"a", b"a"),
+            (b"a", b"b"),
+            (b"abc", b"abd"),
+            (b"abc", b"ab"),
+            (b"\x00\x00", b"\x00\x00"),
+            (b"\xff\x00", b"\x00\xff"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(ct_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn secret_bytes_redacts_debug() {
+        let s = SecretBytes::from(vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        let printed = format!("{s:?}");
+        assert!(printed.contains("****"));
+        assert!(!printed.contains("de"), "no hex of the contents: {printed}");
+        assert!(printed.contains("4 bytes"));
+    }
+
+    #[test]
+    fn secret_bytes_eq_and_expose() {
+        let a = SecretBytes::from(vec![1, 2, 3]);
+        let b = SecretBytes::from(vec![1, 2, 3]);
+        let c = SecretBytes::from(vec![1, 2, 4]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.expose(), &[1, 2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(a.ct_eq(&[1, 2, 3]));
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+}

@@ -30,7 +30,7 @@ thread_local! {
 pub fn with_scheduled<R>(key: &DesKey, f: impl FnOnce(&ScheduledKey) -> R) -> R {
     let entry = CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
-        if let Some(pos) = cache.iter().position(|(k, _)| k == key) {
+        if let Some(pos) = cache.iter().position(|(k, _)| k.ct_eq(key)) {
             if pos != 0 {
                 let hit = cache.remove(pos);
                 cache.insert(0, hit);

@@ -28,13 +28,31 @@ pub use keysched::{KeySchedule, RoundKeys};
 
 /// A DES key: 8 bytes, of which 56 bits are effective (bit 0 of each byte
 /// is an odd-parity bit).
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+// The manual PartialEq is constant-time byte equality — the same
+// relation the derived Hash hashes over, so Hash/Eq stay consistent.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Copy, Hash)]
 pub struct DesKey(pub [u8; 8]);
 
 impl core::fmt::Debug for DesKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Never print key material in debug output.
         write!(f, "DesKey(****************)")
+    }
+}
+
+impl PartialEq for DesKey {
+    fn eq(&self, other: &Self) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for DesKey {}
+
+impl DesKey {
+    /// Constant-time equality; `==` on `DesKey` routes here too.
+    pub fn ct_eq(&self, other: &DesKey) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
     }
 }
 

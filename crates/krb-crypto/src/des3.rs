@@ -91,7 +91,7 @@ pub fn ede3_cbc_encrypt_in_place(
     check_blocks(data)?;
     let mut prev = iv;
     for chunk in data.chunks_exact_mut(8) {
-        let p = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        let p = crate::modes::load_block(chunk);
         prev = s.encrypt_block(p ^ prev);
         chunk.copy_from_slice(&prev.to_be_bytes());
     }
@@ -107,7 +107,7 @@ pub fn ede3_cbc_decrypt_in_place(
     check_blocks(data)?;
     let mut prev = iv;
     for chunk in data.chunks_exact_mut(8) {
-        let c = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+        let c = crate::modes::load_block(chunk);
         let p = s.decrypt_block(c) ^ prev;
         chunk.copy_from_slice(&p.to_be_bytes());
         prev = c;
@@ -122,7 +122,7 @@ pub fn ede3_cbc_encrypt(key: &TripleDesKey, iv: u64, data: &[u8]) -> Result<Vec<
         let mut prev = iv;
         check_blocks(&out)?;
         for chunk in out.chunks_exact_mut(8) {
-            let p = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+            let p = crate::modes::load_block(chunk);
             prev = encrypt_block(k3, decrypt_block(k2, encrypt_block(k1, p ^ prev)));
             chunk.copy_from_slice(&prev.to_be_bytes());
         }
@@ -138,7 +138,7 @@ pub fn ede3_cbc_decrypt(key: &TripleDesKey, iv: u64, data: &[u8]) -> Result<Vec<
         check_blocks(&out)?;
         let mut prev = iv;
         for chunk in out.chunks_exact_mut(8) {
-            let c = u64::from_be_bytes(chunk.try_into().expect("8 bytes"));
+            let c = crate::modes::load_block(chunk);
             let p = decrypt_block(k1, encrypt_block(k2, decrypt_block(k3, c))) ^ prev;
             chunk.copy_from_slice(&p.to_be_bytes());
             prev = c;

@@ -68,26 +68,31 @@ pub fn pollard_rho(
         b: BigUint,
     }
 
-    let step = |s: &State, g: &BigUint, h: &BigUint, p: &BigUint, q: &BigUint| -> State {
+    let step = |s: &State,
+                g: &BigUint,
+                h: &BigUint,
+                p: &BigUint,
+                q: &BigUint|
+     -> Result<State, CryptoError> {
         // Partition by the low limb of x into three classes.
         let class = s.x.to_bytes_be().last().copied().unwrap_or(0) % 3;
-        match class {
+        Ok(match class {
             0 => State {
-                x: s.x.mul(h).rem(p).expect("p nonzero"),
+                x: s.x.mul(h).rem(p)?,
                 a: s.a.clone(),
-                b: s.b.add(&BigUint::one()).rem(q).expect("q nonzero"),
+                b: s.b.add(&BigUint::one()).rem(q)?,
             },
             1 => State {
-                x: s.x.mul(&s.x).rem(p).expect("p nonzero"),
-                a: s.a.mul(&BigUint::from_u64(2)).rem(q).expect("q nonzero"),
-                b: s.b.mul(&BigUint::from_u64(2)).rem(q).expect("q nonzero"),
+                x: s.x.mul(&s.x).rem(p)?,
+                a: s.a.mul(&BigUint::from_u64(2)).rem(q)?,
+                b: s.b.mul(&BigUint::from_u64(2)).rem(q)?,
             },
             _ => State {
-                x: s.x.mul(g).rem(p).expect("p nonzero"),
-                a: s.a.add(&BigUint::one()).rem(q).expect("q nonzero"),
+                x: s.x.mul(g).rem(p)?,
+                a: s.a.add(&BigUint::one()).rem(q)?,
                 b: s.b.clone(),
             },
-        }
+        })
     };
 
     // Multiple restarts with random starting points guard against
@@ -102,12 +107,12 @@ pub fn pollard_rho(
         // Bounded walk: ~8 sqrt(q) steps before a restart.
         let max_steps = 8 * (1u64 << (q.bit_len() / 2 + 1));
         for _ in 0..max_steps {
-            tortoise = step(&tortoise, g, &h, p, q);
-            hare = step(&step(&hare, g, &h, p, q), g, &h, p, q);
+            tortoise = step(&tortoise, g, &h, p, q)?;
+            hare = step(&step(&hare, g, &h, p, q)?, g, &h, p, q)?;
             if tortoise.x == hare.x {
                 // g^(a1 - a2) = h^(b2 - b1); solve for x = log_g h.
-                let da = sub_mod(&tortoise.a, &hare.a, q);
-                let db = sub_mod(&hare.b, &tortoise.b, q);
+                let da = sub_mod(&tortoise.a, &hare.a, q)?;
+                let db = sub_mod(&hare.b, &tortoise.b, q)?;
                 if db.is_zero() {
                     break; // Useless collision; restart.
                 }
@@ -127,12 +132,12 @@ pub fn pollard_rho(
 }
 
 /// Computes `(a - b) mod q`.
-fn sub_mod(a: &BigUint, b: &BigUint, q: &BigUint) -> BigUint {
-    let a = a.rem(q).expect("q nonzero");
-    let b = b.rem(q).expect("q nonzero");
+fn sub_mod(a: &BigUint, b: &BigUint, q: &BigUint) -> Result<BigUint, CryptoError> {
+    let a = a.rem(q)?;
+    let b = b.rem(q)?;
     match a.checked_sub(&b) {
-        Some(d) => d,
-        None => q.sub(&b).add(&a).rem(q).expect("q nonzero"),
+        Some(d) => Ok(d),
+        None => q.sub(&b).add(&a).rem(q),
     }
 }
 
@@ -203,7 +208,10 @@ mod tests {
     #[test]
     fn sub_mod_wraps() {
         let q = BigUint::from_u64(7);
-        assert_eq!(sub_mod(&BigUint::from_u64(3), &BigUint::from_u64(5), &q).to_u64(), Some(5));
-        assert_eq!(sub_mod(&BigUint::from_u64(5), &BigUint::from_u64(3), &q).to_u64(), Some(2));
+        let sm = |a: u64, b: u64| {
+            sub_mod(&BigUint::from_u64(a), &BigUint::from_u64(b), &q).unwrap().to_u64()
+        };
+        assert_eq!(sm(3, 5), Some(5));
+        assert_eq!(sm(5, 3), Some(2));
     }
 }

@@ -41,12 +41,19 @@ impl KeyPurpose {
 }
 
 /// A DES key bound to a declared purpose.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct TaggedKey {
     /// The raw key material.
     pub key: DesKey,
     /// What this key may be used for.
     pub purpose: KeyPurpose,
+}
+
+impl core::fmt::Debug for TaggedKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The purpose tag is public metadata; the key bytes are not.
+        write!(f, "TaggedKey(****, {:?})", self.purpose)
+    }
 }
 
 impl TaggedKey {

@@ -23,10 +23,14 @@
 //!   RNG" failure mode.
 //! - [`key`] — purpose-tagged keys, per the paper's hardware design
 //!   criteria.
+//! - [`ct`] — constant-time comparison ([`ct_eq`]) and the
+//!   [`SecretBytes`] redaction wrapper; the sanctioned fixes for
+//!   krb-lint rules C001 and S001.
 
 pub mod bignum;
 pub mod checksum;
 pub mod crc32;
+pub mod ct;
 pub mod des;
 pub mod des3;
 pub mod dh;
@@ -38,6 +42,7 @@ pub mod modes;
 pub mod rng;
 pub mod s2k;
 
+pub use ct::{ct_eq, SecretBytes};
 pub use des::DesKey;
 pub use error::CryptoError;
 pub use key::{KeyPurpose, TaggedKey};

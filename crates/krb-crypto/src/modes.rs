@@ -20,14 +20,14 @@ use crate::des::{self, decrypt_block, encrypt_block, DesKey, KeySchedule};
 use crate::error::CryptoError;
 
 /// Converts an 8-byte chunk to a big-endian u64.
-fn load_block(chunk: &[u8]) -> u64 {
+pub(crate) fn load_block(chunk: &[u8]) -> u64 {
     let mut b = [0u8; 8];
     b.copy_from_slice(chunk);
     u64::from_be_bytes(b)
 }
 
 /// Writes a u64 as 8 big-endian bytes into `out`.
-fn store_block(v: u64, out: &mut [u8]) {
+pub(crate) fn store_block(v: u64, out: &mut [u8]) {
     out.copy_from_slice(&v.to_be_bytes());
 }
 

@@ -71,10 +71,13 @@ fn string_to_key_salted(password: &str, salt: &str) -> DesKey {
         input.resize(input.len() + (8 - rem), 0);
     }
     let ks = KeySchedule::new(&candidate);
-    modes::cbc_encrypt_in_place(&ks, candidate.to_u64(), &mut input)
-        .expect("padded input is block-aligned");
+    if modes::cbc_encrypt_in_place(&ks, candidate.to_u64(), &mut input).is_err() {
+        // Unreachable: `input` was resized to a block multiple above. The
+        // fanfold candidate is still a deterministic derived key.
+        return candidate;
+    }
     let last = &input[input.len() - 8..];
-    let mut key = DesKey::from_bytes(last.try_into().expect("slice is 8 bytes")).with_odd_parity();
+    let mut key = DesKey::from_u64(modes::load_block(last)).with_odd_parity();
 
     // Perturb weak and semi-weak keys, as the historical library did.
     if key.is_weak() || key.is_semi_weak() {

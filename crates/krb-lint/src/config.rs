@@ -1,0 +1,77 @@
+//! What the rules consider secret, deterministic, and protocol-grade.
+//!
+//! This is the lint's registry: the one place future PRs extend when
+//! they add a key-carrying type or a new crate. Everything here is data,
+//! so the rule implementations stay generic.
+
+/// Types that carry raw key material or key-derived secrets. Deriving
+/// `Debug`/`Display`/`Serialize` on any of these is a secrecy leak
+/// (S001); hand-written impls must redact (S003).
+pub const SECRET_TYPES: &[&str] = &[
+    "DesKey",
+    "TripleDesKey",
+    "KeySchedule",
+    "TripleSchedule",
+    "ScheduledKey",
+    "TaggedKey",
+    "SecretBytes",
+];
+
+/// Crates whose execution must be a pure function of their inputs: the
+/// simulator, the protocol, the crypto, and the attack campaigns (E1's
+/// golden matrix is byte-identical across runs). `bench` and `testkit`
+/// are exempt — they measure wall clocks on purpose.
+pub const DETERMINISTIC_CRATES: &[&str] = &["simnet", "kerberos", "krb-crypto", "attacks"];
+
+/// Crates whose `src/` is production protocol code: a panic is a
+/// protocol-visible denial of service, so `unwrap`/`expect`/`panic!`
+/// are forbidden outside tests (P001/P002). `attacks` is the adversary
+/// harness and `bench`/`krb-lint` are tooling; they are exempt.
+pub const PANIC_FREE_CRATES: &[&str] = &["simnet", "kerberos", "krb-crypto", "hardware"];
+
+/// Macros whose arguments become human-readable strings (S002 scans
+/// their argument lists for secret-named identifiers).
+pub const FORMAT_MACROS: &[&str] = &[
+    "println", "print", "eprintln", "eprint", "format", "write", "writeln", "panic", "assert",
+    "assert_eq", "assert_ne", "debug_assert", "log", "trace", "debug", "info", "warn", "error",
+];
+
+/// Whether an identifier names key material (S002, C001).
+pub fn is_secret_ident(name: &str) -> bool {
+    matches!(name, "key" | "keys" | "skey" | "session_key")
+        || name.ends_with("_key")
+        || name.ends_with("_keys")
+}
+
+/// Whether an identifier names MAC/checksum material (C001).
+pub fn is_mac_ident(name: &str) -> bool {
+    matches!(name, "mac" | "hmac" | "digest" | "cksum" | "checksum")
+        || name.ends_with("_mac")
+        || name.ends_with("_digest")
+        || name.ends_with("_cksum")
+        || name.ends_with("_checksum")
+}
+
+/// Identifiers that defuse a C001 match: comparing a checksum *type*,
+/// key *kind*, purpose tag, or length is not a secret comparison.
+pub fn is_cmp_benign(name: &str) -> bool {
+    name.contains("type") || matches!(name, "kind" | "purpose" | "len" | "count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_classifiers() {
+        assert!(is_secret_ident("session_key"));
+        assert!(is_secret_ident("tgs_key"));
+        assert!(!is_secret_ident("keyboard"));
+        assert!(!is_secret_ident("monkey"));
+        assert!(is_mac_ident("cksum"));
+        assert!(!is_mac_ident("checksummed"));
+        assert!(is_cmp_benign("ctype"));
+        assert!(is_cmp_benign("checksum_type"));
+        assert!(!is_cmp_benign("value"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Rule identities and findings.
+
+use std::fmt;
+
+/// Every rule the engine knows, with a stable ID. IDs are append-only:
+/// a retired rule keeps its number so baselines and EXPERIMENTS.md
+/// history stay meaningful.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Rule {
+    /// Secret-bearing type derives `Debug`/`Display`/`Serialize`.
+    S001,
+    /// Secret-named value flows into a formatting/log macro.
+    S002,
+    /// Hand-written leaking impl (`Display`/`Serialize`, or a `Debug`
+    /// impl with no `****` redaction marker) on a secret-bearing type.
+    S003,
+    /// `==`/`!=` on key or MAC material; `ct_eq` is required.
+    C001,
+    /// Wall-clock / OS nondeterminism (`SystemTime`, `Instant`,
+    /// `thread::sleep`, `std::net`) in a deterministic crate.
+    D001,
+    /// `HashMap`/`HashSet` in a deterministic crate: `RandomState`
+    /// iteration order is per-process nondeterministic.
+    D002,
+    /// `unwrap()`/`expect()` in non-test protocol code.
+    P001,
+    /// `panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test
+    /// protocol code.
+    P002,
+    /// Non-path (external registry) dependency in a manifest.
+    H001,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: &[Rule] = &[
+    Rule::S001,
+    Rule::S002,
+    Rule::S003,
+    Rule::C001,
+    Rule::D001,
+    Rule::D002,
+    Rule::P001,
+    Rule::P002,
+    Rule::H001,
+];
+
+impl Rule {
+    /// The stable ID string.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::S001 => "S001",
+            Rule::S002 => "S002",
+            Rule::S003 => "S003",
+            Rule::C001 => "C001",
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::P001 => "P001",
+            Rule::P002 => "P002",
+            Rule::H001 => "H001",
+        }
+    }
+
+    /// Parses an ID string (as written in `lint-baseline.toml`).
+    pub fn from_id(s: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| r.id() == s)
+    }
+
+    /// One-line rationale, shown in `--report` and DESIGN.md.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::S001 => "secret types must not derive Debug/Display/Serialize",
+            Rule::S002 => "key material must not reach format!/log strings",
+            Rule::S003 => "hand-written impls on secret types must redact",
+            Rule::C001 => "key/MAC comparison must be constant-time (ct_eq)",
+            Rule::D001 => "no wall clock, sleeps, or OS sockets in the simulator",
+            Rule::D002 => "no RandomState maps in deterministic crates",
+            Rule::P001 => "protocol code must not unwrap()/expect()",
+            Rule::P002 => "protocol code must not panic!/unreachable!",
+            Rule::H001 => "every dependency must be an in-tree path dependency",
+        }
+    }
+}
+
+/// One diagnostic: a rule violated at a location.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the specific violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}:{} {}",
+            self.rule.id(),
+            self.file,
+            self.line,
+            self.col,
+            self.message
+        )
+    }
+}

@@ -1,0 +1,391 @@
+//! A small line/column-tracking Rust token scanner.
+//!
+//! The PR-1 hermeticity rule forbids external crates, so there is no
+//! `syn` here: this is a hand-rolled lexer covering exactly the token
+//! shapes the rule engine needs — identifiers (including `r#raw`),
+//! lifetimes vs. char literals, all five string-literal families,
+//! numbers, nested block comments, and multi-character operators. It is
+//! total: any byte sequence lexes without panicking, and the
+//! concatenation of all token texts reproduces the input exactly
+//! (whitespace and comments are tokens too). That round-trip is the
+//! invariant the `testkit` proptest in `tests/lexer_props.rs` checks on
+//! random token soup.
+
+/// What kind of lexeme a token is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// ...` (including doc `///` and `//!`).
+    LineComment,
+    /// `/* ... */`, nesting honoured; unterminated runs to EOF.
+    BlockComment,
+    /// Identifier or keyword, including `r#raw` identifiers.
+    Ident,
+    /// `'a` (not a char literal).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Number,
+    /// `"..."`, `b"..."`, `r"..."`/`r#"..."#`, `br#"..."#`.
+    Str,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Operator or delimiter; multi-char operators are single tokens.
+    Punct,
+    /// Any byte the scanner does not recognise (emitted, never skipped).
+    Unknown,
+}
+
+/// One lexed token. `text` borrows from the source, so spans can never
+/// drift from content.
+#[derive(Clone, Copy, Debug)]
+pub struct Token<'a> {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Exact source slice.
+    pub text: &'a str,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in chars) of the first byte.
+    pub col: u32,
+}
+
+/// Multi-char operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "::", "->", "=>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Rust keywords the rule engine must not mistake for operand
+/// identifiers when walking expression chains.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Whether `s` is a keyword (`self`/`Self` are deliberately absent: they
+/// are legitimate links in a field-access chain).
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes chars while `f` holds.
+    fn eat_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&f) {
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` completely. Never panics; unrecognised bytes become
+/// [`TokKind::Unknown`] tokens so the output always concatenates back to
+/// the input.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor { src, pos: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    while cur.pos < src.len() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = scan_one(&mut cur);
+        out.push(Token { kind, text: &src[start..cur.pos], start, line, col });
+    }
+    out
+}
+
+fn scan_one(cur: &mut Cursor<'_>) -> TokKind {
+    let c = match cur.peek() {
+        Some(c) => c,
+        None => return TokKind::Unknown,
+    };
+    if c.is_whitespace() {
+        cur.eat_while(|c| c.is_whitespace());
+        return TokKind::Whitespace;
+    }
+    if cur.rest().starts_with("//") {
+        cur.eat_while(|c| c != '\n');
+        return TokKind::LineComment;
+    }
+    if cur.rest().starts_with("/*") {
+        return scan_block_comment(cur);
+    }
+    // String-ish families that begin with what would otherwise be an
+    // identifier: b'..', b".."; r".."/r#"..", br"../br#"..; r#ident.
+    if c == 'b' || c == 'r' {
+        if let Some(kind) = scan_prefixed_literal(cur) {
+            return kind;
+        }
+    }
+    if is_ident_start(c) {
+        cur.eat_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        return scan_number(cur);
+    }
+    match c {
+        '"' => return scan_string(cur),
+        '\'' => return scan_quote(cur),
+        _ => {}
+    }
+    for op in OPERATORS {
+        if cur.rest().starts_with(op) {
+            for _ in 0..op.len() {
+                cur.bump();
+            }
+            return TokKind::Punct;
+        }
+    }
+    if c.is_ascii_punctuation() {
+        cur.bump();
+        return TokKind::Punct;
+    }
+    cur.bump();
+    TokKind::Unknown
+}
+
+fn scan_block_comment(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // '/'
+    cur.bump(); // '*'
+    let mut depth = 1u32;
+    while depth > 0 {
+        if cur.rest().starts_with("/*") {
+            cur.bump();
+            cur.bump();
+            depth += 1;
+        } else if cur.rest().starts_with("*/") {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+        } else if cur.bump().is_none() {
+            break; // unterminated: runs to EOF
+        }
+    }
+    TokKind::BlockComment
+}
+
+/// Handles `b`/`r`-prefixed literals and raw identifiers. Returns `None`
+/// when the `b`/`r` is just the start of a plain identifier.
+fn scan_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let rest = cur.rest();
+    if rest.starts_with("b'") {
+        cur.bump();
+        return Some(scan_quote(cur)); // byte literal lexes like a char
+    }
+    if rest.starts_with("b\"") {
+        cur.bump();
+        return Some(scan_string(cur));
+    }
+    let raw_prefix = if rest.starts_with("br") {
+        2
+    } else if rest.starts_with('r') {
+        1
+    } else {
+        return None;
+    };
+    // Count '#'s after the prefix; a '"' then starts a raw string.
+    let mut hashes = 0usize;
+    while cur.peek_at(raw_prefix + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek_at(raw_prefix + hashes) == Some('"') {
+        for _ in 0..raw_prefix + hashes + 1 {
+            cur.bump();
+        }
+        let close: String = format!("\"{}", "#".repeat(hashes));
+        while !cur.rest().starts_with(close.as_str()) {
+            if cur.bump().is_none() {
+                return Some(TokKind::Str); // unterminated
+            }
+        }
+        for _ in 0..close.len() {
+            cur.bump();
+        }
+        return Some(TokKind::Str);
+    }
+    // r#ident raw identifier.
+    if raw_prefix == 1 && hashes == 1 && cur.peek_at(2).is_some_and(is_ident_start) {
+        cur.bump(); // r
+        cur.bump(); // #
+        cur.eat_while(is_ident_continue);
+        return Some(TokKind::Ident);
+    }
+    None
+}
+
+fn scan_number(cur: &mut Cursor<'_>) -> TokKind {
+    // Digits, underscores, and alphanumerics cover hex/octal/binary
+    // bodies and type suffixes in one pass.
+    cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    // A fractional part only if '.' is followed by a digit (so `1..2`
+    // and `1.max()` are left alone).
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+    }
+    TokKind::Number
+}
+
+fn scan_string(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening '"'
+    loop {
+        match cur.bump() {
+            None => return TokKind::Str, // unterminated
+            Some('\\') => {
+                cur.bump(); // escaped char (possibly the quote)
+            }
+            Some('"') => return TokKind::Str,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'`/`'\n'` (char literal).
+fn scan_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // opening '\''
+    match cur.peek() {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            cur.bump();
+            cur.bump(); // the escaped char
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            cur.eat_while(is_ident_continue);
+            if cur.peek() == Some('\'') {
+                cur.bump(); // 'x' — char literal after all
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            cur.bump(); // empty char literal ''
+            TokKind::Char
+        }
+        Some(_) => {
+            cur.bump(); // '+' etc.
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Char, // lone quote at EOF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("let x = a.b == c;");
+        let sig: Vec<&str> =
+            toks.iter().filter(|t| t.kind != TokKind::Whitespace).map(|t| t.text).collect();
+        assert_eq!(sig, ["let", "x", "=", "a", ".", "b", "==", "c", ";"]);
+        roundtrip("let x = a.b == c;");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Char).map(|t| t.text).collect();
+        assert_eq!(chars, ["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_strings_and_idents() {
+        roundtrip(r####"let s = r#"quote " inside"#; let t = br"bytes"; let r#fn = 1;"####);
+        let toks = lex(r####"r#"a"# r#type"####);
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[2].kind, TokKind::Ident);
+        assert_eq!(toks[2].text, "r#type");
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[0].text, "/* a /* b */ c */");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let sig: Vec<String> = lex("0..8 1.5 2.max(3) 0xff_u64")
+            .iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| t.text.to_string())
+            .collect();
+        assert_eq!(sig, ["0", "..", "8", "1.5", "2", ".", "max", "(", "3", ")", "0xff_u64"]);
+    }
+
+    #[test]
+    fn line_and_col_track_newlines() {
+        let toks = lex("a\n  bb\n");
+        let bb = toks.iter().find(|t| t.text == "bb").expect("bb lexed");
+        assert_eq!((bb.line, bb.col), (2, 3));
+    }
+
+    #[test]
+    fn pathological_inputs_do_not_panic() {
+        for src in ["\"unterminated", "/* open", "'", "b'", "r#\"open", "r#", "\\", "🦀 'é'"] {
+            roundtrip(src);
+        }
+    }
+}

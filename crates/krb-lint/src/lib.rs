@@ -1,0 +1,33 @@
+//! # krb-lint
+//!
+//! A hermetic, dependency-free static analysis pass over the whole
+//! workspace, enforcing the invariants Bellovin & Merritt's attacks
+//! exploit when they are broken:
+//!
+//! - **S — secrecy**: key-bearing types must not be formattable; key
+//!   material must not flow into log strings (S001/S002/S003).
+//! - **C — constant time**: key and MAC bytes are compared with
+//!   `krb_crypto::ct_eq`, never `==` (C001).
+//! - **D — determinism**: the simulator, protocol, crypto, and attack
+//!   crates must be pure functions of their inputs — no wall clocks, OS
+//!   sockets, or `RandomState` iteration (D001/D002).
+//! - **P — panic hygiene**: protocol code returns errors; it does not
+//!   `unwrap()` or `panic!` (P001/P002).
+//! - **H — hermeticity**: every dependency is an in-tree path
+//!   dependency (H001), absorbing the PR-1 `verify.sh` grep guard.
+//!
+//! The scanner is a hand-rolled line/column-tracking lexer
+//! ([`lexer`]) — no `syn`, per rule H001 itself. Suppressions live in
+//! `lint-baseline.toml` ([`baseline`]) and every entry must carry a
+//! justification; stale entries fail the run.
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+
+pub use diag::{Finding, Rule, ALL_RULES};
+pub use engine::{analyze_source, crate_of, find_root, run, Report};

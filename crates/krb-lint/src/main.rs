@@ -1,0 +1,121 @@
+//! The `krb-lint` binary: lints the workspace and gates `verify.sh`.
+//!
+//! Exit codes: 0 clean (every finding baselined with a justification,
+//! no stale entries), 1 findings or stale baseline entries, 2 usage or
+//! I/O errors.
+
+use bench::TextTable;
+use krb_lint::{Rule, ALL_RULES};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut report_mode = false;
+    let mut root_arg: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report" => report_mode = true,
+            "--root" => root_arg = args.next(),
+            "--help" | "-h" => {
+                println!("usage: krb-lint [--report] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("krb-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root_arg.map(Into::into).map(Ok).unwrap_or_else(krb_lint::find_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("krb-lint: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match krb_lint::run(&root) {
+        Ok(Ok(r)) => r,
+        Ok(Err(b)) => {
+            eprintln!("krb-lint: lint-baseline.toml:{}: {}", b.line, b.message);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("krb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if report_mode {
+        print_report(&report);
+    }
+
+    if !report.active.is_empty() {
+        let mut t = TextTable::new(&["rule", "location", "finding"]);
+        for f in &report.active {
+            t.row(&[
+                f.rule.id().to_string(),
+                format!("{}:{}:{}", f.file, f.line, f.col),
+                f.message.clone(),
+            ]);
+        }
+        t.print(&format!("krb-lint: {} finding(s)", report.active.len()));
+        println!("(fix the finding, or add a justified [[allow]] entry to lint-baseline.toml)");
+    }
+    if !report.stale.is_empty() {
+        println!("\nstale lint-baseline.toml entries (match no current finding — delete them):");
+        for s in &report.stale {
+            println!("  {s}");
+        }
+    }
+    if report.clean() {
+        println!(
+            "krb-lint: OK — {} files scanned, 0 active findings, {} baselined suppression(s)",
+            report.files_scanned,
+            report.baselined.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The E14 table: rule × crate violation counts (active + baselined),
+/// plus the rule rationale column.
+fn print_report(report: &krb_lint::Report) {
+    let counts = report.counts_by_rule_and_crate();
+    let mut crates: Vec<String> = counts.values().flat_map(|m| m.keys().cloned()).collect();
+    crates.sort();
+    crates.dedup();
+    let mut headers: Vec<&str> = vec!["rule", "rationale"];
+    for c in &crates {
+        headers.push(c.as_str());
+    }
+    headers.push("total");
+    let mut t = TextTable::new(&headers);
+    for rule in ALL_RULES {
+        let per: &std::collections::BTreeMap<String, usize> = &counts[rule.id()];
+        let mut row = vec![rule.id().to_string(), rule.rationale().to_string()];
+        let mut total = 0usize;
+        for c in &crates {
+            let n = per.get(c).copied().unwrap_or(0);
+            total += n;
+            row.push(if n == 0 { "·".to_string() } else { n.to_string() });
+        }
+        row.push(total.to_string());
+        t.row(&row);
+    }
+    t.print("krb-lint rule × crate violations (E14)");
+    print_rule_table_hint(report);
+}
+
+fn print_rule_table_hint(report: &krb_lint::Report) {
+    let active_by_rule = |r: Rule| report.active.iter().filter(|f| f.rule == r).count();
+    let any_active = ALL_RULES.iter().any(|r| active_by_rule(*r) > 0);
+    println!(
+        "active: {}, baselined: {}{}",
+        report.active.len(),
+        report.baselined.len(),
+        if any_active { " — active findings fail the gate" } else { "" }
+    );
+}

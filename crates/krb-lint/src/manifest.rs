@@ -1,0 +1,101 @@
+//! Rule H001: hermeticity of `Cargo.toml` manifests.
+//!
+//! This absorbs (and replaces) the `grep` guard that `verify.sh` carried
+//! since PR 1: every entry in any `*dependencies*` section must resolve
+//! in-tree — a `path` dependency or a `workspace = true` reference. A
+//! bare version string, a `version =` inline table without `path`, or a
+//! `git =` source all mean cargo would reach the network, which the
+//! build must never do.
+
+use crate::diag::{Finding, Rule};
+
+/// Checks one manifest. `rel_path` is used verbatim in diagnostics.
+pub fn check_manifest(rel_path: &str, text: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            // Section header: dependency sections are [dependencies],
+            // [dev-dependencies], [build-dependencies],
+            // [workspace.dependencies], [target.'...'.dependencies].
+            let section = line.trim_matches(['[', ']']);
+            in_deps = section.ends_with("dependencies");
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some((name, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (name, value) = (name.trim(), value.trim());
+        let hermetic = value.contains("path")
+            || value.contains("workspace = true")
+            || name.ends_with(".workspace"); // `foo.workspace = true` split form
+        if hermetic && !value.contains("git") {
+            continue;
+        }
+        let why = if value.contains("git") {
+            "a git dependency"
+        } else if value.starts_with('"') {
+            "a crates-io version dependency"
+        } else {
+            "not an in-tree path dependency"
+        };
+        out.push(Finding {
+            rule: Rule::H001,
+            file: rel_path.to_string(),
+            line: n as u32 + 1,
+            col: 1,
+            message: format!(
+                "dependency `{name}` is {why}; the build must stay hermetic — use \
+                 `{{ path = \"...\" }}` or `workspace = true`"
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let toml = "[dependencies]\nfoo = { path = \"../foo\" }\nbar.workspace = true\nbaz = { workspace = true }\n";
+        assert!(check_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn version_string_fails() {
+        let toml = "[dependencies]\nserde = \"1.0\"\n";
+        let f = check_manifest("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("serde"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn inline_version_table_fails_but_path_plus_version_passes() {
+        let toml = "[dev-dependencies]\na = { version = \"1\" }\nb = { path = \"../b\", version = \"0.1\" }\n";
+        let f = check_manifest("Cargo.toml", toml);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains('a'));
+    }
+
+    #[test]
+    fn git_dependency_fails_even_with_path_key() {
+        let toml = "[dependencies]\nx = { git = \"https://example.com/x\" }\n";
+        assert_eq!(check_manifest("Cargo.toml", toml).len(), 1);
+    }
+
+    #[test]
+    fn package_metadata_is_not_a_dependency() {
+        let toml = "[package]\nname = \"k\"\nversion = \"0.1.0\"\nedition = \"2021\"\n";
+        assert!(check_manifest("Cargo.toml", toml).is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Golden tests over the fixture corpus.
+//!
+//! Every rule has a `bad` example (must fire that rule, output matched
+//! byte-for-byte against `expected.txt`) and a `good` example (must lint
+//! clean). Each fixture is analysed as if it sat at
+//! `crates/kerberos/src/<RULE>_bad.rs` — the most heavily governed
+//! location: `kerberos` is both a deterministic and a panic-free crate,
+//! and `/src/` puts it in P001 scope — so a rule that regresses shows up
+//! here before it shows up in the tree.
+//!
+//! Regenerate the goldens with `KRB_LINT_BLESS=1 cargo test -p krb-lint
+//! --test fixtures` after an intentional diagnostic change.
+
+use krb_lint::manifest::check_manifest;
+use krb_lint::{analyze_source, Rule};
+use std::fs;
+use std::path::PathBuf;
+
+const SOURCE_RULES: &[Rule] = &[
+    Rule::S001,
+    Rule::S002,
+    Rule::S003,
+    Rule::C001,
+    Rule::D001,
+    Rule::D002,
+    Rule::P001,
+    Rule::P002,
+];
+
+fn fixture_dir(rule: Rule) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rule.id())
+}
+
+fn read(rule: Rule, name: &str) -> String {
+    let path = fixture_dir(rule).join(name);
+    match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("fixture {} missing: {e}", path.display()),
+    }
+}
+
+/// Lints a fixture as though it lived in the kerberos crate's src/.
+fn lint_fixture(rule: Rule, name: &str) -> Vec<String> {
+    let text = read(rule, name);
+    let rel = format!("crates/kerberos/src/{}_{}", rule.id(), name);
+    analyze_source(&rel, "kerberos", &text).iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn bad_examples_fire_their_rule_and_match_golden() {
+    let bless = std::env::var_os("KRB_LINT_BLESS").is_some();
+    for &rule in SOURCE_RULES {
+        let rendered = lint_fixture(rule, "bad.rs");
+        assert!(
+            rendered.iter().any(|l| l.starts_with(rule.id())),
+            "{}/bad.rs must trigger {}; got: {rendered:#?}",
+            rule.id(),
+            rule.id()
+        );
+        let golden_path = fixture_dir(rule).join("expected.txt");
+        let actual = rendered.join("\n") + "\n";
+        if bless {
+            fs::write(&golden_path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("golden {} missing: {e}", golden_path.display()));
+        assert_eq!(
+            actual,
+            expected,
+            "{}/bad.rs diagnostics drifted from expected.txt (KRB_LINT_BLESS=1 to regenerate)",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn good_examples_lint_clean() {
+    for &rule in SOURCE_RULES {
+        let rendered = lint_fixture(rule, "good.rs");
+        assert!(
+            rendered.is_empty(),
+            "{}/good.rs must lint clean; got: {rendered:#?}",
+            rule.id()
+        );
+    }
+}
+
+#[test]
+fn h001_manifest_fixtures() {
+    let bless = std::env::var_os("KRB_LINT_BLESS").is_some();
+    let bad = read(Rule::H001, "bad.toml");
+    let findings = check_manifest("crates/kerberos/Cargo.toml", &bad);
+    assert!(
+        findings.iter().all(|f| f.rule == Rule::H001) && !findings.is_empty(),
+        "H001/bad.toml must trigger H001; got: {findings:#?}"
+    );
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    let golden_path = fixture_dir(Rule::H001).join("expected.txt");
+    let actual = rendered.join("\n") + "\n";
+    if bless {
+        fs::write(&golden_path, &actual).expect("write golden");
+    } else {
+        let expected = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("golden {} missing: {e}", golden_path.display()));
+        assert_eq!(actual, expected, "H001/bad.toml diagnostics drifted from expected.txt");
+    }
+
+    let good = read(Rule::H001, "good.toml");
+    let clean = check_manifest("crates/kerberos/Cargo.toml", &good);
+    assert!(clean.is_empty(), "H001/good.toml must lint clean; got: {clean:#?}");
+}
+
+/// The corpus itself is complete: every rule has its pair of examples on
+/// disk, so adding a rule without fixtures fails loudly.
+#[test]
+fn every_rule_has_fixtures() {
+    for &rule in krb_lint::ALL_RULES {
+        let dir = fixture_dir(rule);
+        let (bad, good) = if rule == Rule::H001 {
+            ("bad.toml", "good.toml")
+        } else {
+            ("bad.rs", "good.rs")
+        };
+        assert!(dir.join(bad).is_file(), "missing {}/{bad}", rule.id());
+        assert!(dir.join(good).is_file(), "missing {}/{good}", rule.id());
+    }
+}

@@ -1,0 +1,9 @@
+//! BAD: variable-time comparison of MAC and key bytes. The early-exit
+//! of slice `==` leaks a matching prefix through timing.
+
+pub fn verify(claimed_mac: &[u8], computed: &[u8], skey: &Key, expected: &Key) -> bool {
+    if claimed_mac == computed {
+        return skey.bytes == expected.bytes;
+    }
+    false
+}

@@ -1,0 +1,5 @@
+//! GOOD: all key/MAC comparisons route through krb_crypto::ct_eq.
+
+pub fn verify(claimed: &[u8], computed: &[u8], skey: &Key, expected: &Key) -> bool {
+    krb_crypto::ct_eq(claimed, computed) && skey.ct_eq(expected)
+}

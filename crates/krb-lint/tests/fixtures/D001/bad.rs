@@ -1,0 +1,10 @@
+//! BAD: wall-clock and OS facilities in a deterministic crate.
+
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    let started = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = std::net::UdpSocket::bind("127.0.0.1:0");
+    drop((t, started));
+    0
+}

@@ -1,0 +1,5 @@
+//! GOOD: time comes from the simulated clock, I/O from simnet.
+
+pub fn stamp(net: &simnet::Network) -> u64 {
+    net.now().as_micros()
+}

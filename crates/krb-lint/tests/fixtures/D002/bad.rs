@@ -1,0 +1,9 @@
+//! BAD: RandomState-ordered containers in a deterministic crate make
+//! every iteration order (and any output derived from it) run-varying.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_name: HashMap<String, u32>,
+    live: HashSet<u32>,
+}

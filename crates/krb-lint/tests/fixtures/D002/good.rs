@@ -1,0 +1,8 @@
+//! GOOD: ordered containers; every traversal is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Registry {
+    by_name: BTreeMap<String, u32>,
+    live: BTreeSet<u32>,
+}

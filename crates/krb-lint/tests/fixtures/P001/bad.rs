@@ -1,0 +1,9 @@
+//! BAD: `.unwrap()` / `.expect()` in protocol code panic on adversarial
+//! input — a remote denial of service.
+
+pub fn parse(data: &[u8], state: &Shared) -> u64 {
+    let guard = state.lock.lock().unwrap();
+    let n = u64::from_be_bytes(data[..8].try_into().expect("8 bytes"));
+    drop(guard);
+    n
+}

@@ -1,0 +1,13 @@
+//! GOOD: errors are returned; poisoned locks are recovered, not
+//! propagated as panics.
+
+pub fn parse(data: &[u8], state: &Shared) -> Result<u64, Error> {
+    let guard = state.lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if data.len() < 8 {
+        return Err(Error::Truncated);
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[..8]);
+    drop(guard);
+    Ok(u64::from_be_bytes(b))
+}

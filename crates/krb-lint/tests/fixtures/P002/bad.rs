@@ -1,0 +1,11 @@
+//! BAD: aborting macros in protocol code.
+
+pub fn dispatch(kind: u8) -> u64 {
+    match kind {
+        0 => 1,
+        1 => todo!("renewals"),
+        2 => unimplemented!(),
+        3 => unreachable!("validated above"),
+        _ => panic!("bad message kind {kind}"),
+    }
+}

@@ -1,0 +1,8 @@
+//! GOOD: unexpected states surface as errors.
+
+pub fn dispatch(kind: u8) -> Result<u64, Error> {
+    match kind {
+        0 => Ok(1),
+        _ => Err(Error::BadKind(kind)),
+    }
+}

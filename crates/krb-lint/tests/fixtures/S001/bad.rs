@@ -1,0 +1,5 @@
+//! BAD: a secret key type deriving `Debug` (and `Serialize`) lets key
+//! bytes reach any log line that formats it.
+
+#[derive(Clone, Copy, Debug, Serialize, PartialEq, Eq)]
+pub struct DesKey(pub [u8; 8]);

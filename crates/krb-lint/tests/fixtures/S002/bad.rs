@@ -1,0 +1,5 @@
+//! BAD: key material interpolated into a formatting macro.
+
+pub fn on_login(principal: &str, session_key: u64) -> String {
+    format!("login ok for {}, key={:x}", principal, session_key)
+}

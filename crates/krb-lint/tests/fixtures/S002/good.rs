@@ -1,0 +1,5 @@
+//! GOOD: log the public identity, never the key.
+
+pub fn on_login(principal: &str, _session: u64) -> String {
+    format!("login ok for {principal}")
+}

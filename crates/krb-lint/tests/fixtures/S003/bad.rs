@@ -1,0 +1,14 @@
+//! BAD: a hand-written Debug impl on a secret type that prints the raw
+//! bytes, plus a Display impl (never acceptable on key types).
+
+impl core::fmt::Debug for DesKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DesKey({:02x?})", self.0)
+    }
+}
+
+impl core::fmt::Display for DesKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:02x?}", self.0)
+    }
+}

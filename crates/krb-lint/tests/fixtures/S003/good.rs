@@ -1,0 +1,7 @@
+//! GOOD: the sanctioned Debug — a visible `****` redaction marker.
+
+impl core::fmt::Debug for DesKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DesKey(****************)")
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the krb-lint lexer: totality and span fidelity on
+//! random token soup.
+//!
+//! The lexer's contract (see `krb_lint::lexer`) is that *any* byte
+//! sequence lexes without panicking and that concatenating the token
+//! texts reproduces the input exactly. The soup generator deliberately
+//! mixes the constructs with tricky closing conditions — raw-string
+//! openers, unterminated quotes, nested comment markers, escapes,
+//! multi-byte characters — with runs of arbitrary printable characters.
+
+use krb_lint::lexer::lex;
+use testkit::prelude::*;
+
+/// One fragment of soup: either a construct chosen to hit a lexer edge
+/// case, or a short burst of arbitrary printable characters.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("\"".to_string()),
+        Just("'".to_string()),
+        Just("b'".to_string()),
+        Just("r#\"".to_string()),
+        Just("br##\"".to_string()),
+        Just("\"#".to_string()),
+        Just("r#ident".to_string()),
+        Just("//".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("\\".to_string()),
+        Just("..=".to_string()),
+        Just("<<=".to_string()),
+        Just("1.5e3".to_string()),
+        Just("0..8".to_string()),
+        Just("'a>".to_string()),
+        Just("🦀".to_string()),
+        Just("'é'".to_string()),
+        Just("\n".to_string()),
+        Just("\t".to_string()),
+        string::printable(0..=8),
+    ]
+}
+
+testkit::prop! {
+    /// The lexer never panics, and token texts concatenate back to the
+    /// input with contiguous, in-order spans.
+    fn lexer_is_total_and_spans_roundtrip [512] (
+        parts in collection::vec(fragment(), 0..24),
+    ) {
+        let src: String = parts.concat();
+        let toks = lex(&src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        prop_assert_eq!(&rebuilt, &src);
+        let mut pos = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, pos);
+            prop_assert!(!t.text.is_empty());
+            prop_assert_eq!(&src[t.start..t.start + t.text.len()], t.text);
+            pos += t.text.len();
+        }
+        prop_assert_eq!(pos, src.len());
+    }
+
+    /// Each token's recorded line/column agrees with a direct scan of
+    /// the source prefix before it.
+    fn lexer_line_col_agree_with_prefix_scan [256] (
+        parts in collection::vec(fragment(), 0..16),
+    ) {
+        let src: String = parts.concat();
+        for t in &lex(&src) {
+            let prefix = &src[..t.start];
+            let line = prefix.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+            let col = prefix.rsplit('\n').next().unwrap_or("").chars().count() as u32 + 1;
+            prop_assert_eq!((t.line, t.col), (line, col));
+        }
+    }
+}

@@ -2,10 +2,10 @@
 
 use crate::clock::{Clock, SimTime};
 use crate::net::{Addr, Endpoint};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Index of a host within its network.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct HostId(pub usize);
 
 /// Context handed to a service for one request.
@@ -60,7 +60,7 @@ pub struct Host {
     /// This host's clock.
     pub clock: Clock,
     /// Bound services, by port.
-    pub(crate) services: HashMap<u16, Box<dyn Service>>,
+    pub(crate) services: BTreeMap<u16, Box<dyn Service>>,
     /// Whether other users may be logged in concurrently (the paper's
     /// workstation vs. multi-user-host distinction).
     pub multi_user: bool,
@@ -73,7 +73,7 @@ impl Host {
             name: name.to_string(),
             addrs,
             clock: Clock::synced(),
-            services: HashMap::new(),
+            services: BTreeMap::new(),
             multi_user: false,
         }
     }

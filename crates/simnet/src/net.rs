@@ -20,7 +20,7 @@ use crate::adversary::{Tap, Verdict};
 use crate::clock::{SimDuration, SimTime};
 use crate::fault::{FaultDecision, FaultKind, FaultPlan};
 use crate::host::{Host, HostId, ServiceCtx};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -49,7 +49,7 @@ impl fmt::Display for Addr {
 }
 
 /// A (address, port) pair.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Endpoint {
     /// Network address.
     pub addr: Addr,
@@ -252,7 +252,7 @@ enum LegOutcome {
 /// The simulated network.
 pub struct Network {
     hosts: Vec<Host>,
-    addr_map: HashMap<Addr, HostId>,
+    addr_map: BTreeMap<Addr, HostId>,
     true_time: SimTime,
     /// Fixed one-way latency applied to every hop.
     pub latency: SimDuration,
@@ -275,7 +275,7 @@ impl Network {
     pub fn new() -> Self {
         Network {
             hosts: Vec::new(),
-            addr_map: HashMap::new(),
+            addr_map: BTreeMap::new(),
             true_time: SimTime(0),
             latency: SimDuration::from_millis(2),
             tap: None,
@@ -532,10 +532,13 @@ impl Network {
         let now = self.true_time;
         let mut best: Option<usize> = None;
         for (i, s) in self.stale.iter().enumerate() {
-            if !s.is_request && s.due <= now && s.dgram.dst == to && s.dgram.src == peer {
-                if best.map_or(true, |b| self.stale[b].due > s.due) {
-                    best = Some(i);
-                }
+            if !s.is_request
+                && s.due <= now
+                && s.dgram.dst == to
+                && s.dgram.src == peer
+                && best.is_none_or(|b| self.stale[b].due > s.due)
+            {
+                best = Some(i);
             }
         }
         best.map(|i| self.stale.remove(i))

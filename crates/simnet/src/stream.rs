@@ -12,7 +12,7 @@
 use crate::clock::SimTime;
 use crate::host::{Service, ServiceCtx};
 use crate::net::Endpoint;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The 4.2BSD initial-sequence-number discipline: a global counter
 /// bumped 128 times a second and by 64 on every connection.
@@ -153,7 +153,7 @@ enum ConnState {
 /// model the paper's replay discussion starts from.
 pub struct StreamListener {
     isn_gen: IsnGenerator,
-    conns: HashMap<Endpoint, ConnState>,
+    conns: BTreeMap<Endpoint, ConnState>,
     /// Data accepted on established connections: (peer, bytes). For the
     /// blind-spoof experiment this is the smoking gun — data recorded
     /// here under a trusted peer's address means the attack landed.
@@ -163,7 +163,7 @@ pub struct StreamListener {
 impl StreamListener {
     /// A listener whose ISN counter starts at `isn_base`.
     pub fn new(isn_base: u32) -> Self {
-        StreamListener { isn_gen: IsnGenerator::new(isn_base), conns: HashMap::new(), delivered: Vec::new() }
+        StreamListener { isn_gen: IsnGenerator::new(isn_base), conns: BTreeMap::new(), delivered: Vec::new() }
     }
 
     /// Read-only view of the ISN generator (for attacker prediction in

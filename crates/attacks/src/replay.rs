@@ -61,6 +61,10 @@ impl Attack for StolenAuthenticatorReplay {
         if captured.is_empty() {
             return report(false, "no AP exchange captured".into());
         }
+        env.adversary_note(&format!(
+            "adversary wiretap captured {} AP-exchange datagram(s) for {pat}",
+            captured.len()
+        ));
 
         let before = env.realm.with_app_server(&mut env.net, "files", |s| s.accepted_count(&pat));
 
@@ -68,6 +72,7 @@ impl Attack for StolenAuthenticatorReplay {
         // attacker replays the captured exchange verbatim (source
         // address forged to match, which nothing prevents).
         env.advance_secs(60);
+        env.adversary_note("adversary replays the captured ticket+authenticator 60s later");
         for d in &captured {
             let _ = env.net.inject(d.clone());
         }

@@ -6,7 +6,7 @@
 //! Run: `cargo run --release -p bench --bin table_ablations`
 
 use attacks::all_attacks;
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::{AppProtection, AuthStyle, Freshness, PreauthMode, ProtocolConfig};
 use krb_crypto::checksum::ChecksumType;
 
@@ -91,15 +91,21 @@ fn main() {
     headers.extend(ids.iter());
     let mut table = TextTable::new(&headers);
 
+    let mut json = BenchJson::new("E11");
+    json.int("attacks", attacks.len() as u64);
     for (name, config) in ablations() {
         let mut cells = vec![name.to_string()];
+        let mut breaches = 0u64;
         for attack in &attacks {
             let r = attack.run(&config, 0xab1a);
+            breaches += u64::from(r.succeeded);
             cells.push(if r.succeeded { "X".into() } else { ".".into() });
         }
+        json.int(&format!("breaches.{name}"), breaches);
         table.row(&cells);
     }
     table.print("X = breach, . = safe");
+    json.write("ablations");
 
     println!(
         "Reading guide: each recommended change eliminates exactly the rows the paper\n\

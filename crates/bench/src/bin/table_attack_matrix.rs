@@ -3,13 +3,14 @@
 //! Run: `cargo run --release -p bench --bin table_attack_matrix`
 
 use attacks::matrix::{expected, render_table, run_matrix};
+use bench::BenchJson;
 
 fn main() {
     println!("E1: attack x configuration matrix (Bellovin & Merritt 1991)");
     let reports = run_matrix(0xE1);
     println!("\n{}", render_table(&reports));
 
-    let mut deviations = 0;
+    let mut deviations = 0u64;
     for r in &reports {
         let want = expected(r.id, r.config).unwrap_or(false);
         if r.succeeded != want {
@@ -26,5 +27,15 @@ fn main() {
         reports.len(),
         deviations
     );
+
+    let mut json = BenchJson::new("E1");
+    json.int("cells", reports.len() as u64)
+        .int("breaches", reports.iter().filter(|r| r.succeeded).count() as u64)
+        .int("deviations", deviations);
+    for r in &reports {
+        json.flag(&format!("{}.{}", r.id, r.config), r.succeeded);
+    }
+    json.write("attack_matrix");
+
     assert_eq!(deviations, 0, "matrix must match the paper");
 }

@@ -7,7 +7,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin table_auth_costs`
 
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::appserver::connect_app;
 use kerberos::client::{login, LoginInput};
 use kerberos::testbed::standard_campus;
@@ -24,6 +24,7 @@ fn count_msgs(net: &mut Network, f: impl FnOnce(&mut Network)) -> usize {
 
 fn main() {
     println!("E5: wire messages per operation, per protocol option");
+    let mut json = BenchJson::new("E5");
 
     // Login dialog variants.
     let mut table = TextTable::new(&["login variant", "messages", "delta vs v4"]);
@@ -76,6 +77,7 @@ fn main() {
         if baseline == 0 {
             baseline = n;
         }
+        json.int(&format!("login_msgs.{label}"), n as u64);
         table.row(&[label.to_string(), n.to_string(), format!("+{}", n.saturating_sub(baseline))]);
     }
     table.print("login (AS exchange) message counts");
@@ -128,10 +130,13 @@ fn main() {
         if baseline == 0 {
             baseline = n;
         }
+        json.int(&format!("ap_msgs.{label}"), n as u64);
+        json.metrics(&net.tracer().snapshot());
         table.row(&[label.to_string(), n.to_string(), format!("+{}", n.saturating_sub(baseline))]);
     }
     table.print(
         "application authentication message counts \
          (paper: C/R 'rules out the possibility of authenticated datagrams')",
     );
+    json.write("auth_costs");
 }

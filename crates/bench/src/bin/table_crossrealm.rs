@@ -2,7 +2,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin table_crossrealm`
 
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::client::{login, LoginInput};
 use kerberos::crossrealm::{cross_realm_ticket, RealmTopology, TrustPolicy};
 use kerberos::kdc::Kdc;
@@ -16,6 +16,7 @@ fn main() {
     println!("E10: inter-realm chains — message cost, transited paths, trust evaluation");
     let config = ProtocolConfig::v5_draft3();
 
+    let mut json = BenchJson::new("E10");
     let mut table = TextTable::new(&["chain depth", "realms", "wire messages", "transited recorded"]);
     for depth in 1usize..=4 {
         let mut net = Network::new();
@@ -75,6 +76,9 @@ fn main() {
         let files_key = realms[depth].service_keys["files"];
         let t = Ticket::unseal(config.codec, config.ticket_layer, &files_key, &cred.sealed_ticket)
             .expect("unseal");
+        json.int(&format!("wire_msgs.depth{depth}"), msgs as u64);
+        json.int(&format!("transited.depth{depth}"), t.transited.len() as u64);
+        json.metrics(&net.tracer().snapshot());
         table.row(&[
             depth.to_string(),
             path.join(">"),
@@ -83,6 +87,7 @@ fn main() {
         ]);
     }
     table.print("cost grows linearly in path length; each hop is a full TGS exchange");
+    json.write("crossrealm");
 
     // Trust evaluation demonstration.
     let policy = TrustPolicy::distrusting(&["REALM2"]);

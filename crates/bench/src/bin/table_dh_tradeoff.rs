@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin table_dh_tradeoff`
 
-use bench::{mean_us, time_us, TextTable};
+use bench::{mean_us, time_us, BenchJson, TextTable};
 use krb_crypto::bignum::mod_exp;
 use krb_crypto::dh::DhGroup;
 use krb_crypto::dlog::{bsgs, pollard_rho};
@@ -12,6 +12,7 @@ use krb_crypto::rng::Drbg;
 
 fn main() {
     println!("E4: exponential key exchange — cost of defense vs cost of attack");
+    let mut json = BenchJson::new("E4");
 
     // Part 1: defender cost — one modexp per party per login.
     let mut table = TextTable::new(&["group", "modulus bits", "exp bits", "us/modexp", "modexps/login"]);
@@ -27,6 +28,7 @@ fn main() {
         let us = mean_us(iters, || {
             let _ = std::hint::black_box(mod_exp(&group.g, &kp.private, &group.p));
         });
+        json.num(&format!("modexp_us.{}", group.name), us, 0);
         table.row(&[
             group.name.into(),
             group.p.bit_len().to_string(),
@@ -46,6 +48,8 @@ fn main() {
         let kp = group.keypair(bits, &mut rng).expect("keypair");
         let (found, us) = time_us(|| bsgs(&group.g, &kp.public, &group.p, 1u64 << bits));
         let ok = found.map(|x| Some(x) == kp.private.to_u64()).unwrap_or(false);
+        json.num(&format!("bsgs_ms.exp{bits}"), us / 1000.0, 1);
+        json.flag(&format!("bsgs_recovered.exp{bits}"), ok);
         table.row(&[bits.to_string(), format!("{:.1}", us / 1000.0), ok.to_string()]);
     }
     table.print("attacker cost: BSGS vs secret-exponent size ('small numbers are quite insecure')");
@@ -60,9 +64,12 @@ fn main() {
         let h = mod_exp(&group.g, &secret, &group.p).expect("public");
         let (found, us) = time_us(|| pollard_rho(&group.g, &h, &group.p, &q, &mut rng));
         let ok = found.map(|x| x == secret).unwrap_or(false);
+        json.num(&format!("rho_ms.sub{bits}"), us / 1000.0, 1);
+        json.flag(&format!("rho_recovered.sub{bits}"), ok);
         table.row(&[bits.to_string(), format!("{:.1}", us / 1000.0), ok.to_string()]);
     }
     table.print("attacker cost: Pollard rho vs subgroup size");
+    json.write("dh_tradeoff");
 
     println!(
         "\nShape reproduced: attack cost grows ~2^(n/2) while defense cost grows \

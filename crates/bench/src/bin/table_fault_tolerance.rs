@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p bench --bin table_fault_tolerance`
 
 use attacks::chaos::{run_soak, SoakConfig};
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::ProtocolConfig;
 use simnet::LinkFaults;
 
@@ -24,12 +24,17 @@ fn main() {
 
     // Part 1: flows completed vs fault rate, per preset (one replica, a
     // master crash window mid-campaign — the standard soak shape).
+    let mut json = BenchJson::new("E12");
     let rates = [0.0f64, 0.05, 0.10, 0.20, 0.30];
     let mut table = TextTable::new(&["config", "0%", "5%", "10%", "20%", "30%"]);
     for config in ProtocolConfig::presets() {
         let mut cells = vec![config.name.to_string()];
         for rate in rates {
             let r = run_soak(&config, &soak_at(rate, 1, true, 0xE12));
+            json.int(
+                &format!("auth_ok.{}.{}pct", config.name, (rate * 100.0) as u64),
+                u64::from(r.auth_ok),
+            );
             cells.push(format!("{}/{}", r.auth_ok, r.auth_total));
         }
         table.row(&cells);
@@ -44,6 +49,7 @@ fn main() {
     let mut table = TextTable::new(&["replicas", "flows ok", "host-down hits", "restarts"]);
     for replicas in [0usize, 1, 2] {
         let r = run_soak(&ProtocolConfig::hardened(), &soak_at(0.10, replicas, true, 0xE12));
+        json.int(&format!("auth_ok.hardened.replicas{replicas}"), u64::from(r.auth_ok));
         table.row(&[
             replicas.to_string(),
             format!("{}/{}", r.auth_ok, r.auth_total),
@@ -69,6 +75,12 @@ fn main() {
         s.restarts.to_string(),
     ]);
     table.print("fault-layer activity during the standard hardened soak (seed 0xE12)");
+    json.int("faults.dropped", s.dropped)
+        .int("faults.duplicated", s.duplicated)
+        .int("faults.reordered", s.reordered)
+        .int("faults.host_down", s.host_down)
+        .int("faults.restarts", s.restarts);
+    json.write("fault_tolerance");
 
     println!(
         "\nliveness is bounded, not free: each flow retries with exponential backoff \

@@ -17,7 +17,7 @@
 //! Writes `BENCH_crypto.json` in the current directory.
 
 use attacks::env::AttackEnv;
-use bench::{time_us, TextTable};
+use bench::{time_us, BenchJson, TextTable};
 use kerberos::ProtocolConfig;
 use krb_crypto::des::{self, DesKey, KeySchedule};
 use krb_crypto::rng::{Drbg, RandomSource};
@@ -116,17 +116,16 @@ fn main() {
     table.row(&["KDC AS-exchanges (auths/s)".into(), format!("{kdc_per_sec:.0}")]);
     table.print("DES kernel and KDC throughput");
 
-    let json = format!(
-        "{{\n  \"experiment\": \"E13\",\n  \"quick\": {quick},\n  \
-         \"blocks_per_sec_fast\": {fast_bps:.0},\n  \
-         \"blocks_per_sec_reference\": {ref_bps:.0},\n  \
-         \"speedup\": {speedup:.2},\n  \
-         \"s2k_trials_per_sec\": {s2k_per_sec:.0},\n  \
-         \"kdc_auths_per_sec\": {kdc_per_sec:.0},\n  \
-         \"equivalence\": \"pass\"\n}}\n"
-    );
-    std::fs::write("BENCH_crypto.json", &json).expect("write BENCH_crypto.json");
-    println!("wrote BENCH_crypto.json");
+    let mut json = BenchJson::new("E13");
+    json.flag("quick", quick)
+        .num("blocks_per_sec_fast", fast_bps, 0)
+        .num("blocks_per_sec_reference", ref_bps, 0)
+        .num("speedup", speedup, 2)
+        .num("s2k_trials_per_sec", s2k_per_sec, 0)
+        .num("kdc_auths_per_sec", kdc_per_sec, 0)
+        .str_field("equivalence", "pass")
+        .metrics(&env.tracer().snapshot());
+    json.write("crypto");
 
     if speedup <= 1.0 {
         eprintln!("FAIL: fast kernel ({fast_bps:.0} blocks/s) is not faster than the reference ({ref_bps:.0} blocks/s)");

@@ -9,7 +9,7 @@
 
 use attacks::pw_guess::crack_as_reply;
 use attacks::workload::{generate_population, guess_list, PasswordClass};
-use bench::{time_us, TextTable};
+use bench::{time_us, BenchJson, TextTable};
 use kerberos::database::KdcDatabase;
 use kerberos::kdc::{Kdc, KDC_PORT};
 use kerberos::messages::{deframe, AsRep, AsReq, WireKind};
@@ -34,6 +34,8 @@ fn main() {
         "config", "harvest", "dict-cracked", "mutated-cracked", "random-cracked", "total", "us/guess",
     ]);
 
+    let mut json = BenchJson::new("E2");
+    json.int("population", POPULATION as u64).int("guesses", guesses.len() as u64);
     for config in ProtocolConfig::presets() {
         // Stand up a KDC with the whole population registered.
         let mut net = Network::new();
@@ -94,6 +96,9 @@ fn main() {
         }
         let us_per_guess = if guess_count > 0 { guess_time_total / guess_count as f64 } else { 0.0 };
 
+        json.int(&format!("harvested.{}", config.name), harvested.len() as u64);
+        json.int(&format!("cracked.{}", config.name), cracked.iter().sum::<usize>() as u64);
+        json.metrics(&net.tracer().snapshot());
         table.row(&[
             config.name.into(),
             format!("{}/{}", harvested.len(), population.len()),
@@ -105,6 +110,7 @@ fn main() {
         ]);
     }
     table.print("E2: crack yield by class (paper: weak passwords fall; DH/preauth stop the harvest)");
+    json.write("password_guessing");
 }
 
 fn class_idx(c: PasswordClass) -> usize {

@@ -3,7 +3,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin table_replay_window`
 
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::messages::WireKind;
 use kerberos::replay_cache::ReplayCache;
 use kerberos::ProtocolConfig;
@@ -23,13 +23,17 @@ fn main() {
     variants.push(("v4 + replay cache", with_cache));
     variants.push(("hardened (C/R)", ProtocolConfig::hardened()));
 
+    let mut json = BenchJson::new("E3");
     let mut table = TextTable::new(&["variant", "0m", "1m", "2m", "4m", "5m", "6m", "10m"]);
     for (label, config) in &variants {
         let mut cells = vec![label.to_string()];
+        let mut breaches = 0u64;
         for d in delays_min {
             let ok = replay_after(config, d * 60, 0xE3 + d);
+            breaches += u64::from(ok);
             cells.push(if ok { "BREACH" } else { "safe" }.into());
         }
+        json.int(&format!("breach_delays.{label}"), breaches);
         table.row(&cells);
     }
     table.print(
@@ -46,6 +50,8 @@ fn main() {
             let t_us = i * (1_000_000 / rate.max(1));
             cache.offer(&i.to_be_bytes(), t_us);
         }
+        json.int(&format!("cache_entries.{rate}rps"), cache.live_entries() as u64);
+        json.int(&format!("cache_bytes.{rate}rps"), cache.approx_bytes() as u64);
         table.row(&[
             rate.to_string(),
             cache.live_entries().to_string(),
@@ -53,6 +59,7 @@ fn main() {
         ]);
     }
     table.print("replay-cache state cost vs request rate");
+    json.write("replay_window");
 
     // Part 3: challenge/response state: outstanding challenges are
     // bounded by in-flight handshakes, not by the skew window.

@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run --release -p bench --bin table_seqnum_vs_timestamp`
 
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::session::{Direction, Session};
 use kerberos::{Freshness, Principal, ProtocolConfig};
 use krb_crypto::des::DesKey;
@@ -25,6 +25,7 @@ fn main() {
     println!("E7: session anti-replay state and detection capability");
 
     // Part 1: cache growth under a file-server message rate.
+    let mut json = BenchJson::new("E7");
     let mut table = TextTable::new(&["mechanism", "messages", "cache entries", "deletion detected"]);
     for (label, config) in [
         ("timestamps (draft3)", ProtocolConfig::v5_draft3()),
@@ -42,6 +43,9 @@ fn main() {
             drop(dropped);
             let next = c.send_priv(b"after gap", 999_001, 7, &mut rng).expect("seal");
             let detected = s.recv_priv(&next, 999_001).is_err();
+            let slug = if config.freshness == Freshness::SequenceNumbers { "seqnum" } else { "timestamp" };
+            json.int(&format!("cache_entries.{slug}.{n}msgs"), s.timestamp_cache_entries() as u64);
+            json.flag(&format!("deletion_detected.{slug}.{n}msgs"), detected);
             table.row(&[
                 label.into(),
                 n.to_string(),
@@ -75,7 +79,10 @@ fn main() {
         };
         let wire = c1.send_priv(b"delete archive", 5_000, 7, &mut rng).expect("seal");
         let replayed = s2.recv_priv(&wire, 5_100).is_ok();
+        let slug = if config.freshness == Freshness::SequenceNumbers { "seqnum" } else { "timestamp" };
+        json.flag(&format!("cross_stream_replay.{slug}"), replayed);
         table.row(&[label.into(), if replayed { "BREACH" } else { "safe" }.into()]);
     }
     table.print("message from session 1 replayed into session 2");
+    json.write("seqnum_vs_timestamp");
 }

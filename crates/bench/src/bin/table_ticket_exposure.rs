@@ -9,7 +9,7 @@
 
 use attacks::env::AttackEnv;
 use attacks::workload::mail_check_session;
-use bench::TextTable;
+use bench::{BenchJson, TextTable};
 use kerberos::messages::WireKind;
 use kerberos::ProtocolConfig;
 
@@ -17,6 +17,7 @@ fn main() {
     println!("E9: live credentials exposed on the wire by a mail-check session");
 
     // Part 1: what one short session leaks.
+    let mut json = BenchJson::new("E9");
     let mut table = TextTable::new(&["config", "AS replies", "TGS replies", "AP requests", "stealable tickets"]);
     for config in ProtocolConfig::presets() {
         let mut env = AttackEnv::new(&config, 0xE9);
@@ -41,6 +42,9 @@ fn main() {
         // a stealable credential within the skew window (unless
         // challenge/response makes replays useless).
         let stealable = if config.auth_style == kerberos::AuthStyle::ChallengeResponse { 0 } else { ap_reqs };
+        json.int(&format!("ap_requests.{}", config.name), ap_reqs as u64);
+        json.int(&format!("stealable.{}", config.name), stealable as u64);
+        json.metrics(&env.tracer().snapshot());
         table.row(&[
             config.name.into(),
             as_reps.to_string(),
@@ -63,10 +67,12 @@ fn main() {
         // stolen credential is good for the remainder of its lifetime —
         // on average half.
         let exposure = relogins * 2 * lifetime_h / 2;
+        json.int(&format!("exposure_ticket_hours.{lifetime_h}h"), exposure);
         table.row(&[lifetime_h.to_string(), relogins.to_string(), exposure.to_string()]);
     }
     table.print(
         "lifetime sweep (paper: 'the longer a ticket is in use, the greater the risk of it \
          being stolen' — but short lifetimes mean more password prompts or more exposed logins)",
     );
+    json.write("ticket_exposure");
 }

@@ -1,6 +1,8 @@
-//! Shared helpers for the experiment harness: table formatting and
-//! wall-clock measurement.
+//! Shared helpers for the experiment harness: table formatting,
+//! wall-clock measurement, and the stable machine-readable report every
+//! `table_*` bin writes next to its TextTable.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// A simple fixed-width text table.
@@ -56,6 +58,107 @@ impl TextTable {
     /// Prints the table with a title.
     pub fn print(&self, title: &str) {
         println!("\n== {title} ==\n{}", self.render());
+    }
+}
+
+/// A stable-field-order JSON report: every experiment bin writes one as
+/// `BENCH_<name>.json` so downstream tooling gets machine-readable
+/// numbers uniformly, not just from the throughput bench.
+///
+/// Fields render in insertion order; an attached metrics snapshot (the
+/// `krb-trace` registry, already a sorted map) renders as a nested
+/// object under `"metrics"`. No floats beyond what the caller formats —
+/// the output is deterministic given deterministic inputs.
+pub struct BenchJson {
+    experiment: String,
+    fields: Vec<(String, String)>,
+    metrics: Option<BTreeMap<String, u64>>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchJson {
+    /// A report for experiment `experiment` (e.g. `"E2"`).
+    pub fn new(experiment: &str) -> Self {
+        BenchJson { experiment: experiment.to_string(), fields: Vec::new(), metrics: None }
+    }
+
+    /// Adds a string field.
+    pub fn str_field(&mut self, key: &str, v: &str) -> &mut Self {
+        self.fields.push((key.to_string(), format!("\"{}\"", json_escape(v))));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.push((key.to_string(), v.to_string()));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn flag(&mut self, key: &str, v: bool) -> &mut Self {
+        self.fields.push((key.to_string(), v.to_string()));
+        self
+    }
+
+    /// Adds a float field, rendered with `decimals` places (callers pick
+    /// the precision so wall-clock noise does not churn diffs for
+    /// sim-time numbers).
+    pub fn num(&mut self, key: &str, v: f64, decimals: usize) -> &mut Self {
+        self.fields.push((key.to_string(), format!("{v:.decimals$}")));
+        self
+    }
+
+    /// Attaches a metrics snapshot (rendered sorted, under `"metrics"`).
+    pub fn metrics(&mut self, snap: &BTreeMap<String, u64>) -> &mut Self {
+        self.metrics = Some(snap.clone());
+        self
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"experiment\": \"{}\"", json_escape(&self.experiment)));
+        for (k, v) in &self.fields {
+            s.push_str(&format!(",\n  \"{}\": {v}", json_escape(k)));
+        }
+        if let Some(m) = &self.metrics {
+            s.push_str(",\n  \"metrics\": {");
+            let mut first = true;
+            for (k, v) in m {
+                s.push_str(if first { "\n" } else { ",\n" });
+                first = false;
+                s.push_str(&format!("    \"{}\": {v}", json_escape(k)));
+            }
+            s.push_str("\n  }");
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Writes `BENCH_<name>.json` in the current directory and says so.
+    pub fn write(&self, name: &str) {
+        let path = format!("BENCH_{name}.json");
+        match std::fs::write(&path, self.render()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
 }
 

@@ -17,6 +17,7 @@ use crate::session::{Direction, Session};
 use crate::ticket::Ticket;
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::{Drbg, RandomSource};
+use krb_trace::{EventKind, Tracer, Value};
 use simnet::{Endpoint, NetError, Network, Service, ServiceCtx, SimDuration};
 use std::collections::BTreeMap;
 
@@ -77,6 +78,11 @@ pub struct AppServer {
     last_snapshot_us: u64,
     /// Restarts observed (crash windows ridden out).
     pub restarts: u32,
+    /// The network's tracer, refreshed from the service context on
+    /// every dispatch (see [`crate::kdc::Kdc`] for the pattern).
+    trace: Tracer,
+    /// Network true time at dispatch, µs — the timestamp events carry.
+    trace_now_us: u64,
 }
 
 impl AppServer {
@@ -103,6 +109,8 @@ impl AppServer {
             disk: None,
             last_snapshot_us: 0,
             restarts: 0,
+            trace: Tracer::new(),
+            trace_now_us: 0,
         }
     }
 
@@ -132,6 +140,24 @@ impl AppServer {
     }
 
     fn reject(&mut self, from: Endpoint, reason: &str, code: u32) -> Vec<u8> {
+        // Replay-cache verdicts get their own event kinds; everything
+        // else is a generic rejection with its reason.
+        let kind = match code {
+            err_code::REPLAY => EventKind::ReplayBlocked,
+            err_code::TRY_LATER => EventKind::FailClosed,
+            _ => EventKind::AuthRejected,
+        };
+        self.trace.emit(
+            kind,
+            self.trace_now_us,
+            vec![
+                ("site", Value::str("ap")),
+                ("service", Value::str(&self.principal.name)),
+                ("reason", Value::str(reason)),
+                ("src", Value::str(from.addr.to_string())),
+            ],
+        );
+        self.trace.counter("ap.rejected", &self.principal.name, 1);
         self.auth_log.push(AuthEvent::Rejected { reason: reason.into(), from });
         KrbErrorMsg { code, text: reason.into(), challenge: None }.encode(self.config.codec)
     }
@@ -184,6 +210,16 @@ impl AppServer {
         );
         self.sessions.insert(from, session);
         self.authorized.insert(from, ticket.client.clone());
+        self.trace.emit(
+            EventKind::AuthAccepted,
+            self.trace_now_us,
+            vec![
+                ("service", Value::str(&self.principal.name)),
+                ("client", Value::str(ticket.client.to_string())),
+                ("src", Value::str(from.addr.to_string())),
+            ],
+        );
+        self.trace.counter("ap.accepted", &ticket.client.name, 1);
         self.auth_log.push(AuthEvent::Accepted { client: ticket.client.clone(), from });
 
         let part = EncApRepPart { ts_echo, subkey: server_subkey, seq_init: Some(server_seq) };
@@ -220,6 +256,14 @@ impl AppServer {
                 // "As is done today, the client would present a ticket,
                 // though without an authenticator."
                 let nonce = self.rng.next_u64();
+                self.trace.emit(
+                    EventKind::ChallengeIssued,
+                    self.trace_now_us,
+                    vec![
+                        ("service", Value::str(&self.principal.name)),
+                        ("client", Value::str(ticket.client.to_string())),
+                    ],
+                );
                 self.pending.insert(from, (nonce, ticket));
                 KrbErrorMsg {
                     code: err_code::CHALLENGE_REQUIRED,
@@ -363,6 +407,8 @@ impl AppServer {
 
 impl Service for AppServer {
     fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], from: Endpoint) -> Option<Vec<u8>> {
+        self.trace = ctx.tracer.clone();
+        self.trace_now_us = ctx.true_time.0;
         let now_us = ctx.local_time.0;
         let my_addr = ctx.host_addr.0;
         let (kind, body) = deframe(req).ok()?;
@@ -390,6 +436,8 @@ impl Service for AppServer {
     /// configured; otherwise it reboots empty — the exact weakness the
     /// A1 replay-across-restart scenario exploits.
     fn on_restart(&mut self, ctx: &mut ServiceCtx) {
+        self.trace = ctx.tracer.clone();
+        self.trace_now_us = ctx.true_time.0;
         let boot_us = ctx.local_time.0;
         let skew = self.config.clock_skew_us;
         self.sessions.clear();
@@ -451,7 +499,16 @@ pub fn connect_app(
         }
     };
 
-    retry::run(net, &config.retry, client_seq, |net, _attempt| {
+    let trace = net.tracer();
+    let span = trace.begin_span(
+        "ap-exchange",
+        net.now().0,
+        vec![
+            ("client", Value::str(cred.client.to_string())),
+            ("service", Value::str(cred.service.to_string())),
+        ],
+    );
+    let result = retry::run(net, &config.retry, client_seq, |net, _attempt| {
         let now = client_local_time_us(net, client_ep)?;
         let (reply, expected_echo) = match config.auth_style {
             AuthStyle::Timestamp => {
@@ -557,7 +614,9 @@ pub fn connect_app(
             plain: config.app_protection == AppProtection::Plain,
             retry: config.retry,
         })
-    })
+    });
+    trace.end_span(span, net.now().0, &cred.client.name);
+    result
 }
 
 /// Sends `wire` and resends the *identical bytes* when the request leg

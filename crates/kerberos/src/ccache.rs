@@ -254,7 +254,7 @@ mod tests {
         // session key included.
         let leak = net
             .traffic_log()
-            .iter()
+            .into_iter()
             .find(|r| r.dgram.payload.starts_with(b"NFSWRITE"))
             .expect("cache write on the wire");
         let idx = leak.dgram.payload.iter().position(|&b| b == b' ').unwrap();

@@ -17,6 +17,7 @@ use krb_crypto::des::DesKey;
 use krb_crypto::dh::DhGroup;
 use krb_crypto::rng::RandomSource;
 use krb_crypto::s2k;
+use krb_trace::{EventKind, Value};
 use simnet::{Endpoint, Network, SimDuration};
 
 /// How the user authenticates at login.
@@ -110,7 +111,13 @@ pub fn login_at(
     // list round-robin.
     let mut policy = config.retry;
     policy.attempts = policy.attempts.saturating_mul(kdcs.len() as u32);
-    retry::run(net, &policy, nonce, |net, attempt| {
+    let trace = net.tracer();
+    let span = trace.begin_span(
+        "as-exchange",
+        net.now().0,
+        vec![("client", Value::str(client.to_string()))],
+    );
+    let result = retry::run(net, &policy, nonce, |net, attempt| {
         let kdc_ep = kdcs[attempt as usize % kdcs.len()];
         let mut padata = Vec::new();
         if let Some(kp) = &dh_keypair {
@@ -216,6 +223,17 @@ pub fn login_at(
             return Err(reply_transient(net, KrbError::Remote("AS reply nonce mismatch".into())));
         }
 
+        let tr = net.tracer();
+        tr.emit(
+            EventKind::TicketDecrypted,
+            net.now().0,
+            vec![
+                ("exchange", Value::str("as")),
+                ("client", Value::str(client.to_string())),
+                ("key_fpr", Value::str(crate::traceview::fingerprint(&part.session_key))),
+            ],
+        );
+        tr.counter("client.tickets", &client.name, 1);
         Ok(Credential {
             client: client.clone(),
             service: Principal::tgs(&client.realm),
@@ -223,7 +241,9 @@ pub fn login_at(
             session_key: part.session_key,
             end_time: part.end_time,
         })
-    })
+    });
+    trace.end_span(span, net.now().0, &client.name);
+    result
 }
 
 /// Reads the local clock of the host owning `ep`.
@@ -285,7 +305,16 @@ pub fn get_service_ticket_at(
     let mut policy = config.retry;
     policy.attempts = policy.attempts.saturating_mul(kdcs.len() as u32);
 
-    retry::run(net, &policy, nonce, |net, attempt| {
+    let trace = net.tracer();
+    let span = trace.begin_span(
+        "tgs-exchange",
+        net.now().0,
+        vec![
+            ("client", Value::str(tgt.client.to_string())),
+            ("service", Value::str(service.to_string())),
+        ],
+    );
+    let result = retry::run(net, &policy, nonce, |net, attempt| {
         let kdc_ep = kdcs[attempt as usize % kdcs.len()];
         let now = client_local_time_us(net, client_ep)?;
 
@@ -336,6 +365,18 @@ pub fn get_service_ticket_at(
                 .map_err(|_| reply_transient(net, KrbError::BadChecksum))?;
         }
 
+        let tr = net.tracer();
+        tr.emit(
+            EventKind::TicketDecrypted,
+            net.now().0,
+            vec![
+                ("exchange", Value::str("tgs")),
+                ("client", Value::str(tgt.client.to_string())),
+                ("service", Value::str(service.to_string())),
+                ("key_fpr", Value::str(crate::traceview::fingerprint(&part.session_key))),
+            ],
+        );
+        tr.counter("client.tickets", &tgt.client.name, 1);
         Ok(Credential {
             client: tgt.client.clone(),
             service: service.clone(),
@@ -343,7 +384,9 @@ pub fn get_service_ticket_at(
             session_key: part.session_key,
             end_time: part.end_time,
         })
-    })
+    });
+    trace.end_span(span, net.now().0, &tgt.client.name);
+    result
 }
 
 /// Renews a renewable ticket-granting credential, extending its

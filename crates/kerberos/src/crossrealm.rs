@@ -18,6 +18,7 @@ use crate::config::ProtocolConfig;
 use crate::error::KrbError;
 use crate::principal::Principal;
 use krb_crypto::rng::RandomSource;
+use krb_trace::Value;
 use simnet::{Endpoint, Network};
 use std::collections::BTreeMap;
 
@@ -88,23 +89,42 @@ pub fn cross_realm_ticket(
     let home = home_tgt.client.realm.clone();
     let path = topo.path(&home, &service.realm)?;
 
+    let trace = net.tracer();
+    let span = trace.begin_span(
+        "cross-realm",
+        net.now().0,
+        vec![
+            ("client", Value::str(home_tgt.client.to_string())),
+            ("service", Value::str(service.to_string())),
+            ("path", Value::str(path.join(" -> "))),
+        ],
+    );
+
     // Walk hop by hop: at each realm's KDC, ask for a TGT of the next
     // realm; at the final realm, ask for the service ticket.
-    let mut cred = home_tgt.clone();
-    for window in path.windows(2) {
-        let (cur, next) = (&window[0], &window[1]);
-        let kdc = *topo
+    let walk = |net: &mut Network, rng: &mut dyn RandomSource| -> Result<Credential, KrbError> {
+        let mut cred = home_tgt.clone();
+        for window in path.windows(2) {
+            let (cur, next) = (&window[0], &window[1]);
+            let kdc = *topo
+                .kdc_eps
+                .get(cur)
+                .ok_or_else(|| KrbError::RealmPathRejected(format!("no KDC known for {cur}")))?;
+            net.tracer().note(net.now().0, &format!("cross-realm hop: {cur} grants TGT for {next}"));
+            let next_tgs = Principal::tgs(next);
+            cred =
+                get_service_ticket(net, config, client_ep, kdc, &cred, &next_tgs, TgsParams::default(), rng)?;
+        }
+        let final_kdc = *topo
             .kdc_eps
-            .get(cur)
-            .ok_or_else(|| KrbError::RealmPathRejected(format!("no KDC known for {cur}")))?;
-        let next_tgs = Principal::tgs(next);
-        cred = get_service_ticket(net, config, client_ep, kdc, &cred, &next_tgs, TgsParams::default(), rng)?;
-    }
-    let final_kdc = *topo
-        .kdc_eps
-        .get(&service.realm)
-        .ok_or_else(|| KrbError::RealmPathRejected(format!("no KDC known for {}", service.realm)))?;
-    let cred = get_service_ticket(net, config, client_ep, final_kdc, &cred, service, TgsParams::default(), rng)?;
+            .get(&service.realm)
+            .ok_or_else(|| KrbError::RealmPathRejected(format!("no KDC known for {}", service.realm)))?;
+        get_service_ticket(net, config, client_ep, final_kdc, &cred, service, TgsParams::default(), rng)
+    };
+    let result = walk(net, rng);
+    trace.end_span(span, net.now().0, &home_tgt.client.name);
+    let cred = result?;
+    trace.counter("client.crossrealm_hops", &home_tgt.client.name, path.len().saturating_sub(1) as u64);
     Ok((cred, path))
 }
 

@@ -23,6 +23,7 @@ use krb_crypto::checksum;
 use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::dh::DhGroup;
 use krb_crypto::rng::{Drbg, RandomSource};
+use krb_trace::{EventKind, Tracer, Value};
 use simnet::{Endpoint, Service, ServiceCtx};
 use std::collections::BTreeMap;
 
@@ -71,6 +72,13 @@ pub struct Kdc {
     last_snapshot_us: u64,
     /// Restarts observed (crash windows ridden out).
     pub restarts: u32,
+    /// The network's tracer, refreshed from the service context on
+    /// every dispatch so internal handlers can emit without threading
+    /// the context through each of them.
+    trace: Tracer,
+    /// Network true time at dispatch, µs — the timestamp events carry
+    /// (protocol checks keep using the host's *local* clock).
+    trace_now_us: u64,
 }
 
 impl Kdc {
@@ -102,6 +110,8 @@ impl Kdc {
             disk: None,
             last_snapshot_us: 0,
             restarts: 0,
+            trace: Tracer::new(),
+            trace_now_us: 0,
         }
     }
 
@@ -176,6 +186,15 @@ impl Kdc {
             Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
         };
         if self.rate_limited(from.addr.0, now_us) {
+            self.trace.emit(
+                EventKind::RateLimited,
+                self.trace_now_us,
+                vec![
+                    ("client", Value::str(&req.client.name)),
+                    ("src", Value::str(from.addr.to_string())),
+                ],
+            );
+            self.trace.counter("kdc.rate_limited", &req.client.name, 1);
             return self.error(err_code::RATE_LIMITED, "request rate exceeded");
         }
         let client_entry = match self.db.lookup(&req.client) {
@@ -213,6 +232,12 @@ impl Kdc {
                             r
                         }
                     };
+                    self.trace.emit(
+                        EventKind::ChallengeIssued,
+                        self.trace_now_us,
+                        vec![("client", Value::str(&req.client.name))],
+                    );
+                    self.trace.counter("kdc.challenges", &req.client.name, 1);
                     return KrbErrorMsg {
                         code: err_code::PREAUTH_REQUIRED,
                         text: "respond to login challenge".into(),
@@ -232,7 +257,7 @@ impl Kdc {
                         // consume the R the honest client is about to
                         // answer. Guessing against a standing R is
                         // rate-limited like everything else.
-                        return self.preauth_error(e);
+                        return self.preauth_error(&req.client, e);
                     }
                     self.pending_hha.remove(&key);
                     commit_blob = Some(blob);
@@ -246,7 +271,7 @@ impl Kdc {
                     return self.error(err_code::PREAUTH_REQUIRED, "preauthentication required");
                 };
                 if let Err(e) = self.check_preauth_blob(&blob, &client_entry.key, now_us) {
-                    return self.preauth_error(e);
+                    return self.preauth_error(&req.client, e);
                 }
                 commit_blob = Some(blob);
             }
@@ -349,17 +374,55 @@ impl Kdc {
             self.preauth_cache.commit(blob, now_us);
             self.maybe_snapshot(now_us);
         }
+        self.trace_issue("as", &req.client, &req.service, &session_key, ticket.end_time);
         self.issued.push(IssueRecord { client: req.client, service: req.service, at_us: now_us });
         AsRep { challenge_r, dh_public, enc_part }.encode(self.config.codec)
     }
 
-    /// Renders a preauthentication failure as the right KRB_ERROR.
-    fn preauth_error(&self, e: KrbError) -> Vec<u8> {
-        let code = match e {
-            KrbError::Replay => err_code::REPLAY,
-            KrbError::FailClosed => err_code::TRY_LATER,
-            _ => err_code::PREAUTH_FAILED,
+    /// Records a ticket issuance in the trace: which exchange, for whom,
+    /// for what service, expiring when — and the session key only as a
+    /// redacted fingerprint (S004).
+    fn trace_issue(
+        &self,
+        exchange: &'static str,
+        client: &Principal,
+        service: &Principal,
+        session_key: &DesKey,
+        end_time: u64,
+    ) {
+        self.trace.emit(
+            EventKind::TicketIssued,
+            self.trace_now_us,
+            vec![
+                ("exchange", Value::str(exchange)),
+                ("client", Value::str(client.to_string())),
+                ("service", Value::str(service.to_string())),
+                ("key_fpr", Value::str(crate::traceview::fingerprint(session_key))),
+                ("end_time_us", Value::U64(end_time)),
+            ],
+        );
+        self.trace.counter("kdc.issued", &client.name, 1);
+    }
+
+    /// Renders a preauthentication failure as the right KRB_ERROR and
+    /// records the verdict in the trace (replay hits, fail-closed
+    /// windows, and plain failures are distinct events).
+    fn preauth_error(&self, client: &Principal, e: KrbError) -> Vec<u8> {
+        let (code, kind) = match e {
+            KrbError::Replay => (err_code::REPLAY, EventKind::ReplayBlocked),
+            KrbError::FailClosed => (err_code::TRY_LATER, EventKind::FailClosed),
+            _ => (err_code::PREAUTH_FAILED, EventKind::PreauthFailed),
         };
+        self.trace.emit(
+            kind,
+            self.trace_now_us,
+            vec![
+                ("site", Value::str("kdc.preauth")),
+                ("client", Value::str(&client.name)),
+                ("error", Value::str(e.to_string())),
+            ],
+        );
+        self.trace.counter("kdc.preauth_rejects", &client.name, 1);
         self.error(code, &e.to_string())
     }
 
@@ -505,6 +568,7 @@ impl Kdc {
                 Ok(v) => v,
                 Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
             };
+            self.trace_issue("tgs.renew", &tgt.client, &req.service, &renewed.session_key, renewed.end_time);
             self.issued.push(IssueRecord { client: tgt.client, service: req.service, at_us: now_us });
             return TgsRep { enc_part }.encode(self.config.codec);
         }
@@ -645,6 +709,7 @@ impl Kdc {
             Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
         };
 
+        self.trace_issue("tgs", &tgt.client, &req.service, &session_key, end_time);
         self.issued.push(IssueRecord { client: tgt.client, service: req.service, at_us: now_us });
         TgsRep { enc_part }.encode(self.config.codec)
     }
@@ -652,6 +717,8 @@ impl Kdc {
 
 impl Service for Kdc {
     fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], from: Endpoint) -> Option<Vec<u8>> {
+        self.trace = ctx.tracer.clone();
+        self.trace_now_us = ctx.true_time.0;
         let now_us = ctx.local_time.0;
         let kind = req.first().copied().and_then(WireKind::from_u8)?;
         Some(match kind {
@@ -674,6 +741,8 @@ impl Service for Kdc {
     /// With persistence the cache restores from the last snapshot and
     /// fail-closes the gap since it was taken.
     fn on_restart(&mut self, ctx: &mut ServiceCtx) {
+        self.trace = ctx.tracer.clone();
+        self.trace_now_us = ctx.true_time.0;
         let boot_us = ctx.local_time.0;
         let skew = self.config.clock_skew_us;
         self.pending_hha.clear();

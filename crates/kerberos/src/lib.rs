@@ -20,6 +20,8 @@
 //!   application servers, KRB_SAFE/KRB_PRIV sessions, and replay
 //!   defense.
 //! - [`crossrealm`] — inter-realm paths, routing, and trust policy.
+//! - [`traceview`] — paper-notation rendering of traces and the
+//!   key-fingerprint redaction helper (krb-trace integration).
 
 pub mod appserver;
 pub mod authenticator;
@@ -41,6 +43,7 @@ pub mod services;
 pub mod session;
 pub mod testbed;
 pub mod ticket;
+pub mod traceview;
 
 pub use authenticator::Authenticator;
 pub use client::{
@@ -51,3 +54,4 @@ pub use error::KrbError;
 pub use kdc::{Kdc, KDC_PORT};
 pub use principal::Principal;
 pub use ticket::Ticket;
+pub use traceview::{describe_wire, fingerprint, PaperLens};

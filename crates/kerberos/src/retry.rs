@@ -29,6 +29,7 @@
 
 use crate::config::RetryPolicy;
 use crate::error::KrbError;
+use krb_trace::{EventKind, Value};
 use simnet::{NetError, Network, SimDuration};
 
 /// One attempt's failure, classified for the retry loop.
@@ -118,11 +119,25 @@ pub fn run<T>(
             Ok(v) => return Ok(v),
             Err(AttemptErr::Fatal(e)) => return Err(e),
             Err(AttemptErr::Transient(e)) => {
-                last = Some(e);
                 if a + 1 < budget {
-                    net.advance(SimDuration(policy.delay_us(a + 1, jitter_seed)));
+                    // About to back off and retry: record what drove it.
+                    let delay = policy.delay_us(a + 1, jitter_seed);
+                    let tr = net.tracer();
+                    tr.emit(
+                        EventKind::Retry,
+                        net.now().0,
+                        vec![
+                            ("attempt", Value::U64(u64::from(a))),
+                            ("budget", Value::U64(u64::from(budget))),
+                            ("backoff_us", Value::U64(delay)),
+                            ("error", Value::str(e.to_string())),
+                        ],
+                    );
+                    tr.counter("client.retries", "all", 1);
+                    net.advance(SimDuration(delay));
                     net.pump();
                 }
+                last = Some(e);
             }
         }
     }

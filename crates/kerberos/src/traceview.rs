@@ -1,0 +1,120 @@
+//! Rendering protocol traffic in the paper's message notation, plus the
+//! redaction helper every trace-emission site uses for key material.
+//!
+//! The narrative renderer turns a wire-hop trace into the step notation
+//! Bellovin & Merritt use throughout the paper:
+//!
+//! ```text
+//! c -> tgs: {A_c}K_{c,tgs}, {T_{c,tgs}}K_tgs, s, n
+//! ```
+//!
+//! [`PaperLens`] maps simulated host names onto the paper's actors
+//! (`c`, `kdc`/`tgs`, `s`) and wire kinds onto the corresponding message
+//! shorthand. [`fingerprint`] is the ONLY sanctioned way key material
+//! may appear in a trace: an 8-hex-character MD4 tag that identifies a
+//! key across events without revealing it (krb-lint S004 enforces that
+//! emission sites never pass raw secrets).
+
+use crate::messages::WireKind;
+use krb_crypto::des::DesKey;
+use krb_crypto::md4::md4;
+use krb_trace::Lens;
+
+/// A short, non-invertible identifier for a key: the first four bytes
+/// of `MD4(key bytes)`, lowercase hex. Two events carrying the same
+/// fingerprint used the same key; nothing about the key itself leaks.
+pub fn fingerprint(key: &DesKey) -> String {
+    let digest = md4(&key.to_u64().to_be_bytes());
+    let mut out = String::with_capacity(8);
+    for b in &digest[..4] {
+        let hi = b >> 4;
+        let lo = b & 0xf;
+        for n in [hi, lo] {
+            out.push(char::from_digit(u32::from(n), 16).unwrap_or('?'));
+        }
+    }
+    out
+}
+
+/// Describes a framed protocol message in the paper's notation, keyed
+/// on the cleartext wire kind. Unknown or unframed payloads render as
+/// an opaque byte count.
+pub fn describe_wire(payload: &[u8]) -> String {
+    let kind = payload.first().copied().and_then(WireKind::from_u8);
+    let n = payload.len();
+    match kind {
+        Some(WireKind::AsReq) => "AS-REQ  c, tgs, n".into(),
+        Some(WireKind::AsRep) => "AS-REP  {K_{c,tgs}, n}K_c, {T_{c,tgs}}K_tgs".into(),
+        Some(WireKind::TgsReq) => "TGS-REQ {A_c}K_{c,tgs}, {T_{c,tgs}}K_tgs, s, n".into(),
+        Some(WireKind::TgsRep) => "TGS-REP {K_{c,s}, n}K_{c,tgs}, {T_{c,s}}K_s".into(),
+        Some(WireKind::ApReq) => "AP-REQ  {A_c}K_{c,s}, {T_{c,s}}K_s".into(),
+        Some(WireKind::ApRep) => "AP-REP  {t+1}K_{c,s}".into(),
+        Some(WireKind::Err) => "KRB-ERROR".into(),
+        Some(WireKind::Safe) => "KRB-SAFE  data, MAC".into(),
+        Some(WireKind::Priv) => "KRB-PRIV  {data}K_{c,s}".into(),
+        Some(WireKind::ChallengeResp) => "CHALLENGE-RESP  {n+1}K_{c,s}".into(),
+        Some(WireKind::AppData) => format!("APP-DATA  <{n} bytes, unprotected>"),
+        None => format!("<{n} bytes>"),
+    }
+}
+
+/// Maps simulated hosts onto the paper's actor shorthand:
+///
+/// - `ws-<user>.*` (workstations) render as `c`,
+/// - `kerberos.*` (realm KDCs) render as `kdc`,
+/// - `<name>host.*` and other service hosts render as `s`,
+/// - anything else keeps its own first label.
+pub struct PaperLens;
+
+impl Lens for PaperLens {
+    fn actor(&self, host: &str) -> String {
+        let first = host.split('.').next().unwrap_or(host);
+        if first.starts_with("ws-") || first == "ws" {
+            "c".into()
+        } else if first == "kerberos" || first.starts_with("kdc") {
+            "kdc".into()
+        } else if first.ends_with("host") || first.ends_with("server") {
+            "s".into()
+        } else {
+            first.to_string()
+        }
+    }
+
+    fn message(&self, payload: &[u8]) -> String {
+        describe_wire(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::frame;
+
+    #[test]
+    fn fingerprint_is_stable_and_redacted() {
+        let k = DesKey::from_u64(0x0123_4567_89ab_cdef);
+        let f = fingerprint(&k);
+        assert_eq!(f.len(), 8);
+        assert_eq!(f, fingerprint(&k), "deterministic");
+        assert_ne!(f, fingerprint(&DesKey::from_u64(1)));
+        // The raw key bytes never appear.
+        assert!(!f.contains("0123"));
+    }
+
+    #[test]
+    fn wire_kinds_render_paper_notation() {
+        let req = frame(WireKind::TgsReq, vec![1, 2, 3]);
+        assert!(describe_wire(&req).contains("{A_c}K_{c,tgs}"));
+        assert!(describe_wire(&[]).contains("<0 bytes>"));
+        assert!(describe_wire(&[200, 1, 2]).contains("<3 bytes>"));
+    }
+
+    #[test]
+    fn paper_lens_maps_actors() {
+        let l = PaperLens;
+        assert_eq!(l.actor("ws-pat.mit.edu"), "c");
+        assert_eq!(l.actor("kerberos.athena"), "kdc");
+        assert_eq!(l.actor("nfshost.athena"), "s");
+        assert_eq!(l.actor("gateway"), "gateway");
+    }
+}

@@ -13,12 +13,7 @@ use simnet::{Addr, Endpoint, Service, ServiceCtx, SimTime};
 use testkit::prelude::*;
 
 fn ctx() -> ServiceCtx {
-    ServiceCtx {
-        local_time: SimTime(1_000_000_000),
-        host_name: "srv".into(),
-        host_addr: Addr::new(10, 0, 0, 9),
-        multi_user: true,
-    }
+    ServiceCtx::detached(SimTime(1_000_000_000), "srv", Addr::new(10, 0, 0, 9), true)
 }
 
 fn kdc(config: &ProtocolConfig) -> Kdc {

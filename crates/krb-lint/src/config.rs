@@ -18,16 +18,21 @@ pub const SECRET_TYPES: &[&str] = &[
 ];
 
 /// Crates whose execution must be a pure function of their inputs: the
-/// simulator, the protocol, the crypto, and the attack campaigns (E1's
-/// golden matrix is byte-identical across runs). `bench` and `testkit`
+/// simulator, the protocol, the crypto, the attack campaigns (E1's
+/// golden matrix is byte-identical across runs), and the tracing layer
+/// (same-seed traces are byte-identical JSONL). `bench` and `testkit`
 /// are exempt — they measure wall clocks on purpose.
-pub const DETERMINISTIC_CRATES: &[&str] = &["simnet", "kerberos", "krb-crypto", "attacks"];
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["simnet", "kerberos", "krb-crypto", "attacks", "krb-trace"];
 
 /// Crates whose `src/` is production protocol code: a panic is a
 /// protocol-visible denial of service, so `unwrap`/`expect`/`panic!`
-/// are forbidden outside tests (P001/P002). `attacks` is the adversary
-/// harness and `bench`/`krb-lint` are tooling; they are exempt.
-pub const PANIC_FREE_CRATES: &[&str] = &["simnet", "kerberos", "krb-crypto", "hardware"];
+/// are forbidden outside tests (P001/P002). `krb-trace` is on every
+/// protocol hot path, so it is held to the same bar. `attacks` is the
+/// adversary harness and `bench`/`krb-lint` are tooling; they are
+/// exempt.
+pub const PANIC_FREE_CRATES: &[&str] =
+    &["simnet", "kerberos", "krb-crypto", "hardware", "krb-trace"];
 
 /// Macros whose arguments become human-readable strings (S002 scans
 /// their argument lists for secret-named identifiers).
@@ -36,7 +41,14 @@ pub const FORMAT_MACROS: &[&str] = &[
     "assert_eq", "assert_ne", "debug_assert", "log", "trace", "debug", "info", "warn", "error",
 ];
 
-/// Whether an identifier names key material (S002, C001).
+/// Methods whose argument lists become trace events, metrics, or span
+/// fields (S004 scans them for secret-named identifiers; an argument
+/// wrapped in `fingerprint(...)` is the sanctioned redaction and is
+/// skipped).
+pub const TRACE_EMIT_CALLS: &[&str] =
+    &["emit", "note", "begin_span", "end_span", "counter", "gauge", "observe_us"];
+
+/// Whether an identifier names key material (S002, S004, C001).
 pub fn is_secret_ident(name: &str) -> bool {
     matches!(name, "key" | "keys" | "skey" | "session_key")
         || name.ends_with("_key")

@@ -14,6 +14,10 @@ pub enum Rule {
     /// Hand-written leaking impl (`Display`/`Serialize`, or a `Debug`
     /// impl with no `****` redaction marker) on a secret-bearing type.
     S003,
+    /// Secret-named value flows into a trace emission (`emit`, `note`,
+    /// `begin_span`, `counter`, ...) without passing through
+    /// `fingerprint(...)` redaction.
+    S004,
     /// `==`/`!=` on key or MAC material; `ct_eq` is required.
     C001,
     /// Wall-clock / OS nondeterminism (`SystemTime`, `Instant`,
@@ -36,6 +40,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::S001,
     Rule::S002,
     Rule::S003,
+    Rule::S004,
     Rule::C001,
     Rule::D001,
     Rule::D002,
@@ -51,6 +56,7 @@ impl Rule {
             Rule::S001 => "S001",
             Rule::S002 => "S002",
             Rule::S003 => "S003",
+            Rule::S004 => "S004",
             Rule::C001 => "C001",
             Rule::D001 => "D001",
             Rule::D002 => "D002",
@@ -71,6 +77,7 @@ impl Rule {
             Rule::S001 => "secret types must not derive Debug/Display/Serialize",
             Rule::S002 => "key material must not reach format!/log strings",
             Rule::S003 => "hand-written impls on secret types must redact",
+            Rule::S004 => "traces carry key fingerprints, never key material",
             Rule::C001 => "key/MAC comparison must be constant-time (ct_eq)",
             Rule::D001 => "no wall clock, sleeps, or OS sockets in the simulator",
             Rule::D002 => "no RandomState maps in deterministic crates",

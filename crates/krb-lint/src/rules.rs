@@ -9,7 +9,7 @@
 
 use crate::config::{
     is_cmp_benign, is_mac_ident, is_secret_ident, DETERMINISTIC_CRATES, FORMAT_MACROS,
-    PANIC_FREE_CRATES, SECRET_TYPES,
+    PANIC_FREE_CRATES, SECRET_TYPES, TRACE_EMIT_CALLS,
 };
 use crate::diag::{Finding, Rule};
 use crate::lexer::{is_keyword, TokKind, Token};
@@ -117,6 +117,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     rule_s001_derive_leak(ctx, &sig, &mut out);
     rule_s002_format_leak(ctx, &sig, &tests, &mut out);
     rule_s003_manual_impl(ctx, &sig, &mut out);
+    rule_s004_trace_leak(ctx, &sig, &tests, &mut out);
     rule_c001_secret_compare(ctx, &sig, &tests, &mut out);
     rule_d001_wall_clock(ctx, &sig, &mut out);
     rule_d002_random_state(ctx, &sig, &tests, &mut out);
@@ -340,6 +341,83 @@ fn rule_s003_manual_impl(ctx: &FileCtx<'_>, sig: &[usize], out: &mut Vec<Finding
             }
             _ => {}
         }
+    }
+}
+
+// ---- S004: key material in a trace emission ----
+
+/// Traces export to JSONL and render in narrations, so anything passed
+/// to an emission method is as public as a log line. The sanctioned way
+/// to reference a key in a trace is `fingerprint(...)` (an 8-hex-char
+/// digest prefix); arguments inside a `fingerprint(...)` group are
+/// therefore exempt, everything else secret-named fires.
+fn rule_s004_trace_leak(
+    ctx: &FileCtx<'_>,
+    sig: &[usize],
+    tests: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
+    if ctx.is_test_file {
+        return;
+    }
+    let toks = ctx.tokens;
+    let t = |k: usize| toks[sig[k]].text;
+    let mut i = 0;
+    while i + 2 < sig.len() {
+        let is_call = t(i) == "."
+            && toks[sig[i + 1]].kind == TokKind::Ident
+            && TRACE_EMIT_CALLS.contains(&t(i + 1))
+            && t(i + 2) == "(";
+        if !is_call || in_regions(tests, &toks[sig[i + 1]]) {
+            i += 1;
+            continue;
+        }
+        let method = t(i + 1);
+        let mut depth = 0i64;
+        let mut j = i + 2;
+        while j < sig.len() {
+            let s = t(j);
+            if toks[sig[j]].kind == TokKind::Ident
+                && s == "fingerprint"
+                && j + 1 < sig.len()
+                && t(j + 1) == "("
+            {
+                // The redaction boundary: skip its whole paren group.
+                let mut inner = 0i64;
+                j += 1;
+                while j < sig.len() {
+                    match t(j) {
+                        "(" => inner += 1,
+                        ")" => {
+                            inner -= 1;
+                            if inner == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else if s == "(" {
+                depth += 1;
+            } else if s == ")" {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[sig[j]].kind == TokKind::Ident && is_secret_ident(s) {
+                out.push(ctx.finding(
+                    Rule::S004,
+                    &toks[sig[j]],
+                    format!(
+                        "`{s}` flows into trace `.{method}(..)`: traces are exported; \
+                         pass fingerprint(&key) instead of key material"
+                    ),
+                ));
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
     }
 }
 
@@ -623,6 +701,34 @@ mod tests {
             }
         "#;
         assert!(run("krb-crypto", "crates/krb-crypto/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_emit_with_raw_key_fires() {
+        let src = r#"fn f(tr: &Tracer, session_key: &DesKey) {
+            tr.emit(EventKind::TicketIssued, 0, vec![("k", Value::bytes(session_key.bytes()))]);
+        }"#;
+        let f = run("kerberos", "crates/kerberos/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::S004);
+    }
+
+    #[test]
+    fn trace_emit_with_fingerprint_is_clean() {
+        let src = r#"fn f(tr: &Tracer, session_key: &DesKey) {
+            tr.emit(EventKind::TicketIssued, 0, vec![
+                ("key_fpr", Value::str(crate::traceview::fingerprint(session_key))),
+            ]);
+            tr.counter("kdc.issued", name, 1);
+        }"#;
+        assert!(run("kerberos", "crates/kerberos/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_trace_method_named_like_emit_arg_is_scanned_only_for_trace_calls() {
+        // `.push(key)` is not a trace call; S004 must not fire.
+        let src = "fn f(v: &mut Vec<u8>, key: u8) { v.push(key); }";
+        assert!(run("kerberos", "crates/kerberos/src/x.rs", src).is_empty());
     }
 
     #[test]

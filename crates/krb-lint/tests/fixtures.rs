@@ -20,6 +20,7 @@ const SOURCE_RULES: &[Rule] = &[
     Rule::S001,
     Rule::S002,
     Rule::S003,
+    Rule::S004,
     Rule::C001,
     Rule::D001,
     Rule::D002,

@@ -1,0 +1,102 @@
+//! Stable-field-order JSONL export.
+//!
+//! One event per line; the header keys `seq`, `at_us`, `span`, `kind`
+//! always come first and field keys follow in emission order, so the
+//! export of a deterministic run is byte-stable and golden-testable.
+//! Bytes render as lowercase hex (wire payloads are ciphertext — public
+//! by the paper's threat model; secrets never reach a trace, see lint
+//! rule S004).
+
+use crate::event::{Event, Value};
+use std::fmt::Write as _;
+
+/// Serialises events (in the order given) to JSON Lines.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"at_us\":{},\"span\":{},\"kind\":\"{}\"",
+            ev.seq,
+            ev.at_us,
+            ev.span,
+            ev.kind.label()
+        );
+        for (name, v) in &ev.fields {
+            let _ = write!(out, ",\"{}\":", escape(name));
+            match v {
+                Value::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                Value::Str(s) => {
+                    let _ = write!(out, "\"{}\"", escape(s));
+                }
+                Value::Bytes(b) => {
+                    out.push('"');
+                    for byte in b.iter() {
+                        let _ = write!(out, "{byte:02x}");
+                    }
+                    out.push('"');
+                }
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    #[test]
+    fn stable_field_order_and_hex_bytes() {
+        let ev = Event {
+            seq: 3,
+            at_us: 1_000_042,
+            span: 2,
+            kind: EventKind::WireHop,
+            fields: vec![
+                ("dst_host", Value::str("kerberos.athena.mit.edu")),
+                ("req", Value::Bool(true)),
+                ("payload", Value::bytes(Arc::new(vec![0x01, 0xAB]))),
+            ],
+        };
+        let line = to_jsonl(std::slice::from_ref(&ev));
+        assert_eq!(
+            line,
+            "{\"seq\":3,\"at_us\":1000042,\"span\":2,\"kind\":\"wire.hop\",\
+             \"dst_host\":\"kerberos.athena.mit.edu\",\"req\":true,\"payload\":\"01ab\"}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_controls_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

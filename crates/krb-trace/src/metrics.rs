@@ -1,0 +1,130 @@
+//! Deterministic metrics registry: counters, gauges, and sim-time
+//! histograms keyed by `(name, scope)`.
+//!
+//! Scope is free-form — a host name, a principal, a protocol variant —
+//! so one registry covers "auths issued per principal" and "bytes on
+//! wire per host" alike.  Everything lives in `BTreeMap`s; a snapshot
+//! flattens to `name{scope}` keys in lexicographic order, so snapshots
+//! of identical runs compare byte-equal.
+
+use std::collections::BTreeMap;
+
+/// Flattened metrics view: `name{scope}` (histograms expand to
+/// `.count` / `.sum_us` / `.max_us` sub-keys) mapped to integer values.
+pub type MetricsSnapshot = BTreeMap<String, u64>;
+
+/// Sim-time histogram moments; enough for mean/max tables without
+/// storing samples.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Hist {
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+/// The registry. Owned by a tracer core; all mutation goes through the
+/// `Tracer` handle.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Metrics {
+    counters: BTreeMap<(String, String), u64>,
+    gauges: BTreeMap<(String, String), u64>,
+    hists: BTreeMap<(String, String), Hist>,
+}
+
+impl Metrics {
+    pub(crate) fn add(&mut self, name: &str, scope: &str, delta: u64) {
+        let slot = self
+            .counters
+            .entry((name.to_string(), scope.to_string()))
+            .or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    pub(crate) fn set_gauge(&mut self, name: &str, scope: &str, v: u64) {
+        self.gauges.insert((name.to_string(), scope.to_string()), v);
+    }
+
+    pub(crate) fn observe_us(&mut self, name: &str, scope: &str, us: u64) {
+        let h = self
+            .hists
+            .entry((name.to_string(), scope.to_string()))
+            .or_default();
+        h.count = h.count.saturating_add(1);
+        h.sum_us = h.sum_us.saturating_add(us);
+        h.max_us = h.max_us.max(us);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for ((name, scope), v) in self.counters.iter().chain(self.gauges.iter()) {
+            out.insert(format!("{name}{{{scope}}}"), *v);
+        }
+        for ((name, scope), h) in &self.hists {
+            out.insert(format!("{name}{{{scope}}}.count"), h.count);
+            out.insert(format!("{name}{{{scope}}}.sum_us"), h.sum_us);
+            out.insert(format!("{name}{{{scope}}}.max_us"), h.max_us);
+        }
+        out
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+    }
+}
+
+/// Renders a snapshot as a two-column aligned text table (the same
+/// visual idiom as bench's `TextTable`, kept local so this crate stays
+/// dependency-free).
+pub fn render_metrics_table(snap: &MetricsSnapshot) -> String {
+    let mut width = "metric".len();
+    for k in snap.keys() {
+        width = width.max(k.len());
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:<width$}  value\n", "metric"));
+    out.push_str(&format!("{}  -----\n", "-".repeat(width)));
+    for (k, v) in snap {
+        out.push_str(&format!("{k:<width$}  {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_sorted_and_flat() {
+        let mut m = Metrics::default();
+        m.add("net.bytes", "kdc", 100);
+        m.add("net.bytes", "kdc", 20);
+        m.add("ap.accepted", "pat", 1);
+        m.set_gauge("hosts.up", "net", 4);
+        m.observe_us("span.as-exchange", "pat", 2000);
+        m.observe_us("span.as-exchange", "pat", 1000);
+        let s = m.snapshot();
+        let keys: Vec<_> = s.keys().cloned().collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(s["net.bytes{kdc}"], 120);
+        assert_eq!(s["ap.accepted{pat}"], 1);
+        assert_eq!(s["hosts.up{net}"], 4);
+        assert_eq!(s["span.as-exchange{pat}.count"], 2);
+        assert_eq!(s["span.as-exchange{pat}.sum_us"], 3000);
+        assert_eq!(s["span.as-exchange{pat}.max_us"], 2000);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut m = Metrics::default();
+        m.add("a", "x", 1);
+        m.add("long.metric.name", "scope", 2);
+        let t = render_metrics_table(&m.snapshot());
+        assert!(t.contains("metric"));
+        assert!(t.contains("a{x}"));
+        assert!(t.contains("long.metric.name{scope}  2"));
+    }
+}

@@ -137,6 +137,35 @@ pub enum FaultKind {
     HostDown,
 }
 
+impl FaultKind {
+    /// Stable lowercase label used in trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Dropped => "dropped",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Reordered => "reordered",
+            FaultKind::Corrupted => "corrupted",
+            FaultKind::Delayed => "delayed",
+            FaultKind::Partitioned => "partitioned",
+            FaultKind::HostDown => "host_down",
+        }
+    }
+
+    /// Inverse of [`FaultKind::label`].
+    pub fn from_label(s: &str) -> Option<FaultKind> {
+        match s {
+            "dropped" => Some(FaultKind::Dropped),
+            "duplicated" => Some(FaultKind::Duplicated),
+            "reordered" => Some(FaultKind::Reordered),
+            "corrupted" => Some(FaultKind::Corrupted),
+            "delayed" => Some(FaultKind::Delayed),
+            "partitioned" => Some(FaultKind::Partitioned),
+            "host_down" => Some(FaultKind::HostDown),
+            _ => None,
+        }
+    }
+}
+
 /// Lifetime fault counters, for tables and soak reports.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {

@@ -2,6 +2,7 @@
 
 use crate::clock::{Clock, SimTime};
 use crate::net::{Addr, Endpoint};
+use krb_trace::Tracer;
 use std::collections::BTreeMap;
 
 /// Index of a host within its network.
@@ -22,6 +23,30 @@ pub struct ServiceCtx {
     /// Whether this host is a multi-user machine (affects the
     /// environment-model attacks on cached credentials).
     pub multi_user: bool,
+    /// The network's *true* time at delivery. Trace events are stamped
+    /// with this so one run yields one totally-ordered timeline even
+    /// across skewed host clocks; services must keep using
+    /// [`ServiceCtx::local_time`] for protocol timestamp checks.
+    pub true_time: SimTime,
+    /// The network-wide tracer; services emit protocol events and
+    /// per-principal metrics through it.
+    pub tracer: Tracer,
+}
+
+impl ServiceCtx {
+    /// A detached context for driving a service outside a network
+    /// (tests, robustness harnesses): true time equals local time and
+    /// events go to a private tracer.
+    pub fn detached(local_time: SimTime, host_name: &str, host_addr: Addr, multi_user: bool) -> Self {
+        ServiceCtx {
+            local_time,
+            host_name: host_name.to_string(),
+            host_addr,
+            multi_user,
+            true_time: local_time,
+            tracer: Tracer::new(),
+        }
+    }
 }
 
 /// A network service bound to a port: handles one datagram, optionally

@@ -33,4 +33,5 @@ pub use adversary::{RecordingTap, ScriptedTap, Tap, Verdict};
 pub use clock::{Clock, SimDuration, SimTime};
 pub use fault::{FaultKind, FaultPlan, FaultStats, LinkFaults};
 pub use host::{Host, HostId, Service, ServiceCtx};
+pub use krb_trace::Tracer;
 pub use net::{Addr, Datagram, Endpoint, NetError, Network, TrafficRecord};

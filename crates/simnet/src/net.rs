@@ -20,6 +20,7 @@ use crate::adversary::{Tap, Verdict};
 use crate::clock::{SimDuration, SimTime};
 use crate::fault::{FaultDecision, FaultKind, FaultPlan};
 use crate::host::{Host, HostId, ServiceCtx};
+use krb_trace::{EventKind, Tracer, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -93,6 +94,17 @@ impl Payload {
     /// Borrows the bytes.
     pub fn as_slice(&self) -> &[u8] {
         &self.0
+    }
+
+    /// The shared buffer itself (a refcount bump) — how the trace
+    /// records payloads without copying them.
+    pub fn shared(&self) -> Arc<Vec<u8>> {
+        Arc::clone(&self.0)
+    }
+
+    /// Rewraps a shared buffer (the inverse of [`Payload::shared`]).
+    pub fn from_shared(bytes: Arc<Vec<u8>>) -> Self {
+        Payload(bytes)
     }
 }
 
@@ -237,12 +249,17 @@ struct StaleDgram {
     dgram: Datagram,
     is_request: bool,
     kind: FaultKind,
+    /// Trace sequence number of the wire event this datagram descends
+    /// from (the original of a duplicate, the held copy of a reorder) —
+    /// the causal parent of its eventual delivery.
+    parent: u64,
 }
 
-/// Outcome of one transit leg (tap + fault layer).
+/// Outcome of one transit leg (tap + fault layer). Delivered and Held
+/// carry the wire event's trace sequence number for causal linking.
 enum LegOutcome {
     /// Delivered to the destination side.
-    Delivered(Datagram),
+    Delivered(Datagram, u64),
     /// Lost (tap drop, fault drop, or partition).
     Lost,
     /// Held by the fault layer for later delivery.
@@ -257,7 +274,10 @@ pub struct Network {
     /// Fixed one-way latency applied to every hop.
     pub latency: SimDuration,
     tap: Option<Box<dyn Tap>>,
-    log: Vec<TrafficRecord>,
+    tracer: Tracer,
+    /// Wire events at or after this trace sequence number form the
+    /// visible [`Network::traffic_log`] view; `clear_log` advances it.
+    log_from_seq: u64,
     fault: Option<FaultPlan>,
     /// Datagrams in flight past their exchange: duplicates, reordered
     /// originals, and late replies.
@@ -279,7 +299,8 @@ impl Network {
             true_time: SimTime(0),
             latency: SimDuration::from_millis(2),
             tap: None,
-            log: Vec::new(),
+            tracer: Tracer::new(),
+            log_from_seq: 0,
             fault: None,
             stale: Vec::new(),
         }
@@ -364,14 +385,90 @@ impl Network {
         self.addr_map.get(&addr).copied()
     }
 
-    /// The full traffic log (the passive wiretap).
-    pub fn traffic_log(&self) -> &[TrafficRecord] {
-        &self.log
+    /// The shared tracer: every wire hop, fault, and service-level
+    /// protocol event of this network feeds it. The handle stays valid
+    /// (and keeps its events) after the network is dropped.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
-    /// Clears the traffic log.
+    /// The full traffic log (the passive wiretap): a typed view over
+    /// the trace's `wire.hop` events since the last
+    /// [`Network::clear_log`]. The event layer is the primary record;
+    /// this view is what replay/cracking attack code iterates.
+    pub fn traffic_log(&self) -> Vec<TrafficRecord> {
+        self.tracer
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::WireHop && e.seq >= self.log_from_seq)
+            .filter_map(|e| {
+                let src = Endpoint::new(
+                    Addr(e.u64_field("src_addr")? as u32),
+                    e.u64_field("src_port")? as u16,
+                );
+                let dst = Endpoint::new(
+                    Addr(e.u64_field("dst_addr")? as u32),
+                    e.u64_field("dst_port")? as u16,
+                );
+                let payload = Payload::from_shared(Arc::clone(e.bytes_field("payload")?));
+                Some(TrafficRecord {
+                    at: SimTime(e.at_us),
+                    dgram: Datagram { src, dst, payload },
+                    is_request: e.bool_field("req")?,
+                    fault: e.str_field("fault").and_then(FaultKind::from_label),
+                })
+            })
+            .collect()
+    }
+
+    /// Resets the traffic-log view (the trace itself is append-only;
+    /// earlier events stay available to sinks).
     pub fn clear_log(&mut self) {
-        self.log.clear();
+        self.log_from_seq = self.tracer.next_seq();
+    }
+
+    /// Records one wire hop as a trace event and bumps the per-host
+    /// datagram/byte counters; returns the event's sequence number for
+    /// causal linking. Purely observational — consumes no randomness,
+    /// advances no clock.
+    fn wire_event(
+        &self,
+        dgram: &Datagram,
+        is_request: bool,
+        fault: Option<FaultKind>,
+        origin: &'static str,
+        parent: Option<u64>,
+    ) -> u64 {
+        let host_name = |a: Addr| -> String {
+            match self.addr_map.get(&a) {
+                Some(id) => self.hosts[id.0].name.clone(),
+                None => format!("external({a})"),
+            }
+        };
+        let dst_host = host_name(dgram.dst.addr);
+        let mut fields = vec![
+            ("src_host", Value::str(host_name(dgram.src.addr))),
+            ("src_addr", Value::U64(dgram.src.addr.0 as u64)),
+            ("src_port", Value::U64(dgram.src.port as u64)),
+            ("dst_host", Value::str(dst_host.clone())),
+            ("dst_addr", Value::U64(dgram.dst.addr.0 as u64)),
+            ("dst_port", Value::U64(dgram.dst.port as u64)),
+            ("req", Value::Bool(is_request)),
+            ("origin", Value::str(origin)),
+        ];
+        if let Some(k) = fault {
+            fields.push(("fault", Value::str(k.label())));
+        }
+        if let Some(p) = parent {
+            fields.push(("parent", Value::U64(p)));
+        }
+        fields.push(("payload", Value::bytes(dgram.payload.shared())));
+        self.tracer.counter("net.datagrams", &dst_host, 1);
+        self.tracer.counter("net.bytes", &dst_host, dgram.payload.len() as u64);
+        if let Some(k) = fault {
+            self.tracer.counter("net.faults", k.label(), 1);
+        }
+        self.tracer.emit(EventKind::WireHop, self.true_time.0, fields)
     }
 
     /// Sends `payload` from `from` to `to` and waits for the (single)
@@ -399,14 +496,14 @@ impl Network {
         }
         let request = Datagram { src: from, dst: to, payload: payload.into() };
         let delivered = match self.transit(request, true, true) {
-            LegOutcome::Delivered(d) => d,
+            LegOutcome::Delivered(d, _) => d,
             LegOutcome::Lost => return Err(NetError::Dropped),
             // The request is still in flight; its fate is unknown.
             LegOutcome::Held => return Err(NetError::TimedOut),
         };
         let reply = self.dispatch(delivered)?.ok_or(NetError::NoReply)?;
         match self.transit(reply, false, true) {
-            LegOutcome::Delivered(d) => {
+            LegOutcome::Delivered(d, seq) => {
                 if let Some(t) = timeout {
                     if self.true_time.0.saturating_sub(start.0) > t.0 {
                         // Too late: the caller already gave up; the
@@ -416,6 +513,7 @@ impl Network {
                             dgram: d,
                             is_request: false,
                             kind: FaultKind::Delayed,
+                            parent: seq,
                         });
                         return Err(NetError::TimedOut);
                     }
@@ -434,12 +532,7 @@ impl Network {
                 if let Some(s) =
                     if self.fault.is_some() { self.pop_due_stale_reply(from, to) } else { None }
                 {
-                    self.log.push(TrafficRecord {
-                        at: self.true_time,
-                        dgram: s.dgram.clone(),
-                        is_request: false,
-                        fault: Some(s.kind),
-                    });
+                    self.wire_event(&s.dgram, false, Some(s.kind), "stale", Some(s.parent));
                     return Ok(s.dgram.payload.to_vec());
                 }
                 match outcome {
@@ -457,7 +550,7 @@ impl Network {
     pub fn send_oneway(&mut self, from: Endpoint, to: Endpoint, payload: Vec<u8>) -> Result<(), NetError> {
         let d = Datagram { src: from, dst: to, payload: payload.into() };
         match self.transit(d, true, false) {
-            LegOutcome::Delivered(d) => {
+            LegOutcome::Delivered(d, _) => {
                 self.dispatch(d)?;
                 Ok(())
             }
@@ -472,10 +565,10 @@ impl Network {
     /// the tap (the adversary does not attack itself) nor the fault
     /// layer (raw wire access), but IS logged.
     pub fn inject(&mut self, dgram: Datagram) -> Result<Option<Vec<u8>>, NetError> {
-        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request: true, fault: None });
+        let seq = self.wire_event(&dgram, true, None, "inject", None);
         let reply = self.dispatch(dgram)?;
         if let Some(r) = &reply {
-            self.log.push(TrafficRecord { at: self.true_time, dgram: r.clone(), is_request: false, fault: None });
+            self.wire_event(r, false, None, "send", Some(seq));
         }
         Ok(reply.map(|d| d.payload.to_vec()))
     }
@@ -505,18 +598,14 @@ impl Network {
         due_requests.sort_by_key(|s| s.due);
         self.stale = keep;
         for s in due_requests {
-            self.log.push(TrafficRecord {
-                at: now,
-                dgram: s.dgram.clone(),
-                is_request: true,
-                fault: Some(s.kind),
-            });
+            let seq = self.wire_event(&s.dgram, true, Some(s.kind), "stale", Some(s.parent));
             if let Ok(Some(reply)) = self.dispatch(s.dgram) {
                 self.stale.push(StaleDgram {
                     due: SimTime(now.0 + self.latency.0),
                     dgram: reply,
                     is_request: false,
                     kind: s.kind,
+                    parent: seq,
                 });
             }
         }
@@ -551,11 +640,13 @@ impl Network {
         // The adversary taps the wire upstream of the lossy last hop:
         // it sees every original datagram exactly once, before the
         // environment has a chance to mangle it.
-        if let Some(tap) = &mut self.tap {
-            match tap.on_packet(&mut dgram, self.true_time) {
+        if let Some(mut tap) = self.tap.take() {
+            let verdict = tap.on_packet(&mut dgram, self.true_time);
+            self.tap = Some(tap);
+            match verdict {
                 Verdict::Deliver => {}
                 Verdict::Drop => {
-                    self.log.push(TrafficRecord { at: self.true_time, dgram, is_request, fault: None });
+                    self.wire_event(&dgram, is_request, None, "tap.drop", None);
                     return LegOutcome::Lost;
                 }
             }
@@ -567,48 +658,49 @@ impl Network {
                 return outcome;
             }
         }
-        self.log.push(TrafficRecord { at: self.true_time, dgram: dgram.clone(), is_request, fault: None });
-        LegOutcome::Delivered(dgram)
+        let seq = self.wire_event(&dgram, is_request, None, "send", None);
+        LegOutcome::Delivered(dgram, seq)
     }
 
     /// The fault-layer half of [`Network::transit`].
     fn apply_fault(&mut self, plan: &mut FaultPlan, mut dgram: Datagram, is_request: bool) -> LegOutcome {
         let now = self.true_time;
         if plan.partitioned(dgram.src.addr, dgram.dst.addr, now) {
-            self.log.push(TrafficRecord { at: now, dgram, is_request, fault: Some(FaultKind::Partitioned) });
+            self.wire_event(&dgram, is_request, Some(FaultKind::Partitioned), "send", None);
             return LegOutcome::Lost;
         }
         match plan.decide(dgram.src.addr, dgram.dst.addr) {
             FaultDecision::Deliver => {
-                self.log.push(TrafficRecord { at: now, dgram: dgram.clone(), is_request, fault: None });
-                LegOutcome::Delivered(dgram)
+                let seq = self.wire_event(&dgram, is_request, None, "send", None);
+                LegOutcome::Delivered(dgram, seq)
             }
             FaultDecision::Drop => {
-                self.log.push(TrafficRecord { at: now, dgram, is_request, fault: Some(FaultKind::Dropped) });
+                self.wire_event(&dgram, is_request, Some(FaultKind::Dropped), "send", None);
                 LegOutcome::Lost
             }
             FaultDecision::Duplicate => {
-                self.log.push(TrafficRecord { at: now, dgram: dgram.clone(), is_request, fault: None });
+                // The original delivers now; its duplicate goes into
+                // flight carrying the original's trace seq as causal
+                // parent, so the late redelivery is attributable.
+                let seq = self.wire_event(&dgram, is_request, None, "send", None);
                 self.stale.push(StaleDgram {
                     due: SimTime(now.0 + self.latency.0),
                     dgram: dgram.clone(),
                     is_request,
                     kind: FaultKind::Duplicated,
+                    parent: seq,
                 });
-                LegOutcome::Delivered(dgram)
+                LegOutcome::Delivered(dgram, seq)
             }
             FaultDecision::Reorder { hold_us } => {
-                self.log.push(TrafficRecord {
-                    at: now,
-                    dgram: dgram.clone(),
-                    is_request,
-                    fault: Some(FaultKind::Reordered),
-                });
+                let seq =
+                    self.wire_event(&dgram, is_request, Some(FaultKind::Reordered), "send", None);
                 self.stale.push(StaleDgram {
                     due: SimTime(now.0 + hold_us),
                     dgram,
                     is_request,
                     kind: FaultKind::Reordered,
+                    parent: seq,
                 });
                 LegOutcome::Held
             }
@@ -618,23 +710,15 @@ impl Network {
                     // Guarantee a real flip.
                     dgram.payload[idx] ^= ((noise >> 32) as u8) | 1;
                 }
-                self.log.push(TrafficRecord {
-                    at: now,
-                    dgram: dgram.clone(),
-                    is_request,
-                    fault: Some(FaultKind::Corrupted),
-                });
-                LegOutcome::Delivered(dgram)
+                let seq =
+                    self.wire_event(&dgram, is_request, Some(FaultKind::Corrupted), "send", None);
+                LegOutcome::Delivered(dgram, seq)
             }
             FaultDecision::Delay { extra_us } => {
                 self.advance(SimDuration(extra_us));
-                self.log.push(TrafficRecord {
-                    at: self.true_time,
-                    dgram: dgram.clone(),
-                    is_request,
-                    fault: Some(FaultKind::Delayed),
-                });
-                LegOutcome::Delivered(dgram)
+                let seq =
+                    self.wire_event(&dgram, is_request, Some(FaultKind::Delayed), "send", None);
+                LegOutcome::Delivered(dgram, seq)
             }
         }
     }
@@ -647,6 +731,14 @@ impl Network {
             let rebooted = !down && plan.take_restart(dgram.dst.addr, self.true_time);
             self.fault = Some(plan);
             if down {
+                self.tracer.emit(
+                    EventKind::HostDown,
+                    self.true_time.0,
+                    vec![
+                        ("host", Value::str(self.hosts[hid.0].name.clone())),
+                        ("port", Value::U64(dgram.dst.port as u64)),
+                    ],
+                );
                 return Err(NetError::HostDown(dgram.dst.addr));
             }
             if rebooted {
@@ -665,6 +757,8 @@ impl Network {
             host_name: host.name.clone(),
             host_addr: dgram.dst.addr,
             multi_user: host.multi_user,
+            true_time: self.true_time,
+            tracer: self.tracer.clone(),
         };
         let reply = service.handle(&mut ctx, &dgram.payload, dgram.src);
         self.hosts[hid.0].services.insert(dgram.dst.port, service);
@@ -676,6 +770,12 @@ impl Network {
     /// to a host that has come back from a crash window. Volatile
     /// in-memory state is the service's to lose.
     fn restart_host(&mut self, hid: HostId, addr: Addr) {
+        self.tracer.emit(
+            EventKind::HostRestart,
+            self.true_time.0,
+            vec![("host", Value::str(self.hosts[hid.0].name.clone()))],
+        );
+        self.tracer.counter("net.restarts", &self.hosts[hid.0].name, 1);
         let mut ports: Vec<u16> = self.hosts[hid.0].services.keys().copied().collect();
         ports.sort_unstable();
         for port in ports {
@@ -686,6 +786,8 @@ impl Network {
                 host_name: host.name.clone(),
                 host_addr: addr,
                 multi_user: host.multi_user,
+                true_time: self.true_time,
+                tracer: self.tracer.clone(),
             };
             service.on_restart(&mut ctx);
             self.hosts[hid.0].services.insert(port, service);

@@ -262,12 +262,8 @@ mod tests {
     #[test]
     fn handshake_and_data() {
         let mut l = StreamListener::new(77);
-        let mut ctx = ServiceCtx {
-            local_time: SimTime(1_000_000),
-            host_name: "srv".into(),
-            host_addr: crate::net::Addr::new(1, 1, 1, 1),
-            multi_user: false,
-        };
+        let mut ctx =
+            ServiceCtx::detached(SimTime(1_000_000), "srv", crate::net::Addr::new(1, 1, 1, 1), false);
         let peer = Endpoint::new(crate::net::Addr::new(2, 2, 2, 2), 1024);
 
         let synack = l.handle(&mut ctx, &Segment::Syn { isn: 500 }.encode(), peer).unwrap();
@@ -288,12 +284,8 @@ mod tests {
     #[test]
     fn wrong_ack_resets() {
         let mut l = StreamListener::new(77);
-        let mut ctx = ServiceCtx {
-            local_time: SimTime(0),
-            host_name: "srv".into(),
-            host_addr: crate::net::Addr::new(1, 1, 1, 1),
-            multi_user: false,
-        };
+        let mut ctx =
+            ServiceCtx::detached(SimTime(0), "srv", crate::net::Addr::new(1, 1, 1, 1), false);
         let peer = Endpoint::new(crate::net::Addr::new(2, 2, 2, 2), 1024);
         l.handle(&mut ctx, &Segment::Syn { isn: 500 }.encode(), peer);
         // A wrong guess at the server ISN gets a reset — the blind
@@ -306,12 +298,8 @@ mod tests {
     #[test]
     fn out_of_order_data_rejected() {
         let mut l = StreamListener::new(1);
-        let mut ctx = ServiceCtx {
-            local_time: SimTime(0),
-            host_name: "srv".into(),
-            host_addr: crate::net::Addr::new(1, 1, 1, 1),
-            multi_user: false,
-        };
+        let mut ctx =
+            ServiceCtx::detached(SimTime(0), "srv", crate::net::Addr::new(1, 1, 1, 1), false);
         let peer = Endpoint::new(crate::net::Addr::new(2, 2, 2, 2), 9);
         let synack = l.handle(&mut ctx, &Segment::Syn { isn: 0 }.encode(), peer).unwrap();
         let sisn = match Segment::decode(&synack).unwrap() {

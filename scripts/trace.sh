@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Narrated attack traces in the paper's step notation.
+#
+#   scripts/trace.sh --narrate <attack> [config]
+#
+#   <attack>  an attack id (A1..A14) or a name substring ("replay",
+#             "spoof", "password", ...)
+#   [config]  protocol preset: v4 (default), v5-draft3, hardened
+#
+# Example:
+#   scripts/trace.sh --narrate replay          # A1 against V4
+#   scripts/trace.sh --narrate A1 hardened     # same attack, defended
+#
+# The run is fully deterministic (seed pinned to the E1 golden cell):
+# the narration for `--narrate replay` is exactly the trace the
+# golden-trace tests lock down, rendered through the paper lens
+# (c / kdc / s actors, {...}K message notation, adversary moves
+# interleaved), with the per-principal metrics snapshot appended.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q --offline --release -p bench --bin trace_narrate -- "$@"

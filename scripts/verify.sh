@@ -69,6 +69,18 @@ KDC_THROUGHPUT_QUICK=1 cargo run --release --offline -p bench --bin table_kdc_th
 grep -q '"equivalence": "pass"' BENCH_crypto.json \
     || { echo "BENCH_crypto.json missing equivalence pass"; exit 1; }
 
+echo "== trace goldens (determinism + narration) =="
+# The observability layer must be purely observational: the pinned A1/V4
+# JSONL trace matches its golden byte-for-byte, same-seed runs are
+# byte-identical with and without a fault plan, the narrated trace reads
+# in paper notation, and the metrics snapshot counts the attack.
+cargo test -q -p attacks --test trace_golden --release --offline
+# And the interactive narrator drives end-to-end. (Captured, not piped:
+# grep -q closing the pipe early would trip pipefail.)
+narration="$(scripts/trace.sh --narrate replay)"
+echo "$narration" | grep -q 'c -> kdc: AS-REQ' \
+    || { echo "trace.sh narration missing protocol steps"; exit 1; }
+
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
 # drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts

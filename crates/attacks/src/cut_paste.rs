@@ -257,6 +257,17 @@ mod tests {
     }
 
     #[test]
+    fn verdicts_unchanged_over_wire_codec() {
+        // The attack is about checksums and ticket routing, not the
+        // envelope — moving a preset onto the tagged wire format must
+        // not change any verdict.
+        let r = EncTktInSkeyCutPaste.run(&ProtocolConfig::v5_draft3().with_wire_codec(), 1);
+        assert!(r.succeeded, "{}", r.evidence);
+        assert!(!EncTktInSkeyCutPaste.run(&ProtocolConfig::v4().with_wire_codec(), 1).succeeded);
+        assert!(!EncTktInSkeyCutPaste.run(&ProtocolConfig::hardened().with_wire_codec(), 1).succeeded);
+    }
+
+    #[test]
     fn collision_proof_checksum_alone_stops_it() {
         // "If a collision-proof checksum were used, the attack would be
         // infeasible."

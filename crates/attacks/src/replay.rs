@@ -108,6 +108,19 @@ mod tests {
     }
 
     #[test]
+    fn verdicts_unchanged_over_wire_codec() {
+        // Replay is a freshness failure, not a parsing one — the tagged
+        // wire envelope must not change any verdict.
+        assert!(StolenAuthenticatorReplay.run(&ProtocolConfig::v4().with_wire_codec(), 1).succeeded);
+        assert!(
+            StolenAuthenticatorReplay.run(&ProtocolConfig::v5_draft3().with_wire_codec(), 1).succeeded
+        );
+        assert!(
+            !StolenAuthenticatorReplay.run(&ProtocolConfig::hardened().with_wire_codec(), 1).succeeded
+        );
+    }
+
+    #[test]
     fn replay_cache_alone_stops_it() {
         let mut config = ProtocolConfig::v4();
         config.replay_cache = true;

@@ -83,24 +83,24 @@ impl Authenticator {
     pub fn decode(codec: Codec, data: &[u8]) -> Result<Authenticator, KrbError> {
         let body = codec.open(MsgType::Authenticator, data)?;
         let mut d = Decoder::new(body);
-        let client = take_principal(&mut d)?;
-        let addr = d.take_u32()?;
-        let timestamp = d.take_u64()?;
-        let cksum = match d.take_u8()? {
+        let client = take_principal(d.field("client"))?;
+        let addr = d.field("addr").take_u32()?;
+        let timestamp = d.field("timestamp").take_u64()?;
+        let cksum = match d.field("cksum").take_u8()? {
             0 => None,
             1 => {
                 let ctype = checksum_from_tag(d.take_u8()?)?;
                 Some(Checksum { ctype, value: d.take_bytes()?.into() })
             }
-            _ => return Err(KrbError::Decode("bad cksum option")),
+            _ => return Err(d.fail("bad cksum option")),
         };
-        let service_binding = match d.take_u8()? {
+        let service_binding = match d.field("service-binding").take_u8()? {
             0 => None,
             1 => Some(take_principal(&mut d)?),
-            _ => return Err(KrbError::Decode("bad binding option")),
+            _ => return Err(d.fail("bad binding option")),
         };
-        let subkey = d.take_opt_u64()?;
-        let seq_init = d.take_opt_u64()?;
+        let subkey = d.field("subkey").take_opt_u64()?;
+        let seq_init = d.field("seq-init").take_opt_u64()?;
         Ok(Authenticator { client, addr, timestamp, cksum, service_binding, subkey, seq_init })
     }
 
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn roundtrip_minimal() {
-        for codec in [Codec::Legacy, Codec::Typed] {
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
             let a = sample();
             assert_eq!(Authenticator::decode(codec, &a.encode(codec)).unwrap(), a);
         }
@@ -174,7 +174,7 @@ mod tests {
             seq_init: Some(42),
             ..sample()
         };
-        for codec in [Codec::Legacy, Codec::Typed] {
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
             assert_eq!(Authenticator::decode(codec, &a.encode(codec)).unwrap(), a);
         }
     }

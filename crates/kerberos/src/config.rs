@@ -273,6 +273,21 @@ impl ProtocolConfig {
     pub fn presets() -> Vec<ProtocolConfig> {
         vec![Self::v4(), Self::v5_draft3(), Self::hardened()]
     }
+
+    /// This configuration with the codec switched to [`Codec::Wire`]
+    /// (and renamed accordingly). Not a preset — E1's matrix stays three
+    /// configurations — but how the wire-format tests and the fuzzing
+    /// corpus run the same deployments over the tagged wire.
+    pub fn with_wire_codec(mut self) -> Self {
+        self.codec = Codec::Wire;
+        self.name = match self.name {
+            "v4" => "v4+wire",
+            "v5-draft3" => "v5-draft3+wire",
+            "hardened" => "hardened+wire",
+            other => other,
+        };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +308,15 @@ mod tests {
         assert!(hard.checksum.protects_public_data());
         assert!(d3.allow_enc_tkt_in_skey && !hard.allow_enc_tkt_in_skey);
         assert_eq!(ProtocolConfig::presets().len(), 3);
+    }
+
+    #[test]
+    fn wire_variant_changes_only_codec_and_name() {
+        let w = ProtocolConfig::hardened().with_wire_codec();
+        assert_eq!(w.codec, Codec::Wire);
+        assert_eq!(w.name, "hardened+wire");
+        assert_eq!(w.checksum, ProtocolConfig::hardened().checksum);
+        assert_eq!(ProtocolConfig::v4().with_wire_codec().name, "v4+wire");
     }
 
     #[test]

@@ -15,8 +15,57 @@
 //! [`Codec::Typed`] wraps each message in `[magic][type][len]`, the two
 //! properties the paper actually needs from ASN.1: the message type
 //! inside the (possibly encrypted) data, and an explicit length.
+//! [`Codec::Wire`] is the wire-realistic upgrade: a *versioned* envelope
+//! `[magic][version][msg-type][len]` whose message-type tags follow the
+//! RFC 4120 numbering (AS-REQ 0x0a … KRB-ERROR 0x1e) with picky-krb's
+//! field tags for tickets, authenticators, and enc-parts, plus an
+//! extensible tagged pa-data list. It is the format `krb-fuzz` attacks.
 
 use crate::error::KrbError;
+
+/// Wire-format constants for [`Codec::Wire`]. The message-type numbers
+/// mirror RFC 4120 (and picky-krb's constants table); the field tags for
+/// sealed sub-structures use the RFC's application-tag numbers. The full
+/// tag table is documented in DESIGN.md.
+pub mod wire {
+    /// Envelope magic ('K').
+    pub const MAGIC: u8 = 0x4b;
+    /// Protocol version (RFC 4120 pvno 5).
+    pub const VERSION: u8 = 0x05;
+    /// Envelope header length: magic, version, msg-type, len u32.
+    pub const HEADER_LEN: usize = 7;
+
+    /// Ticket field tag.
+    pub const TICKET: u8 = 0x01;
+    /// Authenticator field tag.
+    pub const AUTHENTICATOR: u8 = 0x02;
+    /// AS-REQ message type.
+    pub const AS_REQ: u8 = 0x0a;
+    /// AS-REP message type.
+    pub const AS_REP: u8 = 0x0b;
+    /// TGS-REQ message type.
+    pub const TGS_REQ: u8 = 0x0c;
+    /// TGS-REP message type.
+    pub const TGS_REP: u8 = 0x0d;
+    /// AP-REQ message type.
+    pub const AP_REQ: u8 = 0x0e;
+    /// AP-REP message type.
+    pub const AP_REP: u8 = 0x0f;
+    /// KRB-SAFE message type.
+    pub const KRB_SAFE: u8 = 0x14;
+    /// KRB-PRIV message type.
+    pub const KRB_PRIV: u8 = 0x15;
+    /// EncASRepPart field tag.
+    pub const ENC_AS_REP_PART: u8 = 0x19;
+    /// EncTGSRepPart field tag.
+    pub const ENC_TGS_REP_PART: u8 = 0x1a;
+    /// EncAPRepPart field tag.
+    pub const ENC_AP_REP_PART: u8 = 0x1b;
+    /// EncKrbPrivPart field tag.
+    pub const ENC_PRIV_PART: u8 = 0x1c;
+    /// KRB-ERROR message type.
+    pub const KRB_ERROR: u8 = 0x1e;
+}
 
 /// Copies an exactly-`N`-byte slice into an array. Every caller passes a
 /// slice whose length it just checked (or produced via `take(N)`).
@@ -86,6 +135,49 @@ impl MsgType {
             _ => return None,
         })
     }
+
+    /// The RFC 4120-style tag this type carries under [`Codec::Wire`].
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            MsgType::Ticket => wire::TICKET,
+            MsgType::Authenticator => wire::AUTHENTICATOR,
+            MsgType::AsReq => wire::AS_REQ,
+            MsgType::AsRep => wire::AS_REP,
+            MsgType::EncAsRepPart => wire::ENC_AS_REP_PART,
+            MsgType::TgsReq => wire::TGS_REQ,
+            MsgType::TgsRep => wire::TGS_REP,
+            MsgType::EncTgsRepPart => wire::ENC_TGS_REP_PART,
+            MsgType::ApReq => wire::AP_REQ,
+            MsgType::ApRep => wire::AP_REP,
+            MsgType::EncApRepPart => wire::ENC_AP_REP_PART,
+            MsgType::KrbErr => wire::KRB_ERROR,
+            MsgType::KrbSafe => wire::KRB_SAFE,
+            MsgType::KrbPriv => wire::KRB_PRIV,
+            MsgType::EncPrivPart => wire::ENC_PRIV_PART,
+        }
+    }
+
+    /// Parses an RFC 4120-style wire tag.
+    pub fn from_wire_tag(v: u8) -> Option<MsgType> {
+        Some(match v {
+            wire::TICKET => MsgType::Ticket,
+            wire::AUTHENTICATOR => MsgType::Authenticator,
+            wire::AS_REQ => MsgType::AsReq,
+            wire::AS_REP => MsgType::AsRep,
+            wire::ENC_AS_REP_PART => MsgType::EncAsRepPart,
+            wire::TGS_REQ => MsgType::TgsReq,
+            wire::TGS_REP => MsgType::TgsRep,
+            wire::ENC_TGS_REP_PART => MsgType::EncTgsRepPart,
+            wire::AP_REQ => MsgType::ApReq,
+            wire::AP_REP => MsgType::ApRep,
+            wire::ENC_AP_REP_PART => MsgType::EncApRepPart,
+            wire::KRB_ERROR => MsgType::KrbErr,
+            wire::KRB_SAFE => MsgType::KrbSafe,
+            wire::KRB_PRIV => MsgType::KrbPriv,
+            wire::ENC_PRIV_PART => MsgType::EncPrivPart,
+            _ => return None,
+        })
+    }
 }
 
 /// Which wire encoding the deployment uses.
@@ -97,6 +189,10 @@ pub enum Codec {
     /// `[0x4B][type][len u32][fields]`. Unambiguous and
     /// truncation-evident.
     Typed,
+    /// `[0x4B][version][msg-type][len u32][fields]`: versioned, RFC
+    /// 4120-numbered tags, extensible pa-data. Unknown pa-data types are
+    /// carried opaquely instead of rejected.
+    Wire,
 }
 
 const TYPED_MAGIC: u8 = 0x4b; // 'K'
@@ -114,18 +210,49 @@ impl Codec {
                 v.extend_from_slice(&body);
                 v
             }
+            Codec::Wire => {
+                let mut v = Vec::with_capacity(body.len() + wire::HEADER_LEN);
+                v.push(wire::MAGIC);
+                v.push(wire::VERSION);
+                v.push(mtype.wire_tag());
+                v.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                v.extend_from_slice(&body);
+                v
+            }
         }
     }
 
-    /// Opens an envelope, checking the type tag and length when typed.
-    /// Under the legacy codec any byte string "is" any message type —
-    /// that is the vulnerability.
+    /// Whether decoders under this codec carry unknown pa-data types
+    /// opaquely (the extensibility the wire format adds) instead of
+    /// rejecting them.
+    pub fn pa_extensible(self) -> bool {
+        self == Codec::Wire
+    }
+
+    /// Opens an envelope, checking the type tag and length when typed or
+    /// wire. Under the legacy codec any byte string "is" any message
+    /// type — that is the vulnerability. Failures name the envelope
+    /// field and byte offset that broke, so a reject off a hostile wire
+    /// is diagnosable.
     pub fn open(self, mtype: MsgType, data: &[u8]) -> Result<&[u8], KrbError> {
         match self {
             Codec::Legacy => Ok(data),
             Codec::Typed => {
-                if data.len() < 6 || data[0] != TYPED_MAGIC {
-                    return Err(KrbError::Decode("missing typed envelope"));
+                if data.len() < 6 {
+                    return Err(KrbError::Envelope {
+                        codec: "typed",
+                        field: "header",
+                        offset: data.len(),
+                        found: None,
+                    });
+                }
+                if data[0] != TYPED_MAGIC {
+                    return Err(KrbError::Envelope {
+                        codec: "typed",
+                        field: "magic",
+                        offset: 0,
+                        found: Some(data[0]),
+                    });
                 }
                 if data[1] != mtype as u8 {
                     return Err(KrbError::WrongType { expected: mtype as u8, found: data[1] });
@@ -136,7 +263,66 @@ impl Codec {
                 // tolerated because decrypted envelopes carry cipher
                 // padding.
                 if body.len() < len {
-                    return Err(KrbError::Decode("typed envelope truncated"));
+                    return Err(KrbError::Envelope {
+                        codec: "typed",
+                        field: "length",
+                        offset: 2,
+                        found: None,
+                    });
+                }
+                Ok(&body[..len])
+            }
+            Codec::Wire => {
+                if data.len() < wire::HEADER_LEN {
+                    return Err(KrbError::Envelope {
+                        codec: "wire",
+                        field: "header",
+                        offset: data.len(),
+                        found: None,
+                    });
+                }
+                if data[0] != wire::MAGIC {
+                    return Err(KrbError::Envelope {
+                        codec: "wire",
+                        field: "magic",
+                        offset: 0,
+                        found: Some(data[0]),
+                    });
+                }
+                if data[1] != wire::VERSION {
+                    return Err(KrbError::Envelope {
+                        codec: "wire",
+                        field: "version",
+                        offset: 1,
+                        found: Some(data[1]),
+                    });
+                }
+                let expected = mtype.wire_tag();
+                if data[2] != expected {
+                    // A known-but-different tag is a cross-context read
+                    // (the confusion the tag exists to stop); an unknown
+                    // tag is garbage.
+                    return Err(match MsgType::from_wire_tag(data[2]) {
+                        Some(_) => KrbError::WrongType { expected, found: data[2] },
+                        None => KrbError::Envelope {
+                            codec: "wire",
+                            field: "msg-type",
+                            offset: 2,
+                            found: Some(data[2]),
+                        },
+                    });
+                }
+                let len = u32::from_be_bytes(be_array::<4>(&data[3..7])) as usize;
+                let body = &data[wire::HEADER_LEN..];
+                // Same padding tolerance as the typed codec: sealed
+                // envelopes come back with cipher padding appended.
+                if body.len() < len {
+                    return Err(KrbError::Envelope {
+                        codec: "wire",
+                        field: "length",
+                        offset: 3,
+                        found: None,
+                    });
                 }
                 Ok(&body[..len])
             }
@@ -214,21 +400,41 @@ impl Encoder {
     }
 }
 
-/// Field-level parser.
+/// Field-level parser. Failures carry the byte offset where decoding
+/// stopped and, when the caller labels its reads with
+/// [`Decoder::field`], the name of the field being decoded.
 pub struct Decoder<'a> {
     data: &'a [u8],
     pos: usize,
+    field: &'static str,
 }
 
 impl<'a> Decoder<'a> {
     /// Wraps a byte slice.
     pub fn new(data: &'a [u8]) -> Self {
-        Decoder { data, pos: 0 }
+        Decoder { data, pos: 0, field: "" }
+    }
+
+    /// Labels subsequent reads as decoding `name`, so failures report
+    /// which message field broke rather than a bare offset.
+    pub fn field(&mut self, name: &'static str) -> &mut Self {
+        self.field = name;
+        self
+    }
+
+    /// Current byte offset into the body.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// A [`KrbError::DecodeAt`] for the current field and offset.
+    pub fn fail(&self, what: &'static str) -> KrbError {
+        KrbError::DecodeAt { what, field: self.field, offset: self.pos }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], KrbError> {
         if self.pos + n > self.data.len() {
-            return Err(KrbError::Decode("truncated field"));
+            return Err(self.fail("truncated field"));
         }
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -254,14 +460,15 @@ impl<'a> Decoder<'a> {
     pub fn take_bytes(&mut self) -> Result<Vec<u8>, KrbError> {
         let len = self.take_u32()? as usize;
         if len > self.data.len() {
-            return Err(KrbError::Decode("field length exceeds message"));
+            return Err(self.fail("field length exceeds message"));
         }
         Ok(self.take(len)?.to_vec())
     }
 
     /// Reads a length-framed UTF-8 string.
     pub fn take_str(&mut self) -> Result<String, KrbError> {
-        String::from_utf8(self.take_bytes()?).map_err(|_| KrbError::Decode("invalid utf-8"))
+        let bytes = self.take_bytes()?;
+        String::from_utf8(bytes).map_err(|_| self.fail("invalid utf-8"))
     }
 
     /// Reads an optional byte string.
@@ -269,7 +476,7 @@ impl<'a> Decoder<'a> {
         match self.take_u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.take_bytes()?)),
-            _ => Err(KrbError::Decode("bad option byte")),
+            _ => Err(self.fail("bad option byte")),
         }
     }
 
@@ -278,7 +485,7 @@ impl<'a> Decoder<'a> {
         match self.take_u8()? {
             0 => Ok(None),
             1 => Ok(Some(self.take_u64()?)),
-            _ => Err(KrbError::Decode("bad option byte")),
+            _ => Err(self.fail("bad option byte")),
         }
     }
 
@@ -295,7 +502,7 @@ impl<'a> Decoder<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(KrbError::Decode("trailing bytes"))
+            Err(self.fail("trailing bytes"))
         }
     }
 }
@@ -380,5 +587,153 @@ mod tests {
         }
         assert!(MsgType::from_u8(0).is_none());
         assert!(MsgType::from_u8(16).is_none());
+    }
+
+    fn all_msg_types() -> [MsgType; 15] {
+        use MsgType::*;
+        [
+            Ticket,
+            Authenticator,
+            AsReq,
+            AsRep,
+            EncAsRepPart,
+            TgsReq,
+            TgsRep,
+            EncTgsRepPart,
+            ApReq,
+            ApRep,
+            EncApRepPart,
+            KrbErr,
+            KrbSafe,
+            KrbPriv,
+            EncPrivPart,
+        ]
+    }
+
+    #[test]
+    fn wire_tags_follow_rfc4120_numbering() {
+        assert_eq!(MsgType::AsReq.wire_tag(), 0x0a);
+        assert_eq!(MsgType::AsRep.wire_tag(), 0x0b);
+        assert_eq!(MsgType::TgsReq.wire_tag(), 0x0c);
+        assert_eq!(MsgType::TgsRep.wire_tag(), 0x0d);
+        assert_eq!(MsgType::ApReq.wire_tag(), 0x0e);
+        assert_eq!(MsgType::ApRep.wire_tag(), 0x0f);
+        assert_eq!(MsgType::KrbSafe.wire_tag(), 0x14);
+        assert_eq!(MsgType::KrbPriv.wire_tag(), 0x15);
+        assert_eq!(MsgType::KrbErr.wire_tag(), 0x1e);
+        for m in all_msg_types() {
+            assert_eq!(MsgType::from_wire_tag(m.wire_tag()), Some(m), "{m:?}");
+        }
+        assert!(MsgType::from_wire_tag(0x00).is_none());
+        assert!(MsgType::from_wire_tag(0xff).is_none());
+    }
+
+    #[test]
+    fn wire_envelope_roundtrip_all_types() {
+        for m in all_msg_types() {
+            let body = vec![m.wire_tag(); 9];
+            let framed = Codec::Wire.wrap(m, body.clone());
+            assert_eq!(framed[0], wire::MAGIC);
+            assert_eq!(framed[1], wire::VERSION);
+            assert_eq!(framed[2], m.wire_tag());
+            assert_eq!(Codec::Wire.open(m, &framed).unwrap(), &body[..]);
+        }
+    }
+
+    #[test]
+    fn wire_envelope_rejects_cross_type() {
+        let framed = Codec::Wire.wrap(MsgType::Ticket, b"fields".to_vec());
+        assert_eq!(
+            Codec::Wire.open(MsgType::Authenticator, &framed),
+            Err(KrbError::WrongType {
+                expected: wire::AUTHENTICATOR,
+                found: wire::TICKET
+            })
+        );
+    }
+
+    #[test]
+    fn wire_envelope_diagnoses_each_field() {
+        let good = Codec::Wire.wrap(MsgType::AsReq, vec![1, 2, 3, 4]);
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = 0x00;
+        assert_eq!(
+            Codec::Wire.open(MsgType::AsReq, &bad_magic),
+            Err(KrbError::Envelope { codec: "wire", field: "magic", offset: 0, found: Some(0) })
+        );
+
+        let mut bad_version = good.clone();
+        bad_version[1] = 0x04;
+        assert_eq!(
+            Codec::Wire.open(MsgType::AsReq, &bad_version),
+            Err(KrbError::Envelope {
+                codec: "wire",
+                field: "version",
+                offset: 1,
+                found: Some(4)
+            })
+        );
+
+        // An unknown msg-type byte is garbage, not a cross-context read.
+        let mut unknown_tag = good.clone();
+        unknown_tag[2] = 0x7f;
+        assert_eq!(
+            Codec::Wire.open(MsgType::AsReq, &unknown_tag),
+            Err(KrbError::Envelope {
+                codec: "wire",
+                field: "msg-type",
+                offset: 2,
+                found: Some(0x7f)
+            })
+        );
+
+        // Length lies: header claims more than is present.
+        let mut overlong = good.clone();
+        overlong[6] = 0xff;
+        assert_eq!(
+            Codec::Wire.open(MsgType::AsReq, &overlong),
+            Err(KrbError::Envelope { codec: "wire", field: "length", offset: 3, found: None })
+        );
+
+        // Too short for even a header.
+        assert_eq!(
+            Codec::Wire.open(MsgType::AsReq, &good[..5]),
+            Err(KrbError::Envelope { codec: "wire", field: "header", offset: 5, found: None })
+        );
+    }
+
+    #[test]
+    fn wire_envelope_tolerates_cipher_padding() {
+        let body = b"padded body".to_vec();
+        let mut framed = Codec::Wire.wrap(MsgType::KrbPriv, body.clone());
+        framed.extend_from_slice(&[0u8; 7]); // cipher padding
+        assert_eq!(Codec::Wire.open(MsgType::KrbPriv, &framed).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn decoder_failures_carry_field_and_offset() {
+        let mut e = Encoder::new();
+        e.put_u32(5); // claims 5 bytes but only 2 follow
+        e.put_u8(1).put_u8(2);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.field("client-name");
+        let err = d.take_bytes().unwrap_err();
+        assert_eq!(
+            err,
+            KrbError::DecodeAt { what: "truncated field", field: "client-name", offset: 4 }
+        );
+        assert_eq!(
+            err.to_string(),
+            "malformed message: truncated field in field 'client-name' at byte 4"
+        );
+    }
+
+    #[test]
+    fn only_wire_is_pa_extensible() {
+        assert!(!Codec::Legacy.pa_extensible());
+        assert!(!Codec::Typed.pa_extensible());
+        assert!(Codec::Wire.pa_extensible());
     }
 }

@@ -7,7 +7,33 @@ use std::fmt;
 pub enum KrbError {
     /// A message failed to parse.
     Decode(&'static str),
-    /// Wrong message type tag (typed codec only).
+    /// A body field failed to parse, with position info: which field the
+    /// decoder was reading and the byte offset (relative to the envelope
+    /// body) where it gave up.
+    DecodeAt {
+        /// What went wrong.
+        what: &'static str,
+        /// The field being decoded (`""` when the caller did not label
+        /// the read).
+        field: &'static str,
+        /// Byte offset into the body where the failure was detected.
+        offset: usize,
+    },
+    /// A codec envelope failed to open: names the codec, the envelope
+    /// field (magic, version, msg-type, length, header), the byte offset
+    /// of that field, and the offending byte when there is one.
+    Envelope {
+        /// Which codec was opening (`"typed"` or `"wire"`).
+        codec: &'static str,
+        /// The envelope field that failed.
+        field: &'static str,
+        /// Byte offset of the failing field.
+        offset: usize,
+        /// The byte found there, when the failure is a bad value rather
+        /// than missing data.
+        found: Option<u8>,
+    },
+    /// Wrong message type tag (typed/wire codecs only).
     WrongType {
         /// Expected tag.
         expected: u8,
@@ -69,6 +95,20 @@ impl fmt::Display for KrbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             KrbError::Decode(what) => write!(f, "malformed message: {what}"),
+            KrbError::DecodeAt { what, field, offset } => {
+                if field.is_empty() {
+                    write!(f, "malformed message: {what} at byte {offset}")
+                } else {
+                    write!(f, "malformed message: {what} in field '{field}' at byte {offset}")
+                }
+            }
+            KrbError::Envelope { codec, field, offset, found } => {
+                write!(f, "bad {codec} envelope: {field} at byte {offset}")?;
+                if let Some(b) = found {
+                    write!(f, " (found 0x{b:02x})")?;
+                }
+                Ok(())
+            }
             KrbError::WrongType { expected, found } => {
                 write!(f, "wrong message type: expected {expected}, found {found}")
             }

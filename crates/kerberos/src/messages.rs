@@ -83,29 +83,42 @@ pub fn deframe(data: &[u8]) -> Result<(WireKind, &[u8]), KrbError> {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum PaData {
     /// `{client local time}K_c`: proves knowledge of the password key
-    /// before the KDC releases anything encrypted in it.
+    /// before the KDC releases anything encrypted in it. Tag 1.
     EncTimestamp(Vec<u8>),
-    /// The client's exponential-key-exchange public value.
+    /// The client's exponential-key-exchange public value. Tag 2.
     DhPublic(Vec<u8>),
+    /// A pa-data type this implementation does not know, carried
+    /// opaquely (tag, value). Only [`Codec::Wire`] decodes these —
+    /// under the older codecs an unknown tag is a reject. Tags 1 and 2
+    /// always decode to their known variants, so round-tripping an
+    /// `Unknown` requires a tag ≥ 3.
+    Unknown(u8, Vec<u8>),
 }
 
 impl PaData {
+    /// The tag byte this entry carries on the wire.
+    pub fn tag(&self) -> u8 {
+        match self {
+            PaData::EncTimestamp(_) => 1,
+            PaData::DhPublic(_) => 2,
+            PaData::Unknown(t, _) => *t,
+        }
+    }
+
     fn encode_into(&self, e: &mut Encoder) {
         match self {
-            PaData::EncTimestamp(b) => {
-                e.put_u8(1).put_bytes(b);
-            }
-            PaData::DhPublic(b) => {
-                e.put_u8(2).put_bytes(b);
+            PaData::EncTimestamp(b) | PaData::DhPublic(b) | PaData::Unknown(_, b) => {
+                e.put_u8(self.tag()).put_bytes(b);
             }
         }
     }
 
-    fn decode_from(d: &mut Decoder<'_>) -> Result<PaData, KrbError> {
+    fn decode_from(d: &mut Decoder<'_>, extensible: bool) -> Result<PaData, KrbError> {
         Ok(match d.take_u8()? {
             1 => PaData::EncTimestamp(d.take_bytes()?),
             2 => PaData::DhPublic(d.take_bytes()?),
-            _ => return Err(KrbError::Decode("unknown padata type")),
+            t if extensible => PaData::Unknown(t, d.take_bytes()?),
+            _ => return Err(d.fail("unknown padata type")),
         })
     }
 }
@@ -154,19 +167,19 @@ impl AsReq {
         }
         let body = codec.open(MsgType::AsReq, body)?;
         let mut d = Decoder::new(body);
-        let client = take_principal(&mut d)?;
-        let service = take_principal(&mut d)?;
-        let nonce = d.take_u64()?;
-        let lifetime_us = d.take_u64()?;
-        let addr = d.take_u32()?;
-        let options = KdcOptions(d.take_u32()? as u16);
-        let n = d.take_u32()? as usize;
+        let client = take_principal(d.field("client"))?;
+        let service = take_principal(d.field("service"))?;
+        let nonce = d.field("nonce").take_u64()?;
+        let lifetime_us = d.field("lifetime").take_u64()?;
+        let addr = d.field("addr").take_u32()?;
+        let options = KdcOptions(d.field("options").take_u32()? as u16);
+        let n = d.field("padata").take_u32()? as usize;
         if n > 16 {
-            return Err(KrbError::Decode("too many padata"));
+            return Err(d.fail("too many padata"));
         }
         let mut padata = Vec::with_capacity(n);
         for _ in 0..n {
-            padata.push(PaData::decode_from(&mut d)?);
+            padata.push(PaData::decode_from(&mut d, codec.pa_extensible())?);
         }
         Ok(AsReq { client, service, nonce, lifetime_us, addr, options, padata })
     }
@@ -215,18 +228,18 @@ impl EncKdcRepPart {
     pub fn decode(codec: Codec, mtype: MsgType, data: &[u8]) -> Result<EncKdcRepPart, KrbError> {
         let body = codec.open(mtype, data)?;
         let mut d = Decoder::new(body);
-        let session_key = DesKey::from_u64(d.take_u64()?);
-        let nonce = d.take_u64()?;
-        let ticket = d.take_bytes()?;
-        let end_time = d.take_u64()?;
-        let server_time = d.take_u64()?;
-        let ticket_cksum = match d.take_u8()? {
+        let session_key = DesKey::from_u64(d.field("session-key").take_u64()?);
+        let nonce = d.field("nonce").take_u64()?;
+        let ticket = d.field("ticket").take_bytes()?;
+        let end_time = d.field("end-time").take_u64()?;
+        let server_time = d.field("server-time").take_u64()?;
+        let ticket_cksum = match d.field("ticket-cksum").take_u8()? {
             0 => None,
             1 => {
                 let ctype = checksum_from_tag(d.take_u8()?)?;
                 Some(Checksum { ctype, value: d.take_bytes()?.into() })
             }
-            _ => return Err(KrbError::Decode("bad cksum option")),
+            _ => return Err(d.fail("bad cksum option")),
         };
         Ok(EncKdcRepPart { session_key, nonce, ticket, end_time, server_time, ticket_cksum })
     }
@@ -264,9 +277,9 @@ impl AsRep {
         let body = codec.open(MsgType::AsRep, body)?;
         let mut d = Decoder::new(body);
         Ok(AsRep {
-            challenge_r: d.take_opt_u64()?,
-            dh_public: d.take_opt_bytes()?,
-            enc_part: d.take_bytes()?,
+            challenge_r: d.field("challenge-r").take_opt_u64()?,
+            dh_public: d.field("dh-public").take_opt_bytes()?,
+            enc_part: d.field("enc-part").take_bytes()?,
         })
     }
 }
@@ -335,15 +348,15 @@ impl TgsReq {
         }
         let body = codec.open(MsgType::TgsReq, body)?;
         let mut d = Decoder::new(body);
-        let tgt = d.take_bytes()?;
-        let authenticator = d.take_bytes()?;
-        let service = take_principal(&mut d)?;
-        let options = KdcOptions(d.take_u32()? as u16);
-        let nonce = d.take_u64()?;
-        let lifetime_us = d.take_u64()?;
-        let additional_ticket = d.take_opt_bytes()?;
-        let forward_addr = d.take_opt_u64()?;
-        let authz_data = d.take_bytes()?;
+        let tgt = d.field("tgt").take_bytes()?;
+        let authenticator = d.field("authenticator").take_bytes()?;
+        let service = take_principal(d.field("service"))?;
+        let options = KdcOptions(d.field("options").take_u32()? as u16);
+        let nonce = d.field("nonce").take_u64()?;
+        let lifetime_us = d.field("lifetime").take_u64()?;
+        let additional_ticket = d.field("additional-ticket").take_opt_bytes()?;
+        let forward_addr = d.field("forward-addr").take_opt_u64()?;
+        let authz_data = d.field("authz-data").take_bytes()?;
         Ok(TgsReq {
             tgt,
             authenticator,
@@ -381,7 +394,7 @@ impl TgsRep {
         }
         let body = codec.open(MsgType::TgsRep, body)?;
         let mut d = Decoder::new(body);
-        Ok(TgsRep { enc_part: d.take_bytes()? })
+        Ok(TgsRep { enc_part: d.field("enc-part").take_bytes()? })
     }
 }
 
@@ -418,9 +431,9 @@ impl ApReq {
         let body = codec.open(MsgType::ApReq, body)?;
         let mut d = Decoder::new(body);
         Ok(ApReq {
-            ticket: d.take_bytes()?,
-            authenticator: d.take_bytes()?,
-            mutual: d.take_u8()? != 0,
+            ticket: d.field("ticket").take_bytes()?,
+            authenticator: d.field("authenticator").take_bytes()?,
+            mutual: d.field("mutual").take_u8()? != 0,
         })
     }
 }
@@ -451,9 +464,9 @@ impl EncApRepPart {
         let body = codec.open(MsgType::EncApRepPart, data)?;
         let mut d = Decoder::new(body);
         Ok(EncApRepPart {
-            ts_echo: d.take_u64()?,
-            subkey: d.take_opt_u64()?,
-            seq_init: d.take_opt_u64()?,
+            ts_echo: d.field("ts-echo").take_u64()?,
+            subkey: d.field("subkey").take_opt_u64()?,
+            seq_init: d.field("seq-init").take_opt_u64()?,
         })
     }
 }
@@ -481,7 +494,7 @@ impl ApRep {
         }
         let body = codec.open(MsgType::ApRep, body)?;
         let mut d = Decoder::new(body);
-        Ok(ApRep { enc_part: d.take_bytes()? })
+        Ok(ApRep { enc_part: d.field("enc-part").take_bytes()? })
     }
 }
 
@@ -542,7 +555,11 @@ impl KrbErrorMsg {
         }
         let body = codec.open(MsgType::KrbErr, body)?;
         let mut d = Decoder::new(body);
-        Ok(KrbErrorMsg { code: d.take_u32()?, text: d.take_str()?, challenge: d.take_opt_u64()? })
+        Ok(KrbErrorMsg {
+            code: d.field("code").take_u32()?,
+            text: d.field("text").take_str()?,
+            challenge: d.field("challenge").take_opt_u64()?,
+        })
     }
 }
 
@@ -551,8 +568,8 @@ mod tests {
     use super::*;
     use krb_crypto::checksum::ChecksumType;
 
-    fn codecs() -> [Codec; 2] {
-        [Codec::Legacy, Codec::Typed]
+    fn codecs() -> [Codec; 3] {
+        [Codec::Legacy, Codec::Typed, Codec::Wire]
     }
 
     #[test]
@@ -667,6 +684,63 @@ mod tests {
         };
         let bytes = m.encode(Codec::Typed);
         assert!(TgsReq::decode(Codec::Typed, &bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_padata_carried_opaquely_under_wire() {
+        let m = AsReq {
+            client: Principal::user("pat", "ATHENA"),
+            service: Principal::tgs("ATHENA"),
+            nonce: 1,
+            lifetime_us: 2,
+            addr: 3,
+            options: KdcOptions::empty(),
+            padata: vec![PaData::EncTimestamp(vec![1, 2]), PaData::Unknown(0x2a, vec![9, 9, 9])],
+        };
+        let decoded = AsReq::decode(Codec::Wire, &m.encode(Codec::Wire)).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.padata[1].tag(), 0x2a);
+    }
+
+    #[test]
+    fn unknown_padata_rejected_under_older_codecs() {
+        for codec in [Codec::Legacy, Codec::Typed] {
+            let m = AsReq {
+                client: Principal::user("pat", "ATHENA"),
+                service: Principal::tgs("ATHENA"),
+                nonce: 1,
+                lifetime_us: 2,
+                addr: 3,
+                options: KdcOptions::empty(),
+                padata: vec![PaData::Unknown(0x2a, vec![9])],
+            };
+            let err = AsReq::decode(codec, &m.encode(codec)).unwrap_err();
+            assert!(
+                matches!(err, KrbError::DecodeAt { what: "unknown padata type", .. }),
+                "{codec:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_padata_names_the_field() {
+        let m = AsReq {
+            client: Principal::user("pat", "ATHENA"),
+            service: Principal::tgs("ATHENA"),
+            nonce: 1,
+            lifetime_us: 2,
+            addr: 3,
+            options: KdcOptions::empty(),
+            padata: vec![PaData::DhPublic(vec![7; 32])],
+        };
+        // Chop into the pa-data value; Legacy has no envelope length so
+        // the cut reaches the field decoder.
+        let bytes = m.encode(Codec::Legacy);
+        let err = AsReq::decode(Codec::Legacy, &bytes[..bytes.len() - 8]).unwrap_err();
+        assert!(
+            matches!(err, KrbError::DecodeAt { what: "truncated field", field: "padata", .. }),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -70,21 +70,21 @@ impl Ticket {
     pub fn decode(codec: Codec, data: &[u8]) -> Result<Ticket, KrbError> {
         let body = codec.open(MsgType::Ticket, data)?;
         let mut d = Decoder::new(body);
-        let flags = TicketFlags(d.take_u32()? as u16);
-        let client = take_principal(&mut d)?;
-        let service = take_principal(&mut d)?;
-        let addr = match d.take_u8()? {
+        let flags = TicketFlags(d.field("flags").take_u32()? as u16);
+        let client = take_principal(d.field("client"))?;
+        let service = take_principal(d.field("service"))?;
+        let addr = match d.field("addr").take_u8()? {
             0 => None,
             1 => Some(d.take_u32()?),
-            _ => return Err(KrbError::Decode("bad addr option")),
+            _ => return Err(d.fail("bad addr option")),
         };
-        let auth_time = d.take_u64()?;
-        let start_time = d.take_u64()?;
-        let end_time = d.take_u64()?;
-        let session_key = DesKey::from_u64(d.take_u64()?);
-        let n = d.take_u32()? as usize;
+        let auth_time = d.field("auth-time").take_u64()?;
+        let start_time = d.field("start-time").take_u64()?;
+        let end_time = d.field("end-time").take_u64()?;
+        let session_key = DesKey::from_u64(d.field("session-key").take_u64()?);
+        let n = d.field("transited").take_u32()? as usize;
         if n > 64 {
-            return Err(KrbError::Decode("transited list too long"));
+            return Err(d.fail("transited list too long"));
         }
         let mut transited = Vec::with_capacity(n);
         for _ in 0..n {
@@ -175,8 +175,8 @@ mod tests {
     }
 
     #[test]
-    fn codec_roundtrip_both() {
-        for codec in [Codec::Legacy, Codec::Typed] {
+    fn codec_roundtrip_all() {
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
             let t = sample();
             assert_eq!(Ticket::decode(codec, &t.encode(codec)).unwrap(), t);
         }
@@ -187,7 +187,7 @@ mod tests {
         let mut t = sample();
         t.addr = None;
         t.transited = vec!["REALM.A".into(), "REALM.B".into()];
-        for codec in [Codec::Legacy, Codec::Typed] {
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
             assert_eq!(Ticket::decode(codec, &t.encode(codec)).unwrap(), t);
         }
     }

@@ -1,6 +1,7 @@
 //! Property-based tests over the protocol data structures: arbitrary
-//! field values must round-trip through both codecs and every encryption
-//! layer, and the typed codec must always reject cross-type reads.
+//! field values must round-trip through all three codecs and every
+//! encryption layer, and the typed codecs must always reject cross-type
+//! reads.
 //!
 //! Runs on `testkit::prop`; replay failures with the printed seed.
 
@@ -8,7 +9,9 @@ use kerberos::authenticator::Authenticator;
 use kerberos::encoding::{Codec, MsgType};
 use kerberos::enclayer::EncLayer;
 use kerberos::flags::{KdcOptions, TicketFlags};
-use kerberos::messages::{ApReq, AsRep, AsReq, EncApRepPart, EncKdcRepPart, KrbErrorMsg, PaData, TgsReq};
+use kerberos::messages::{
+    ApRep, ApReq, AsRep, AsReq, EncApRepPart, EncKdcRepPart, KrbErrorMsg, PaData, TgsRep, TgsReq,
+};
 use kerberos::principal::Principal;
 use kerberos::session::{decode_priv_draft3, encode_priv_draft3, Direction, PrivPart};
 use kerberos::ticket::Ticket;
@@ -72,7 +75,7 @@ fn arb_authenticator() -> impl Strategy<Value = Authenticator> {
 }
 
 fn codecs() -> impl Strategy<Value = Codec> {
-    prop_oneof![Just(Codec::Legacy), Just(Codec::Typed)]
+    prop_oneof![Just(Codec::Legacy), Just(Codec::Typed), Just(Codec::Wire)]
 }
 
 fn layers() -> impl Strategy<Value = EncLayer> {
@@ -102,15 +105,15 @@ testkit::prop! {
         prop_assert_eq!(Authenticator::decode(codec, &bytes).unwrap(), a);
     }
 
-    /// Under the typed codec NO ticket may ever read as an
+    /// Under the tagged codecs NO ticket may ever read as an
     /// authenticator — the property the paper says "the most simple
     /// analysis" should verify.
-    fn typed_codec_never_confuses_types(t in arb_ticket()) {
-        let bytes = t.encode(Codec::Typed);
-        prop_assert!(Authenticator::decode(Codec::Typed, &bytes).is_err());
+    fn typed_codec_never_confuses_types(t in arb_ticket(), codec in prop_oneof![Just(Codec::Typed), Just(Codec::Wire)]) {
+        let bytes = t.encode(codec);
+        prop_assert!(Authenticator::decode(codec, &bytes).is_err());
         let a = Authenticator::basic(t.client.clone(), 1, 2);
-        let bytes = a.encode(Codec::Typed);
-        prop_assert!(Ticket::decode(Codec::Typed, &bytes).is_err());
+        let bytes = a.encode(codec);
+        prop_assert!(Ticket::decode(codec, &bytes).is_err());
     }
 
     fn as_req_roundtrip(
@@ -192,6 +195,40 @@ testkit::prop! {
         };
         let enc = p.encode(codec, MsgType::EncTgsRepPart);
         prop_assert_eq!(EncKdcRepPart::decode(codec, MsgType::EncTgsRepPart, &enc).unwrap(), p);
+    }
+
+    fn rep_envelopes_roundtrip(
+        enc_part in collection::vec(any::<u8>(), 0..96),
+        codec in codecs(),
+    ) {
+        let t = TgsRep { enc_part: enc_part.clone() };
+        prop_assert_eq!(TgsRep::decode(codec, &t.encode(codec)).unwrap(), t);
+        let a = ApRep { enc_part };
+        prop_assert_eq!(ApRep::decode(codec, &a.encode(codec)).unwrap(), a);
+    }
+
+    /// The wire codec's extensible pa-data list carries unknown tags
+    /// (>= 3) opaquely through a round-trip.
+    fn wire_unknown_padata_roundtrip(
+        tag in 3u8..=255,
+        blob in collection::vec(any::<u8>(), 0..32),
+        client in arb_principal(),
+        nonce in any::<u64>(),
+    ) {
+        let m = AsReq {
+            service: Principal::tgs(&client.realm),
+            client,
+            nonce,
+            lifetime_us: 1,
+            addr: 2,
+            options: KdcOptions(0),
+            padata: vec![PaData::EncTimestamp(vec![9]), PaData::Unknown(tag, blob)],
+        };
+        prop_assert_eq!(AsReq::decode(Codec::Wire, &m.encode(Codec::Wire)).unwrap(), m.clone());
+        // The older codecs are not extensible: the same message is a
+        // typed reject, never a silent re-interpretation.
+        prop_assert!(AsReq::decode(Codec::Legacy, &m.encode(Codec::Legacy)).is_err());
+        prop_assert!(AsReq::decode(Codec::Typed, &m.encode(Codec::Typed)).is_err());
     }
 
     fn ap_messages_roundtrip(

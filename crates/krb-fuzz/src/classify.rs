@@ -1,0 +1,161 @@
+//! The crash/reject classifier: every decode must yield `Ok` or a typed
+//! error. A panic is never an acceptable outcome — it is the finding the
+//! whole harness exists to catch.
+
+use crate::corpus::Target;
+use kerberos::authenticator::Authenticator;
+use kerberos::encoding::{Codec, MsgType};
+use kerberos::messages::{ApRep, ApReq, AsRep, AsReq, EncApRepPart, EncKdcRepPart, KrbErrorMsg, TgsRep, TgsReq};
+use kerberos::ticket::Ticket;
+use kerberos::KrbError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What one input did to one decoder.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Decoded successfully. `roundtrip` is whether re-encoding the
+    /// decoded message reproduced the input byte-for-byte (canonical
+    /// inputs must; mutants that decode may legitimately normalize —
+    /// e.g. tolerated trailing bytes drop out).
+    Decoded {
+        /// Re-encode equals input.
+        roundtrip: bool,
+    },
+    /// Rejected with a typed error; the string is the stable reject
+    /// class from [`reject_class`].
+    Rejected(String),
+    /// The decoder panicked. Always a bug.
+    Panicked(String),
+}
+
+/// Collapses a [`KrbError`] to a short, stable class used in the
+/// reject-class histogram and the pinned regression diagnostics.
+pub fn reject_class(e: &KrbError) -> String {
+    match e {
+        KrbError::Decode(what) => format!("decode/{what}"),
+        KrbError::DecodeAt { what, field, .. } => {
+            if field.is_empty() {
+                format!("decode-at/{what}")
+            } else {
+                format!("decode-at/{field}/{what}")
+            }
+        }
+        KrbError::Envelope { codec, field, .. } => format!("envelope/{codec}/{field}"),
+        KrbError::WrongType { .. } => "wrong-type".to_string(),
+        other => format!("other/{other}"),
+    }
+}
+
+/// Decodes `bytes` as `target` under `codec` and, on success, re-encodes
+/// for the round-trip check.
+fn decode_reencode(codec: Codec, target: Target, bytes: &[u8]) -> Result<Vec<u8>, KrbError> {
+    Ok(match target {
+        Target::AsReq => AsReq::decode(codec, bytes)?.encode(codec),
+        Target::AsRep => AsRep::decode(codec, bytes)?.encode(codec),
+        Target::TgsReq => TgsReq::decode(codec, bytes)?.encode(codec),
+        Target::TgsRep => TgsRep::decode(codec, bytes)?.encode(codec),
+        Target::ApReq => ApReq::decode(codec, bytes)?.encode(codec),
+        Target::ApRep => ApRep::decode(codec, bytes)?.encode(codec),
+        Target::Error => KrbErrorMsg::decode(codec, bytes)?.encode(codec),
+        Target::Ticket => Ticket::decode(codec, bytes)?.encode(codec),
+        Target::Authenticator => Authenticator::decode(codec, bytes)?.encode(codec),
+        Target::EncAsRepPart => EncKdcRepPart::decode(codec, MsgType::EncAsRepPart, bytes)?
+            .encode(codec, MsgType::EncAsRepPart),
+        Target::EncTgsRepPart => EncKdcRepPart::decode(codec, MsgType::EncTgsRepPart, bytes)?
+            .encode(codec, MsgType::EncTgsRepPart),
+        Target::EncApRepPart => EncApRepPart::decode(codec, bytes)?.encode(codec),
+    })
+}
+
+/// The pinned diagnostic for a rejected input: the typed error's full
+/// `Display` rendering (what the regression fixtures golden against).
+pub fn diagnostic(codec: Codec, target: Target, bytes: &[u8]) -> Option<String> {
+    match decode_reencode(codec, target, bytes) {
+        Ok(_) => None,
+        Err(e) => Some(e.to_string()),
+    }
+}
+
+/// Classifies one input. Panics are caught and reported as
+/// [`Verdict::Panicked`]; run inside [`with_quiet_panics`] to keep the
+/// default hook from spraying backtraces for expected catches.
+pub fn classify(codec: Codec, target: Target, bytes: &[u8]) -> Verdict {
+    match catch_unwind(AssertUnwindSafe(|| decode_reencode(codec, target, bytes))) {
+        Ok(Ok(reencoded)) => Verdict::Decoded { roundtrip: reencoded == bytes },
+        Ok(Err(e)) => Verdict::Rejected(reject_class(&e)),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Verdict::Panicked(msg)
+        }
+    }
+}
+
+/// Runs `f` with the global panic hook silenced (saved and restored
+/// around the call), so caught decoder panics do not spray backtraces
+/// into the deterministic report stream.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(saved);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_seeds, TARGETS};
+
+    #[test]
+    fn canonical_seeds_decode_and_roundtrip() {
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
+            for seed in generate_seeds(codec) {
+                assert_eq!(
+                    classify(seed.codec, seed.target, &seed.bytes),
+                    Verdict::Decoded { roundtrip: true },
+                    "seed {}",
+                    seed.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_always_a_typed_reject() {
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
+            for target in TARGETS {
+                match classify(codec, target, &[]) {
+                    Verdict::Rejected(_) => {}
+                    v => panic!("empty input gave {v:?} for {}", target.name()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reject_classes_are_stable_strings() {
+        let e = KrbError::Envelope { codec: "wire", field: "magic", offset: 0, found: Some(0) };
+        assert_eq!(reject_class(&e), "envelope/wire/magic");
+        let e = KrbError::DecodeAt { what: "truncated field", field: "nonce", offset: 9 };
+        assert_eq!(reject_class(&e), "decode-at/nonce/truncated field");
+        assert_eq!(reject_class(&KrbError::WrongType { expected: 1, found: 2 }), "wrong-type");
+    }
+
+    #[test]
+    fn a_panicking_probe_is_caught() {
+        // Not a decoder — proves the catch/report path works.
+        let v = with_quiet_panics(|| {
+            match catch_unwind(|| panic!("boom")) {
+                Ok(()) => Verdict::Decoded { roundtrip: false },
+                Err(p) => Verdict::Panicked(
+                    p.downcast_ref::<&str>().map(|s| (*s).to_string()).unwrap_or_default(),
+                ),
+            }
+        });
+        assert_eq!(v, Verdict::Panicked("boom".into()));
+    }
+}

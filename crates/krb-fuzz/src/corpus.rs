@@ -1,0 +1,370 @@
+//! Seed corpus: real protocol bytes captured from testbed flows.
+//!
+//! Seeds are generated, not hand-written: a standard campus is deployed
+//! on the simulated network, a user logs in, obtains a service ticket,
+//! and connects to an application server; everything that crossed the
+//! wire is captured from the passive wiretap ([`simnet`]'s traffic log).
+//! A failed login for an unknown principal adds a KRB-ERROR frame. The
+//! sealed sub-structures the frames carry (tickets, authenticators,
+//! enc-parts) get their own seeds, encoded directly, since the fuzzer
+//! attacks their decoders behind the encryption layer too.
+//!
+//! Generation is a pure function of nothing — fixed configs, fixed
+//! seeds — so the checked-in corpus under `corpus/seeds/` is a pinned
+//! record: a test regenerates it and compares byte-for-byte.
+
+use kerberos::appserver::connect_app;
+use kerberos::client::{get_service_ticket, login, LoginInput, TgsParams};
+use kerberos::encoding::Codec;
+use kerberos::messages::WireKind;
+use kerberos::testbed::standard_campus;
+use kerberos::{Principal, ProtocolConfig};
+use krb_crypto::rng::Drbg;
+use simnet::{Network, SimDuration};
+
+/// Which decoder a seed (and its mutants) is fed to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// Framed KRB_AS_REQ.
+    AsReq,
+    /// Framed KRB_AS_REP.
+    AsRep,
+    /// Framed KRB_TGS_REQ.
+    TgsReq,
+    /// Framed KRB_TGS_REP.
+    TgsRep,
+    /// Framed KRB_AP_REQ.
+    ApReq,
+    /// Framed KRB_AP_REP.
+    ApRep,
+    /// Framed KRB_ERROR.
+    Error,
+    /// A ticket body (what sits under the service key).
+    Ticket,
+    /// An authenticator body (under the session key).
+    Authenticator,
+    /// The encrypted part of an AS reply.
+    EncAsRepPart,
+    /// The encrypted part of a TGS reply.
+    EncTgsRepPart,
+    /// The encrypted part of an AP reply.
+    EncApRepPart,
+}
+
+/// Every target, in a fixed order.
+pub const TARGETS: [Target; 12] = [
+    Target::AsReq,
+    Target::AsRep,
+    Target::TgsReq,
+    Target::TgsRep,
+    Target::ApReq,
+    Target::ApRep,
+    Target::Error,
+    Target::Ticket,
+    Target::Authenticator,
+    Target::EncAsRepPart,
+    Target::EncTgsRepPart,
+    Target::EncApRepPart,
+];
+
+impl Target {
+    /// Stable name, used in seed names and fixture file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::AsReq => "as-req",
+            Target::AsRep => "as-rep",
+            Target::TgsReq => "tgs-req",
+            Target::TgsRep => "tgs-rep",
+            Target::ApReq => "ap-req",
+            Target::ApRep => "ap-rep",
+            Target::Error => "krb-error",
+            Target::Ticket => "ticket",
+            Target::Authenticator => "authenticator",
+            Target::EncAsRepPart => "enc-as-rep-part",
+            Target::EncTgsRepPart => "enc-tgs-rep-part",
+            Target::EncApRepPart => "enc-ap-rep-part",
+        }
+    }
+
+    /// Inverse of [`Target::name`].
+    pub fn from_name(s: &str) -> Option<Target> {
+        TARGETS.iter().copied().find(|t| t.name() == s)
+    }
+
+    fn from_wire_kind(k: WireKind) -> Option<Target> {
+        Some(match k {
+            WireKind::AsReq => Target::AsReq,
+            WireKind::AsRep => Target::AsRep,
+            WireKind::TgsReq => Target::TgsReq,
+            WireKind::TgsRep => Target::TgsRep,
+            WireKind::ApReq => Target::ApReq,
+            WireKind::ApRep => Target::ApRep,
+            WireKind::Err => Target::Error,
+            // Session frames (SAFE/PRIV/challenge/app-data) have no
+            // standalone message decoder; they are covered through the
+            // enc-part targets.
+            _ => return None,
+        })
+    }
+}
+
+/// Stable label for a codec, used in seed and fixture names.
+pub fn codec_label(codec: Codec) -> &'static str {
+    match codec {
+        Codec::Legacy => "legacy",
+        Codec::Typed => "typed",
+        Codec::Wire => "wire",
+    }
+}
+
+/// Inverse of [`codec_label`].
+pub fn codec_from_label(s: &str) -> Option<Codec> {
+    match s {
+        "legacy" => Some(Codec::Legacy),
+        "typed" => Some(Codec::Typed),
+        "wire" => Some(Codec::Wire),
+        _ => None,
+    }
+}
+
+/// One seed: canonical bytes for one decoder under one codec.
+#[derive(Clone, Debug)]
+pub struct SeedCase {
+    /// Stable name: `<codec>--<target>--<index>`.
+    pub name: String,
+    /// The codec the bytes were encoded under.
+    pub codec: Codec,
+    /// The decoder the bytes (and their mutants) are fed to.
+    pub target: Target,
+    /// The canonical bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// The deployment a codec's flow corpus is captured under: the matrix
+/// presets for the codecs they actually field, and the hardened preset
+/// over the tagged wire for [`Codec::Wire`].
+fn config_for(codec: Codec) -> ProtocolConfig {
+    match codec {
+        Codec::Legacy => ProtocolConfig::v4(),
+        Codec::Typed => ProtocolConfig::hardened(),
+        Codec::Wire => ProtocolConfig::hardened().with_wire_codec(),
+    }
+}
+
+/// Captures the flow corpus for one codec: every unique framed message
+/// that crossed the wire during login → TGS → AP on the standard
+/// campus, plus one failed login (KRB-ERROR), plus directly encoded
+/// sealed sub-structures.
+pub fn generate_seeds(codec: Codec) -> Vec<SeedCase> {
+    let config = config_for(codec);
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let realm = standard_campus(&mut net, &config, 0x5eed);
+    let mut rng = Drbg::new(0xf022);
+
+    // The real flow: pat logs in, gets an echo ticket, connects.
+    let pat_ep = realm.user_ep("pat");
+    let pat = realm.user("pat");
+    if let Some(pw) = realm.passwords.get("pat") {
+        if let Ok(tgt) = login(
+            &mut net,
+            &config,
+            pat_ep,
+            realm.kdc_ep,
+            &pat,
+            LoginInput::Password(pw),
+            &mut rng,
+        ) {
+            if let Ok(st) = get_service_ticket(
+                &mut net,
+                &config,
+                pat_ep,
+                realm.kdc_ep,
+                &tgt,
+                &realm.service("echo"),
+                TgsParams::default(),
+                &mut rng,
+            ) {
+                let _ = connect_app(
+                    &mut net,
+                    &config,
+                    pat_ep,
+                    realm.service_ep("echo"),
+                    &st,
+                    &mut rng,
+                );
+            }
+        }
+    }
+    // A login for a principal the KDC does not know yields a KRB-ERROR
+    // frame on the wire (the client call itself fails; that is fine).
+    let nobody = Principal::user("nobody", &realm.name);
+    let _ = login(
+        &mut net,
+        &config,
+        pat_ep,
+        realm.kdc_ep,
+        &nobody,
+        LoginInput::Password("wrong"),
+        &mut rng,
+    );
+
+    // Harvest unique framed messages with a decoder target.
+    let mut seeds: Vec<SeedCase> = Vec::new();
+    let mut counts = std::collections::BTreeMap::<&'static str, usize>::new();
+    for rec in net.traffic_log() {
+        let bytes = rec.dgram.payload.to_vec();
+        let Some(&kind) = bytes.first() else { continue };
+        let Some(kind) = WireKind::from_u8(kind) else { continue };
+        let Some(target) = Target::from_wire_kind(kind) else { continue };
+        if seeds.iter().any(|s| s.bytes == bytes) {
+            continue;
+        }
+        let idx = counts.entry(target.name()).or_insert(0);
+        let name = format!("{}--{}--{}", codec_label(codec), target.name(), idx);
+        *idx += 1;
+        seeds.push(SeedCase { name, codec, target, bytes });
+    }
+
+    // Sealed sub-structures, encoded directly (behind the encryption
+    // layer the wiretap cannot see through).
+    for (target, bytes) in structure_seeds(codec) {
+        let name = format!("{}--{}--0", codec_label(codec), target.name());
+        seeds.push(SeedCase { name, codec, target, bytes });
+    }
+    seeds
+}
+
+/// Canonical encodings of the sealed sub-structures, with fixed sample
+/// values.
+fn structure_seeds(codec: Codec) -> Vec<(Target, Vec<u8>)> {
+    use kerberos::authenticator::Authenticator;
+    use kerberos::encoding::MsgType;
+    use kerberos::flags::TicketFlags;
+    use kerberos::messages::{EncApRepPart, EncKdcRepPart};
+    use kerberos::ticket::Ticket;
+    use krb_crypto::checksum::{Checksum, ChecksumType};
+    use krb_crypto::des::DesKey;
+
+    let ticket = Ticket {
+        flags: TicketFlags::empty().with(TicketFlags::INITIAL),
+        client: Principal::user("pat", "ATHENA.MIT.EDU"),
+        service: Principal::service("echo", "echohost", "ATHENA.MIT.EDU"),
+        addr: Some(0x0a00_0001),
+        auth_time: 1_000_000_000_000,
+        start_time: 1_000_000_000_000,
+        end_time: 1_028_800_000_000,
+        session_key: DesKey::from_u64(0x0123_4567_89ab_cdef),
+        transited: vec!["ATHENA.MIT.EDU".into()],
+    };
+    let auth = Authenticator {
+        client: Principal::user("pat", "ATHENA.MIT.EDU"),
+        addr: 0x0a00_0001,
+        timestamp: 1_000_000_000_000,
+        cksum: Some(Checksum { ctype: ChecksumType::Md4Des, value: vec![7; 16].into() }),
+        service_binding: Some(Principal::service("echo", "echohost", "ATHENA.MIT.EDU")),
+        subkey: Some(0xdead_beef),
+        seq_init: Some(42),
+    };
+    let kdc_part = EncKdcRepPart {
+        session_key: DesKey::from_u64(0x0123_4567_89ab_cdef),
+        nonce: 0xfeed_f00d,
+        ticket: ticket.encode(codec),
+        end_time: 1_028_800_000_000,
+        server_time: 1_000_000_000_000,
+        ticket_cksum: Some(Checksum { ctype: ChecksumType::Md4, value: vec![3; 16].into() }),
+    };
+    let ap_part = EncApRepPart { ts_echo: 1_000_000_000_001, subkey: Some(9), seq_init: Some(1) };
+
+    vec![
+        (Target::Ticket, ticket.encode(codec)),
+        (Target::Authenticator, auth.encode(codec)),
+        (Target::EncAsRepPart, kdc_part.encode(codec, MsgType::EncAsRepPart)),
+        (Target::EncTgsRepPart, kdc_part.encode(codec, MsgType::EncTgsRepPart)),
+        (Target::EncApRepPart, ap_part.encode(codec)),
+    ]
+}
+
+/// The full corpus: seeds for all three codecs, in a fixed order.
+pub fn generate_all_seeds() -> Vec<SeedCase> {
+    let mut all = Vec::new();
+    for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
+        all.extend(generate_seeds(codec));
+    }
+    all
+}
+
+/// Renders bytes as lowercase hex, 32 bytes per line, trailing newline —
+/// the fixture file format under `corpus/`.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2 + bytes.len() / 32 + 1);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            s.push('\n');
+        }
+        s.push_str(&format!("{b:02x}"));
+    }
+    s.push('\n');
+    s
+}
+
+/// Parses the [`to_hex`] format (whitespace ignored).
+pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
+    let digits: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !digits.len().is_multiple_of(2) {
+        return Err("odd number of hex digits".into());
+    }
+    let nib = |b: u8| -> Result<u8, String> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(format!("bad hex digit {:?}", b as char)),
+        }
+    };
+    digits.chunks(2).map(|p| Ok(nib(p[0])? << 4 | nib(p[1])?)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("0").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+
+    #[test]
+    fn target_names_roundtrip() {
+        for t in TARGETS {
+            assert_eq!(Target::from_name(t.name()), Some(t));
+        }
+        assert!(Target::from_name("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_covers_targets() {
+        let a = generate_all_seeds();
+        let b = generate_all_seeds();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.bytes, y.bytes);
+        }
+        // Every codec contributes framed AS traffic, an error frame, and
+        // the sealed structures.
+        for codec in [Codec::Legacy, Codec::Typed, Codec::Wire] {
+            for target in [Target::AsReq, Target::AsRep, Target::Error, Target::Ticket] {
+                assert!(
+                    a.iter().any(|s| s.codec == codec && s.target == target),
+                    "missing {}/{}",
+                    codec_label(codec),
+                    target.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The fuzzing loop: seed selection, mutation, classification, and the
+//! deterministic report.
+
+use crate::classify::{classify, with_quiet_panics, Verdict};
+use crate::corpus::{to_hex, SeedCase};
+use crate::mutate::{mutate, STRATEGIES};
+use std::collections::BTreeMap;
+use testkit::TestRng;
+
+/// Parameters for one fuzzing run.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// PRNG seed; the entire run is a pure function of (seed, corpus,
+    /// iterations).
+    pub seed: u64,
+    /// Mutated inputs to classify.
+    pub iterations: u64,
+}
+
+/// A caught panic, with enough context to reproduce and pin it.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The seed case the mutant came from.
+    pub seed_name: String,
+    /// The mutation strategy that produced it.
+    pub strategy: &'static str,
+    /// The mutated input, hex-rendered.
+    pub input_hex: String,
+    /// The panic message.
+    pub message: String,
+}
+
+/// Aggregate results of a run. [`FuzzReport::render`] is deterministic,
+/// so two same-seed runs compare byte-for-byte.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Inputs classified.
+    pub iterations: u64,
+    /// Mutants that decoded successfully.
+    pub decoded: u64,
+    /// ...of which re-encoding reproduced the mutant byte-for-byte.
+    pub roundtrips: u64,
+    /// Mutants rejected with a typed error.
+    pub rejected: u64,
+    /// Mutants that panicked a decoder (always bugs).
+    pub panics: u64,
+    /// Reject-class histogram.
+    pub classes: BTreeMap<String, u64>,
+    /// Inputs classified per mutation strategy.
+    pub per_strategy: BTreeMap<&'static str, u64>,
+    /// Every caught panic.
+    pub findings: Vec<Finding>,
+}
+
+impl FuzzReport {
+    /// Deterministic text rendering (the artifact `scripts/fuzz.sh`
+    /// diffs across two same-seed runs).
+    pub fn render(&self, seed: u64) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("fuzz_codec seed=0x{seed:x} iterations={}\n", self.iterations));
+        s.push_str(&format!(
+            "decoded={} rejected={} panics={} roundtrips={}\n",
+            self.decoded, self.rejected, self.panics, self.roundtrips
+        ));
+        s.push_str("reject classes:\n");
+        for (class, n) in &self.classes {
+            s.push_str(&format!("  {n:>8}  {class}\n"));
+        }
+        s.push_str("strategies:\n");
+        for (name, n) in &self.per_strategy {
+            s.push_str(&format!("  {n:>8}  {name}\n"));
+        }
+        for f in &self.findings {
+            s.push_str(&format!(
+                "PANIC seed={} strategy={} msg={}\ninput:\n{}",
+                f.seed_name, f.strategy, f.message, f.input_hex
+            ));
+        }
+        s
+    }
+}
+
+/// Runs the fuzzing loop over `seeds`. Every iteration picks a seed case
+/// and a strategy, mutates, and classifies; nothing in the loop reads a
+/// clock or any state outside (cfg, seeds).
+pub fn run(seeds: &[SeedCase], cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport { iterations: cfg.iterations, ..FuzzReport::default() };
+    if seeds.is_empty() {
+        return report;
+    }
+    // Splice partners: the raw bytes of every seed.
+    let corpus: Vec<Vec<u8>> = seeds.iter().map(|s| s.bytes.clone()).collect();
+    let mut rng = TestRng::new(cfg.seed);
+    with_quiet_panics(|| {
+        for _ in 0..cfg.iterations {
+            let case = &seeds[rng.index(seeds.len())];
+            let strategy = STRATEGIES[rng.index(STRATEGIES.len())];
+            let mutant = mutate(strategy, &case.bytes, &corpus, &mut rng);
+            *report.per_strategy.entry(strategy.name()).or_insert(0) += 1;
+            match classify(case.codec, case.target, &mutant) {
+                Verdict::Decoded { roundtrip } => {
+                    report.decoded += 1;
+                    if roundtrip {
+                        report.roundtrips += 1;
+                    }
+                }
+                Verdict::Rejected(class) => {
+                    report.rejected += 1;
+                    *report.classes.entry(class).or_insert(0) += 1;
+                }
+                Verdict::Panicked(message) => {
+                    report.panics += 1;
+                    report.findings.push(Finding {
+                        seed_name: case.name.clone(),
+                        strategy: strategy.name(),
+                        input_hex: to_hex(&mutant),
+                        message,
+                    });
+                }
+            }
+        }
+    });
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate_all_seeds;
+
+    #[test]
+    fn every_input_is_classified_and_none_panic() {
+        let seeds = generate_all_seeds();
+        let report = run(&seeds, &FuzzConfig { seed: 0x5eed, iterations: 500 });
+        assert_eq!(report.decoded + report.rejected + report.panics, 500);
+        assert_eq!(report.panics, 0, "{:#?}", report.findings);
+        assert!(report.rejected > 0, "mutations should produce rejects");
+    }
+
+    #[test]
+    fn same_seed_runs_render_identically() {
+        let seeds = generate_all_seeds();
+        let cfg = FuzzConfig { seed: 42, iterations: 300 };
+        let a = run(&seeds, &cfg).render(cfg.seed);
+        let b = run(&seeds, &cfg).render(cfg.seed);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_report() {
+        let r = run(&[], &FuzzConfig { seed: 1, iterations: 100 });
+        assert_eq!(r.decoded + r.rejected + r.panics, 0);
+    }
+}

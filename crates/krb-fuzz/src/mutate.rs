@@ -1,0 +1,201 @@
+//! Mutation strategies, driven by a seeded PRNG.
+//!
+//! Each strategy is a total function: any input (including empty)
+//! produces some output, and every random draw is bounded and guarded so
+//! mutation itself can never panic — the only component allowed to
+//! "fail" in this crate is the decoder under test.
+
+use kerberos::encoding::wire;
+use testkit::TestRng;
+
+/// The mutation strategies the harness cycles through.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Flip 1–4 random bits.
+    BitFlip,
+    /// Overwrite 1–4 random bytes with random values.
+    ByteFlip,
+    /// Write a lying 32-bit big-endian length somewhere (huge, zero, or
+    /// off-by-a-little) — attacks every length-framed field and the
+    /// envelope length.
+    LengthLie,
+    /// Overwrite an early byte (frame kind, magic, version, msg-type
+    /// region) with a known tag value — the cross-context confusion
+    /// probe.
+    TagSwap,
+    /// Cut the input at a random point.
+    Truncate,
+    /// Duplicate a random range in place.
+    Duplicate,
+    /// Keep a prefix of the input, then splice in the suffix of another
+    /// corpus entry.
+    Splice,
+}
+
+/// Every strategy, in a fixed order.
+pub const STRATEGIES: [Strategy; 7] = [
+    Strategy::BitFlip,
+    Strategy::ByteFlip,
+    Strategy::LengthLie,
+    Strategy::TagSwap,
+    Strategy::Truncate,
+    Strategy::Duplicate,
+    Strategy::Splice,
+];
+
+impl Strategy {
+    /// Stable name, used in reports and fixture file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::BitFlip => "bit-flip",
+            Strategy::ByteFlip => "byte-flip",
+            Strategy::LengthLie => "length-lie",
+            Strategy::TagSwap => "tag-swap",
+            Strategy::Truncate => "truncate",
+            Strategy::Duplicate => "duplicate",
+            Strategy::Splice => "splice",
+        }
+    }
+
+    /// Inverse of [`Strategy::name`].
+    pub fn from_name(s: &str) -> Option<Strategy> {
+        STRATEGIES.iter().copied().find(|st| st.name() == s)
+    }
+}
+
+/// Tag bytes worth swapping in: wire msg-types, typed-codec msg-types,
+/// frame kinds, and a couple of never-valid values.
+const TAG_POOL: [u8; 14] = [
+    wire::TICKET,
+    wire::AUTHENTICATOR,
+    wire::AS_REQ,
+    wire::AS_REP,
+    wire::TGS_REQ,
+    wire::AP_REQ,
+    wire::KRB_ERROR,
+    wire::MAGIC,
+    wire::VERSION,
+    0x00,
+    0x03, // typed-codec AsReq
+    0x07, // frame kind Err
+    0x7f,
+    0xff,
+];
+
+/// Applies `strategy` to `input`, drawing all choices from `rng`.
+/// `corpus` supplies splice partners; it may be empty.
+pub fn mutate(
+    strategy: Strategy,
+    input: &[u8],
+    corpus: &[Vec<u8>],
+    rng: &mut TestRng,
+) -> Vec<u8> {
+    if input.is_empty() {
+        // Nothing to mutate structurally; emit a short random frame.
+        let mut out = vec![0u8; 1 + rng.index(8)];
+        rng.fill(&mut out);
+        return out;
+    }
+    let mut out = input.to_vec();
+    match strategy {
+        Strategy::BitFlip => {
+            for _ in 0..=rng.index(4) {
+                let bit = rng.index(out.len() * 8);
+                out[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
+        Strategy::ByteFlip => {
+            for _ in 0..=rng.index(4) {
+                let i = rng.index(out.len());
+                out[i] = rng.next_u64() as u8;
+            }
+        }
+        Strategy::LengthLie => {
+            if out.len() < 4 {
+                let i = rng.index(out.len());
+                out[i] = 0xff;
+            } else {
+                let off = rng.index(out.len() - 3);
+                let lie: u32 = match rng.index(3) {
+                    0 => 0xffff_ffff,
+                    1 => rng.below(16) as u32,
+                    _ => (rng.next_u64() as u32) | 0x0100_0000,
+                };
+                out[off..off + 4].copy_from_slice(&lie.to_be_bytes());
+            }
+        }
+        Strategy::TagSwap => {
+            let i = rng.index(out.len().min(8));
+            out[i] = *rng.pick(&TAG_POOL);
+        }
+        Strategy::Truncate => {
+            out.truncate(rng.index(out.len()));
+        }
+        Strategy::Duplicate => {
+            let a = rng.index(out.len());
+            let span = 1 + rng.index((out.len() - a).min(32));
+            let chunk: Vec<u8> = out[a..a + span].to_vec();
+            let at = a + span;
+            out.splice(at..at, chunk);
+        }
+        Strategy::Splice => match corpus.iter().filter(|c| !c.is_empty()).count() {
+            0 => {
+                out.truncate(rng.index(out.len()));
+            }
+            _ => {
+                let others: Vec<&Vec<u8>> = corpus.iter().filter(|c| !c.is_empty()).collect();
+                let other = *rng.pick(&others);
+                let keep = rng.index(out.len() + 1);
+                let from = rng.index(other.len());
+                out.truncate(keep);
+                out.extend_from_slice(&other[from..]);
+            }
+        },
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_roundtrip() {
+        for s in STRATEGIES {
+            assert_eq!(Strategy::from_name(s.name()), Some(s));
+        }
+        assert!(Strategy::from_name("nope").is_none());
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let input = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let corpus = vec![b"spliceme".to_vec()];
+        for s in STRATEGIES {
+            let a = mutate(s, &input, &corpus, &mut TestRng::new(7));
+            let b = mutate(s, &input, &corpus, &mut TestRng::new(7));
+            assert_eq!(a, b, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn mutation_never_panics_on_tiny_inputs() {
+        let corpus: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2, 3]];
+        let mut rng = TestRng::new(3);
+        for s in STRATEGIES {
+            for input in [&[][..], &[0][..], &[1, 2][..], &[1, 2, 3, 4][..]] {
+                for _ in 0..64 {
+                    let _ = mutate(s, input, &corpus, &mut rng);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_shortens_and_duplicate_lengthens() {
+        let input = vec![9u8; 64];
+        let mut rng = TestRng::new(11);
+        assert!(mutate(Strategy::Truncate, &input, &[], &mut rng).len() < 64);
+        assert!(mutate(Strategy::Duplicate, &input, &[], &mut rng).len() > 64);
+    }
+}

@@ -1,0 +1,76 @@
+//! A minimizing reducer for interesting inputs (ddmin-style).
+//!
+//! Deterministic: no randomness, no wall clock — the candidate order is
+//! a pure function of the input length, so a minimized regression
+//! fixture is reproducible from its original capture.
+
+/// Shrinks `input` while `still_interesting` holds, by repeatedly
+/// deleting chunks (halving granularity as deletions stop landing).
+/// Returns the smallest interesting input found; if `input` is not
+/// interesting to begin with, returns it unchanged.
+pub fn minimize(input: &[u8], still_interesting: impl Fn(&[u8]) -> bool) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    if !still_interesting(&cur) {
+        return cur;
+    }
+    let mut n: usize = 2;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut deleted = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if still_interesting(&candidate) {
+                cur = candidate;
+                n = n.saturating_sub(1).max(2);
+                deleted = true;
+                break;
+            }
+            start = end;
+        }
+        if !deleted {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_single_interesting_byte() {
+        let mut input = vec![0u8; 200];
+        input[137] = 0x42;
+        let out = minimize(&input, |b| b.contains(&0x42));
+        assert_eq!(out, vec![0x42]);
+    }
+
+    #[test]
+    fn keeps_order_sensitive_pairs() {
+        // Interesting = contains the subsequence [1, 2] adjacently.
+        let input = vec![9, 9, 1, 2, 9, 9, 9];
+        let out = minimize(&input, |b| b.windows(2).any(|w| w == [1, 2]));
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn uninteresting_input_returned_unchanged() {
+        let input = vec![1, 2, 3];
+        assert_eq!(minimize(&input, |_| false), input);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let input: Vec<u8> = (0..=255).collect();
+        let pred = |b: &[u8]| b.iter().map(|&x| x as u32).sum::<u32>() > 1000;
+        assert_eq!(minimize(&input, pred), minimize(&input, pred));
+    }
+}

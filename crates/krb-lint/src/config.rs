@@ -19,20 +19,23 @@ pub const SECRET_TYPES: &[&str] = &[
 
 /// Crates whose execution must be a pure function of their inputs: the
 /// simulator, the protocol, the crypto, the attack campaigns (E1's
-/// golden matrix is byte-identical across runs), and the tracing layer
-/// (same-seed traces are byte-identical JSONL). `bench` and `testkit`
-/// are exempt — they measure wall clocks on purpose.
+/// golden matrix is byte-identical across runs), the tracing layer
+/// (same-seed traces are byte-identical JSONL), and the fuzzer (two
+/// same-seed runs must produce byte-identical reports). `bench` and
+/// `testkit` are exempt — they measure wall clocks on purpose.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["simnet", "kerberos", "krb-crypto", "attacks", "krb-trace"];
+    &["simnet", "kerberos", "krb-crypto", "attacks", "krb-trace", "krb-fuzz"];
 
 /// Crates whose `src/` is production protocol code: a panic is a
 /// protocol-visible denial of service, so `unwrap`/`expect`/`panic!`
 /// are forbidden outside tests (P001/P002). `krb-trace` is on every
-/// protocol hot path, so it is held to the same bar. `attacks` is the
-/// adversary harness and `bench`/`krb-lint` are tooling; they are
-/// exempt.
+/// protocol hot path, so it is held to the same bar, and `krb-fuzz`
+/// must never panic itself — a panic anywhere in its `src/` would be
+/// indistinguishable from the decoder bugs it exists to catch.
+/// `attacks` is the adversary harness and `bench`/`krb-lint` are
+/// tooling; they are exempt.
 pub const PANIC_FREE_CRATES: &[&str] =
-    &["simnet", "kerberos", "krb-crypto", "hardware", "krb-trace"];
+    &["simnet", "kerberos", "krb-crypto", "hardware", "krb-trace", "krb-fuzz"];
 
 /// Macros whose arguments become human-readable strings (S002 scans
 /// their argument lists for secret-named identifiers).

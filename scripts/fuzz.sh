@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Deterministic fuzz smoke: run the codec fuzzer twice with the same
+# fixed seed and require (1) zero decoder panics and (2) byte-identical
+# reports — the determinism contract the krb-fuzz crate is built on.
+#
+# Usage: scripts/fuzz.sh [--seed <dec|0xhex>] [--iters <n>]
+#        (defaults: seed 0x5eed, 10000 iterations)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="0x5eed"
+ITERS="10000"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --seed)  SEED="$2";  shift 2 ;;
+        --iters) ITERS="$2"; shift 2 ;;
+        *) echo "usage: scripts/fuzz.sh [--seed <dec|0xhex>] [--iters <n>]" >&2; exit 2 ;;
+    esac
+done
+
+cargo build -q --release --offline -p krb-fuzz --bin fuzz_codec
+
+run1="$(target/release/fuzz_codec --seed "$SEED" --iters "$ITERS")"
+run2="$(target/release/fuzz_codec --seed "$SEED" --iters "$ITERS")"
+
+if [ "$run1" != "$run2" ]; then
+    echo "FAIL: two same-seed fuzz runs diverged (determinism broken)" >&2
+    diff <(echo "$run1") <(echo "$run2") | head -20 >&2 || true
+    exit 1
+fi
+
+echo "$run1" | head -2
+echo "$run1" | grep -q ' panics=0 ' \
+    || { echo "FAIL: fuzzer caught decoder panics"; echo "$run1"; exit 1; }
+echo "fuzz: OK ($ITERS inputs, seed $SEED, deterministic, panic-free)"

@@ -81,6 +81,12 @@ narration="$(scripts/trace.sh --narrate replay)"
 echo "$narration" | grep -q 'c -> kdc: AS-REQ' \
     || { echo "trace.sh narration missing protocol steps"; exit 1; }
 
+echo "== fuzz smoke (fixed seed, deterministic, panic-free) =="
+# 10k mutated frames against every codec decoder: each input must yield
+# Ok or a typed error (a panic fails the run), and two same-seed runs
+# must be byte-identical.
+scripts/fuzz.sh
+
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
 # drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts

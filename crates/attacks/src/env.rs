@@ -93,6 +93,21 @@ impl AttackEnv {
     pub fn tracer(&self) -> Tracer {
         self.net.tracer()
     }
+}
+
+/// Publishes `tracer` into the armed capture slot — what
+/// [`AttackEnv::new`] does automatically, exposed for harnesses like
+/// [`crate::overload`] that build their network directly.
+pub fn publish_tracer(tracer: &Tracer) {
+    TRACE_CAPTURE.with(|t| {
+        let mut slot = t.borrow_mut();
+        if slot.is_some() {
+            *slot = Some(Some(tracer.clone()));
+        }
+    });
+}
+
+impl AttackEnv {
 
     /// Records an adversary action as a trace annotation, so narrated
     /// traces interleave the attacker's moves with the protocol flow.

@@ -34,6 +34,7 @@ pub mod hijack;
 pub mod host_theft;
 pub mod login_spoof;
 pub mod matrix;
+pub mod overload;
 pub mod pcbc_swap;
 pub mod pw_guess;
 pub mod replay;

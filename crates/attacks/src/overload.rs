@@ -1,0 +1,516 @@
+//! Overload and abuse scenarios against the gateway-fronted KDC
+//! cluster (experiment E17).
+//!
+//! The paper's E2 discussion ends with the observation that nothing in
+//! Kerberos stops an attacker from asking the KDC for material to crack
+//! offline, and its suggested countermeasure — limit the request rate
+//! from a single source — raises an immediate follow-up: what happens
+//! to *legitimate* users when the limiter is in the path and the load
+//! is real? These scenarios answer that quantitatively. Each is a
+//! seeded, deterministic campaign through [`run_overload`]:
+//!
+//! - [`Scenario::FlashCrowd`] — every user on campus logs in at shift
+//!   change. No adversary at all: the question is whether admission
+//!   control turns a thundering herd into backoff-smoothed goodput or
+//!   into an outage.
+//! - [`Scenario::PreauthStorm`] — a single source guesses passwords at
+//!   one principal as fast as it can. Token buckets cap the source;
+//!   preauth penalty windows then choke the *principal*, so the KDC
+//!   sees a trickle of the storm while other users log in normally.
+//! - [`Scenario::MisbehavingHerd`] — a botnet of clients that ignore
+//!   SERVER_BUSY and never back off. Per-source buckets mean the herd
+//!   competes with itself; the polite majority still gets through.
+//! - [`Scenario::CrashRestart`] — the gateway itself crashes mid-storm
+//!   and reboots with empty buckets and a clean penalty box. Measures
+//!   the cost of volatile admission state: one lost round, then
+//!   recovery.
+//!
+//! Every scenario is byte-replayable from its seed: two runs with the
+//! same [`OverloadConfig`] produce identical reports and identical
+//! traces.
+
+use kerberos::client::{login_at, LoginInput};
+use kerberos::flags::KdcOptions;
+use kerberos::messages::{deframe, err_code, AsReq, KrbErrorMsg, PaData, WireKind};
+use kerberos::testbed::{deploy_realm, DeployedRealm};
+use kerberos::{Principal, ProtocolConfig};
+use krb_crypto::rng::Drbg;
+use krb_gateway::GatewayConfig;
+use simnet::{Endpoint, FaultPlan, Network, SimDuration, SimTime};
+
+/// Which abuse pattern to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// Legitimate-only thundering herd (shift-change login wave).
+    FlashCrowd,
+    /// Password-guessing storm from one source at one principal.
+    PreauthStorm,
+    /// Flooding clients that ignore busy replies and never back off.
+    MisbehavingHerd,
+    /// Gateway crash and restart in the middle of a preauth storm.
+    CrashRestart,
+}
+
+impl Scenario {
+    /// Stable label used in benches and narratives.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::PreauthStorm => "preauth-storm",
+            Scenario::MisbehavingHerd => "misbehaving-herd",
+            Scenario::CrashRestart => "crash-restart",
+        }
+    }
+
+    /// All four, in presentation order.
+    pub fn all() -> [Scenario; 4] {
+        [
+            Scenario::FlashCrowd,
+            Scenario::PreauthStorm,
+            Scenario::MisbehavingHerd,
+            Scenario::CrashRestart,
+        ]
+    }
+}
+
+/// One overload campaign.
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Master seed: deployment keys, scripted randomness, fault plan.
+    pub seed: u64,
+    /// Legitimate users deployed (each on their own workstation).
+    pub legit_users: usize,
+    /// Abusive hosts deployed (attacker workstations; the preauth storm
+    /// uses the first, the herd uses all of them).
+    pub abusers: usize,
+    /// Waves of traffic; one legit login per user per round.
+    pub rounds: u32,
+    /// Abusive requests sent per abuser per round.
+    pub storm_per_round: u32,
+    /// Sim-time gap between abusive requests (µs).
+    pub storm_gap_us: u64,
+    /// Sim-time between rounds (µs).
+    pub round_us: u64,
+    /// Gateway tuning under test.
+    pub gateway: GatewayConfig,
+}
+
+impl OverloadConfig {
+    /// The standard campaign: 12 users, 2 abuser hosts, 3 rounds of
+    /// 40-request storms, gateway tuned small enough that overload is
+    /// real but legitimate traffic fits.
+    pub fn standard(seed: u64) -> Self {
+        let mut gateway = GatewayConfig::standard();
+        // Small-campus scale: the default (datacenter-ish) rates would
+        // never saturate with a dozen users.
+        gateway.global_rate_per_sec = 40;
+        gateway.global_burst = 30;
+        gateway.per_source_rate_per_sec = 4;
+        gateway.per_source_burst = 6;
+        gateway.queue_bound = 16;
+        OverloadConfig {
+            seed,
+            legit_users: 12,
+            abusers: 2,
+            rounds: 3,
+            storm_per_round: 40,
+            storm_gap_us: 20_000, // 50 req/s offered per abuser
+            round_us: 360_000_000,
+            gateway,
+        }
+    }
+}
+
+/// What a campaign observed. All counts are end-of-run totals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverloadReport {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Legitimate login flows attempted.
+    pub legit_total: u32,
+    /// Legitimate login flows that completed.
+    pub legit_ok: u32,
+    /// Abusive requests put on the wire.
+    pub abuse_sent: u32,
+    /// Abusive requests the gateway actually forwarded to a KDC (from
+    /// the per-source admission counters).
+    pub abuse_admitted: u64,
+    /// Gateway stats: requests forwarded upstream (all sources).
+    pub admitted: u64,
+    /// Gateway stats: queue sheds.
+    pub shed: u64,
+    /// Gateway stats: token-bucket refusals.
+    pub throttled: u64,
+    /// Gateway stats: penalty-window refusals.
+    pub penalized: u64,
+    /// Gateway stats: upstream (KDC) failures seen.
+    pub upstream_failures: u64,
+    /// Gateway crash-restarts.
+    pub restarts: u64,
+    /// Sim-time cost of each successful legitimate login (µs).
+    pub login_latencies_us: Vec<u64>,
+}
+
+impl OverloadReport {
+    /// Fraction of legitimate logins that completed.
+    pub fn legit_success_ratio(&self) -> f64 {
+        if self.legit_total == 0 {
+            return 1.0;
+        }
+        f64::from(self.legit_ok) / f64::from(self.legit_total)
+    }
+
+    /// Fraction of abusive requests that reached a KDC.
+    pub fn abuse_admission_ratio(&self) -> f64 {
+        if self.abuse_sent == 0 {
+            return 0.0;
+        }
+        self.abuse_admitted as f64 / f64::from(self.abuse_sent)
+    }
+
+    /// Fraction of offered load the gateway refused (shed + throttled +
+    /// penalized over everything that arrived).
+    pub fn shed_rate(&self) -> f64 {
+        let refused = self.shed + self.throttled + self.penalized;
+        let offered = self.admitted + refused;
+        if offered == 0 {
+            return 0.0;
+        }
+        refused as f64 / offered as f64
+    }
+
+    /// p99 of successful-login sim-time latency (µs); 0 if no samples.
+    pub fn p99_latency_us(&self) -> u64 {
+        if self.login_latencies_us.is_empty() {
+            return 0;
+        }
+        let mut v = self.login_latencies_us.clone();
+        v.sort_unstable();
+        let idx = (v.len().saturating_sub(1)) * 99 / 100;
+        v[idx]
+    }
+}
+
+/// The deployed overload stage.
+struct Stage {
+    net: Network,
+    realm: DeployedRealm,
+    config: ProtocolConfig,
+    rng: Drbg,
+    /// Deployed legitimate user names, sorted.
+    legit: Vec<String>,
+    /// Deployed abuser endpoints.
+    abuser_eps: Vec<Endpoint>,
+}
+
+/// Abuser host names are disjoint from the `user%04` legit population.
+fn abuser_name(i: usize) -> String {
+    format!("abuser{i:02}")
+}
+
+fn build_stage(config: &ProtocolConfig, o: &OverloadConfig) -> Stage {
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+
+    // Legit population with era-typical passwords, plus abuser hosts
+    // (deployed as ordinary workstations — the abuse is behavioral).
+    let population = crate::workload::generate_population(
+        o.legit_users,
+        &[
+            (crate::workload::PasswordClass::DictionaryWord, 1.0),
+            (crate::workload::PasswordClass::MutatedWord, 1.0),
+            (crate::workload::PasswordClass::Random, 1.0),
+        ],
+        o.seed,
+    );
+    let mut users: Vec<(String, String)> =
+        population.into_iter().map(|(n, p, _)| (n, p)).collect();
+    for i in 0..o.abusers {
+        users.push((abuser_name(i), format!("owned-{i}")));
+    }
+    let users_ref: Vec<(&str, &str)> =
+        users.iter().map(|(n, p)| (n.as_str(), p.as_str())).collect();
+
+    let mut realm =
+        deploy_realm(&mut net, "ATHENA.MIT.EDU", 0, config, &users_ref, &["echo"], o.seed);
+    realm.add_kdc_replicas(&mut net, 1, o.seed ^ 0x0bad);
+    realm.add_gateway(&mut net, o.gateway.clone());
+    crate::env::publish_tracer(&net.tracer());
+
+    let mut legit: Vec<String> =
+        users.iter().take(o.legit_users).map(|(n, _)| n.clone()).collect();
+    legit.sort();
+    let abuser_eps = (0..o.abusers).map(|i| realm.user_ep(&abuser_name(i))).collect();
+
+    Stage { net, realm, config: config.clone(), rng: Drbg::new(o.seed ^ 0x0e17), legit, abuser_eps }
+}
+
+/// A password-guessing AS request: preauth blob sealed under a guessed
+/// (wrong) key. The KDC's verdict is PREAUTH_FAILED — exactly what the
+/// gateway's penalty box counts as a strike.
+fn guess_request(stage: &mut Stage, victim: &Principal, nonce: u64, src: Endpoint) -> Vec<u8> {
+    // The key stands in for string_to_key of a bad guess; per-nonce so
+    // the preauth replay cache never collapses the storm to one blob.
+    let bad_key = krb_crypto::des::DesKey::from_u64(0xbad0_9e55 ^ nonce);
+    let now = stage.net.now().0;
+    let blob = stage
+        .config
+        .ticket_layer
+        .seal(&bad_key, 0, &now.to_be_bytes(), &mut stage.rng)
+        .unwrap_or_default();
+    AsReq {
+        client: victim.clone(),
+        service: Principal::tgs(&victim.realm),
+        nonce,
+        lifetime_us: stage.config.ticket_lifetime_us,
+        addr: src.addr.0,
+        options: KdcOptions::empty(),
+        padata: vec![PaData::EncTimestamp(blob)],
+    }
+    .encode(stage.config.codec)
+}
+
+/// Sends one raw abusive request, ignoring any busy reply (the abuser
+/// by definition does not back off). Returns whether the request got
+/// any answer that was NOT a gateway refusal.
+fn fire_and_forget(stage: &mut Stage, src: Endpoint, gateway: Endpoint, payload: Vec<u8>) -> bool {
+    match stage.net.rpc(src, gateway, payload) {
+        Ok(reply) => {
+            if let Ok((WireKind::Err, _)) = deframe(&reply) {
+                if let Ok(e) = KrbErrorMsg::decode(stage.config.codec, &reply) {
+                    return e.code != err_code::SERVER_BUSY;
+                }
+            }
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// One legitimate login via the gateway; returns sim-time latency on
+/// success.
+fn legit_login(stage: &mut Stage, user: &str, contact: &[Endpoint]) -> Option<u64> {
+    let pw = stage.realm.passwords[user].clone();
+    let principal = stage.realm.user(user);
+    let ep = stage.realm.user_ep(user);
+    let t0 = stage.net.now().0;
+    let r = login_at(
+        &mut stage.net,
+        &stage.config,
+        ep,
+        contact,
+        &principal,
+        LoginInput::Password(&pw),
+        &mut stage.rng,
+    );
+    r.ok().map(|_| stage.net.now().0 - t0)
+}
+
+/// Runs one overload campaign. Deterministic: the report (and the whole
+/// trace) is a pure function of `(config, o, scenario)`.
+pub fn run_overload(
+    config: &ProtocolConfig,
+    o: &OverloadConfig,
+    scenario: Scenario,
+) -> OverloadReport {
+    let mut stage = build_stage(config, o);
+    let contact = stage.realm.kdc_contact_eps();
+    let gateway_ep = stage.realm.gateway_ep.expect("stage deploys a gateway");
+    let victim = stage.realm.user(&stage.legit[0].clone());
+
+    // The crash scenario needs a fault plan before traffic starts: the
+    // gateway is dark for the middle round and reboots for the last.
+    if scenario == Scenario::CrashRestart {
+        let t0 = stage.net.now().0;
+        let crash_from = t0 + u64::from(o.rounds) / 3 * o.round_us;
+        let plan = FaultPlan::new(o.seed).crash(
+            gateway_ep.addr,
+            SimTime(crash_from),
+            SimTime(crash_from + o.round_us),
+        );
+        stage.net.set_fault_plan(plan);
+    }
+
+    let mut report = OverloadReport {
+        scenario: scenario.label(),
+        legit_total: 0,
+        legit_ok: 0,
+        abuse_sent: 0,
+        abuse_admitted: 0,
+        admitted: 0,
+        shed: 0,
+        throttled: 0,
+        penalized: 0,
+        upstream_failures: 0,
+        restarts: 0,
+        login_latencies_us: Vec::new(),
+    };
+
+    for _round in 0..o.rounds {
+        // Abuse first: the storm is in full swing when users arrive.
+        match scenario {
+            Scenario::FlashCrowd => {}
+            Scenario::PreauthStorm | Scenario::CrashRestart => {
+                // One source, one victim principal, no backoff.
+                let src = stage.abuser_eps[0];
+                for i in 0..o.storm_per_round {
+                    let nonce = u64::from(report.abuse_sent) << 16 | u64::from(i);
+                    let req = guess_request(&mut stage, &victim, nonce, src);
+                    fire_and_forget(&mut stage, src, gateway_ep, req);
+                    report.abuse_sent += 1;
+                    stage.net.advance(SimDuration(o.storm_gap_us));
+                }
+            }
+            Scenario::MisbehavingHerd => {
+                // Every abuser floods bare AS probes (no preauth: the
+                // herd wants service, not guesses) and ignores every
+                // busy reply.
+                for i in 0..o.storm_per_round {
+                    for (a, src) in stage.abuser_eps.clone().into_iter().enumerate() {
+                        let herd_user = stage.realm.user(&abuser_name(a));
+                        let req = AsReq {
+                            client: herd_user,
+                            service: Principal::tgs(&stage.realm.name.clone()),
+                            nonce: u64::from(report.abuse_sent),
+                            lifetime_us: stage.config.ticket_lifetime_us,
+                            addr: src.addr.0,
+                            options: KdcOptions::empty(),
+                            padata: Vec::new(),
+                        }
+                        .encode(stage.config.codec);
+                        fire_and_forget(&mut stage, src, gateway_ep, req);
+                        report.abuse_sent += 1;
+                    }
+                    let _ = i;
+                    stage.net.advance(SimDuration(o.storm_gap_us));
+                }
+            }
+        }
+
+        // The shift-change wave: every user logs in, back to back.
+        for user in stage.legit.clone() {
+            report.legit_total += 1;
+            if let Some(lat) = legit_login(&mut stage, &user, &contact) {
+                report.legit_ok += 1;
+                report.login_latencies_us.push(lat);
+            }
+        }
+
+        stage.net.advance(SimDuration(o.round_us));
+        stage.net.pump();
+    }
+
+    // Gateway's own accounting.
+    let stats = stage.realm.with_gateway(&mut stage.net, |g| g.stats);
+    report.admitted = stats.admitted;
+    report.shed = stats.shed;
+    report.throttled = stats.throttled;
+    report.penalized = stats.penalized;
+    report.upstream_failures = stats.upstream_failures;
+    report.restarts = stats.restarts;
+
+    // Abusive admissions, from the per-source admission counters.
+    let snap = stage.net.tracer().snapshot();
+    for src in &stage.abuser_eps {
+        let key = format!("gateway.admitted{{{}}}", src.addr);
+        report.abuse_admitted += snap.get(&key).copied().unwrap_or(0);
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hardened() -> ProtocolConfig {
+        ProtocolConfig::hardened()
+    }
+
+    #[test]
+    fn flash_crowd_is_survivable() {
+        let o = OverloadConfig::standard(0xf1a5);
+        let r = run_overload(&hardened(), &o, Scenario::FlashCrowd);
+        assert_eq!(r.abuse_sent, 0);
+        assert!(
+            r.legit_success_ratio() >= 0.90,
+            "flash crowd drowned legit logins: {}/{}",
+            r.legit_ok,
+            r.legit_total
+        );
+        assert!(r.admitted > 0);
+    }
+
+    #[test]
+    fn preauth_storm_is_contained() {
+        let o = OverloadConfig::standard(0x5702);
+        let r = run_overload(&hardened(), &o, Scenario::PreauthStorm);
+        // The acceptance bar: the attacker's goodput is capped at the
+        // bucket allowance while ≥90% of legitimate logins succeed.
+        let bucket_cap = o.gateway.per_source_burst
+            + o.gateway.per_source_rate_per_sec
+                * (u64::from(o.rounds) * u64::from(o.storm_per_round) * o.storm_gap_us
+                    / 1_000_000);
+        assert!(
+            r.abuse_admitted <= bucket_cap,
+            "attacker got {} admissions past a {}-token allowance",
+            r.abuse_admitted,
+            bucket_cap
+        );
+        assert!(
+            r.penalized > 0,
+            "the victim principal's penalty window never engaged"
+        );
+        assert!(
+            r.legit_success_ratio() >= 0.90,
+            "storm drowned legit logins: {}/{}",
+            r.legit_ok,
+            r.legit_total
+        );
+    }
+
+    #[test]
+    fn misbehaving_herd_starves_itself_not_the_campus() {
+        let o = OverloadConfig::standard(0x4e8d);
+        let r = run_overload(&hardened(), &o, Scenario::MisbehavingHerd);
+        assert!(r.throttled > 0, "the herd was never throttled");
+        assert!(
+            r.abuse_admission_ratio() < 0.5,
+            "herd pushed {} of {} floods through",
+            r.abuse_admitted,
+            r.abuse_sent
+        );
+        assert!(
+            r.legit_success_ratio() >= 0.90,
+            "herd drowned legit logins: {}/{}",
+            r.legit_ok,
+            r.legit_total
+        );
+    }
+
+    #[test]
+    fn crash_restart_recovers() {
+        let o = OverloadConfig::standard(0xc4a5);
+        let r = run_overload(&hardened(), &o, Scenario::CrashRestart);
+        assert!(r.restarts >= 1, "the gateway never rebooted");
+        // Losing the dark round is expected (one gateway, no HA); the
+        // campaign as a whole must still mostly succeed and the storm
+        // must stay contained after the reboot wiped the penalty box.
+        assert!(
+            r.legit_success_ratio() >= 0.60,
+            "no recovery after gateway restart: {}/{}",
+            r.legit_ok,
+            r.legit_total
+        );
+        assert!(r.abuse_admission_ratio() < 0.5);
+    }
+
+    #[test]
+    fn campaigns_replay_byte_identically() {
+        for scenario in Scenario::all() {
+            let a = run_overload(&hardened(), &OverloadConfig::standard(7), scenario);
+            let b = run_overload(&hardened(), &OverloadConfig::standard(7), scenario);
+            assert_eq!(a, b, "scenario {} diverged across same-seed runs", scenario.label());
+        }
+    }
+}

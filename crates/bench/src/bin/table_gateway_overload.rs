@@ -1,0 +1,81 @@
+//! E17 — gateway overload: goodput, shedding, and latency for the four
+//! seeded abuse scenarios against the admission-controlled KDC
+//! front-end.
+//!
+//! Run: `cargo run --release -p bench --bin table_gateway_overload`
+
+use attacks::overload::{run_overload, OverloadConfig, Scenario};
+use bench::{BenchJson, TextTable};
+use kerberos::ProtocolConfig;
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+fn main() {
+    println!("E17: KDC gateway under overload and abuse");
+
+    let config = ProtocolConfig::hardened();
+    let o = OverloadConfig::standard(0xE17);
+    let mut json = BenchJson::new("E17");
+
+    let mut table = TextTable::new(&[
+        "scenario",
+        "legit ok",
+        "abuse adm",
+        "shed rate",
+        "p99 login",
+        "restarts",
+    ]);
+    for scenario in Scenario::all() {
+        let r = run_overload(&config, &o, scenario);
+        let label = scenario.label().replace('-', "_");
+        json.int(&format!("{label}.legit_ok"), u64::from(r.legit_ok))
+            .int(&format!("{label}.legit_total"), u64::from(r.legit_total))
+            .int(&format!("{label}.abuse_sent"), u64::from(r.abuse_sent))
+            .int(&format!("{label}.abuse_admitted"), r.abuse_admitted)
+            .int(&format!("{label}.admitted"), r.admitted)
+            .int(&format!("{label}.shed"), r.shed)
+            .int(&format!("{label}.throttled"), r.throttled)
+            .int(&format!("{label}.penalized"), r.penalized)
+            .int(&format!("{label}.restarts"), r.restarts)
+            .int(&format!("{label}.p99_latency_us"), r.p99_latency_us())
+            .int(
+                &format!("{label}.shed_rate_permille"),
+                (r.shed_rate() * 1000.0) as u64,
+            )
+            .int(
+                &format!("{label}.abuse_admission_permille"),
+                (r.abuse_admission_ratio() * 1000.0) as u64,
+            )
+            .int(
+                &format!("{label}.legit_success_permille"),
+                (r.legit_success_ratio() * 1000.0) as u64,
+            );
+        table.row(&[
+            r.scenario.to_string(),
+            format!("{}/{}", r.legit_ok, r.legit_total),
+            format!("{}/{}", r.abuse_admitted, r.abuse_sent),
+            pct(r.shed_rate()),
+            format!("{:.1}ms", r.p99_latency_us() as f64 / 1000.0),
+            r.restarts.to_string(),
+        ]);
+    }
+    table.print(
+        "hardened config, standard small-campus gateway (40 req/s global, \
+         4 req/s per source): legitimate goodput, abusive traffic admitted \
+         past the gateway, refusal rate, and p99 sim-time login latency",
+    );
+
+    json.write("gateway");
+
+    println!(
+        "\nthe paper's E2 countermeasure — limit the request rate from one \
+         source — is necessary but not sufficient: the token bucket caps the \
+         storm's goodput, the per-principal penalty window is what actually \
+         stops offline-guessing material from leaving the KDC, and bounded \
+         queues with typed SERVER_BUSY turn overload into client backoff \
+         rather than timeout storms. The crash-restart row prices volatile \
+         admission state: one dark round, then full recovery."
+    );
+}

@@ -10,6 +10,7 @@
 //! interactive view (`scripts/trace.sh --narrate replay`).
 
 use attacks::env::with_trace_capture;
+use attacks::overload::{run_overload, OverloadConfig, Scenario};
 use attacks::{all_attacks, Attack};
 use kerberos::{PaperLens, ProtocolConfig};
 use krb_trace::narrate;
@@ -29,9 +30,44 @@ fn find_config(name: &str) -> Option<ProtocolConfig> {
     ProtocolConfig::presets().into_iter().find(|c| c.name.eq_ignore_ascii_case(name))
 }
 
+fn find_scenario(pat: &str) -> Option<Scenario> {
+    let lower = pat.to_lowercase();
+    if lower == "gateway" {
+        return Some(Scenario::PreauthStorm);
+    }
+    // Substring matching only for unambiguous patterns; short fragments
+    // fall through to the attack lookup.
+    if lower.len() < 4 {
+        return None;
+    }
+    Scenario::all().into_iter().find(|s| s.label().contains(&lower))
+}
+
+/// Runs one gateway overload scenario under trace capture and narrates
+/// the shed/throttle/penalty decisions alongside the protocol flow.
+fn narrate_overload(scenario: Scenario) {
+    let config = ProtocolConfig::hardened();
+    let o = OverloadConfig::standard(SEED);
+    let (report, tracer) = with_trace_capture(|| run_overload(&config, &o, scenario));
+    let Some(tracer) = tracer else {
+        eprintln!("overload scenario built no traced environment (nothing to narrate)");
+        std::process::exit(1);
+    };
+    println!(
+        "== E17 — gateway overload: {} [hardened] — {}/{} legit ok, {}/{} abuse admitted ==\n",
+        report.scenario, report.legit_ok, report.legit_total, report.abuse_admitted, report.abuse_sent
+    );
+    print!("{}", narrate(&tracer.events(), &PaperLens));
+    println!(
+        "\noutcome: shed {} / throttled {} / penalized {} / admitted {} / restarts {}",
+        report.shed, report.throttled, report.penalized, report.admitted, report.restarts
+    );
+}
+
 fn usage() -> ! {
     eprintln!("usage: trace_narrate --narrate <attack-id-or-name-substring> [config]");
     eprintln!("  attacks: {}", all_attacks().iter().map(|a| a.id()).collect::<Vec<_>>().join(" "));
+    eprintln!("  gateway scenarios: gateway flash-crowd preauth-storm misbehaving-herd crash-restart");
     eprintln!(
         "  configs: {}",
         ProtocolConfig::presets().iter().map(|c| c.name).collect::<Vec<_>>().join(" ")
@@ -56,6 +92,12 @@ fn main() {
         }
     }
     let Some(pattern) = pattern else { usage() };
+    // Gateway overload scenarios narrate through the same lens: shed
+    // and throttle events interleave with the protocol steps.
+    if let Some(scenario) = find_scenario(pattern) {
+        narrate_overload(scenario);
+        return;
+    }
     let Some(attack) = find_attack(pattern) else {
         eprintln!("no attack matches {pattern:?}");
         usage();

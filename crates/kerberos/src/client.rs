@@ -53,6 +53,11 @@ fn check_error(config: &ProtocolConfig, reply: &[u8]) -> Result<(), KrbError> {
             // always-retryable condition, not a verdict.
             return Err(KrbError::FailClosed);
         }
+        if e.code == err_code::SERVER_BUSY {
+            // The admission tier shed this request: back off and retry
+            // without burning failover budget.
+            return Err(KrbError::ServerBusy);
+        }
         return Err(KrbError::Remote(format!("KDC error {}: {}", e.code, e.text)));
     }
     Ok(())
@@ -144,6 +149,11 @@ pub fn login_at(
             let reply = net.rpc_with_timeout(client_ep, kdc_ep, probe.encode(config.codec), timeout)?;
             let err = KrbErrorMsg::decode(config.codec, &reply)
                 .map_err(|_| reply_transient(net, KrbError::Remote("expected a login challenge".into())))?;
+            if err.code == err_code::SERVER_BUSY {
+                // The admission tier shed the probe: back off and retry
+                // the whole challenge round.
+                return Err(AttemptErr::Busy);
+            }
             let r = err
                 .challenge
                 .ok_or_else(|| reply_transient(net, KrbError::Remote("KDC sent no challenge".into())))?;

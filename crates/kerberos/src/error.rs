@@ -89,6 +89,11 @@ pub enum KrbError {
     /// The server is inside its fail-closed startup window and cannot
     /// prove the request is not a replay; retry with fresh material.
     FailClosed,
+    /// The admission tier (gateway) refused the request under load —
+    /// rate limit, full queue, or penalty window. Purely a congestion
+    /// signal: it consumes no failover budget and says nothing about
+    /// the client's credentials.
+    ServerBusy,
 }
 
 impl fmt::Display for KrbError {
@@ -134,6 +139,9 @@ impl fmt::Display for KrbError {
             }
             KrbError::FailClosed => {
                 write!(f, "server fail-closed (post-restart window); retry later")
+            }
+            KrbError::ServerBusy => {
+                write!(f, "server busy (admission control refused the request); back off and retry")
             }
         }
     }

@@ -1,0 +1,137 @@
+//! Kerberos protocol knowledge for the `krb-gateway` admission tier.
+//!
+//! The gateway crate is protocol-agnostic; this module supplies the
+//! [`krb_gateway::Frontend`] implementation that teaches it to:
+//!
+//! - recognize AS requests and extract the principal being guessed at
+//!   (so preauth-storm penalty windows track the paper's E2 surface),
+//! - recognize `PREAUTH_FAILED` errors and successful AS replies coming
+//!   back from the KDC (strike vs. clear), and
+//! - build the typed [`err_code::SERVER_BUSY`] refusal that sends a
+//!   well-behaved client into backoff instead of a timeout.
+
+use crate::encoding::Codec;
+use crate::messages::{deframe, err_code, AsReq, KrbErrorMsg, WireKind};
+use krb_gateway::{Frontend, Gateway, ReplyClass, RequestClass};
+
+/// The Kerberos [`Frontend`]: parses with the realm's wire codec.
+#[derive(Clone, Copy, Debug)]
+pub struct KrbFrontend {
+    codec: Codec,
+}
+
+impl KrbFrontend {
+    pub fn new(codec: Codec) -> Self {
+        KrbFrontend { codec }
+    }
+}
+
+/// The concrete gateway type deployed by the testbed.
+pub type KrbGateway = Gateway<KrbFrontend>;
+
+impl Frontend for KrbFrontend {
+    fn classify_request(&self, req: &[u8]) -> RequestClass {
+        match AsReq::decode(self.codec, req) {
+            Ok(as_req) => RequestClass::AsRequest { principal: as_req.client.to_string() },
+            // TGS traffic, app data, garbage: rate-limited and queued,
+            // but no principal to penalize.
+            Err(_) => RequestClass::Other,
+        }
+    }
+
+    fn classify_reply(&self, reply: &[u8]) -> ReplyClass {
+        match deframe(reply) {
+            Ok((WireKind::AsRep, _)) => ReplyClass::Success,
+            Ok((WireKind::Err, _)) => match KrbErrorMsg::decode(self.codec, reply) {
+                // Only a definitive wrong-guess verdict is a strike.
+                // CHALLENGE_REQUIRED / PREAUTH_REQUIRED are normal
+                // steps of a hardened login, and TRY_LATER says nothing
+                // about the password.
+                Ok(e) if e.code == err_code::PREAUTH_FAILED => ReplyClass::PreauthFailure,
+                _ => ReplyClass::Other,
+            },
+            _ => ReplyClass::Other,
+        }
+    }
+
+    fn busy_reply(&self, reason: &'static str) -> Vec<u8> {
+        KrbErrorMsg { code: err_code::SERVER_BUSY, text: reason.to_string(), challenge: None }
+            .encode(self.codec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolConfig;
+    use crate::flags::KdcOptions;
+    use crate::messages::AsRep;
+    use crate::principal::Principal;
+
+    fn codec() -> Codec {
+        ProtocolConfig::hardened().codec
+    }
+
+    fn as_req_for(name: &str) -> Vec<u8> {
+        AsReq {
+            client: Principal::user(name, "ATHENA.MIT.EDU"),
+            service: Principal::tgs("ATHENA.MIT.EDU"),
+            nonce: 7,
+            lifetime_us: 1,
+            addr: 0,
+            options: KdcOptions::empty(),
+            padata: Vec::new(),
+        }
+        .encode(codec())
+    }
+
+    #[test]
+    fn as_requests_classify_with_their_principal() {
+        let fe = KrbFrontend::new(codec());
+        match fe.classify_request(&as_req_for("pat")) {
+            RequestClass::AsRequest { principal } => {
+                assert!(principal.starts_with("pat"), "principal = {principal}");
+            }
+            other => panic!("expected AsRequest, got {other:?}"),
+        }
+        assert_eq!(fe.classify_request(b"not kerberos"), RequestClass::Other);
+        assert_eq!(fe.classify_request(&[]), RequestClass::Other);
+    }
+
+    #[test]
+    fn replies_classify_preauth_failure_vs_success() {
+        let fe = KrbFrontend::new(codec());
+        let fail = KrbErrorMsg {
+            code: err_code::PREAUTH_FAILED,
+            text: "preauthentication failed".into(),
+            challenge: None,
+        }
+        .encode(codec());
+        assert_eq!(fe.classify_reply(&fail), ReplyClass::PreauthFailure);
+
+        // A challenge demand is a normal hardened-login step, not a
+        // strike.
+        let challenge = KrbErrorMsg {
+            code: err_code::CHALLENGE_REQUIRED,
+            text: "respond".into(),
+            challenge: Some(42),
+        }
+        .encode(codec());
+        assert_eq!(fe.classify_reply(&challenge), ReplyClass::Other);
+
+        let ok = AsRep { challenge_r: None, dh_public: None, enc_part: vec![1, 2, 3] }
+            .encode(codec());
+        assert_eq!(fe.classify_reply(&ok), ReplyClass::Success);
+
+        assert_eq!(fe.classify_reply(b"junk"), ReplyClass::Other);
+    }
+
+    #[test]
+    fn busy_reply_is_a_typed_server_busy_error() {
+        let fe = KrbFrontend::new(codec());
+        let reply = fe.busy_reply("queue full");
+        let e = KrbErrorMsg::decode(codec(), &reply).expect("decodes");
+        assert_eq!(e.code, err_code::SERVER_BUSY);
+        assert_eq!(e.text, "queue full");
+    }
+}

@@ -20,6 +20,8 @@
 //!   application servers, KRB_SAFE/KRB_PRIV sessions, and replay
 //!   defense.
 //! - [`crossrealm`] — inter-realm paths, routing, and trust policy.
+//! - [`gateway`] — the Kerberos front-end for the `krb-gateway`
+//!   admission tier (overload hardening of the KDC cluster).
 //! - [`traceview`] — paper-notation rendering of traces and the
 //!   key-fingerprint redaction helper (krb-trace integration).
 
@@ -34,6 +36,7 @@ pub mod enclayer;
 pub mod encoding;
 pub mod error;
 pub mod flags;
+pub mod gateway;
 pub mod kdc;
 pub mod messages;
 pub mod principal;
@@ -51,6 +54,7 @@ pub use client::{
 };
 pub use config::{AppProtection, AuthStyle, Freshness, PreauthMode, ProtocolConfig, RetryPolicy};
 pub use error::KrbError;
+pub use gateway::{KrbFrontend, KrbGateway};
 pub use kdc::{Kdc, KDC_PORT};
 pub use principal::Principal;
 pub use ticket::Ticket;

@@ -524,6 +524,11 @@ pub mod err_code {
     /// Transient server condition (e.g. the fail-closed startup window
     /// after a restart): the client should retry with fresh material.
     pub const TRY_LATER: u32 = 11;
+    /// The admission tier (gateway) refused the request under load:
+    /// rate limit, full queue, or penalty window. The client should
+    /// back off and retry; the refusal says nothing about its
+    /// credentials or the KDC's state.
+    pub const SERVER_BUSY: u32 = 12;
 }
 
 /// KRB_ERROR.

@@ -39,6 +39,12 @@ pub enum AttemptErr {
     Transient(KrbError),
     /// A definitive protocol outcome; retrying cannot change it.
     Fatal(KrbError),
+    /// The admission tier said [`KrbError::ServerBusy`]: back off and
+    /// retry *without* consuming the attempt/failover budget. A busy
+    /// gateway is not a dead replica — treating its refusals as attempt
+    /// failures would walk a client off a healthy (merely loaded)
+    /// cluster and exhaust its replica list during any flash crowd.
+    Busy,
 }
 
 impl AttemptErr {
@@ -46,6 +52,7 @@ impl AttemptErr {
     pub fn into_inner(self) -> KrbError {
         match self {
             AttemptErr::Transient(e) | AttemptErr::Fatal(e) => e,
+            AttemptErr::Busy => KrbError::ServerBusy,
         }
     }
 }
@@ -73,6 +80,8 @@ impl From<KrbError> for AttemptErr {
         match e {
             // The server said "try later" (fail-closed startup window).
             KrbError::FailClosed => AttemptErr::Transient(KrbError::FailClosed),
+            // The gateway said "busy": congestion, not failure.
+            KrbError::ServerBusy => AttemptErr::Busy,
             other => AttemptErr::Fatal(other),
         }
     }
@@ -89,10 +98,13 @@ impl From<krb_crypto::CryptoError> for AttemptErr {
 /// duplicates), fatal on a perfect network where the failure is genuine
 /// evidence. [`KrbError::FailClosed`] is transient either way.
 pub fn reply_transient(net: &Network, e: KrbError) -> AttemptErr {
-    if matches!(e, KrbError::FailClosed) || net.faults_enabled() {
-        AttemptErr::Transient(e)
-    } else {
-        AttemptErr::Fatal(e)
+    match e {
+        // The gateway shed the request: always the busy path, faults or
+        // not — load shedding is a server decision, not network damage.
+        KrbError::ServerBusy => AttemptErr::Busy,
+        KrbError::FailClosed => AttemptErr::Transient(KrbError::FailClosed),
+        e if net.faults_enabled() => AttemptErr::Transient(e),
+        e => AttemptErr::Fatal(e),
     }
 }
 
@@ -113,11 +125,44 @@ pub fn run<T>(
     mut attempt: impl FnMut(&mut Network, u32) -> Result<T, AttemptErr>,
 ) -> Result<T, KrbError> {
     let budget = if net.faults_enabled() { policy.attempts.max(1) } else { 1 };
+    // Busy refusals from the admission tier get their own (larger)
+    // budget and do NOT consume `a` — the failover index — so a loaded
+    // gateway never looks like a string of dead replicas. Unlike the
+    // attempt budget, this engages even on a perfect wire: the gateway
+    // sheds load under flash crowds with no fault plan installed.
+    let busy_cap = policy.attempts.max(1) * 4;
+    let mut busy_retries: u32 = 0;
     let mut last: Option<KrbError> = None;
-    for a in 0..budget {
+    let mut a = 0;
+    while a < budget {
         match attempt(net, a) {
             Ok(v) => return Ok(v),
             Err(AttemptErr::Fatal(e)) => return Err(e),
+            Err(AttemptErr::Busy) => {
+                busy_retries += 1;
+                if busy_retries >= busy_cap {
+                    return Err(KrbError::RetriesExhausted {
+                        attempts: busy_retries,
+                        last: KrbError::ServerBusy.to_string(),
+                    });
+                }
+                let delay = policy.delay_us(busy_retries, jitter_seed);
+                let tr = net.tracer();
+                tr.emit(
+                    EventKind::Retry,
+                    net.now().0,
+                    vec![
+                        ("attempt", Value::U64(u64::from(a))),
+                        ("budget", Value::U64(u64::from(budget))),
+                        ("backoff_us", Value::U64(delay)),
+                        ("error", Value::str(KrbError::ServerBusy.to_string())),
+                    ],
+                );
+                tr.counter("client.busy_retries", "all", 1);
+                net.advance(SimDuration(delay));
+                net.pump();
+                // `a` unchanged: the next try goes to the same target.
+            }
             Err(AttemptErr::Transient(e)) => {
                 if a + 1 < budget {
                     // About to back off and retry: record what drove it.
@@ -138,6 +183,7 @@ pub fn run<T>(
                     net.pump();
                 }
                 last = Some(e);
+                a += 1;
             }
         }
     }
@@ -220,6 +266,73 @@ mod tests {
         });
         assert_eq!(calls, 1, "no retries on a perfect wire");
         assert_eq!(r, Err(KrbError::Net(NetError::Dropped.to_string())));
+    }
+
+    #[test]
+    fn busy_retries_even_on_a_perfect_wire() {
+        // No fault plan: transient errors get one shot, but a typed
+        // server-busy keeps retrying with backoff — load shedding is a
+        // server decision, not a network fault.
+        let mut net = Network::new();
+        let t0 = net.now();
+        let mut calls = 0;
+        let r = run(&mut net, &policy(), 1, |_, a| {
+            calls += 1;
+            assert_eq!(a, 0, "busy never advances the failover index");
+            if calls < 4 {
+                Err(AttemptErr::from(KrbError::ServerBusy))
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), 4);
+        assert!(net.now() > t0, "busy retries backed off");
+    }
+
+    #[test]
+    fn busy_does_not_consume_the_failover_budget() {
+        let mut net = Network::new();
+        net.set_fault_plan(simnet::FaultPlan::new(1));
+        let mut seen = Vec::new();
+        let mut busy_served = false;
+        let r = run(&mut net, &policy(), 1, |_, a| {
+            seen.push(a);
+            match (a, busy_served) {
+                // First attempt: two busy refusals, then a transient.
+                (0, false) => {
+                    if seen.iter().filter(|&&x| x == 0).count() < 3 {
+                        Err(AttemptErr::Busy)
+                    } else {
+                        busy_served = true;
+                        Err(AttemptErr::from(NetError::Dropped))
+                    }
+                }
+                (1, _) => Ok(a),
+                _ => Err(AttemptErr::from(NetError::Dropped)),
+            }
+        });
+        assert_eq!(r.unwrap(), 1);
+        // Attempt 0 ran three times (two busy + one transient) before
+        // the failover index moved to 1.
+        assert_eq!(seen, vec![0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn sustained_busy_exhausts_its_own_cap() {
+        let mut net = Network::new();
+        let mut calls = 0u32;
+        let r: Result<(), _> = run(&mut net, &policy(), 1, |_, _| {
+            calls += 1;
+            Err(AttemptErr::Busy)
+        });
+        match r {
+            Err(KrbError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, policy().attempts.max(1) * 4);
+                assert!(last.contains("server busy"), "last = {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(calls, policy().attempts.max(1) * 4);
     }
 
     #[test]

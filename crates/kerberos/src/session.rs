@@ -90,7 +90,7 @@ pub fn decode_priv_draft3(pt: &[u8]) -> Result<PrivPart, KrbError> {
 
 /// Encodes the hardened layout (length-framed fields; the layer adds its
 /// own framing and MAC).
-fn encode_priv_hardened(part: &PrivPart) -> Vec<u8> {
+pub fn encode_priv_hardened(part: &PrivPart) -> Vec<u8> {
     let mut v = (part.data.len() as u32).to_be_bytes().to_vec();
     v.extend_from_slice(&part.data);
     v.extend_from_slice(&part.ts_or_seq.to_be_bytes());
@@ -99,7 +99,8 @@ fn encode_priv_hardened(part: &PrivPart) -> Vec<u8> {
     v
 }
 
-fn decode_priv_hardened(pt: &[u8]) -> Result<PrivPart, KrbError> {
+/// Decodes the hardened layout.
+pub fn decode_priv_hardened(pt: &[u8]) -> Result<PrivPart, KrbError> {
     if pt.len() < 4 {
         return Err(KrbError::Decode("priv part too short"));
     }
@@ -119,6 +120,55 @@ fn decode_priv_hardened(pt: &[u8]) -> Result<PrivPart, KrbError> {
     off += 1;
     let addr = u32::from_be_bytes(be_array::<4>(&pt[off..off + 4]));
     Ok(PrivPart { data, ts_or_seq, direction, addr })
+}
+
+/// A parsed KRB_SAFE body: the cleartext part plus its checksum trailer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SafeFrame {
+    /// The cleartext part (hardened length-framed layout).
+    pub part: PrivPart,
+    /// Raw checksum-type tag byte from the trailer.
+    pub cksum_tag: u8,
+    /// Checksum value from the trailer.
+    pub cksum: Vec<u8>,
+}
+
+impl SafeFrame {
+    /// Byte length of the part prefix the checksum covers.
+    pub fn covered_len(&self) -> usize {
+        4 + self.part.data.len() + 8 + 1 + 4
+    }
+
+    /// Re-encodes the body (part followed by `[tag][len u32][cksum]`
+    /// trailer) — the exact inverse of [`parse_safe_body`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = encode_priv_hardened(&self.part);
+        out.push(self.cksum_tag);
+        out.extend_from_slice(&(self.cksum.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.cksum);
+        out
+    }
+}
+
+/// Total parser for a KRB_SAFE body (everything after the wire frame
+/// header): `[hardened priv part][tag u8][len u32][cksum]`. Returns a
+/// typed error on every malformed input — never panics, never indexes
+/// past the slice.
+pub fn parse_safe_body(body: &[u8]) -> Result<SafeFrame, KrbError> {
+    let part = decode_priv_hardened(body)?;
+    let mut off = 4 + part.data.len() + 8 + 1 + 4;
+    let tag = *body.get(off).ok_or(KrbError::Decode("safe trailer missing"))?;
+    off += 1;
+    let clen = u32::from_be_bytes(be_array::<4>(
+        body.get(off..off + 4).ok_or(KrbError::Decode("safe trailer truncated"))?,
+    )) as usize;
+    off += 4;
+    let cksum =
+        body.get(off..off + clen).ok_or(KrbError::Decode("safe checksum truncated"))?.to_vec();
+    if off + clen != body.len() {
+        return Err(KrbError::Decode("safe trailing bytes"));
+    }
+    Ok(SafeFrame { part, cksum_tag: tag, cksum })
 }
 
 /// One endpoint's view of an authenticated session.
@@ -294,32 +344,18 @@ impl Session {
         if kind != WireKind::Safe {
             return Err(KrbError::Decode("not a KRB_SAFE message"));
         }
-        // Split trailer: [tag u8][len u32][cksum].
-        if body.len() < 5 {
-            return Err(KrbError::Decode("safe message too short"));
-        }
-        // Scan from the end: last 4+len bytes are the checksum; the tag
-        // byte precedes the length.
-        // Trailer layout is [tag][len][value]; find it by reading len
-        // just after the part. We must parse the part first.
-        let part = decode_priv_hardened(body)?;
-        let part_len = 4 + part.data.len() + 8 + 1 + 4;
-        let mut off = part_len;
-        let tag = body[off];
-        off += 1;
-        let clen = u32::from_be_bytes(be_array::<4>(
-            body.get(off..off + 4).ok_or(KrbError::Decode("safe trailer truncated"))?,
-        )) as usize;
-        off += 4;
-        let cval = body.get(off..off + clen).ok_or(KrbError::Decode("safe checksum truncated"))?;
-        let ctype = crate::authenticator::checksum_from_tag(tag)?;
+        let frame = parse_safe_body(body).inspect_err(|_| {
+            self.rejected += 1;
+        })?;
+        let part = frame.part.clone();
+        let ctype = crate::authenticator::checksum_from_tag(frame.cksum_tag)?;
         if ctype != config.checksum {
             self.rejected += 1;
             return Err(KrbError::BadChecksum);
         }
         let key_opt = ctype.is_keyed().then_some(&self.key);
-        let claimed = Checksum { ctype, value: cval.to_vec().into() };
-        if checksum::verify(&claimed, key_opt, &body[..part_len]).is_err() {
+        let claimed = Checksum { ctype, value: frame.cksum.clone().into() };
+        if checksum::verify(&claimed, key_opt, &body[..frame.covered_len()]).is_err() {
             self.rejected += 1;
             return Err(KrbError::BadChecksum);
         }
@@ -401,6 +437,34 @@ mod tests {
             let wire = c.send_safe(b"balance?", 5_000, 7, &config).unwrap();
             assert_eq!(s.recv_safe(&wire, 5_100, &config).unwrap(), b"balance?");
         }
+    }
+
+    #[test]
+    fn safe_without_trailer_is_rejected_not_a_panic() {
+        // A valid part with the checksum trailer sliced off used to
+        // index past the body (`body[off]`); the total parser rejects.
+        let config = ProtocolConfig::hardened();
+        let (_c, mut s) = pair(&config);
+        let part = PrivPart {
+            data: b"naked".to_vec(),
+            ts_or_seq: 100,
+            direction: Direction::ClientToServer,
+            addr: 7,
+        };
+        let wire = frame(WireKind::Safe, encode_priv_hardened(&part));
+        assert!(s.recv_safe(&wire, 5_000, &config).is_err());
+        assert!(parse_safe_body(&encode_priv_hardened(&part)).is_err());
+    }
+
+    #[test]
+    fn safe_body_parser_roundtrips() {
+        let config = ProtocolConfig::hardened();
+        let (mut c, _s) = pair(&config);
+        let wire = c.send_safe(b"pay alice 10", 5_000, 7, &config).unwrap();
+        let (_, body) = crate::messages::deframe(&wire).unwrap();
+        let parsed = parse_safe_body(body).unwrap();
+        assert_eq!(parsed.part.data, b"pay alice 10");
+        assert_eq!(parsed.encode(), body);
     }
 
     #[test]

@@ -7,11 +7,13 @@
 use crate::appserver::{AppLogic, AppServer};
 use crate::config::ProtocolConfig;
 use crate::database::KdcDatabase;
+use crate::gateway::{KrbFrontend, KrbGateway};
 use crate::kdc::{Kdc, KDC_PORT};
 use crate::principal::Principal;
 use crate::services::{BackupServerLogic, EchoLogic, FileServerLogic, MailServerLogic};
 use krb_crypto::des::DesKey;
 use krb_crypto::rng::{Drbg, RandomSource};
+use krb_gateway::GatewayConfig;
 use simnet::{Addr, Endpoint, Host, HostId, Network};
 use std::collections::BTreeMap;
 
@@ -35,6 +37,11 @@ pub struct DeployedRealm {
     pub kdc_replica_eps: Vec<Endpoint>,
     /// Slave-KDC replica host ids.
     pub kdc_replica_hosts: Vec<HostId>,
+    /// Gateway (admission tier) endpoint; `None` unless
+    /// [`DeployedRealm::add_gateway`] was called.
+    pub gateway_ep: Option<Endpoint>,
+    /// Gateway host id.
+    pub gateway_host: Option<HostId>,
     /// user name -> workstation endpoint.
     pub user_eps: BTreeMap<String, Endpoint>,
     /// user name -> workstation host id.
@@ -134,6 +141,52 @@ impl DeployedRealm {
         eps
     }
 
+    /// The endpoints clients should contact for AS/TGS traffic: the
+    /// gateway alone when one is deployed (the KDCs sit behind it),
+    /// otherwise the KDC list itself.
+    pub fn kdc_contact_eps(&self) -> Vec<Endpoint> {
+        match self.gateway_ep {
+            Some(ep) => vec![ep],
+            None => self.kdc_eps(),
+        }
+    }
+
+    /// Deploys the admission-control gateway at `10.<subnet>.0.254`,
+    /// fronting every KDC deployed so far (master plus replicas, in
+    /// rotation order). Call *after* [`DeployedRealm::add_kdc_replicas`]
+    /// so the gateway load-balances across the whole cluster. Point
+    /// clients at [`DeployedRealm::kdc_contact_eps`].
+    pub fn add_gateway(&mut self, net: &mut Network, gw_config: GatewayConfig) {
+        let subnet = self.kdc_ep.addr.0.to_be_bytes()[1];
+        let addr = Addr::new(10, subnet, 0, 254);
+        let frontend = KrbFrontend::new(self.config.codec);
+        let gateway = KrbGateway::new(gw_config, frontend, self.kdc_eps());
+        let mut host =
+            Host::new(&format!("krbgate.{}", self.name), vec![addr]).multi_user();
+        host.bind(KDC_PORT, Box::new(gateway));
+        let hid = net.add_host(host);
+        self.gateway_ep = Some(Endpoint::new(addr, KDC_PORT));
+        self.gateway_host = Some(hid);
+    }
+
+    /// Runs `f` with mutable access to the deployed [`KrbGateway`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no gateway was deployed.
+    pub fn with_gateway<R>(&self, net: &mut Network, f: impl FnOnce(&mut KrbGateway) -> R) -> R {
+        let hid = self.gateway_host.expect("gateway deployed");
+        let svc = net
+            .host_mut(hid)
+            .service_mut(KDC_PORT)
+            .expect("gateway bound")
+            .as_any_mut()
+            .expect("inspectable")
+            .downcast_mut::<KrbGateway>()
+            .expect("a KrbGateway");
+        f(svc)
+    }
+
     /// Deploys `n` slave-KDC replicas at `10.<subnet>.0.<249-i>`, each
     /// holding a propagated copy of the master database and TGS key.
     /// Kerberos runs read-only slaves precisely so that "an occasional
@@ -191,6 +244,8 @@ pub fn deploy_realm(
         kdc_host: HostId(0), // fixed up below
         kdc_replica_eps: Vec::new(),
         kdc_replica_hosts: Vec::new(),
+        gateway_ep: None,
+        gateway_host: None,
         user_eps: BTreeMap::new(),
         user_hosts: BTreeMap::new(),
         passwords: BTreeMap::new(),

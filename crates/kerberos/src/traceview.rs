@@ -69,6 +69,10 @@ pub struct PaperLens;
 impl Lens for PaperLens {
     fn actor(&self, host: &str) -> String {
         let first = host.split('.').next().unwrap_or(host);
+        // A dotted-quad address is not a dotted hostname: keep it whole.
+        if !first.is_empty() && first.chars().all(|c| c.is_ascii_digit()) {
+            return host.to_string();
+        }
         if first.starts_with("ws-") || first == "ws" {
             "c".into()
         } else if first == "kerberos" || first.starts_with("kdc") {

@@ -1,0 +1,242 @@
+//! End-to-end tests for the admission-control gateway: clients contact
+//! the gateway instead of the KDCs, the gateway forwards transparently,
+//! throttles abuse, and typed SERVER_BUSY refusals drive client backoff
+//! rather than failover exhaustion.
+
+use kerberos::appserver::connect_app;
+use kerberos::client::{get_service_ticket_at, login_at, LoginInput, TgsParams};
+use kerberos::testbed::standard_campus;
+use kerberos::{KrbError, ProtocolConfig};
+use krb_crypto::rng::Drbg;
+use krb_gateway::GatewayConfig;
+use simnet::{FaultPlan, Network, SimDuration, SimTime};
+
+const PASSWORD: &str = "correct-horse-battery";
+
+/// The full protocol flow works unchanged through the gateway for every
+/// preset: login, TGS exchange, and an app session, with clients
+/// knowing only the gateway endpoint.
+#[test]
+fn full_flow_works_through_gateway_for_all_presets() {
+    for config in ProtocolConfig::presets() {
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let mut realm = standard_campus(&mut net, &config, 42);
+        realm.add_gateway(&mut net, GatewayConfig::standard());
+        let contact = realm.kdc_contact_eps();
+        assert_eq!(contact, vec![realm.gateway_ep.expect("gateway deployed")]);
+
+        let mut rng = Drbg::new(0x6a01);
+        let pat = realm.user("pat");
+        let pat_ep = realm.user_ep("pat");
+        let tgt = login_at(
+            &mut net,
+            &config,
+            pat_ep,
+            &contact,
+            &pat,
+            LoginInput::Password(PASSWORD),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("login via gateway (config {}): {e}", config.name));
+        assert_eq!(tgt.client, pat);
+
+        let echo = realm.service("echo");
+        let st = get_service_ticket_at(
+            &mut net,
+            &config,
+            pat_ep,
+            &contact,
+            &tgt,
+            &echo,
+            TgsParams::default(),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("TGS via gateway (config {}): {e}", config.name));
+
+        let mut conn = connect_app(&mut net, &config, pat_ep, realm.service_ep("echo"), &st, &mut rng)
+            .expect("AP exchange");
+        let reply = conn.request(&mut net, b"ping", &mut rng).expect("command");
+        assert!(reply.ends_with(b"ping"), "config {}", config.name);
+
+        let admitted = realm.with_gateway(&mut net, |g| g.stats.admitted);
+        assert!(admitted >= 2, "AS + TGS both went through the gateway (saw {admitted})");
+    }
+}
+
+/// A starved source bucket turns into typed busy replies; the client
+/// backs off and completes once tokens refill, without burning any
+/// failover budget.
+#[test]
+fn throttled_login_backs_off_and_completes() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let mut realm = standard_campus(&mut net, &config, 42);
+    let mut gw_config = GatewayConfig::standard();
+    // A hardened login is two back-to-back AS round trips (challenge
+    // probe + response). Burst 2 admits exactly one login; at one
+    // token per second the immediate second login must back off until
+    // the bucket refills.
+    gw_config.per_source_rate_per_sec = 1;
+    gw_config.per_source_burst = 2;
+    realm.add_gateway(&mut net, gw_config);
+    let contact = realm.kdc_contact_eps();
+
+    let mut rng = Drbg::new(0x6a02);
+    let pat = realm.user("pat");
+    for round in 0..2 {
+        let tgt = login_at(
+            &mut net,
+            &config,
+            realm.user_ep("pat"),
+            &contact,
+            &pat,
+            LoginInput::Password(PASSWORD),
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("login round {round} completes after backoff: {e}"));
+        assert_eq!(tgt.client, pat);
+    }
+
+    let throttled = realm.with_gateway(&mut net, |g| g.stats.throttled);
+    assert!(throttled > 0, "the tight bucket refused at least one request");
+    let snap = net.tracer().snapshot();
+    let busy_retries = snap.get("client.busy_retries{all}").copied().unwrap_or(0);
+    assert!(busy_retries > 0, "SERVER_BUSY drove the client's backoff path");
+}
+
+/// Preauth-storm defense: repeated wrong guesses at one principal open
+/// an exponential penalty window. The gateway stops relaying the storm
+/// to the KDC, and once the window expires the *legitimate* user (with
+/// the correct password) gets in and clears the record.
+#[test]
+fn preauth_storm_opens_penalty_window_then_legit_user_recovers() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let mut realm = standard_campus(&mut net, &config, 42);
+    let mut gw_config = GatewayConfig::standard();
+    gw_config.penalty.strike_threshold = 1;
+    // Longer than the client's whole busy-retry backoff budget: inside
+    // the window, attempts exhaust rather than outlast it.
+    gw_config.penalty.base_window_us = 600_000_000;
+    realm.add_gateway(&mut net, gw_config);
+    let contact = realm.kdc_contact_eps();
+
+    let sam = realm.user("sam");
+    let sam_ep = realm.user_ep("sam");
+    // The adversary guesses from their own workstation at sam's account.
+    let zach_ep = realm.user_ep("zach");
+
+    let mut rng = Drbg::new(0x6a03);
+    let mut verdicts = Vec::new();
+    for _ in 0..3 {
+        let r = login_at(
+            &mut net,
+            &config,
+            zach_ep,
+            &contact,
+            &sam,
+            LoginInput::Password("guess-123"),
+            &mut rng,
+        );
+        verdicts.push(r.expect_err("wrong password never logs in"));
+    }
+    // Guess 1: strike one (free). Guess 2: the window opens — but only
+    // after the KDC's verdict came back, so the guess itself still saw
+    // the real error. Guess 3: refused at the gateway; the client's
+    // busy budget runs out inside the 600s window.
+    assert!(
+        matches!(&verdicts[2], KrbError::RetriesExhausted { last, .. } if last.contains("server busy")),
+        "third guess blocked by the penalty window, got {:?}",
+        verdicts[2]
+    );
+    let penalized = realm.with_gateway(&mut net, |g| g.stats.penalized);
+    assert!(penalized > 0, "the gateway refused storm traffic itself");
+
+    // The window expires; sam logs in with the real password.
+    net.advance(SimDuration::from_secs(700));
+    let tgt = login_at(
+        &mut net,
+        &config,
+        sam_ep,
+        &contact,
+        &sam,
+        LoginInput::Password("wombat7"),
+        &mut rng,
+    )
+    .expect("legitimate user recovers after the storm");
+    assert_eq!(tgt.client, sam);
+}
+
+/// With the master KDC crashed, the gateway's upstream failure becomes
+/// a typed busy reply; the client's busy retry (which costs no failover
+/// budget) lands on the next upstream in the gateway's rotation.
+#[test]
+fn gateway_fails_over_upstreams_when_master_is_down() {
+    let config = ProtocolConfig::hardened();
+    let mut net = Network::new();
+    net.advance(SimDuration::from_secs(1_000_000));
+    let mut realm = standard_campus(&mut net, &config, 42);
+    realm.add_kdc_replicas(&mut net, 2, 42);
+    realm.add_gateway(&mut net, GatewayConfig::standard());
+    let contact = realm.kdc_contact_eps();
+
+    let t0 = net.now();
+    net.set_fault_plan(FaultPlan::new(9).crash(
+        realm.kdc_ep.addr,
+        t0,
+        SimTime(t0.0 + 3_600_000_000),
+    ));
+
+    let mut rng = Drbg::new(0x6a04);
+    let pat = realm.user("pat");
+    let tgt = login_at(
+        &mut net,
+        &config,
+        realm.user_ep("pat"),
+        &contact,
+        &pat,
+        LoginInput::Password(PASSWORD),
+        &mut rng,
+    )
+    .expect("login lands on a replica behind the gateway");
+    assert_eq!(tgt.client, pat);
+
+    let failures = realm.with_gateway(&mut net, |g| g.stats.upstream_failures);
+    assert!(failures > 0, "the dead master was tried and reported busy");
+}
+
+/// Two identical runs of a throttled flow produce byte-identical event
+/// streams: admission control is as deterministic as everything else.
+#[test]
+fn gateway_runs_are_deterministic() {
+    let run = || {
+        let config = ProtocolConfig::hardened();
+        let mut net = Network::new();
+        net.advance(SimDuration::from_secs(1_000_000));
+        let mut realm = standard_campus(&mut net, &config, 42);
+        let mut gw_config = GatewayConfig::standard();
+        gw_config.per_source_rate_per_sec = 1;
+        gw_config.per_source_burst = 2;
+        realm.add_gateway(&mut net, gw_config);
+        let contact = realm.kdc_contact_eps();
+        let mut rng = Drbg::new(0x6a05);
+        let pat = realm.user("pat");
+        for _ in 0..2 {
+            login_at(
+                &mut net,
+                &config,
+                realm.user_ep("pat"),
+                &contact,
+                &pat,
+                LoginInput::Password(PASSWORD),
+                &mut rng,
+            )
+            .expect("login");
+        }
+        format!("{:?}", net.tracer().events())
+    };
+    assert_eq!(run(), run(), "same seed, same trace, byte for byte");
+}

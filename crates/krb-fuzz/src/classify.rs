@@ -5,7 +5,14 @@
 use crate::corpus::Target;
 use kerberos::authenticator::Authenticator;
 use kerberos::encoding::{Codec, MsgType};
-use kerberos::messages::{ApRep, ApReq, AsRep, AsReq, EncApRepPart, EncKdcRepPart, KrbErrorMsg, TgsRep, TgsReq};
+use kerberos::messages::{
+    deframe, frame, ApRep, ApReq, AsRep, AsReq, EncApRepPart, EncKdcRepPart, KrbErrorMsg, TgsRep,
+    TgsReq, WireKind,
+};
+use kerberos::session::{
+    decode_priv_draft3, decode_priv_hardened, encode_priv_draft3, encode_priv_hardened,
+    parse_safe_body,
+};
 use kerberos::ticket::Ticket;
 use kerberos::KrbError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,6 +71,24 @@ fn decode_reencode(codec: Codec, target: Target, bytes: &[u8]) -> Result<Vec<u8>
         Target::EncTgsRepPart => EncKdcRepPart::decode(codec, MsgType::EncTgsRepPart, bytes)?
             .encode(codec, MsgType::EncTgsRepPart),
         Target::EncApRepPart => EncApRepPart::decode(codec, bytes)?.encode(codec),
+        Target::SafeMsg => {
+            let (kind, body) = deframe(bytes)?;
+            if kind != WireKind::Safe {
+                return Err(KrbError::Decode("not a KRB_SAFE message"));
+            }
+            frame(WireKind::Safe, parse_safe_body(body)?.encode())
+        }
+        Target::PrivPart => match codec {
+            Codec::Legacy => encode_priv_draft3(&decode_priv_draft3(bytes)?),
+            _ => encode_priv_hardened(&decode_priv_hardened(bytes)?),
+        },
+        Target::ChallengeResp => {
+            let (kind, body) = deframe(bytes)?;
+            if kind != WireKind::ChallengeResp {
+                return Err(KrbError::Decode("not a challenge response"));
+            }
+            frame(WireKind::ChallengeResp, EncApRepPart::decode(codec, body)?.encode(codec))
+        }
     })
 }
 

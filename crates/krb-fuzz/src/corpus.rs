@@ -49,10 +49,20 @@ pub enum Target {
     EncTgsRepPart,
     /// The encrypted part of an AP reply.
     EncApRepPart,
+    /// A full framed KRB_SAFE message (cleartext part + checksum
+    /// trailer; the total [`kerberos::session::parse_safe_body`] path).
+    SafeMsg,
+    /// A KRB_PRIV plaintext part — what the session layer decodes after
+    /// decryption, where a wrong key under the non-integrity layers
+    /// hands the decoder arbitrary bytes.
+    PrivPart,
+    /// A framed challenge response as the app server sees it after
+    /// opening the seal (EncApRepPart under a ChallengeResp frame).
+    ChallengeResp,
 }
 
 /// Every target, in a fixed order.
-pub const TARGETS: [Target; 12] = [
+pub const TARGETS: [Target; 15] = [
     Target::AsReq,
     Target::AsRep,
     Target::TgsReq,
@@ -65,6 +75,9 @@ pub const TARGETS: [Target; 12] = [
     Target::EncAsRepPart,
     Target::EncTgsRepPart,
     Target::EncApRepPart,
+    Target::SafeMsg,
+    Target::PrivPart,
+    Target::ChallengeResp,
 ];
 
 impl Target {
@@ -83,6 +96,9 @@ impl Target {
             Target::EncAsRepPart => "enc-as-rep-part",
             Target::EncTgsRepPart => "enc-tgs-rep-part",
             Target::EncApRepPart => "enc-ap-rep-part",
+            Target::SafeMsg => "krb-safe",
+            Target::PrivPart => "priv-part",
+            Target::ChallengeResp => "challenge-resp",
         }
     }
 
@@ -100,9 +116,10 @@ impl Target {
             WireKind::ApReq => Target::ApReq,
             WireKind::ApRep => Target::ApRep,
             WireKind::Err => Target::Error,
-            // Session frames (SAFE/PRIV/challenge/app-data) have no
-            // standalone message decoder; they are covered through the
-            // enc-part targets.
+            // PRIV/challenge frames on the wire carry ciphertext; their
+            // decoders are fuzzed through the post-decryption PrivPart /
+            // ChallengeResp structure seeds instead. SAFE and app-data
+            // frames do not occur in the capture flow.
             _ => return None,
         })
     }
@@ -276,12 +293,50 @@ fn structure_seeds(codec: Codec) -> Vec<(Target, Vec<u8>)> {
     };
     let ap_part = EncApRepPart { ts_echo: 1_000_000_000_001, subkey: Some(9), seq_init: Some(1) };
 
+    // Session-layer frames (appended after the original structures so
+    // the pre-existing pinned fixtures keep their bytes and names).
+    use kerberos::messages::{frame, WireKind};
+    use kerberos::session::{encode_priv_draft3, encode_priv_hardened, Direction, PrivPart, Session};
+
+    let config = config_for(codec);
+    let key = DesKey::from_u64(0x2468_ACE0_1357_9BDF).with_odd_parity();
+    let mut sender = Session::new(
+        Principal::user("pat", "ATHENA.MIT.EDU"),
+        key,
+        &config,
+        Direction::ClientToServer,
+        100,
+        500,
+    );
+    // Sealing cannot fail for this fixed input; an empty fallback would
+    // fail the canonical-roundtrip test loudly rather than panic here.
+    let safe_wire = sender
+        .send_safe(b"balance: 10 credits", 1_000_000_000_000, 0x0a00_0001, &config)
+        .unwrap_or_default();
+    let priv_part = PrivPart {
+        data: b"ls /mail".to_vec(),
+        ts_or_seq: 1_000_000_000_123,
+        direction: Direction::ClientToServer,
+        addr: 0x0a00_0001,
+    };
+    // The plaintext layout matches what the deployment's priv layer
+    // frames: Draft-3 data-first for the legacy stack, length-framed for
+    // the hardened ones.
+    let priv_bytes = match codec {
+        Codec::Legacy => encode_priv_draft3(&priv_part),
+        _ => encode_priv_hardened(&priv_part),
+    };
+    let challenge_wire = frame(WireKind::ChallengeResp, ap_part.encode(codec));
+
     vec![
         (Target::Ticket, ticket.encode(codec)),
         (Target::Authenticator, auth.encode(codec)),
         (Target::EncAsRepPart, kdc_part.encode(codec, MsgType::EncAsRepPart)),
         (Target::EncTgsRepPart, kdc_part.encode(codec, MsgType::EncTgsRepPart)),
         (Target::EncApRepPart, ap_part.encode(codec)),
+        (Target::SafeMsg, safe_wire),
+        (Target::PrivPart, priv_bytes),
+        (Target::ChallengeResp, challenge_wire),
     ]
 }
 

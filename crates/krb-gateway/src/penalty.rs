@@ -1,0 +1,197 @@
+//! Per-principal preauth-storm throttling.
+//!
+//! The paper's password-guessing attack (E2) needs many AS exchanges
+//! against one principal; each failed preauthentication here is a
+//! *strike* against that principal, and once strikes cross a threshold
+//! every further AS request for the principal is refused for an
+//! exponentially growing penalty window. A successful login clears the
+//! record, and strikes decay on their own so a user who fat-fingers a
+//! password twice on Monday is not one typo from lockout on Friday.
+
+use std::collections::BTreeMap;
+
+/// Tuning for the penalty box.
+#[derive(Clone, Debug)]
+pub struct PenaltyConfig {
+    /// Strikes tolerated before a penalty window opens.
+    pub strike_threshold: u32,
+    /// First window's length; each strike past the threshold doubles it.
+    pub base_window_us: u64,
+    /// Cap on doublings, bounding the worst-case lockout.
+    pub max_doublings: u32,
+    /// A strike is forgotten if no new strike lands within this long.
+    pub decay_us: u64,
+}
+
+impl PenaltyConfig {
+    /// Defaults matched to the E2 storm scenarios: three free strikes,
+    /// then 2s, 4s, ... up to ~2min windows; strikes decay after 10min.
+    pub fn standard() -> Self {
+        PenaltyConfig {
+            strike_threshold: 3,
+            base_window_us: 2_000_000,
+            max_doublings: 6,
+            decay_us: 600_000_000,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PenaltyEntry {
+    strikes: u32,
+    last_strike_us: u64,
+    blocked_until_us: u64,
+}
+
+/// Strike bookkeeping for every principal the gateway has seen fail.
+#[derive(Clone, Debug)]
+pub struct PenaltyBox {
+    config: PenaltyConfig,
+    entries: BTreeMap<String, PenaltyEntry>,
+}
+
+impl PenaltyBox {
+    pub fn new(config: PenaltyConfig) -> Self {
+        PenaltyBox { config, entries: BTreeMap::new() }
+    }
+
+    /// Whether `principal` is inside an open penalty window.
+    pub fn is_blocked(&self, principal: &str, now_us: u64) -> bool {
+        self.entries
+            .get(principal)
+            .map(|e| now_us < e.blocked_until_us)
+            .unwrap_or(false)
+    }
+
+    /// Records a preauthentication failure for `principal`. Returns the
+    /// penalty window just opened (µs), if strikes crossed the
+    /// threshold.
+    pub fn strike(&mut self, principal: &str, now_us: u64) -> Option<u64> {
+        let cfg = &self.config;
+        let entry = self
+            .entries
+            .entry(principal.to_string())
+            .or_insert(PenaltyEntry { strikes: 0, last_strike_us: now_us, blocked_until_us: 0 });
+        if now_us.saturating_sub(entry.last_strike_us) > cfg.decay_us {
+            entry.strikes = 0;
+        }
+        entry.strikes = entry.strikes.saturating_add(1);
+        entry.last_strike_us = now_us;
+        if entry.strikes <= cfg.strike_threshold {
+            return None;
+        }
+        let over = (entry.strikes - cfg.strike_threshold - 1).min(cfg.max_doublings);
+        let window = cfg.base_window_us.saturating_shl(over);
+        entry.blocked_until_us = now_us.saturating_add(window);
+        Some(window)
+    }
+
+    /// Forgets `principal` entirely (successful authentication).
+    pub fn clear(&mut self, principal: &str) {
+        self.entries.remove(principal);
+    }
+
+    /// Drops all state (gateway restart: the box is volatile).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of principals currently carrying strikes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping; shift counts
+/// are capped by `max_doublings` but belt-and-braces here keeps the
+/// arithmetic total.
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        self.checked_shl(n).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PenaltyConfig {
+        PenaltyConfig {
+            strike_threshold: 2,
+            base_window_us: 1_000_000,
+            max_doublings: 3,
+            decay_us: 60_000_000,
+        }
+    }
+
+    #[test]
+    fn threshold_strikes_are_free() {
+        let mut pb = PenaltyBox::new(cfg());
+        assert_eq!(pb.strike("pat", 0), None);
+        assert_eq!(pb.strike("pat", 1), None);
+        assert!(!pb.is_blocked("pat", 2));
+    }
+
+    #[test]
+    fn windows_double_then_cap() {
+        let mut pb = PenaltyBox::new(cfg());
+        pb.strike("pat", 0);
+        pb.strike("pat", 0);
+        assert_eq!(pb.strike("pat", 0), Some(1_000_000));
+        assert_eq!(pb.strike("pat", 0), Some(2_000_000));
+        assert_eq!(pb.strike("pat", 0), Some(4_000_000));
+        assert_eq!(pb.strike("pat", 0), Some(8_000_000));
+        // max_doublings = 3 caps the window.
+        assert_eq!(pb.strike("pat", 0), Some(8_000_000));
+    }
+
+    #[test]
+    fn block_expires_with_time() {
+        let mut pb = PenaltyBox::new(cfg());
+        for _ in 0..3 {
+            pb.strike("pat", 0);
+        }
+        assert!(pb.is_blocked("pat", 500_000));
+        assert!(!pb.is_blocked("pat", 1_000_000));
+    }
+
+    #[test]
+    fn success_clears_the_record() {
+        let mut pb = PenaltyBox::new(cfg());
+        for _ in 0..3 {
+            pb.strike("pat", 0);
+        }
+        pb.clear("pat");
+        assert!(!pb.is_blocked("pat", 0));
+        assert_eq!(pb.strike("pat", 0), None, "history gone, strikes restart");
+    }
+
+    #[test]
+    fn strikes_decay_when_quiet() {
+        let mut pb = PenaltyBox::new(cfg());
+        pb.strike("pat", 0);
+        pb.strike("pat", 0);
+        // Past decay_us: the old strikes are forgotten before this one
+        // lands, so it counts as the first.
+        assert_eq!(pb.strike("pat", 61_000_000), None);
+    }
+
+    #[test]
+    fn principals_are_independent() {
+        let mut pb = PenaltyBox::new(cfg());
+        for _ in 0..3 {
+            pb.strike("victim", 0);
+        }
+        assert!(pb.is_blocked("victim", 0));
+        assert!(!pb.is_blocked("sam", 0));
+        assert_eq!(pb.len(), 1);
+    }
+}

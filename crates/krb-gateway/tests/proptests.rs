@@ -1,0 +1,214 @@
+//! Property tests for the admission-control gateway: queue and bucket
+//! invariants hold for arbitrary traffic schedules, penalty windows are
+//! bounded (a starved principal always recovers), and the full
+//! shed/admit decision stream is a pure function of (seed, fault plan).
+
+use krb_gateway::{
+    AdmissionQueue, Frontend, Gateway, GatewayConfig, PenaltyBox, PenaltyConfig, ReplyClass,
+    RequestClass, ShedPolicy, TokenBucket,
+};
+use simnet::clock::SimTime;
+use simnet::{Addr, Endpoint, FaultPlan, Host, Network, Service, ServiceCtx, SimDuration};
+use testkit::prelude::*;
+
+/// Toy protocol shared by the simnet properties: `AS:<name>` requests,
+/// `OK`/`FAIL` replies, `BUSY:<reason>` refusals.
+struct ToyFrontend;
+impl Frontend for ToyFrontend {
+    fn classify_request(&self, req: &[u8]) -> RequestClass {
+        match req.strip_prefix(b"AS:") {
+            Some(name) => RequestClass::AsRequest {
+                principal: String::from_utf8_lossy(name).into_owned(),
+            },
+            None => RequestClass::Other,
+        }
+    }
+    fn classify_reply(&self, reply: &[u8]) -> ReplyClass {
+        match reply {
+            b"FAIL" => ReplyClass::PreauthFailure,
+            b"OK" => ReplyClass::Success,
+            _ => ReplyClass::Other,
+        }
+    }
+    fn busy_reply(&self, reason: &'static str) -> Vec<u8> {
+        let mut v = b"BUSY:".to_vec();
+        v.extend_from_slice(reason.as_bytes());
+        v
+    }
+}
+
+/// An upstream that fails every third AS request (so the penalty path
+/// and the success path both run) and echoes everything else.
+struct ToyKdc {
+    n: u64,
+}
+impl Service for ToyKdc {
+    fn handle(&mut self, _ctx: &mut ServiceCtx, req: &[u8], _from: Endpoint) -> Option<Vec<u8>> {
+        self.n += 1;
+        if req.starts_with(b"AS:") {
+            Some(if self.n.is_multiple_of(3) { b"FAIL".to_vec() } else { b"OK".to_vec() })
+        } else {
+            Some(req.to_vec())
+        }
+    }
+}
+
+testkit::prop! {
+    /// However requests arrive in time, the backlog never exceeds the
+    /// configured bound — under either shed policy.
+    fn queue_occupancy_never_exceeds_bound(
+        bound in 0usize..24,
+        service_us in 1u64..50_000,
+        newest in any::<bool>(),
+        gaps in collection::vec(0u64..20_000, 0..200),
+    ) {
+        let policy = if newest { ShedPolicy::ShedNewest } else { ShedPolicy::ShedOldest };
+        let mut q = AdmissionQueue::new(bound, service_us, policy);
+        let mut now = 0u64;
+        for gap in gaps {
+            now += gap;
+            let _ = q.offer(now);
+            prop_assert!(
+                q.occupancy() <= q.bound(),
+                "occupancy {} exceeded bound {}",
+                q.occupancy(),
+                q.bound()
+            );
+        }
+    }
+
+    /// A token bucket admits at most burst + rate·elapsed requests, and
+    /// its level never exceeds capacity, for any arrival schedule.
+    fn bucket_admissions_are_rate_bounded(
+        rate in 0u64..100,
+        burst in 1u64..50,
+        gaps in collection::vec(0u64..200_000, 1..150),
+    ) {
+        let mut b = TokenBucket::new(rate, burst, 0);
+        let mut now = 0u64;
+        let mut admitted = 0u64;
+        for gap in gaps {
+            now += gap;
+            prop_assert!(b.level(now) <= burst, "level exceeded capacity");
+            if b.try_take(now) {
+                admitted += 1;
+            }
+        }
+        // Integer refill truncates, so the true allowance is at most the
+        // real-number bound.
+        let allowance = burst + rate * now / 1_000_000 + 1;
+        prop_assert!(
+            admitted <= allowance,
+            "{admitted} admissions exceeded the {allowance}-token allowance"
+        );
+    }
+
+    /// Penalty windows are bounded: whatever the storm did, the
+    /// principal is unblocked one maximal window after its last strike.
+    /// This is the unit-level form of "a starved legitimate client
+    /// eventually authenticates once the storm subsides".
+    fn penalty_windows_always_expire(
+        threshold in 0u32..5,
+        base_us in 1u64..10_000_000,
+        max_doublings in 0u32..8,
+        strikes in 1usize..40,
+        gap_us in 0u64..100_000,
+    ) {
+        let config = PenaltyConfig {
+            strike_threshold: threshold,
+            base_window_us: base_us,
+            max_doublings,
+            decay_us: u64::MAX,
+        };
+        let mut p = PenaltyBox::new(config);
+        let mut now = 0u64;
+        for _ in 0..strikes {
+            let _ = p.strike("victim", now);
+            now += gap_us;
+        }
+        let max_window = base_us.saturating_shl_or_max(max_doublings);
+        prop_assert!(
+            !p.is_blocked("victim", now + max_window),
+            "principal still blocked one maximal window after the last strike"
+        );
+    }
+
+    /// The full decision stream — which requests are admitted, shed,
+    /// throttled, penalized — is a pure function of (seed, fault plan):
+    /// two runs of the same generated schedule under the same crash
+    /// window produce byte-identical traces and stats.
+    fn shed_admit_sequence_is_deterministic [24] (
+        seed in any::<u64>(),
+        crash_round in 0u64..6,
+        schedule in collection::vec((0u8..4, 0u64..80_000), 1..60),
+    ) {
+        let run = |schedule: &[(u8, u64)]| {
+            let mut net = Network::new();
+            net.advance(SimDuration::from_secs(1_000));
+
+            let kdc = Addr::new(10, 0, 0, 250);
+            let mut kdc_host = Host::new("kdc", vec![kdc]);
+            kdc_host.bind(88, Box::new(ToyKdc { n: 0 }));
+            net.add_host(kdc_host);
+
+            let gw_addr = Addr::new(10, 0, 0, 254);
+            let mut cfg = GatewayConfig::standard();
+            cfg.per_source_rate_per_sec = 2;
+            cfg.per_source_burst = 3;
+            cfg.global_rate_per_sec = 5;
+            cfg.global_burst = 6;
+            cfg.queue_bound = 4;
+            let mut gw_host = Host::new("gw", vec![gw_addr]);
+            gw_host.bind(
+                88,
+                Box::new(Gateway::new(cfg, ToyFrontend, vec![Endpoint::new(kdc, 88)])),
+            );
+            net.add_host(gw_host);
+
+            let clients: Vec<Addr> = (1..=4).map(|i| Addr::new(10, 0, 0, i)).collect();
+            for (i, c) in clients.iter().enumerate() {
+                net.add_host(Host::new(&format!("c{i}"), vec![*c]));
+            }
+
+            // Crash window derived from the generated round index.
+            let t0 = net.now().0;
+            let from = t0 + crash_round * 200_000;
+            net.set_fault_plan(FaultPlan::new(seed).crash(
+                gw_addr,
+                SimTime(from),
+                SimTime(from + 200_000),
+            ));
+
+            let gw_ep = Endpoint::new(gw_addr, 88);
+            let mut outcomes = Vec::new();
+            for (who, gap) in schedule {
+                net.advance(SimDuration(*gap));
+                let src = Endpoint::new(clients[usize::from(*who) % clients.len()], 1024);
+                let name = if *who == 0 { "victim" } else { "user" };
+                let r = net.rpc(src, gw_ep, format!("AS:{name}").into_bytes());
+                outcomes.push(format!("{r:?}"));
+            }
+            net.pump();
+            (outcomes, format!("{:?}", net.tracer().events()))
+        };
+
+        let a = run(&schedule);
+        let b = run(&schedule);
+        prop_assert_eq!(a.0, b.0, "reply stream diverged across same-seed runs");
+        prop_assert_eq!(a.1, b.1, "trace diverged across same-seed runs");
+    }
+}
+
+/// Saturating `<<` helper mirroring the penalty box arithmetic.
+trait SaturatingShl {
+    fn saturating_shl_or_max(self, shift: u32) -> Self;
+}
+impl SaturatingShl for u64 {
+    fn saturating_shl_or_max(self, shift: u32) -> u64 {
+        if shift >= 64 || self > (u64::MAX >> shift) {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}

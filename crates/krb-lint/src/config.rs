@@ -24,7 +24,7 @@ pub const SECRET_TYPES: &[&str] = &[
 /// same-seed runs must produce byte-identical reports). `bench` and
 /// `testkit` are exempt — they measure wall clocks on purpose.
 pub const DETERMINISTIC_CRATES: &[&str] =
-    &["simnet", "kerberos", "krb-crypto", "attacks", "krb-trace", "krb-fuzz"];
+    &["simnet", "kerberos", "krb-crypto", "attacks", "krb-trace", "krb-fuzz", "krb-gateway"];
 
 /// Crates whose `src/` is production protocol code: a panic is a
 /// protocol-visible denial of service, so `unwrap`/`expect`/`panic!`
@@ -33,9 +33,10 @@ pub const DETERMINISTIC_CRATES: &[&str] =
 /// must never panic itself — a panic anywhere in its `src/` would be
 /// indistinguishable from the decoder bugs it exists to catch.
 /// `attacks` is the adversary harness and `bench`/`krb-lint` are
-/// tooling; they are exempt.
+/// tooling; they are exempt. `krb-gateway` fronts every KDC flow, so a
+/// panic there is a realm-wide outage — it is governed.
 pub const PANIC_FREE_CRATES: &[&str] =
-    &["simnet", "kerberos", "krb-crypto", "hardware", "krb-trace", "krb-fuzz"];
+    &["simnet", "kerberos", "krb-crypto", "hardware", "krb-trace", "krb-fuzz", "krb-gateway"];
 
 /// Macros whose arguments become human-readable strings (S002 scans
 /// their argument lists for secret-named identifiers).

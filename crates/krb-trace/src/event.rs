@@ -66,6 +66,14 @@ pub enum EventKind {
     HostDown,
     /// A host restarted (volatile state reset).
     HostRestart,
+    /// Gateway shed a request: admission queue full, the load-shedding
+    /// policy refused or evicted it (`policy`, `src`, `occupancy`
+    /// fields).
+    GatewayShed,
+    /// Gateway throttled a request before it reached the queue: token
+    /// bucket empty or principal in a penalty window (`reason`, `src`
+    /// fields).
+    GatewayThrottle,
     /// Free-form annotation (adversary actions, scenario markers).
     Note,
 }
@@ -89,6 +97,8 @@ impl EventKind {
             EventKind::RateLimited => "kdc.rate_limited",
             EventKind::HostDown => "net.host_down",
             EventKind::HostRestart => "net.host_restart",
+            EventKind::GatewayShed => "gateway.shed",
+            EventKind::GatewayThrottle => "gateway.throttle",
             EventKind::Note => "note",
         }
     }
@@ -184,6 +194,8 @@ mod tests {
             EventKind::RateLimited,
             EventKind::HostDown,
             EventKind::HostRestart,
+            EventKind::GatewayShed,
+            EventKind::GatewayThrottle,
             EventKind::Note,
         ];
         let mut labels: Vec<_> = all.iter().map(|k| k.label()).collect();

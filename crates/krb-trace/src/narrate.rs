@@ -79,6 +79,20 @@ pub fn narrate(events: &[Event], lens: &dyn Lens) -> String {
             EventKind::Note => {
                 let _ = writeln!(out, "[{t:>14}]  · {}", ev.str_field("text").unwrap_or(""));
             }
+            EventKind::GatewayShed => {
+                let src = lens.actor(ev.str_field("src").unwrap_or("?"));
+                let policy = ev.str_field("policy").unwrap_or("?");
+                let occ = ev.u64_field("occupancy").unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "[{t:>14}] !! gateway sheds {src} (policy {policy}, queue at {occ})"
+                );
+            }
+            EventKind::GatewayThrottle => {
+                let src = lens.actor(ev.str_field("src").unwrap_or("?"));
+                let reason = ev.str_field("reason").unwrap_or("?");
+                let _ = writeln!(out, "[{t:>14}] !! gateway throttles {src} ({reason})");
+            }
             other => {
                 let _ = writeln!(out, "[{t:>14}]  · {}{}", other.label(), extras(ev, &[]));
             }
@@ -165,5 +179,27 @@ mod tests {
         assert!(text.contains(">> as-exchange (client=pat)"));
         assert!(text.contains("· kdc.ticket_issued (client=pat, service=krbtgt)"));
         assert!(text.contains("<< as-exchange (+0.001000s)"));
+    }
+
+    #[test]
+    fn gateway_events_render_as_admission_lines() {
+        let t = Tracer::new();
+        t.emit(
+            EventKind::GatewayShed,
+            100,
+            vec![
+                ("src", Value::str("10.0.0.9")),
+                ("policy", Value::str("shed-newest")),
+                ("occupancy", Value::U64(32)),
+            ],
+        );
+        t.emit(
+            EventKind::GatewayThrottle,
+            200,
+            vec![("src", Value::str("10.0.0.9")), ("reason", Value::str("penalty"))],
+        );
+        let text = narrate(&t.events(), &RawLens);
+        assert!(text.contains("!! gateway sheds 10.0.0.9 (policy shed-newest, queue at 32)"));
+        assert!(text.contains("!! gateway throttles 10.0.0.9 (penalty)"));
     }
 }

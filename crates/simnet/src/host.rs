@@ -31,6 +31,12 @@ pub struct ServiceCtx {
     /// The network-wide tracer; services emit protocol events and
     /// per-principal metrics through it.
     pub tracer: Tracer,
+    /// A pending upstream forward, set via [`ServiceCtx::forward_to`].
+    /// When [`Service::handle`] returns `None` with this set, the
+    /// network runs the forwarded request over the wire (latency, tap,
+    /// faults all apply) and hands the outcome back to the same service
+    /// through [`Service::on_forward_reply`].
+    pub forward: Option<(Endpoint, Vec<u8>)>,
 }
 
 impl ServiceCtx {
@@ -45,7 +51,15 @@ impl ServiceCtx {
             multi_user,
             true_time: local_time,
             tracer: Tracer::new(),
+            forward: None,
         }
+    }
+
+    /// Requests that the network forward `payload` to `to` on this
+    /// service's behalf (proxy/front-end pattern). Only honored when
+    /// [`Service::handle`] returns `None`; a direct reply wins.
+    pub fn forward_to(&mut self, to: Endpoint, payload: Vec<u8>) {
+        self.forward = Some((to, payload));
     }
 }
 
@@ -73,6 +87,21 @@ pub trait Service {
     /// services with volatile state should clear it here — what survives
     /// a restart is exactly what the service chose to persist.
     fn on_restart(&mut self, _ctx: &mut ServiceCtx) {}
+
+    /// Called with the outcome of a forward this service requested via
+    /// [`ServiceCtx::forward_to`]: the upstream's reply payload, or the
+    /// network error the forwarded leg died of. The return value is the
+    /// reply sent to the original requester (`from`), if any. The
+    /// default drops the exchange — only proxy-style services override
+    /// this.
+    fn on_forward_reply(
+        &mut self,
+        _ctx: &mut ServiceCtx,
+        _upstream: Result<&[u8], &crate::net::NetError>,
+        _from: Endpoint,
+    ) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// A machine on the network.

@@ -240,6 +240,11 @@ impl std::error::Error for NetError {}
 /// time before the simulator discards it.
 const STALE_TTL_US: u64 = 60_000_000;
 
+/// Longest chain of [`crate::host::ServiceCtx::forward_to`] hops one
+/// request may traverse before the network refuses to recurse further
+/// (loop guard for misconfigured proxy meshes).
+const MAX_FORWARD_DEPTH: u32 = 4;
+
 /// A datagram held by the fault layer: a duplicate copy, a reordered
 /// original, or a reply nobody was waiting for.
 #[derive(Clone, Debug)]
@@ -725,6 +730,14 @@ impl Network {
 
     /// Hands a datagram to the destination service and returns its reply.
     fn dispatch(&mut self, dgram: Datagram) -> Result<Option<Datagram>, NetError> {
+        self.dispatch_at(dgram, 0)
+    }
+
+    /// [`Network::dispatch`] with a forward-chain depth: a service that
+    /// requests a forward ([`ServiceCtx::forward_to`]) re-enters here
+    /// one level deeper, and chains longer than
+    /// [`MAX_FORWARD_DEPTH`] are refused rather than recursed.
+    fn dispatch_at(&mut self, dgram: Datagram, depth: u32) -> Result<Option<Datagram>, NetError> {
         let hid = self.host_by_addr(dgram.dst.addr).ok_or(NetError::NoRoute(dgram.dst.addr))?;
         if let Some(mut plan) = self.fault.take() {
             let down = plan.host_down(dgram.dst.addr, self.true_time);
@@ -759,11 +772,72 @@ impl Network {
             multi_user: host.multi_user,
             true_time: self.true_time,
             tracer: self.tracer.clone(),
+            forward: None,
         };
-        let reply = service.handle(&mut ctx, &dgram.payload, dgram.src);
+        let mut reply = service.handle(&mut ctx, &dgram.payload, dgram.src);
+        if let (None, Some((up, fwd_payload))) = (&reply, ctx.forward.take()) {
+            // Proxy leg: the forwarded request keeps the ORIGINAL
+            // client as its source (transparent forwarding), so the
+            // backend's per-source accounting and any address binding
+            // still see the real client. Both forwarded legs cross the
+            // wire like any other traffic: latency, the adversary tap,
+            // and the fault plan all apply.
+            let upstream = self.forward_leg(dgram.src, dgram.dst, up, fwd_payload, depth);
+            let host = &self.hosts[hid.0];
+            let mut fctx = ServiceCtx {
+                // Re-read the clock: the forwarded round trip advanced
+                // time.
+                local_time: host.clock.now(self.true_time),
+                host_name: host.name.clone(),
+                host_addr: dgram.dst.addr,
+                multi_user: host.multi_user,
+                true_time: self.true_time,
+                tracer: self.tracer.clone(),
+                forward: None,
+            };
+            reply = match &upstream {
+                Ok(bytes) => service.on_forward_reply(&mut fctx, Ok(bytes), dgram.src),
+                Err(e) => service.on_forward_reply(&mut fctx, Err(e), dgram.src),
+            };
+        }
         self.hosts[hid.0].services.insert(dgram.dst.port, service);
 
         Ok(reply.map(|payload| Datagram { src: dgram.dst, dst: dgram.src, payload: payload.into() }))
+    }
+
+    /// Runs one forwarded request leg on behalf of a proxy service at
+    /// `via`: `src -> to` across the wire, dispatch at the upstream,
+    /// and the upstream's reply carried back to the proxy.
+    fn forward_leg(
+        &mut self,
+        src: Endpoint,
+        via: Endpoint,
+        to: Endpoint,
+        payload: Vec<u8>,
+        depth: u32,
+    ) -> Result<Vec<u8>, NetError> {
+        if depth + 1 >= MAX_FORWARD_DEPTH {
+            // A forwarding loop (or an absurdly deep proxy chain) is
+            // refused rather than recursed into.
+            return Err(NetError::NoRoute(to.addr));
+        }
+        let request = Datagram { src, dst: to, payload: payload.into() };
+        let delivered = match self.transit(request, true, true) {
+            LegOutcome::Delivered(d, _) => d,
+            LegOutcome::Lost => return Err(NetError::Dropped),
+            LegOutcome::Held => return Err(NetError::TimedOut),
+        };
+        let mut upstream_reply =
+            self.dispatch_at(delivered, depth + 1)?.ok_or(NetError::NoReply)?;
+        // The upstream addressed its reply to the original client; it
+        // physically travels back to the proxy, which is what the trace
+        // should show.
+        upstream_reply.dst = via;
+        match self.transit(upstream_reply, false, true) {
+            LegOutcome::Delivered(d, _) => Ok(d.payload.to_vec()),
+            LegOutcome::Lost => Err(NetError::ReplyLost),
+            LegOutcome::Held => Err(NetError::TimedOut),
+        }
     }
 
     /// Runs [`crate::host::Service::on_restart`] on every service bound
@@ -788,6 +862,7 @@ impl Network {
                 multi_user: host.multi_user,
                 true_time: self.true_time,
                 tracer: self.tracer.clone(),
+                forward: None,
             };
             service.on_restart(&mut ctx);
             self.hosts[hid.0].services.insert(port, service);
@@ -1043,6 +1118,118 @@ mod tests {
         net.advance(SimDuration::from_secs(2));
         // First contact after the window: the service restarted.
         assert_eq!(net.rpc(c, s, b"x".to_vec()).unwrap(), vec![1]);
+    }
+
+    // ---- forwarding (proxy services) ----
+
+    /// A proxy that forwards every request to a fixed upstream and
+    /// relays the upstream's reply, prefixed with a marker byte; on an
+    /// upstream failure it answers with `b"busy"`.
+    struct Proxy {
+        upstream: Endpoint,
+    }
+    impl Service for Proxy {
+        fn handle(&mut self, ctx: &mut ServiceCtx, req: &[u8], _from: Endpoint) -> Option<Vec<u8>> {
+            ctx.forward_to(self.upstream, req.to_vec());
+            None
+        }
+        fn on_forward_reply(
+            &mut self,
+            _ctx: &mut ServiceCtx,
+            upstream: Result<&[u8], &NetError>,
+            _from: Endpoint,
+        ) -> Option<Vec<u8>> {
+            match upstream {
+                Ok(bytes) => {
+                    let mut v = vec![b'>'];
+                    v.extend_from_slice(bytes);
+                    Some(v)
+                }
+                Err(_) => Some(b"busy".to_vec()),
+            }
+        }
+    }
+
+    fn build_proxied() -> (Network, Endpoint, Endpoint, Endpoint) {
+        let mut net = Network::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let g = Addr::new(10, 0, 0, 2);
+        let b = Addr::new(10, 0, 0, 3);
+        net.add_host(Host::new("client", vec![a]));
+        let mut server = Host::new("server", vec![b]);
+        server.bind(7, Box::new(Echo));
+        net.add_host(server);
+        let upstream = Endpoint::new(b, 7);
+        let mut gw = Host::new("proxy", vec![g]);
+        gw.bind(7, Box::new(Proxy { upstream }));
+        net.add_host(gw);
+        (net, Endpoint::new(a, 1024), Endpoint::new(g, 7), upstream)
+    }
+
+    #[test]
+    fn forwarded_rpc_reaches_upstream_and_returns() {
+        let (mut net, c, gw, _) = build_proxied();
+        assert_eq!(net.rpc(c, gw, b"abc".to_vec()).unwrap(), b">cba");
+    }
+
+    #[test]
+    fn forwarded_legs_cost_extra_latency() {
+        let (mut net, c, gw, up) = build_proxied();
+        let t0 = net.now();
+        net.rpc(c, gw, b"x".to_vec()).unwrap();
+        let proxied = net.now().0 - t0.0;
+        let t1 = net.now();
+        net.rpc(c, up, b"x".to_vec()).unwrap();
+        let direct = net.now().0 - t1.0;
+        assert_eq!(proxied, 2 * direct, "proxy adds one round trip of wire time");
+    }
+
+    #[test]
+    fn forwarded_request_preserves_original_source() {
+        struct From;
+        impl Service for From {
+            fn handle(&mut self, _: &mut ServiceCtx, _: &[u8], from: Endpoint) -> Option<Vec<u8>> {
+                Some(from.addr.0.to_be_bytes().to_vec())
+            }
+        }
+        let (mut net, c, gw, up) = build_proxied();
+        let hid = net.host_by_addr(up.addr).unwrap();
+        net.host_mut(hid).bind(7, Box::new(From));
+        let reply = net.rpc(c, gw, b"who?".to_vec()).unwrap();
+        assert_eq!(&reply[1..], c.addr.0.to_be_bytes(), "upstream saw the real client");
+    }
+
+    #[test]
+    fn upstream_crash_surfaces_via_on_forward_reply() {
+        let (mut net, c, gw, up) = build_proxied();
+        let t0 = net.now();
+        net.set_fault_plan(FaultPlan::new(0).crash(up.addr, t0, SimTime(t0.0 + 1_000_000)));
+        assert_eq!(net.rpc(c, gw, b"x".to_vec()).unwrap(), b"busy");
+        net.advance(SimDuration::from_secs(2));
+        assert_eq!(net.rpc(c, gw, b"x".to_vec()).unwrap(), b">x");
+    }
+
+    #[test]
+    fn forward_loop_is_refused_not_recursed() {
+        // Two proxies pointing at each other: the loop breaks (a
+        // service already detached for dispatch cannot be re-entered,
+        // and the depth cap bounds longer chains) and the outcome
+        // surfaces as a typed failure reply at the inner proxy, which
+        // the outer proxy relays.
+        let mut net = Network::new();
+        let a = Addr::new(10, 0, 0, 1);
+        let g1 = Addr::new(10, 0, 0, 2);
+        let g2 = Addr::new(10, 0, 0, 3);
+        net.add_host(Host::new("client", vec![a]));
+        let mut h1 = Host::new("p1", vec![g1]);
+        h1.bind(7, Box::new(Proxy { upstream: Endpoint::new(g2, 7) }));
+        net.add_host(h1);
+        let mut h2 = Host::new("p2", vec![g2]);
+        h2.bind(7, Box::new(Proxy { upstream: Endpoint::new(g1, 7) }));
+        net.add_host(h2);
+        let c = Endpoint::new(a, 1024);
+        let reply = net.rpc(c, Endpoint::new(g1, 7), b"x".to_vec()).unwrap();
+        assert_eq!(reply, b">busy");
     }
 
     #[test]

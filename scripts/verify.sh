@@ -87,6 +87,15 @@ echo "== fuzz smoke (fixed seed, deterministic, panic-free) =="
 # must be byte-identical.
 scripts/fuzz.sh
 
+echo "== gateway overload scenarios (E17) =="
+# The four seeded abuse campaigns against the admission-controlled KDC
+# front-end: flash crowd, preauth storm, misbehaving herd, crash-restart.
+# Each is byte-replayable from its seed; the run regenerates
+# BENCH_gateway.json (goodput, shed rate, p99 latency, admission ratios).
+cargo run --release --offline -p bench --bin table_gateway_overload
+grep -q '"preauth_storm.legit_ok"' BENCH_gateway.json \
+    || { echo "BENCH_gateway.json missing preauth-storm scores"; exit 1; }
+
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
 # drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts

@@ -14,7 +14,7 @@ use crate::error::KrbError;
 use crate::principal::Principal;
 use crate::ticket::{put_principal, take_principal};
 use krb_crypto::checksum::{Checksum, ChecksumType};
-use krb_crypto::des::DesKey;
+use krb_crypto::des::{DesKey, ScheduledKey};
 use krb_crypto::rng::RandomSource;
 
 /// The plaintext contents of an authenticator.
@@ -123,6 +123,19 @@ impl Authenticator {
         data: &[u8],
     ) -> Result<Authenticator, KrbError> {
         let pt = layer.open(session_key, 0, data)?;
+        Authenticator::decode(codec, &pt)
+    }
+
+    /// Decrypts and parses with a precomputed schedule (the KDC's batch
+    /// path expands the TGS-session key once per request, not once per
+    /// sealed part).
+    pub fn unseal_with(
+        codec: Codec,
+        layer: EncLayer,
+        session_key: &ScheduledKey,
+        data: &[u8],
+    ) -> Result<Authenticator, KrbError> {
+        let pt = layer.open_with(session_key, 0, data)?;
         Authenticator::decode(codec, &pt)
     }
 }

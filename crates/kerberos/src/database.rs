@@ -23,12 +23,15 @@ pub struct DbEntry {
 pub struct KdcDatabase {
     realm: String,
     entries: BTreeMap<Principal, DbEntry>,
+    /// Reusable string-to-key scratch state: bulk provisioning derives
+    /// millions of keys, and must not pay one fresh buffer per call.
+    deriver: s2k::Deriver,
 }
 
 impl KdcDatabase {
     /// An empty database for `realm`.
     pub fn new(realm: &str) -> Self {
-        KdcDatabase { realm: realm.into(), entries: BTreeMap::new() }
+        KdcDatabase { realm: realm.into(), entries: BTreeMap::new(), deriver: s2k::Deriver::new() }
     }
 
     /// The realm this database serves.
@@ -36,10 +39,25 @@ impl KdcDatabase {
         &self.realm
     }
 
+    /// Number of registered principals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no principals are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of user (password-keyed) principals.
+    pub fn user_count(&self) -> usize {
+        self.entries.values().filter(|e| !e.is_service).count()
+    }
+
     /// Registers a user with a password-derived key (salted, V5-style).
     pub fn add_user(&mut self, name: &str, password: &str) -> Principal {
         let p = Principal::user(name, &self.realm);
-        let key = s2k::string_to_key_v5(password, &p.salt());
+        let key = self.deriver.derive(password, &p.salt());
         self.entries.insert(p.clone(), DbEntry { key, kvno: 1, is_service: false });
         p
     }
@@ -80,7 +98,7 @@ impl KdcDatabase {
     pub fn change_password(&mut self, p: &Principal, new_password: &str) -> Result<(), KrbError> {
         let salt = p.salt();
         let e = self.entries.get_mut(p).ok_or_else(|| KrbError::UnknownPrincipal(p.to_string()))?;
-        e.key = s2k::string_to_key_v5(new_password, &salt);
+        e.key = self.deriver.derive(new_password, &salt);
         e.kvno += 1;
         Ok(())
     }
@@ -90,6 +108,164 @@ impl KdcDatabase {
     /// this accessor exists for the KDC and tests, not the wire).
     pub fn principals(&self) -> impl Iterator<Item = &Principal> {
         self.entries.keys()
+    }
+}
+
+/// Deterministic shard routing: FNV-1a over the principal's canonical
+/// `name\0instance\0realm` encoding, reduced mod `shards`.
+///
+/// This is the single source of truth for shard placement — the
+/// database, the cluster testbed, and the gateway's shard-aware
+/// upstream routing all call it, so a request for a principal always
+/// lands on the KDC that owns that principal's key. It depends only on
+/// the principal and the shard count: stable across processes, runs,
+/// and platforms.
+pub fn shard_for(p: &Principal, shards: usize) -> usize {
+    shard_for_parts(&p.name, &p.instance, &p.realm, shards)
+}
+
+/// [`shard_for`] over the raw principal components (for callers that
+/// have wire strings rather than a built `Principal`).
+pub fn shard_for_parts(name: &str, instance: &str, realm: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in [name, instance, realm] {
+        for &b in part.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // NUL separator keeps ("ab","c") and ("a","bc") apart.
+        h ^= 0;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// The deterministic password used by bulk provisioning for `name`
+/// (exposed so benches and tests can log the provisioned users in).
+pub fn bulk_password(name: &str) -> String {
+    format!("pw!{name}")
+}
+
+/// The principal database partitioned into deterministic shards.
+///
+/// Users are placed by [`shard_for`]; realm-global entries (services,
+/// the TGS key, inter-realm keys) are replicated into every shard so
+/// any shard-owning KDC can mint tickets for any service. Each shard is
+/// a plain [`KdcDatabase`] and can be handed to its own KDC via
+/// [`ShardedDatabase::into_shards`].
+#[derive(Clone, Debug)]
+pub struct ShardedDatabase {
+    realm: String,
+    shards: Vec<KdcDatabase>,
+}
+
+impl ShardedDatabase {
+    /// An empty sharded database for `realm`. A `shard_count` of zero is
+    /// treated as one shard.
+    pub fn new(realm: &str, shard_count: usize) -> Self {
+        let n = shard_count.max(1);
+        ShardedDatabase { realm: realm.into(), shards: vec![KdcDatabase::new(realm); n] }
+    }
+
+    /// The realm this database serves.
+    pub fn realm(&self) -> &str {
+        &self.realm
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `p`.
+    pub fn shard_index(&self, p: &Principal) -> usize {
+        shard_for(p, self.shards.len())
+    }
+
+    /// Read access to shard `idx` (for tests and benches).
+    pub fn shard(&self, idx: usize) -> &KdcDatabase {
+        &self.shards[idx % self.shards.len().max(1)]
+    }
+
+    /// Registers a user in its owning shard.
+    pub fn add_user(&mut self, name: &str, password: &str) -> Principal {
+        let p = Principal::user(name, &self.realm);
+        let idx = shard_for(&p, self.shards.len());
+        self.shards[idx].add_user(name, password)
+    }
+
+    /// Bulk-provisions `count` users named `{prefix}{i}` with the
+    /// deterministic [`bulk_password`], deriving every key through the
+    /// shard's cached s2k path. Returns the number added.
+    pub fn bulk_add_users(&mut self, prefix: &str, count: usize) -> usize {
+        for i in 0..count {
+            let name = format!("{prefix}{i}");
+            self.add_user(&name, &bulk_password(&name));
+        }
+        count
+    }
+
+    /// Replicates a service key into every shard.
+    pub fn add_service(&mut self, service: &str, host: &str, key: DesKey) -> Principal {
+        let mut p = Principal::service(service, host, &self.realm);
+        for shard in &mut self.shards {
+            p = shard.add_service(service, host, key);
+        }
+        p
+    }
+
+    /// Replicates the realm's TGS key into every shard.
+    pub fn add_tgs(&mut self, key: DesKey) -> Principal {
+        let mut p = Principal::tgs(&self.realm);
+        for shard in &mut self.shards {
+            p = shard.add_tgs(key);
+        }
+        p
+    }
+
+    /// Replicates an inter-realm key into every shard.
+    pub fn add_cross_realm(&mut self, remote_realm: &str, key: DesKey) -> Principal {
+        let mut p = Principal::cross_realm_tgs(remote_realm, &self.realm);
+        for shard in &mut self.shards {
+            p = shard.add_cross_realm(remote_realm, key);
+        }
+        p
+    }
+
+    /// Looks up a principal in its owning shard. Replicated entries
+    /// (services, TGS) exist in every shard, so routing everything
+    /// through [`shard_for`] is total.
+    pub fn lookup(&self, p: &Principal) -> Result<&DbEntry, KrbError> {
+        self.shards[shard_for(p, self.shards.len())].lookup(p)
+    }
+
+    /// Per-shard user occupancy (replicated service entries excluded),
+    /// the raw series behind the E18 load-skew metric.
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(KdcDatabase::user_count).collect()
+    }
+
+    /// Load skew: max shard occupancy over mean shard occupancy, in
+    /// thousandths (deterministic integer form for BENCH json). Returns
+    /// 0 for an empty database.
+    pub fn skew_millis(&self) -> u64 {
+        let occ = self.occupancy();
+        let total: usize = occ.iter().sum();
+        let max = occ.iter().copied().max().unwrap_or(0);
+        if total == 0 {
+            return 0;
+        }
+        // max / (total / n) = max * n / total, scaled by 1000.
+        (max as u64 * occ.len() as u64 * 1000) / total as u64
+    }
+
+    /// Consumes the sharded database, yielding one [`KdcDatabase`] per
+    /// shard for handing to shard-owning KDCs.
+    pub fn into_shards(self) -> Vec<KdcDatabase> {
+        self.shards
     }
 }
 
@@ -126,6 +302,60 @@ mod tests {
         let a = db.add_user("alice", "hunter2");
         let b = db.add_user("bob", "hunter2");
         assert_ne!(db.lookup(&a).unwrap().key, db.lookup(&b).unwrap().key);
+    }
+
+    #[test]
+    fn sharded_routing_matches_flat_database() {
+        let mut flat = KdcDatabase::new("ATHENA");
+        let mut sharded = ShardedDatabase::new("ATHENA", 4);
+        let tgs_key = DesKey::from_u64(0x9999).with_odd_parity();
+        flat.add_tgs(tgs_key);
+        sharded.add_tgs(tgs_key);
+        let svc_key = DesKey::from_u64(0x1234).with_odd_parity();
+        flat.add_service("nfs", "fs1", svc_key);
+        sharded.add_service("nfs", "fs1", svc_key);
+        for i in 0..64 {
+            let name = format!("u{i}");
+            flat.add_user(&name, &bulk_password(&name));
+            sharded.add_user(&name, &bulk_password(&name));
+        }
+        // Every flat lookup agrees with the routed sharded lookup.
+        for p in flat.principals() {
+            let a = flat.lookup(p).unwrap();
+            let b = sharded.lookup(p).unwrap();
+            assert_eq!(a.key, b.key, "{p}");
+            assert_eq!(a.kvno, b.kvno, "{p}");
+        }
+        // Replicated entries exist in every shard; users in exactly one.
+        let total_users: usize = sharded.occupancy().iter().sum();
+        assert_eq!(total_users, 64);
+        for i in 0..sharded.shard_count() {
+            assert!(sharded.shard(i).contains(&Principal::tgs("ATHENA")));
+            assert!(sharded.shard(i).contains(&Principal::service("nfs", "fs1", "ATHENA")));
+        }
+    }
+
+    #[test]
+    fn bulk_provisioning_derives_real_keys() {
+        let mut sharded = ShardedDatabase::new("R", 4);
+        assert_eq!(sharded.bulk_add_users("u", 100), 100);
+        let p = Principal::user("u42", "R");
+        let expect = s2k::string_to_key_v5(&bulk_password("u42"), &p.salt());
+        assert_eq!(sharded.lookup(&p).unwrap().key, expect);
+        assert!(sharded.skew_millis() >= 1000, "max is never below mean");
+    }
+
+    #[test]
+    fn shard_for_is_total_and_stable() {
+        for shards in [1usize, 2, 4, 7, 16] {
+            for i in 0..50 {
+                let p = Principal::user(&format!("user{i}"), "REALM");
+                let s = shard_for(&p, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(&p, shards), "routing must be deterministic");
+                assert_eq!(s, shard_for_parts(&p.name, &p.instance, &p.realm, shards));
+            }
+        }
     }
 
     #[test]

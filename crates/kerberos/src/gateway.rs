@@ -10,6 +10,7 @@
 //! - build the typed [`err_code::SERVER_BUSY`] refusal that sends a
 //!   well-behaved client into backoff instead of a timeout.
 
+use crate::database::shard_for;
 use crate::encoding::Codec;
 use crate::messages::{deframe, err_code, AsReq, KrbErrorMsg, WireKind};
 use krb_gateway::{Frontend, Gateway, ReplyClass, RequestClass};
@@ -57,6 +58,18 @@ impl Frontend for KrbFrontend {
     fn busy_reply(&self, reason: &'static str) -> Vec<u8> {
         KrbErrorMsg { code: err_code::SERVER_BUSY, text: reason.to_string(), challenge: None }
             .encode(self.codec)
+    }
+
+    /// AS requests pin the shard that owns the client's key — the same
+    /// [`shard_for`] the sharded database used to place it, so the
+    /// request always reaches a KDC able to answer. TGS traffic returns
+    /// `None`: the TGS and service keys are replicated into every
+    /// shard, so any shard can serve it.
+    fn route_shard(&self, req: &[u8], shard_count: usize) -> Option<usize> {
+        match AsReq::decode(self.codec, req) {
+            Ok(as_req) => Some(shard_for(&as_req.client, shard_count)),
+            Err(_) => None,
+        }
     }
 }
 

@@ -30,6 +30,49 @@ use std::collections::BTreeMap;
 /// The conventional KDC port.
 pub const KDC_PORT: u16 = 88;
 
+/// Bound on the per-client bookkeeping maps (`req_counts`,
+/// `pending_hha`): a million-principal soak must not grow KDC memory
+/// linearly with the number of distinct sources ever seen.
+pub const RATE_MAP_BOUND: usize = 1024;
+
+/// Makes room in a bounded per-client map before inserting a new key:
+/// first drops every entry whose window expired (its timestamp is more
+/// than `window_us` old), then — if the map is still full — the entries
+/// with the oldest timestamps, smallest map key first. Both passes are
+/// pure functions of the map contents and `now_us`, so eviction is
+/// deterministic across runs. Returns how many entries were evicted.
+fn evict_for_insert<K: Ord + Clone, V>(
+    map: &mut BTreeMap<K, V>,
+    bound: usize,
+    now_us: u64,
+    window_us: u64,
+    stamp: impl Fn(&V) -> u64,
+) -> u64 {
+    if map.len() < bound {
+        return 0;
+    }
+    let mut evicted = 0u64;
+    let expired: Vec<K> = map
+        .iter()
+        .filter(|(_, v)| now_us.saturating_sub(stamp(v)) > window_us)
+        .map(|(k, _)| k.clone())
+        .collect();
+    for k in &expired {
+        map.remove(k);
+        evicted += 1;
+    }
+    while map.len() >= bound {
+        // BTreeMap iteration is key-ordered, so min_by_key's first-wins
+        // tie break picks the same victim on every run.
+        let Some(victim) = map.iter().min_by_key(|(_, v)| stamp(v)).map(|(k, _)| k.clone()) else {
+            break;
+        };
+        map.remove(&victim);
+        evicted += 1;
+    }
+    evicted
+}
+
 /// Derives the handheld-authenticator response key `{R}K_c`.
 pub fn hha_key(kc: &DesKey, r: u64) -> DesKey {
     DesKey::from_u64(kc.encrypt_block(r)).with_odd_parity()
@@ -56,13 +99,18 @@ pub struct Kdc {
     rng: Drbg,
     dh_group: DhGroup,
     /// Per-source AS-request counters for rate limiting: addr ->
-    /// (window start µs, count).
+    /// (window start µs, count). Bounded at [`RATE_MAP_BOUND`] entries
+    /// with deterministic eviction of expired windows.
     req_counts: BTreeMap<u32, (u64, u32)>,
     /// Replay cache for preauthentication blobs.
     preauth_cache: ReplayCache,
     /// Outstanding handheld-authenticator challenges:
-    /// (client, source addr) -> R.
-    pending_hha: BTreeMap<(Principal, u32), u64>,
+    /// (client, source addr) -> (R, issued at µs). Bounded like
+    /// `req_counts`, evicting the stalest challenges first.
+    pending_hha: BTreeMap<(Principal, u32), (u64, u64)>,
+    /// Reusable plaintext scratch for preauth-blob opens: the batch
+    /// path opens thousands of blobs without allocating per request.
+    scratch: Vec<u8>,
     /// Audit log of issued tickets.
     pub issued: Vec<IssueRecord>,
     /// Simulated stable storage: the last replay-cache snapshot. This
@@ -106,6 +154,7 @@ impl Kdc {
             req_counts: BTreeMap::new(),
             preauth_cache: ReplayCache::new(skew),
             pending_hha: BTreeMap::new(),
+            scratch: Vec::new(),
             issued: Vec::new(),
             disk: None,
             last_snapshot_us: 0,
@@ -139,6 +188,13 @@ impl Kdc {
     fn rate_limited(&mut self, src_addr: u32, now_us: u64) -> bool {
         let Some(limit) = self.config.kdc_rate_limit else { return false };
         let window = self.config.clock_skew_us.max(1);
+        if !self.req_counts.contains_key(&src_addr) {
+            let evicted =
+                evict_for_insert(&mut self.req_counts, RATE_MAP_BOUND, now_us, window, |v| v.0);
+            if evicted > 0 {
+                self.trace.counter("kdc.rate_evictions", "req_counts", evicted);
+            }
+        }
         let entry = self.req_counts.entry(src_addr).or_insert((now_us, 0));
         if now_us.saturating_sub(entry.0) > window {
             *entry = (now_us, 0);
@@ -158,17 +214,25 @@ impl Kdc {
     /// Verifies a `{timestamp}key` preauthentication blob. Checks the
     /// replay cache WITHOUT recording: the blob is committed only when
     /// the whole request succeeds, so a request that fails later cannot
-    /// poison a legitimate retry.
-    fn check_preauth_blob(&mut self, blob: &[u8], key: &DesKey, now_us: u64) -> Result<(), KrbError> {
-        let pt = self
-            .config
-            .ticket_layer
-            .open(key, 0, blob)
-            .map_err(|_| KrbError::PreauthFailed)?;
-        if pt.len() < 8 {
-            return Err(KrbError::PreauthFailed);
-        }
-        let ts = u64::from_be_bytes(crate::encoding::be_array::<8>(&pt[..8]));
+    /// poison a legitimate retry. Takes the already-expanded key
+    /// schedule and opens into the KDC's reusable scratch buffer, so a
+    /// batch of requests pays no per-blob allocation.
+    fn check_preauth_blob(
+        &mut self,
+        blob: &[u8],
+        key: &ScheduledKey,
+        now_us: u64,
+    ) -> Result<(), KrbError> {
+        let layer = self.config.ticket_layer;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let opened = layer.open_into(key, 0, blob, &mut scratch);
+        let ts = if opened.is_ok() && scratch.len() >= 8 {
+            Some(u64::from_be_bytes(crate::encoding::be_array::<8>(&scratch[..8])))
+        } else {
+            None
+        };
+        self.scratch = scratch;
+        let Some(ts) = ts else { return Err(KrbError::PreauthFailed) };
         if ts.abs_diff(now_us) > self.config.clock_skew_us {
             return Err(KrbError::PreauthFailed);
         }
@@ -215,7 +279,11 @@ impl Kdc {
         // {R}K_c by sealing a preauthentication timestamp with it. The
         // sealed timestamp doubles as preauthentication, so ticket
         // harvesting (A5) fails here too.
-        let hha_key_used: Option<(u64, DesKey)> = if self.config.hha_login {
+        //
+        // Whichever path runs, the key that will seal the reply part is
+        // schedule-expanded exactly once here and reused for the
+        // preauth open — the batch path's per-request amortization.
+        let (challenge_r, reply_sched): (Option<u64>, ScheduledKey) = if self.config.hha_login {
             match Self::preauth_blob(&req) {
                 None => {
                     // Challenge issuance is idempotent per (client,
@@ -225,10 +293,20 @@ impl Kdc {
                     // client is busy answering.
                     let key = (req.client.clone(), from.addr.0);
                     let r = match self.pending_hha.get(&key) {
-                        Some(r) => *r,
+                        Some((r, _)) => *r,
                         None => {
+                            let evicted = evict_for_insert(
+                                &mut self.pending_hha,
+                                RATE_MAP_BOUND,
+                                now_us,
+                                self.config.clock_skew_us.max(1),
+                                |v| v.1,
+                            );
+                            if evicted > 0 {
+                                self.trace.counter("kdc.rate_evictions", "pending_hha", evicted);
+                            }
                             let r = self.rng.next_u64();
-                            self.pending_hha.insert(key, r);
+                            self.pending_hha.insert(key, (r, now_us));
                             r
                         }
                     };
@@ -247,10 +325,10 @@ impl Kdc {
                 }
                 Some(blob) => {
                     let key = (req.client.clone(), from.addr.0);
-                    let Some(r) = self.pending_hha.get(&key).copied() else {
+                    let Some((r, _)) = self.pending_hha.get(&key).copied() else {
                         return self.error(err_code::PREAUTH_FAILED, "no challenge outstanding");
                     };
-                    let kprime = hha_key(&client_entry.key, r);
+                    let kprime = ScheduledKey::new(hha_key(&client_entry.key, r));
                     if let Err(e) = self.check_preauth_blob(&blob, &kprime, now_us) {
                         // The challenge stays outstanding: a stale
                         // duplicate of an EARLIER response must not
@@ -261,21 +339,22 @@ impl Kdc {
                     }
                     self.pending_hha.remove(&key);
                     commit_blob = Some(blob);
-                    Some((r, kprime))
+                    (Some(r), kprime)
                 }
             }
         } else {
+            let client_sched = ScheduledKey::new(client_entry.key);
             // Plain preauthentication (recommendation g).
             if self.config.preauth == PreauthMode::EncTimestamp {
                 let Some(blob) = Self::preauth_blob(&req) else {
                     return self.error(err_code::PREAUTH_REQUIRED, "preauthentication required");
                 };
-                if let Err(e) = self.check_preauth_blob(&blob, &client_entry.key, now_us) {
+                if let Err(e) = self.check_preauth_blob(&blob, &client_sched, now_us) {
                     return self.preauth_error(&req.client, e);
                 }
                 commit_blob = Some(blob);
             }
-            None
+            (None, client_sched)
         };
 
         // Issue the ticket-granting ticket, honoring requested
@@ -327,13 +406,9 @@ impl Kdc {
         };
         let part_bytes = part.encode(self.config.codec, MsgType::EncAsRepPart);
 
-        // Choose the sealing key: K_c, or {R}K_c for handheld
-        // authenticators.
-        let (challenge_r, sealing_key) = match hha_key_used {
-            Some((r, kprime)) => (Some(r), kprime),
-            None => (None, client_entry.key),
-        };
-        let inner = match self.config.ticket_layer.seal(&sealing_key, 0, &part_bytes, &mut self.rng) {
+        // Seal under the schedule expanded above: K_c, or {R}K_c for
+        // handheld authenticators.
+        let inner = match self.config.ticket_layer.seal_with(&reply_sched, 0, &part_bytes, &mut self.rng) {
             Ok(v) => v,
             Err(e) => return self.error(err_code::GENERIC, &e.to_string()),
         };
@@ -479,11 +554,16 @@ impl Kdc {
             return self.error(err_code::GENERIC, "TGT expired");
         }
 
+        // The TGT session key seals the authenticator we are about to
+        // open AND the reply part we will send: expand its schedule once
+        // for the whole exchange.
+        let tgt_sched = ScheduledKey::new(tgt.session_key);
+
         // Authenticator under the TGS session key.
-        let auth = match Authenticator::unseal(
+        let auth = match Authenticator::unseal_with(
             self.config.codec,
             self.config.ticket_layer,
-            &tgt.session_key,
+            &tgt_sched,
             &req.authenticator,
         ) {
             Ok(a) => a,
@@ -559,8 +639,8 @@ impl Kdc {
                 server_time: now_us,
                 ticket_cksum,
             };
-            let enc_part = match self.config.ticket_layer.seal(
-                &tgt.session_key,
+            let enc_part = match self.config.ticket_layer.seal_with(
+                &tgt_sched,
                 0,
                 &part.encode(self.config.codec, MsgType::EncTgsRepPart),
                 &mut self.rng,
@@ -699,8 +779,8 @@ impl Kdc {
             server_time: now_us,
             ticket_cksum,
         };
-        let enc_part = match self.config.ticket_layer.seal(
-            &tgt.session_key,
+        let enc_part = match self.config.ticket_layer.seal_with(
+            &tgt_sched,
             0,
             &part.encode(self.config.codec, MsgType::EncTgsRepPart),
             &mut self.rng,
@@ -712,6 +792,36 @@ impl Kdc {
         self.trace_issue("tgs", &tgt.client, &req.service, &session_key, end_time);
         self.issued.push(IssueRecord { client: tgt.client, service: req.service, at_us: now_us });
         TgsRep { enc_part }.encode(self.config.codec)
+    }
+
+    /// Processes a whole batch of AS/TGS requests in one call, in order.
+    ///
+    /// This is the cluster hot path: the shard router has already
+    /// grouped requests onto the KDC that owns their principals (see
+    /// `database::shard_for`), so one call amortizes the tracer/clock
+    /// plumbing that [`Service::handle`] re-establishes per packet, and
+    /// the per-request key schedules and the preauth-open scratch
+    /// buffer stay warm across the batch.
+    ///
+    /// Replies are byte-identical to feeding the same requests through
+    /// [`Service::handle`] one at a time (same dispatch, same RNG
+    /// order), with one deliberate divergence: an unrecognized leading
+    /// byte yields an encoded GENERIC error rather than silence, so the
+    /// output vector always lines up index-for-index with the batch.
+    pub fn handle_batch(&mut self, ctx: &mut ServiceCtx, batch: &[(Vec<u8>, Endpoint)]) -> Vec<Vec<u8>> {
+        self.trace = ctx.tracer.clone();
+        self.trace_now_us = ctx.true_time.0;
+        let now_us = ctx.local_time.0;
+        let mut replies = Vec::with_capacity(batch.len());
+        for (req, from) in batch {
+            let reply = match req.first().copied().and_then(WireKind::from_u8) {
+                Some(WireKind::AsReq) => self.as_exchange(req, *from, now_us),
+                Some(WireKind::TgsReq) => self.tgs_exchange(req, *from, now_us),
+                _ => self.error(err_code::GENERIC, "unexpected message kind"),
+            };
+            replies.push(reply);
+        }
+        replies
     }
 }
 
@@ -781,6 +891,41 @@ mod tests {
         db.add_user("pat", "hunter2");
         let kdc = Kdc::new(ProtocolConfig::v4(), db, 1);
         assert_eq!(kdc.realm(), "ATHENA");
+    }
+
+    #[test]
+    fn eviction_prefers_expired_windows_then_oldest() {
+        let mut m: BTreeMap<u32, (u64, u32)> = BTreeMap::new();
+        for i in 0..8u32 {
+            // Entries 0..4 started at t=0 (expired at now=2000, window
+            // 1000); 4..8 started at t=1500 (still live).
+            m.insert(i, (if i < 4 { 0 } else { 1_500 }, 0));
+        }
+        // At the bound: the expired four go first.
+        let e = evict_for_insert(&mut m, 8, 2_000, 1_000, |v| v.0);
+        assert_eq!(e, 4);
+        assert!(m.keys().all(|k| *k >= 4), "live windows survived");
+        // Nothing expired: the single oldest (smallest key among the
+        // tied timestamps) is evicted to make room.
+        let e = evict_for_insert(&mut m, 4, 2_000, 1_000, |v| v.0);
+        assert_eq!(e, 1);
+        assert!(!m.contains_key(&4));
+        // Under the bound: no-op.
+        assert_eq!(evict_for_insert(&mut m, 8, 2_000, 1_000, |v| v.0), 0);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn rate_maps_stay_bounded_under_distinct_sources() {
+        let mut db = KdcDatabase::new("R");
+        db.add_tgs(DesKey::from_u64(0x777).with_odd_parity());
+        let mut config = ProtocolConfig::v4();
+        config.kdc_rate_limit = Some(1_000_000);
+        let mut kdc = Kdc::new(config, db, 7);
+        for src in 0..(RATE_MAP_BOUND as u32 * 3) {
+            kdc.rate_limited(src, 5_000_000 + u64::from(src));
+        }
+        assert!(kdc.req_counts.len() <= RATE_MAP_BOUND);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub use client::{
     get_service_ticket, get_service_ticket_at, login, login_at, Credential, LoginInput, TgsParams,
 };
 pub use config::{AppProtection, AuthStyle, Freshness, PreauthMode, ProtocolConfig, RetryPolicy};
+pub use database::{bulk_password, shard_for, shard_for_parts, KdcDatabase, ShardedDatabase};
 pub use error::KrbError;
 pub use gateway::{KrbFrontend, KrbGateway};
 pub use kdc::{Kdc, KDC_PORT};

@@ -6,7 +6,7 @@
 
 use crate::appserver::{AppLogic, AppServer};
 use crate::config::ProtocolConfig;
-use crate::database::KdcDatabase;
+use crate::database::{shard_for, KdcDatabase, ShardedDatabase};
 use crate::gateway::{KrbFrontend, KrbGateway};
 use crate::kdc::{Kdc, KDC_PORT};
 use crate::principal::Principal;
@@ -290,6 +290,221 @@ pub fn deploy_realm(
     deployed.kdc_host = net.add_host(kdc_host);
 
     deployed
+}
+
+/// A deployed sharded KDC cluster: one primary KDC per database shard,
+/// optional per-shard replicas, and a shard-aware gateway in front —
+/// the million-principal deployment shape (E18). Composes the pieces
+/// the smaller testbeds introduced: [`ShardedDatabase`] partitioning,
+/// [`DeployedRealm::add_kdc_replicas`]-style failover, and the PR 7
+/// admission gateway, now routing AS traffic to the shard that owns
+/// the principal.
+pub struct KdcCluster {
+    /// Realm name.
+    pub name: String,
+    /// Active configuration.
+    pub config: ProtocolConfig,
+    /// Shard `i`'s primary KDC endpoint.
+    pub shard_primary_eps: Vec<Endpoint>,
+    /// Shard `i`'s primary KDC host id.
+    pub shard_primary_hosts: Vec<HostId>,
+    /// Shard `i`'s replica endpoints (failover order).
+    pub shard_replica_eps: Vec<Vec<Endpoint>>,
+    /// Shard `i`'s replica host ids.
+    pub shard_replica_hosts: Vec<Vec<HostId>>,
+    /// The shard-aware gateway endpoint — the only address clients use.
+    pub gateway_ep: Endpoint,
+    /// Gateway host id.
+    pub gateway_host: HostId,
+    /// Workstation endpoints for driving client traffic.
+    pub client_eps: Vec<Endpoint>,
+    /// service name -> server endpoint.
+    pub service_eps: BTreeMap<String, Endpoint>,
+    /// service name -> principal.
+    pub service_principals: BTreeMap<String, Principal>,
+    /// Per-shard user occupancy captured at provisioning time.
+    pub occupancy: Vec<usize>,
+    /// Load skew (max/mean shard occupancy, thousandths) at
+    /// provisioning time.
+    pub skew_millis: u64,
+}
+
+impl KdcCluster {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_primary_eps.len()
+    }
+
+    /// The shard index owning `p`.
+    pub fn shard_of(&self, p: &Principal) -> usize {
+        shard_for(p, self.shard_primary_eps.len())
+    }
+
+    /// The KDC endpoints able to serve `p`, primary first — the list a
+    /// shard-aware client would walk directly, bypassing the gateway.
+    pub fn kdc_eps_for(&self, p: &Principal) -> Vec<Endpoint> {
+        let i = self.shard_of(p);
+        let mut eps = vec![self.shard_primary_eps[i]];
+        eps.extend_from_slice(&self.shard_replica_eps[i]);
+        eps
+    }
+
+    /// What clients contact for AS/TGS traffic: the gateway.
+    pub fn contact_eps(&self) -> Vec<Endpoint> {
+        vec![self.gateway_ep]
+    }
+
+    /// Runs `f` with mutable access to shard `i`'s primary [`Kdc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host does not hold a `Kdc`.
+    pub fn with_shard_kdc<R>(
+        &self,
+        net: &mut Network,
+        shard: usize,
+        f: impl FnOnce(&mut Kdc) -> R,
+    ) -> R {
+        let svc = net
+            .host_mut(self.shard_primary_hosts[shard])
+            .service_mut(KDC_PORT)
+            .expect("KDC bound")
+            .as_any_mut()
+            .expect("inspectable")
+            .downcast_mut::<Kdc>()
+            .expect("a Kdc");
+        f(svc)
+    }
+}
+
+/// Deploys a sharded KDC cluster onto `net`: `users_bulk` principals
+/// named `u0..` (passwords from [`crate::database::bulk_password`])
+/// partitioned across `shards` primaries at `10.<subnet>.2.(10+i)`,
+/// `replicas_per_shard` propagated replicas each at
+/// `10.<subnet>.2.(100+8i+r)`, app servers at `10.<subnet>.1.<n>`,
+/// `client_slots` workstations at `10.<subnet>.0.<n>`, and the
+/// shard-aware gateway at `10.<subnet>.0.254`.
+#[allow(clippy::too_many_arguments)]
+pub fn deploy_cluster(
+    net: &mut Network,
+    realm: &str,
+    subnet: u8,
+    config: &ProtocolConfig,
+    shards: usize,
+    replicas_per_shard: usize,
+    users_bulk: usize,
+    client_slots: usize,
+    services: &[&str],
+    gw_config: GatewayConfig,
+    seed: u64,
+) -> KdcCluster {
+    let mut rng = Drbg::new(seed);
+    let mut db = ShardedDatabase::new(realm, shards);
+    db.add_tgs(rng.gen_des_key());
+
+    let mut service_eps = BTreeMap::new();
+    let mut service_principals = BTreeMap::new();
+    for (i, service) in services.iter().enumerate() {
+        let key = rng.gen_des_key();
+        let hostname = format!("{service}host");
+        let principal = db.add_service(service, &hostname, key);
+        let addr = Addr::new(10, subnet, 1, (i + 1) as u8);
+        let mut host = Host::new(&format!("{hostname}.{realm}"), vec![addr]).multi_user();
+        host.bind(
+            APP_PORT,
+            Box::new(AppServer::new(
+                config.clone(),
+                principal.clone(),
+                key,
+                logic_for(service),
+                seed ^ (i as u64 + 1),
+            )),
+        );
+        net.add_host(host);
+        service_eps.insert(service.to_string(), Endpoint::new(addr, APP_PORT));
+        service_principals.insert(service.to_string(), principal);
+    }
+
+    db.bulk_add_users("u", users_bulk);
+    let occupancy = db.occupancy();
+    let skew_millis = db.skew_millis();
+
+    // One primary (plus propagated replicas) per shard. Every KDC of a
+    // shard holds that shard's database copy and the same TGS key.
+    let mut shard_primary_eps = Vec::with_capacity(shards);
+    let mut shard_primary_hosts = Vec::with_capacity(shards);
+    let mut shard_replica_eps = Vec::with_capacity(shards);
+    let mut shard_replica_hosts = Vec::with_capacity(shards);
+    let mut groups: Vec<Vec<Endpoint>> = Vec::with_capacity(shards);
+    for (i, shard_db) in db.into_shards().into_iter().enumerate() {
+        let addr = Addr::new(10, subnet, 2, (10 + i) as u8);
+        let mut host =
+            Host::new(&format!("kerberos-s{i}.{realm}"), vec![addr]).multi_user();
+        host.bind(
+            KDC_PORT,
+            Box::new(Kdc::new(config.clone(), shard_db.clone(), seed ^ 0x6b64_6373 ^ ((i as u64) << 8))),
+        );
+        let hid = net.add_host(host);
+        let primary_ep = Endpoint::new(addr, KDC_PORT);
+        shard_primary_eps.push(primary_ep);
+        shard_primary_hosts.push(hid);
+
+        let mut reps = Vec::with_capacity(replicas_per_shard);
+        let mut rep_hosts = Vec::with_capacity(replicas_per_shard);
+        for r in 0..replicas_per_shard {
+            let raddr = Addr::new(10, subnet, 2, (100 + i * 8 + r) as u8);
+            let mut rhost =
+                Host::new(&format!("kerberos-s{i}r{r}.{realm}"), vec![raddr]).multi_user();
+            rhost.bind(
+                KDC_PORT,
+                Box::new(Kdc::new(
+                    config.clone(),
+                    shard_db.clone(),
+                    seed ^ 0x7265_706c ^ ((i as u64) << 8) ^ r as u64,
+                )),
+            );
+            rep_hosts.push(net.add_host(rhost));
+            reps.push(Endpoint::new(raddr, KDC_PORT));
+        }
+        let mut group = vec![primary_ep];
+        group.extend_from_slice(&reps);
+        groups.push(group);
+        shard_replica_eps.push(reps);
+        shard_replica_hosts.push(rep_hosts);
+    }
+
+    // The shard-aware gateway is the cluster's front door.
+    let gw_addr = Addr::new(10, subnet, 0, 254);
+    let gateway =
+        KrbGateway::new_sharded(gw_config, KrbFrontend::new(config.codec), groups);
+    let mut gw_host = Host::new(&format!("krbgate.{realm}"), vec![gw_addr]).multi_user();
+    gw_host.bind(KDC_PORT, Box::new(gateway));
+    let gateway_host = net.add_host(gw_host);
+    let gateway_ep = Endpoint::new(gw_addr, KDC_PORT);
+
+    // Workstations to drive traffic from.
+    let mut client_eps = Vec::with_capacity(client_slots);
+    for i in 0..client_slots {
+        let addr = Addr::new(10, subnet, 0, (i + 1) as u8);
+        net.add_host(Host::new(&format!("ws-{i}.{realm}"), vec![addr]));
+        client_eps.push(Endpoint::new(addr, CLIENT_PORT));
+    }
+
+    KdcCluster {
+        name: realm.to_string(),
+        config: config.clone(),
+        shard_primary_eps,
+        shard_primary_hosts,
+        shard_replica_eps,
+        shard_replica_hosts,
+        gateway_ep,
+        gateway_host,
+        client_eps,
+        service_eps,
+        service_principals,
+        occupancy,
+        skew_millis,
+    }
 }
 
 /// The standard small campus used by tests and benchmarks: users pat,

@@ -55,13 +55,43 @@ fn string_to_key_salted(password: &str, salt: &str) -> DesKey {
     // the CBC-MAC input: this is the dictionary-attack inner loop, so it
     // must not allocate per trial beyond this single Vec.
     let mut input = Vec::with_capacity((password.len() + salt.len() + 8) & !7);
+    derive_into(&mut input, password, salt)
+}
+
+/// Reusable derivation state: holds the single work buffer across calls
+/// so bulk provisioning (millions of principals) and dictionary loops
+/// pay one allocation total, not one per derivation. Output is
+/// byte-identical to [`string_to_key_v5`].
+#[derive(Clone, Debug, Default)]
+pub struct Deriver {
+    buf: Vec<u8>,
+}
+
+impl Deriver {
+    /// A fresh deriver with no retained capacity.
+    pub fn new() -> Self {
+        Deriver::default()
+    }
+
+    /// Derives the salted V5 key for `(password, salt)`, reusing the
+    /// internal buffer.
+    pub fn derive(&mut self, password: &str, salt: &str) -> DesKey {
+        self.buf.clear();
+        derive_into(&mut self.buf, password, salt)
+    }
+}
+
+/// The shared core of the salted derivation: `input` arrives empty (but
+/// possibly with retained capacity) and is used as the password‖salt
+/// scratch buffer.
+fn derive_into(input: &mut Vec<u8>, password: &str, salt: &str) -> DesKey {
     input.extend_from_slice(password.as_bytes());
     input.extend_from_slice(salt.as_bytes());
     if input.is_empty() {
         input.push(0);
     }
 
-    let candidate = DesKey::from_bytes(fanfold(&input)).with_odd_parity();
+    let candidate = DesKey::from_bytes(fanfold(input)).with_odd_parity();
 
     // CBC-MAC the padded password under the candidate key, IV = candidate.
     // The candidate is different on every call, so bypass the schedule
@@ -71,7 +101,7 @@ fn string_to_key_salted(password: &str, salt: &str) -> DesKey {
         input.resize(input.len() + (8 - rem), 0);
     }
     let ks = KeySchedule::new(&candidate);
-    if modes::cbc_encrypt_in_place(&ks, candidate.to_u64(), &mut input).is_err() {
+    if modes::cbc_encrypt_in_place(&ks, candidate.to_u64(), input).is_err() {
         // Unreachable: `input` was resized to a block multiple above. The
         // fanfold candidate is still a deterministic derived key.
         return candidate;
@@ -121,6 +151,21 @@ mod tests {
             let k = string_to_key_v4(pw);
             assert!(k.has_odd_parity(), "password {pw:?}");
             assert!(!k.is_weak() && !k.is_semi_weak(), "password {pw:?}");
+        }
+    }
+
+    #[test]
+    fn deriver_matches_one_shot_path() {
+        let mut d = Deriver::new();
+        for (pw, salt) in [
+            ("", ""),
+            ("hunter2", "ATHENA.MIT.EDUpat"),
+            ("correct horse battery staple", "Rlong"),
+            ("密码", "REALM.Bpat"),
+        ] {
+            assert_eq!(d.derive(pw, salt), string_to_key_v5(pw, salt), "({pw:?}, {salt:?})");
+            // A second call with retained capacity must agree too.
+            assert_eq!(d.derive(pw, salt), string_to_key_v5(pw, salt));
         }
     }
 

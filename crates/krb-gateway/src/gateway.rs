@@ -54,6 +54,15 @@ pub trait Frontend {
     fn classify_reply(&self, reply: &[u8]) -> ReplyClass;
     /// Builds the typed server-busy reply sent to refused clients.
     fn busy_reply(&self, reason: &'static str) -> Vec<u8>;
+    /// For sharded clusters ([`Gateway::new_sharded`]): which shard
+    /// group owns the principal this request names, if the request
+    /// pins one. `None` means any shard can serve it (TGS traffic
+    /// against a replicated TGS key, undecodable payloads). The value
+    /// must be a pure function of `(req, shard_count)` so two gateways
+    /// — or two runs — route identically.
+    fn route_shard(&self, _req: &[u8], _shard_count: usize) -> Option<usize> {
+        None
+    }
 }
 
 /// Gateway tuning.
@@ -127,6 +136,16 @@ pub struct Gateway<F: Frontend> {
     /// sources round-robin and advancing a pin only when its upstream
     /// fails.
     affinity: BTreeMap<u32, usize>,
+    /// Shard-aware routing ([`Gateway::new_sharded`]): group `i` holds
+    /// the primary-then-replicas endpoint list for shard `i`. `None`
+    /// means the flat round-robin mode above.
+    shard_groups: Option<Vec<Vec<Endpoint>>>,
+    /// Per-group failover pin: which endpoint of the group currently
+    /// serves it. Advanced on upstream failure, reset on restart.
+    shard_pins: Vec<usize>,
+    /// Shard group of the forward currently in flight, for pin
+    /// advancement when the upstream leg fails.
+    in_flight_shard: Option<usize>,
     global: TokenBucket,
     per_source: BTreeMap<u32, TokenBucket>,
     penalties: PenaltyBox,
@@ -152,6 +171,9 @@ impl<F: Frontend> Gateway<F> {
             upstreams,
             next_upstream: 0,
             affinity: BTreeMap::new(),
+            shard_groups: None,
+            shard_pins: Vec::new(),
+            in_flight_shard: None,
             global,
             per_source: BTreeMap::new(),
             penalties,
@@ -163,9 +185,35 @@ impl<F: Frontend> Gateway<F> {
         }
     }
 
+    /// A gateway fronting a *sharded* cluster: `shard_groups[i]` lists
+    /// shard `i`'s KDCs, primary first, replicas after. Requests the
+    /// frontend can attribute to a principal ([`Frontend::route_shard`])
+    /// go to the group owning that principal; everything else spreads
+    /// deterministically by source address. Within a group the current
+    /// pin serves until its upstream fails, then the pin advances to the
+    /// next replica — the same failover discipline as source affinity,
+    /// but per shard.
+    pub fn new_sharded(
+        config: GatewayConfig,
+        frontend: F,
+        shard_groups: Vec<Vec<Endpoint>>,
+    ) -> Self {
+        let flat: Vec<Endpoint> = shard_groups.iter().flatten().copied().collect();
+        let pins = vec![0; shard_groups.len()];
+        let mut gw = Gateway::new(config, frontend, flat);
+        gw.shard_groups = Some(shard_groups);
+        gw.shard_pins = pins;
+        gw
+    }
+
     /// The upstream KDC endpoints, in rotation order.
     pub fn upstreams(&self) -> &[Endpoint] {
         &self.upstreams
+    }
+
+    /// The configured shard groups, if this gateway routes by shard.
+    pub fn shard_groups(&self) -> Option<&[Vec<Endpoint>]> {
+        self.shard_groups.as_deref()
     }
 
     fn throttle(&mut self, from: Endpoint, reason: &'static str) -> Option<Vec<u8>> {
@@ -253,23 +301,52 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
         self.trace.gauge("gateway.occupancy", &host, self.queue.occupancy() as u64);
         self.trace.observe_us("gateway.queue_wait", &host, wait_us);
 
-        // Forward to this source's pinned upstream; new sources are
-        // assigned round-robin.
+        // Forward upstream. Sharded mode routes by owning shard group;
+        // flat mode forwards to this source's pinned upstream, with new
+        // sources assigned round-robin.
         if self.upstreams.is_empty() {
             self.stats.upstream_failures = self.stats.upstream_failures.saturating_add(1);
             return Some(self.frontend.busy_reply("no upstream"));
         }
-        let n = self.upstreams.len();
-        let idx = *self.affinity.entry(from.addr.0).or_insert_with(|| {
-            let idx = self.next_upstream % n;
-            self.next_upstream = self.next_upstream.wrapping_add(1);
-            idx
-        }) % n;
-        let up = match self.upstreams.get(idx) {
-            Some(ep) => *ep,
-            None => {
-                self.stats.upstream_failures = self.stats.upstream_failures.saturating_add(1);
-                return Some(self.frontend.busy_reply("no upstream"));
+        let up = match &self.shard_groups {
+            Some(groups) if !groups.is_empty() => {
+                let gc = groups.len();
+                let gi = self
+                    .frontend
+                    .route_shard(req, gc)
+                    .map_or(from.addr.0 as usize % gc, |g| g % gc);
+                let pin = self.shard_pins.get(gi).copied().unwrap_or(0);
+                let ep = groups
+                    .get(gi)
+                    .filter(|g| !g.is_empty())
+                    .map(|g| g[pin % g.len()]);
+                match ep {
+                    Some(ep) => {
+                        self.in_flight_shard = Some(gi);
+                        ep
+                    }
+                    None => {
+                        self.stats.upstream_failures =
+                            self.stats.upstream_failures.saturating_add(1);
+                        return Some(self.frontend.busy_reply("no upstream"));
+                    }
+                }
+            }
+            _ => {
+                let n = self.upstreams.len();
+                let idx = *self.affinity.entry(from.addr.0).or_insert_with(|| {
+                    let idx = self.next_upstream % n;
+                    self.next_upstream = self.next_upstream.wrapping_add(1);
+                    idx
+                }) % n;
+                match self.upstreams.get(idx) {
+                    Some(ep) => *ep,
+                    None => {
+                        self.stats.upstream_failures =
+                            self.stats.upstream_failures.saturating_add(1);
+                        return Some(self.frontend.busy_reply("no upstream"));
+                    }
+                }
             }
         };
         self.stats.admitted = self.stats.admitted.saturating_add(1);
@@ -289,6 +366,7 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
         self.trace_now_us = ctx.true_time.0;
         let now_us = ctx.local_time.0;
         let principal = self.in_flight.take();
+        let shard = self.in_flight_shard.take();
         match upstream {
             Ok(bytes) => {
                 if let Some(p) = &principal {
@@ -312,14 +390,26 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
                 Some(bytes.to_vec())
             }
             Err(_) => {
-                // The KDC behind this source's pin is unreachable: move
-                // the pin to the next replica. The typed busy reply
-                // sends the client into backoff, and its retry lands on
-                // the new upstream.
+                // The KDC behind the pin is unreachable: move the pin
+                // to the next replica — the shard group's pin in
+                // sharded mode, the source's affinity pin otherwise.
+                // The typed busy reply sends the client into backoff,
+                // and its retry lands on the new upstream.
                 self.stats.upstream_failures = self.stats.upstream_failures.saturating_add(1);
-                if !self.upstreams.is_empty() {
-                    if let Some(idx) = self.affinity.get_mut(&from.addr.0) {
-                        *idx = (*idx + 1) % self.upstreams.len();
+                match (shard, &self.shard_groups) {
+                    (Some(gi), Some(groups)) => {
+                        let group_len = groups.get(gi).map_or(0, Vec::len);
+                        if let (Some(pin), true) = (self.shard_pins.get_mut(gi), group_len > 0) {
+                            *pin = (*pin + 1) % group_len;
+                            self.trace.counter("gateway.shard_failovers", &gi.to_string(), 1);
+                        }
+                    }
+                    _ => {
+                        if !self.upstreams.is_empty() {
+                            if let Some(idx) = self.affinity.get_mut(&from.addr.0) {
+                                *idx = (*idx + 1) % self.upstreams.len();
+                            }
+                        }
                     }
                 }
                 Some(self.frontend.busy_reply("upstream unavailable"))
@@ -351,6 +441,10 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
         self.in_flight = None;
         self.affinity.clear();
         self.next_upstream = 0;
+        self.in_flight_shard = None;
+        for pin in &mut self.shard_pins {
+            *pin = 0;
+        }
         self.stats.restarts = self.stats.restarts.saturating_add(1);
     }
 }
@@ -600,6 +694,97 @@ mod tests {
         assert_eq!(g.handle(&mut ctx, b"AS:pat", client_ep()), None, "state wiped");
         assert_eq!(g.stats.restarts, 1);
         assert_eq!(g.stats.admitted, before.admitted + 1, "stats are cumulative");
+    }
+
+    /// The toy frontend with shard knowledge: AS:<name> routes by the
+    /// byte-sum of the name.
+    struct ShardedToy;
+    impl Frontend for ShardedToy {
+        fn classify_request(&self, req: &[u8]) -> RequestClass {
+            ToyFrontend.classify_request(req)
+        }
+        fn classify_reply(&self, reply: &[u8]) -> ReplyClass {
+            ToyFrontend.classify_reply(reply)
+        }
+        fn busy_reply(&self, reason: &'static str) -> Vec<u8> {
+            ToyFrontend.busy_reply(reason)
+        }
+        fn route_shard(&self, req: &[u8], shard_count: usize) -> Option<usize> {
+            let name = req.strip_prefix(b"AS:")?;
+            Some(name.iter().map(|b| usize::from(*b)).sum::<usize>() % shard_count)
+        }
+    }
+
+    fn shard_eps() -> Vec<Vec<Endpoint>> {
+        // Two shards, each with a primary and one replica.
+        let ep = |d: u8| Endpoint::new(Addr::new(10, 0, 0, d), 88);
+        vec![vec![ep(250), ep(249)], vec![ep(248), ep(247)]]
+    }
+
+    fn forward_target(g: &mut Gateway<ShardedToy>, req: &[u8], src: Endpoint) -> Endpoint {
+        let mut ctx = ctx_at(0);
+        assert_eq!(g.handle(&mut ctx, req, src), None, "expected admission");
+        let (ep, _) = ctx.forward.expect("forwarded");
+        let mut fctx = ctx_at(0);
+        g.on_forward_reply(&mut fctx, Ok(b"OK"), src);
+        ep
+    }
+
+    #[test]
+    fn sharded_as_requests_follow_the_principal_not_the_source() {
+        let groups = shard_eps();
+        let mut g = Gateway::new_sharded(GatewayConfig::standard(), ShardedToy, groups.clone());
+        let expect_of = |name: &str| {
+            let gi = ShardedToy.route_shard(format!("AS:{name}").as_bytes(), 2).unwrap();
+            groups[gi][0]
+        };
+        for src_octet in 1..=4u8 {
+            let src = Endpoint::new(Addr::new(10, 0, 0, src_octet), 1024);
+            for name in ["pat", "sam", "u17", "u18"] {
+                let ep = forward_target(&mut g, format!("AS:{name}").as_bytes(), src);
+                assert_eq!(ep, expect_of(name), "{name} from source {src_octet}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_failover_advances_the_group_pin_and_restart_resets_it() {
+        let groups = shard_eps();
+        let mut g = Gateway::new_sharded(GatewayConfig::standard(), ShardedToy, groups.clone());
+        // Find a name owned by shard 0.
+        let name = ["pat", "sam", "kim", "lee"]
+            .iter()
+            .find(|n| ShardedToy.route_shard(format!("AS:{n}").as_bytes(), 2) == Some(0))
+            .expect("some name routes to shard 0");
+        let req = format!("AS:{name}").into_bytes();
+        assert_eq!(forward_target(&mut g, &req, client_ep()), groups[0][0]);
+        // Shard 0's primary dies mid-forward: the pin advances to its
+        // replica, and only shard 0 is affected.
+        let mut ctx = ctx_at(0);
+        assert_eq!(g.handle(&mut ctx, &req, client_ep()), None);
+        let err = NetError::HostDown(groups[0][0].addr);
+        let mut fctx = ctx_at(0);
+        let reply = g.on_forward_reply(&mut fctx, Err(&err), client_ep());
+        assert_eq!(reply, Some(b"BUSY:upstream unavailable".to_vec()));
+        assert_eq!(forward_target(&mut g, &req, client_ep()), groups[0][1]);
+        // A restart clears the pin back to the primary.
+        let mut rctx = ctx_at(10);
+        g.on_restart(&mut rctx);
+        assert_eq!(forward_target(&mut g, &req, client_ep()), groups[0][0]);
+    }
+
+    #[test]
+    fn sharded_other_traffic_spreads_deterministically_by_source() {
+        let groups = shard_eps();
+        let mut g = Gateway::new_sharded(GatewayConfig::standard(), ShardedToy, groups.clone());
+        for src_octet in 1..=4u8 {
+            let src = Endpoint::new(Addr::new(10, 0, 0, src_octet), 1024);
+            let expected = &groups[Addr::new(10, 0, 0, src_octet).0 as usize % 2][0];
+            let a = forward_target(&mut g, b"TGS:whatever", src);
+            let b = forward_target(&mut g, b"TGS:whatever", src);
+            assert_eq!(a, *expected);
+            assert_eq!(b, *expected, "same source keeps the same group");
+        }
     }
 
     #[test]

@@ -96,6 +96,20 @@ cargo run --release --offline -p bench --bin table_gateway_overload
 grep -q '"preauth_storm.legit_ok"' BENCH_gateway.json \
     || { echo "BENCH_gateway.json missing preauth-storm scores"; exit 1; }
 
+echo "== cluster scale smoke (E18, quick mode, byte-identical JSON) =="
+# The sharded-cluster bench in quick mode: provisions the population,
+# gates the batched 4-shard aggregate at >=2x the single-KDC baselines,
+# and survives a shard-primary crash mid-workload. Runs twice: the
+# deterministic report must be byte-identical across same-seed runs.
+CLUSTER_SCALE_QUICK=1 cargo run --release --offline -p bench --bin table_cluster_scale
+cp BENCH_cluster.json BENCH_cluster.json.run1
+CLUSTER_SCALE_QUICK=1 cargo run --release --offline -p bench --bin table_cluster_scale
+diff BENCH_cluster.json.run1 BENCH_cluster.json \
+    || { echo "BENCH_cluster.json not byte-identical across same-seed runs"; exit 1; }
+rm -f BENCH_cluster.json.run1
+grep -q '"speedup_gate": "pass"' BENCH_cluster.json \
+    || { echo "BENCH_cluster.json missing speedup gate pass"; exit 1; }
+
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
 # drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts

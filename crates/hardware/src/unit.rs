@@ -199,8 +199,8 @@ impl EncryptionUnit {
     /// `ClientLogin` slot may perform this — the tagged-key rule that a
     /// login key "should be used only to decrypt the ticket-granting
     /// ticket".
-    pub fn open_as_reply(&mut self, login_key: KeyHandle, enc_part: &[u8]) -> Result<KdcRepView, HwError> {
-        let key = self.get(login_key, KeyPurpose::ClientLogin)?;
+    pub fn open_as_reply(&mut self, login_slot: KeyHandle, enc_part: &[u8]) -> Result<KdcRepView, HwError> {
+        let key = self.get(login_slot, KeyPurpose::ClientLogin)?;
         let pt = self
             .config
             .ticket_layer
@@ -209,7 +209,7 @@ impl EncryptionUnit {
         let part = EncKdcRepPart::decode(self.config.codec, MsgType::EncAsRepPart, &pt)
             .map_err(|e| HwError::Protocol(e.to_string()))?;
         let skh = self.insert(part.session_key, KeyPurpose::TgsSession);
-        self.log(format!("open_as_reply via {login_key:?} -> session {skh:?}"));
+        self.log(format!("open_as_reply via {login_slot:?} -> session {skh:?}"));
         Ok(KdcRepView { session_key: skh, nonce: part.nonce, ticket: part.ticket, end_time: part.end_time })
     }
 
@@ -249,12 +249,12 @@ impl EncryptionUnit {
 
     /// Server side: decrypts a presented ticket with the service key
     /// slot; the embedded session key is sealed, not returned.
-    pub fn decrypt_ticket(&mut self, service_key: KeyHandle, sealed: &[u8]) -> Result<TicketView, HwError> {
-        let key = self.get(service_key, KeyPurpose::Service)?;
+    pub fn decrypt_ticket(&mut self, service_slot: KeyHandle, sealed: &[u8]) -> Result<TicketView, HwError> {
+        let key = self.get(service_slot, KeyPurpose::Service)?;
         let t = Ticket::unseal(self.config.codec, self.config.ticket_layer, &key, sealed)
             .map_err(|e| HwError::Protocol(e.to_string()))?;
         let skh = self.insert(t.session_key, KeyPurpose::AppSession);
-        self.log(format!("decrypt_ticket via {service_key:?} -> session {skh:?}"));
+        self.log(format!("decrypt_ticket via {service_slot:?} -> session {skh:?}"));
         Ok(TicketView { client: t.client, service: t.service, end_time: t.end_time, session_key: skh })
     }
 

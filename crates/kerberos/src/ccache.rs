@@ -14,7 +14,7 @@
 //! attack (A12) captures real keys, not a flag.
 
 use crate::client::Credential;
-use crate::encoding::{Decoder, Encoder};
+use crate::encoding::{len_u32, Decoder, Encoder};
 use crate::error::KrbError;
 use crate::principal::Principal;
 use crate::ticket::{put_principal, take_principal};
@@ -56,7 +56,7 @@ pub struct CredCache {
 /// Serializes credentials the way a 1990 cache file did: in the clear.
 pub fn serialize_credentials(entries: &[Credential]) -> Vec<u8> {
     let mut e = Encoder::new();
-    e.put_u32(entries.len() as u32);
+    e.put_u32(len_u32(entries.len()));
     for c in entries {
         put_principal(&mut e, &c.client);
         put_principal(&mut e, &c.service);

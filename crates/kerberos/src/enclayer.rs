@@ -16,8 +16,9 @@
 //!   caller-managed per-message IV, an explicit length, and a
 //!   collision-proof keyed MAC over IV and plaintext.
 
+use crate::encoding::len_u32;
 use crate::error::KrbError;
-use krb_crypto::checksum::{self, Checksum, ChecksumType};
+use krb_crypto::checksum::{self, ChecksumType};
 use krb_crypto::des::{self, DesKey, ScheduledKey};
 use krb_crypto::modes;
 use krb_crypto::rng::RandomSource;
@@ -79,7 +80,7 @@ impl EncLayer {
         match self {
             EncLayer::V4Pcbc => {
                 let mut buf = Vec::with_capacity(plaintext.len() + 12);
-                buf.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+                buf.extend_from_slice(&len_u32(plaintext.len()).to_be_bytes());
                 buf.extend_from_slice(plaintext);
                 buf.resize(buf.len().next_multiple_of(8), 0);
                 modes::pcbc_encrypt_in_place(key.schedule(), key.key().to_u64(), &mut buf)?;
@@ -103,7 +104,7 @@ impl EncLayer {
                 // dropped after the in-place encryption.
                 let mut buf = Vec::with_capacity(plaintext.len() + 24);
                 buf.extend_from_slice(&iv.to_be_bytes());
-                buf.extend_from_slice(&(plaintext.len() as u32).to_be_bytes());
+                buf.extend_from_slice(&len_u32(plaintext.len()).to_be_bytes());
                 buf.extend_from_slice(plaintext);
                 buf.resize(buf.len().next_multiple_of(8), 0);
                 let mac = checksum::compute(ChecksumType::Md4Des, Some(key.key()), &buf)?;
@@ -130,7 +131,7 @@ impl EncLayer {
         iv: u64,
         ciphertext: &[u8],
     ) -> Result<Vec<u8>, KrbError> {
-        let mut buf = Vec::new();
+        let mut buf = Vec::with_capacity(ciphertext.len());
         self.open_into(key, iv, ciphertext, &mut buf)?;
         Ok(buf)
     }
@@ -185,9 +186,15 @@ impl EncLayer {
                 buf.extend_from_slice(&iv.to_be_bytes());
                 buf.extend_from_slice(ct);
                 modes::cbc_decrypt_in_place(key.schedule(), iv, &mut buf[8..])?;
-                let claimed = Checksum { ctype: ChecksumType::Md4Des, value: mac_bytes.to_vec().into() };
-                checksum::verify(&claimed, Some(key.key()), buf)
+                // Recompute and compare in place rather than building a
+                // `Checksum` around a copied MAC: the comparison is the
+                // same constant-time one `checksum::verify` uses, minus
+                // the per-open `to_vec`.
+                let recomputed = checksum::compute(ChecksumType::Md4Des, Some(key.key()), buf)
                     .map_err(|_| KrbError::IntegrityFailure)?;
+                if !recomputed.value.ct_eq(mac_bytes) {
+                    return Err(KrbError::IntegrityFailure);
+                }
                 if buf.len() < 12 {
                     return Err(KrbError::Decode("hardened sealed part too short"));
                 }

@@ -23,6 +23,16 @@
 
 use crate::error::KrbError;
 
+/// Converts an in-memory length to its 4-byte wire form, saturating at
+/// `u32::MAX` instead of truncating (P003). A saturated length can
+/// never frame correctly — every decoder rejects `body.len() < len` —
+/// so oversized input fails closed rather than silently mis-framing;
+/// for all representable lengths the bytes are identical to the old
+/// `as u32` cast.
+pub fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Wire-format constants for [`Codec::Wire`]. The message-type numbers
 /// mirror RFC 4120 (and picky-krb's constants table); the field tags for
 /// sealed sub-structures use the RFC's application-tag numbers. The full
@@ -206,7 +216,7 @@ impl Codec {
                 let mut v = Vec::with_capacity(body.len() + 6);
                 v.push(TYPED_MAGIC);
                 v.push(mtype as u8);
-                v.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                v.extend_from_slice(&len_u32(body.len()).to_be_bytes());
                 v.extend_from_slice(&body);
                 v
             }
@@ -215,7 +225,7 @@ impl Codec {
                 v.push(wire::MAGIC);
                 v.push(wire::VERSION);
                 v.push(mtype.wire_tag());
-                v.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                v.extend_from_slice(&len_u32(body.len()).to_be_bytes());
                 v.extend_from_slice(&body);
                 v
             }
@@ -362,7 +372,7 @@ impl Encoder {
 
     /// Appends a length-framed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.put_u32(v.len() as u32);
+        self.put_u32(len_u32(v.len()));
         self.buf.extend_from_slice(v);
         self
     }

@@ -6,7 +6,7 @@
 //! the encrypted data — is provided only by [`Codec::Typed`].
 
 use crate::authenticator::{checksum_from_tag, checksum_tag};
-use crate::encoding::{Codec, Decoder, Encoder, MsgType};
+use crate::encoding::{len_u32, Codec, Decoder, Encoder, MsgType};
 use crate::error::KrbError;
 use crate::flags::KdcOptions;
 use crate::principal::Principal;
@@ -152,7 +152,7 @@ impl AsReq {
         put_principal(&mut e, &self.service);
         e.put_u64(self.nonce).put_u64(self.lifetime_us).put_u32(self.addr);
         e.put_u32(u32::from(self.options.0));
-        e.put_u32(self.padata.len() as u32);
+        e.put_u32(len_u32(self.padata.len()));
         for p in &self.padata {
             p.encode_into(&mut e);
         }

@@ -9,7 +9,7 @@
 
 use crate::config::{Freshness, ProtocolConfig};
 use crate::enclayer::EncLayer;
-use crate::encoding::be_array;
+use crate::encoding::{be_array, len_u32};
 use crate::error::KrbError;
 use crate::messages::{frame, WireKind};
 use crate::principal::Principal;
@@ -61,7 +61,7 @@ pub fn encode_priv_draft3(part: &PrivPart) -> Vec<u8> {
     while !(v.len() + 4).is_multiple_of(8) {
         v.push(0);
     }
-    v.extend_from_slice(&(part.data.len() as u32).to_be_bytes());
+    v.extend_from_slice(&len_u32(part.data.len()).to_be_bytes());
     v
 }
 
@@ -91,7 +91,7 @@ pub fn decode_priv_draft3(pt: &[u8]) -> Result<PrivPart, KrbError> {
 /// Encodes the hardened layout (length-framed fields; the layer adds its
 /// own framing and MAC).
 pub fn encode_priv_hardened(part: &PrivPart) -> Vec<u8> {
-    let mut v = (part.data.len() as u32).to_be_bytes().to_vec();
+    let mut v = len_u32(part.data.len()).to_be_bytes().to_vec();
     v.extend_from_slice(&part.data);
     v.extend_from_slice(&part.ts_or_seq.to_be_bytes());
     v.push(part.direction as u8);
@@ -144,7 +144,7 @@ impl SafeFrame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = encode_priv_hardened(&self.part);
         out.push(self.cksum_tag);
-        out.extend_from_slice(&(self.cksum.len() as u32).to_be_bytes());
+        out.extend_from_slice(&len_u32(self.cksum.len()).to_be_bytes());
         out.extend_from_slice(&self.cksum);
         out
     }

@@ -3,7 +3,7 @@
 //! "A ticket contains assorted information identifying the principal,
 //! encrypted in the private key of the service."
 
-use crate::encoding::{Codec, Decoder, Encoder, MsgType};
+use crate::encoding::{len_u32, Codec, Decoder, Encoder, MsgType};
 use crate::enclayer::EncLayer;
 use crate::error::KrbError;
 use crate::flags::TicketFlags;
@@ -59,7 +59,7 @@ impl Ticket {
         };
         e.put_u64(self.auth_time).put_u64(self.start_time).put_u64(self.end_time);
         e.put_u64(self.session_key.to_u64());
-        e.put_u32(self.transited.len() as u32);
+        e.put_u32(len_u32(self.transited.len()));
         for r in &self.transited {
             e.put_str(r);
         }

@@ -22,6 +22,7 @@ use krb_trace::{EventKind, Tracer, Value};
 use simnet::net::{Endpoint, NetError};
 use simnet::{Service, ServiceCtx};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// What the front-end sees in an inbound request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -157,6 +158,9 @@ pub struct Gateway<F: Frontend> {
     pub stats: GatewayStats,
     trace: Tracer,
     trace_now_us: u64,
+    /// Reused formatting buffer for per-request metric labels, so the
+    /// admitted-counter label costs no allocation per request (A001).
+    addr_scratch: String,
 }
 
 impl<F: Frontend> Gateway<F> {
@@ -182,6 +186,7 @@ impl<F: Frontend> Gateway<F> {
             stats: GatewayStats::default(),
             trace: Tracer::new(),
             trace_now_us: 0,
+            addr_scratch: String::new(),
         }
     }
 
@@ -245,11 +250,9 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
         self.trace = ctx.tracer.clone();
         self.trace_now_us = ctx.true_time.0;
         let now_us = ctx.local_time.0;
-        let host = ctx.host_name.clone();
 
-        let class = self.frontend.classify_request(req);
-        let principal = match &class {
-            RequestClass::AsRequest { principal } => Some(principal.clone()),
+        let principal = match self.frontend.classify_request(req) {
+            RequestClass::AsRequest { principal } => Some(principal),
             RequestClass::Other => None,
         };
 
@@ -298,8 +301,8 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
             }
             Admission::Admitted { wait_us, .. } => wait_us,
         };
-        self.trace.gauge("gateway.occupancy", &host, self.queue.occupancy() as u64);
-        self.trace.observe_us("gateway.queue_wait", &host, wait_us);
+        self.trace.gauge("gateway.occupancy", &ctx.host_name, self.queue.occupancy() as u64);
+        self.trace.observe_us("gateway.queue_wait", &ctx.host_name, wait_us);
 
         // Forward upstream. Sharded mode routes by owning shard group;
         // flat mode forwards to this source's pinned upstream, with new
@@ -350,7 +353,9 @@ impl<F: Frontend + 'static> Service for Gateway<F> {
             }
         };
         self.stats.admitted = self.stats.admitted.saturating_add(1);
-        self.trace.counter("gateway.admitted", &from.addr.to_string(), 1);
+        self.addr_scratch.clear();
+        let _ = write!(self.addr_scratch, "{}", from.addr);
+        self.trace.counter("gateway.admitted", &self.addr_scratch, 1);
         self.in_flight = principal;
         ctx.forward_to(up, req.to_vec());
         None

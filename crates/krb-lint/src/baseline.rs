@@ -68,16 +68,16 @@ impl Baseline {
                 if let Some(entry) = current.take() {
                     allows.push(finish_entry(entry)?);
                 }
-                current = Some((None, None, None, n as u32 + 1));
+                current = Some((None, None, None, u32::try_from(n).unwrap_or(u32::MAX).saturating_add(1)));
                 continue;
             }
-            let Some((key, value)) = parse_assignment(line) else {
+            let Some((field, value)) = parse_assignment(line) else {
                 return Err(err(n, format!("unrecognised line: `{line}`")));
             };
             let Some(entry) = current.as_mut() else {
-                return Err(err(n, format!("`{key}` outside an [[allow]] entry")));
+                return Err(err(n, format!("`{field}` outside an [[allow]] entry")));
             };
-            match key {
+            match field {
                 "rule" => {
                     entry.0 = Some(Rule::from_id(&value).ok_or_else(|| {
                         err(n, format!("unknown rule ID `{value}`"))

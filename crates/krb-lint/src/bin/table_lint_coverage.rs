@@ -1,0 +1,63 @@
+//! E19 — static-analysis coverage: what the flow-aware lint actually
+//! traversed. Runs the full workspace lint once, times it, and reports
+//! findings per rule (active + baselined separately), functions
+//! analysed, call edges resolved, and taint paths walked.
+//!
+//! The wall-clock goes to stdout only; `BENCH_lint.json` carries
+//! nothing but deterministic counts, so `verify.sh` byte-diffs two
+//! back-to-back runs — the analyzer meets the same determinism bar it
+//! enforces on the crates it scans.
+
+use bench::{time_us, BenchJson, TextTable};
+use krb_lint::ALL_RULES;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match krb_lint::find_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("table_lint_coverage: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (outcome, wall_us) = time_us(|| krb_lint::run(&root));
+    let report = match outcome {
+        Ok(Ok(r)) => r,
+        Ok(Err(b)) => {
+            eprintln!("table_lint_coverage: lint-baseline.toml:{}: {}", b.line, b.message);
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("table_lint_coverage: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut t = TextTable::new(&["rule", "active", "baselined"]);
+    let mut json = BenchJson::new("E19");
+    json.int("files_scanned", report.files_scanned as u64)
+        .int("functions", report.flow.functions as u64)
+        .int("call_edges", report.flow.call_edges as u64)
+        .int("taint_paths", report.flow.taint_paths as u64);
+    for rule in ALL_RULES {
+        let active = report.active.iter().filter(|f| f.rule == *rule).count();
+        let baselined = report.baselined.iter().filter(|f| f.rule == *rule).count();
+        t.row(&[rule.id().to_string(), active.to_string(), baselined.to_string()]);
+        json.int(&format!("findings_{}", rule.id()), (active + baselined) as u64);
+    }
+    json.flag("clean", report.clean());
+
+    t.print("krb-lint rule coverage (E19)");
+    println!(
+        "flow pass: {} function(s), {} call edge(s), {} taint path(s) over {} file(s)",
+        report.flow.functions, report.flow.call_edges, report.flow.taint_paths,
+        report.files_scanned,
+    );
+    println!("lint wall time: {wall_us:.0} us (stdout only, never in the JSON)");
+    json.write("lint");
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::baseline::{Baseline, BaselineError};
 use crate::diag::{Finding, ALL_RULES};
+use crate::flow::{analyze_workspace, FileInput, FlowStats};
 use crate::lexer::lex;
 use crate::manifest::check_manifest;
 use crate::rules::{check_file, FileCtx};
@@ -24,6 +25,9 @@ pub struct Report {
     pub stale: Vec<String>,
     /// Number of files analysed (`.rs` + manifests).
     pub files_scanned: usize,
+    /// Flow-pass coverage counters (functions, call edges, taint paths)
+    /// — the E19 metrics.
+    pub flow: FlowStats,
 }
 
 impl Report {
@@ -85,10 +89,26 @@ pub fn run(root: &Path) -> io::Result<Result<Report, BaselineError>> {
         let text = fs::read_to_string(root.join(rel))?;
         all.extend(check_manifest(rel, &text));
     }
+    let mut sources = Vec::with_capacity(rs_files.len());
     for rel in &rs_files {
         let text = fs::read_to_string(root.join(rel))?;
         all.extend(analyze_source(rel, crate_of(rel), &text));
+        sources.push(text);
     }
+
+    // The flow pass needs every file at once (call graph, taint).
+    let inputs: Vec<FileInput<'_>> = rs_files
+        .iter()
+        .zip(&sources)
+        .map(|(rel, text)| FileInput { rel_path: rel, crate_name: crate_of(rel), text })
+        .collect();
+    let design_text = fs::read_to_string(root.join("DESIGN.md")).ok();
+    let (flow_findings, flow) =
+        analyze_workspace(&inputs, design_text.as_deref().map(|t| ("DESIGN.md", t)));
+    all.extend(flow_findings);
+    all.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
 
     let baseline_text = fs::read_to_string(root.join("lint-baseline.toml")).unwrap_or_default();
     let baseline = match Baseline::parse(&baseline_text) {
@@ -103,7 +123,7 @@ pub fn run(root: &Path) -> io::Result<Result<Report, BaselineError>> {
         .collect();
     let (baselined, active): (Vec<_>, Vec<_>) =
         all.into_iter().partition(|f| baseline.suppresses(f));
-    Ok(Ok(Report { active, baselined, stale, files_scanned }))
+    Ok(Ok(Report { active, baselined, stale, files_scanned, flow }))
 }
 
 fn walk(

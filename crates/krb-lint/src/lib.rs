@@ -16,18 +16,33 @@
 //! - **H — hermeticity**: every dependency is an in-tree path
 //!   dependency (H001), absorbing the PR-1 `verify.sh` grep guard.
 //!
+//! Since PR 9 the linter is flow-aware: a brace-matching syntax layer
+//! ([`syntax`]) recovers per-function skeletons from the token stream,
+//! a workspace call graph ([`callgraph`]) resolves intra-tree calls,
+//! and a taint engine ([`taint`]) follows secrets through renames and
+//! up to 3 call hops. On top of these sit S005 (cross-function
+//! secret-to-sink taint), D003 (laundered clock reads), P003
+//! (truncating length casts on codec paths), A001 (hot-path
+//! allocation), and E001 (metric-name drift vs DESIGN.md) — see
+//! [`flow`].
+//!
 //! The scanner is a hand-rolled line/column-tracking lexer
 //! ([`lexer`]) — no `syn`, per rule H001 itself. Suppressions live in
 //! `lint-baseline.toml` ([`baseline`]) and every entry must carry a
 //! justification; stale entries fail the run.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod engine;
+pub mod flow;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod syntax;
+pub mod taint;
 
 pub use diag::{Finding, Rule, ALL_RULES};
 pub use engine::{analyze_source, crate_of, find_root, run, Report};
+pub use flow::{analyze_workspace, FileInput, FlowStats};

@@ -106,6 +106,10 @@ fn print_report(report: &krb_lint::Report) {
         t.row(&row);
     }
     t.print("krb-lint rule × crate violations (E14)");
+    println!(
+        "flow coverage (E19): {} function(s), {} call edge(s), {} taint path(s)",
+        report.flow.functions, report.flow.call_edges, report.flow.taint_paths
+    );
     print_rule_table_hint(report);
 }
 

@@ -1,0 +1,722 @@
+//! The taint engine behind S005: where can a secret flow?
+//!
+//! Taint is a set of local names per function, seeded at the sources
+//! the paper's attacks start from — parameters of a secret-bearing
+//! type (`SecretBytes`, `DesKey`, ...), parameters named like keys or
+//! passwords, `s2k::` derivation outputs — and propagated through
+//! `let` bindings, field accesses, and (via per-function summaries) up
+//! to [`MAX_HOPS`] call-graph hops. Sinks are the places bytes become
+//! public: formatting macros (including *inline format captures*,
+//! which the lexical S002 cannot see inside string literals) and trace
+//! emissions outside a `fingerprint(...)` redaction group.
+//!
+//! Three deliberate asymmetries keep the rule useful rather than noisy:
+//!
+//! - a *local* flow of an identifier that is itself secret-named is
+//!   S002/S004's finding, not S005's — S005 reports what the lexical
+//!   rules cannot: renamed copies, captures, and cross-function flows;
+//! - a call's *return value* is a different value from its arguments:
+//!   `let h = unit.insert(key, purpose)` binds a slot handle, not the
+//!   key, so argument taint stays inside the call unless the resolved
+//!   callee's declared return type is itself secret (`s2k::` derivation,
+//!   subkey computation);
+//! - sanitizers ([`config::SANITIZER_FNS`], [`config::SANITIZER_METHODS`])
+//!   cut the flow: passing a secret *into* `fingerprint`/`seal_with` is
+//!   the sanctioned direction, and `key.len()` is public arithmetic.
+
+use crate::callgraph::{FnRef, Graph};
+use crate::config::{
+    is_secret_ident, is_taint_source_ident, is_test_path, FORMAT_MACROS, SANITIZER_FNS,
+    SANITIZER_METHODS, SECRET_TYPES, TRACE_EMIT_CALLS,
+};
+use crate::diag::{Finding, Rule};
+use crate::lexer::{TokKind, Token};
+use crate::syntax::{CallSite, FileSyntax, FnInfo};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cross-function propagation depth (call-graph hops from the tainted
+/// call site to the sink).
+pub const MAX_HOPS: usize = 3;
+
+/// Counters the E19 bench reports.
+#[derive(Default, Clone, Copy)]
+pub struct TaintStats {
+    /// (fn, param) summary expansions walked by the cross-function
+    /// search — the `taint_paths` E19 metric.
+    pub paths: usize,
+}
+
+/// Where a tainted value became public.
+#[derive(Clone, Debug)]
+struct Sink {
+    /// `format!`-family macro or trace-emission method name.
+    via: String,
+    /// File (workspace-relative) and position of the sink.
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+/// One function's externally visible taint behaviour.
+struct Summary {
+    /// Per parameter: the first local sink it reaches, if any.
+    param_sink: Vec<Option<Sink>>,
+    /// Per parameter: calls it flows into, as (callee, argument index).
+    param_calls: Vec<Vec<(FnRef, usize)>>,
+}
+
+/// The workspace view the taint pass runs over.
+pub struct TaintCtx<'a> {
+    /// (rel_path, crate_name) per file, aligned with `lexed`/`parsed`.
+    pub files: &'a [(&'a str, &'a str)],
+    /// Lexed tokens per file.
+    pub lexed: &'a [Vec<Token<'a>>],
+    /// Parsed skeleton per file.
+    pub parsed: &'a [FileSyntax],
+    /// The resolved call graph.
+    pub graph: &'a Graph,
+}
+
+impl TaintCtx<'_> {
+    fn fn_info(&self, r: FnRef) -> &FnInfo {
+        &self.parsed[r.file].fns[r.fn_idx]
+    }
+
+    /// (tokens, significant-index list) of one file, for rule passes.
+    pub(crate) fn toks_sig(&self, file: usize) -> (&[Token<'_>], &[usize]) {
+        (&self.lexed[file], &self.parsed[file].sig)
+    }
+}
+
+/// Computes the tainted name set of one function body: parameter seeds
+/// plus `let`-propagation to a fixpoint. `secret_calls` holds the
+/// `name_at` indices of calls whose resolved callee returns a secret
+/// type (see [`secret_ret_calls`]). Public for the monotonicity
+/// proptest.
+pub fn local_taint(
+    toks: &[Token<'_>],
+    sig: &[usize],
+    f: &FnInfo,
+    secret_calls: &BTreeSet<usize>,
+) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    for p in &f.params {
+        let secret_type = p.type_idents.iter().any(|t| SECRET_TYPES.contains(&t.as_str()));
+        if secret_type || is_taint_source_ident(&p.name) {
+            tainted.insert(p.name.clone());
+        }
+    }
+    // Statement-ordered passes to a fixpoint; bindings form a DAG in
+    // source order almost always, so this converges immediately, but
+    // shadowing/reassignment patterns get three more chances.
+    for _ in 0..4 {
+        let mut changed = false;
+        for l in &f.lets {
+            if l.names.iter().all(|n| tainted.contains(n)) {
+                continue;
+            }
+            if scan_taint_hits(toks, sig, l.rhs, &tainted, secret_calls, &mut |_, _| true) {
+                for n in &l.names {
+                    changed |= tainted.insert(n.clone());
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// The `name_at` indices of `f`'s calls whose resolved callee declares a
+/// secret return type — the only calls whose *results* carry taint.
+fn secret_ret_calls(ctx: &TaintCtx<'_>, fnref: FnRef) -> BTreeSet<usize> {
+    let (_, crate_name) = ctx.files[fnref.file];
+    ctx.fn_info(fnref)
+        .calls
+        .iter()
+        .filter(|c| !c.is_macro)
+        .filter_map(|c| ctx.graph.resolve(c, crate_name, fnref.file).map(|r| (c, r)))
+        .filter(|&(_, r)| {
+            ctx.fn_info(r).ret_idents.iter().any(|t| SECRET_TYPES.contains(&t.as_str()))
+        })
+        .map(|(c, _)| c.name_at)
+        .collect()
+}
+
+/// Advances past the balanced group opening at `sig[open]`; returns the
+/// index just after the matching close (or `end` if unbalanced).
+fn skip_group(toks: &[Token<'_>], sig: &[usize], open: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut m = open;
+    while m < end {
+        match toks[sig[m]].text {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return m + 1;
+                }
+            }
+            _ => {}
+        }
+        m += 1;
+    }
+    end
+}
+
+/// Walks the expression `sig[range)` and invokes `hit` on every
+/// taint-carrying occurrence (index, name): a tainted/secret-named bare
+/// identifier, a secret type constructor, an `s2k::` derivation, or a
+/// call in `secret_calls`. Call argument groups are swallowed — the
+/// result of a non-secret-returning call is not its arguments. Returns
+/// whether any hit occurred.
+fn scan_taint_hits(
+    toks: &[Token<'_>],
+    sig: &[usize],
+    (start, end): (usize, usize),
+    tainted: &BTreeSet<String>,
+    secret_calls: &BTreeSet<usize>,
+    hit: &mut dyn FnMut(usize, &str) -> bool,
+) -> bool {
+    let t = |k: usize| toks[sig[k]].text;
+    let mut any = false;
+    let mut k = start;
+    let end = end.min(sig.len());
+    while k < end {
+        let tok = &toks[sig[k]];
+        if tok.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let name = tok.text;
+        if let Some(open) = call_group_open(toks, sig, k, end) {
+            if secret_calls.contains(&k) {
+                any = true;
+                hit(k, name);
+            }
+            k = skip_group(toks, sig, open, end);
+            continue;
+        }
+        if tainted.contains(name)
+            || is_taint_source_ident(name)
+            || SECRET_TYPES.contains(&name)
+            || name == "s2k"
+        {
+            // `key.len()` and friends launder this occurrence.
+            let sanitized = k + 2 < sig.len()
+                && t(k + 1) == "."
+                && SANITIZER_METHODS.contains(&t(k + 2));
+            if !sanitized {
+                any = true;
+                hit(k, name);
+            }
+        }
+        k += 1;
+    }
+    any
+}
+
+/// If `sig[k]` heads a call (`name(..)`) or macro (`name!(..)`), the
+/// index of its opening delimiter.
+fn call_group_open(toks: &[Token<'_>], sig: &[usize], k: usize, end: usize) -> Option<usize> {
+    let t = |j: usize| toks[sig[j]].text;
+    if k + 1 < end && t(k + 1) == "(" {
+        Some(k + 1)
+    } else if k + 2 < end && t(k + 1) == "!" && matches!(t(k + 2), "(" | "[" | "{") {
+        Some(k + 2)
+    } else {
+        None
+    }
+}
+
+/// Inline format captures (`"{key}"`, `"{skey:?}"`) in the string
+/// literals of `sig[range)`: returns (sig index of the literal,
+/// captured identifier) pairs.
+fn format_captures(
+    toks: &[Token<'_>],
+    sig: &[usize],
+    (start, end): (usize, usize),
+) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for k in start..end.min(sig.len()) {
+        let tok = &toks[sig[k]];
+        if tok.kind != TokKind::Str {
+            continue;
+        }
+        let mut chars = tok.text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '{' {
+                continue;
+            }
+            if chars.peek() == Some(&'{') {
+                chars.next(); // escaped `{{`
+                continue;
+            }
+            let mut name = String::new();
+            for c in chars.by_ref() {
+                match c {
+                    '}' | ':' => break,
+                    c if c == '_' || c.is_alphanumeric() => name.push(c),
+                    _ => {
+                        name.clear();
+                        break;
+                    }
+                }
+            }
+            if !name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                out.push((k, name));
+            }
+        }
+    }
+    out
+}
+
+/// Runs S005 over every non-test function of every file. Appends
+/// findings; returns the path-walk statistics for E19.
+pub fn check_s005(ctx: &TaintCtx<'_>, out: &mut Vec<Finding>) -> TaintStats {
+    let mut stats = TaintStats::default();
+    let mut summaries: BTreeMap<FnRef, Summary> = BTreeMap::new();
+    for (file, (rel_path, crate_name)) in ctx.files.iter().enumerate() {
+        if is_test_path(rel_path) {
+            continue;
+        }
+        for fn_idx in 0..ctx.parsed[file].fns.len() {
+            let f = &ctx.parsed[file].fns[fn_idx];
+            if f.is_test {
+                continue;
+            }
+            check_fn(ctx, FnRef { file, fn_idx }, rel_path, crate_name, &mut summaries, &mut stats, out);
+        }
+    }
+    stats
+}
+
+fn check_fn(
+    ctx: &TaintCtx<'_>,
+    fnref: FnRef,
+    rel_path: &str,
+    crate_name: &str,
+    summaries: &mut BTreeMap<FnRef, Summary>,
+    stats: &mut TaintStats,
+    out: &mut Vec<Finding>,
+) {
+    let (toks, sig) = ctx.toks_sig(fnref.file);
+    let f = ctx.fn_info(fnref);
+    let secret_calls = secret_ret_calls(ctx, fnref);
+    let tainted = local_taint(toks, sig, f, &secret_calls);
+
+    for call in &f.calls {
+        // Local sinks: formatting macros and trace emissions.
+        if sink_kind(call).is_some() {
+            report_local_sink(ctx, fnref, rel_path, call, &tainted, &secret_calls, out);
+            continue;
+        }
+        // Passing a secret INTO a sanitizer is the sanctioned direction.
+        if SANITIZER_FNS.contains(&call.callee.as_str()) {
+            continue;
+        }
+        // Cross-function flows: a tainted argument entering a resolved
+        // callee that lets it reach a sink within MAX_HOPS.
+        let Some(callee) = ctx.graph.resolve(call, crate_name, fnref.file) else {
+            continue;
+        };
+        for (arg_idx, &arg) in call.args.iter().enumerate() {
+            let mut src: Option<String> = None;
+            scan_taint_hits(toks, sig, arg, &tainted, &secret_calls, &mut |_, name| {
+                if src.is_none() {
+                    src = Some(name.to_string());
+                }
+                true
+            });
+            let Some(src) = src else { continue };
+            if let Some((sink, hops)) =
+                reach_sink(ctx, callee, arg_idx, 1, summaries, stats, &mut BTreeSet::new())
+            {
+                let at = &toks[sig[call.name_at]];
+                out.push(Finding {
+                    rule: Rule::S005,
+                    file: rel_path.to_string(),
+                    line: at.line,
+                    col: at.col,
+                    message: format!(
+                        "secret `{src}` passed to `{}` reaches `{}` at {}:{}:{} ({hops} call \
+                         hop(s) away); secrets cross function boundaries only toward \
+                         fingerprint()/seal paths",
+                        call.callee, sink.via, sink.file, sink.line, sink.col
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Whether a call site is a sink, and which kind.
+fn sink_kind(call: &CallSite) -> Option<&'static str> {
+    if call.is_macro && FORMAT_MACROS.contains(&call.callee.as_str()) {
+        Some("format")
+    } else if call.is_method && TRACE_EMIT_CALLS.contains(&call.callee.as_str()) {
+        Some("trace")
+    } else {
+        None
+    }
+}
+
+/// Reports local tainted-identifier and format-capture flows into the
+/// sink `call`. Identifiers that are themselves secret-named are left
+/// to S002/S004 (same token, same verdict — one rule per finding).
+fn report_local_sink(
+    ctx: &TaintCtx<'_>,
+    fnref: FnRef,
+    rel_path: &str,
+    call: &CallSite,
+    tainted: &BTreeSet<String>,
+    secret_calls: &BTreeSet<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(kind) = sink_kind(call) else {
+        return;
+    };
+    let (toks, sig) = ctx.toks_sig(fnref.file);
+    let whole = match (call.args.first(), call.args.last()) {
+        (Some(&(a, _)), Some(&(_, b))) => (a, b),
+        _ => return,
+    };
+    let sink_name = &call.callee;
+    scan_taint_hits(toks, sig, whole, tainted, secret_calls, &mut |k, name| {
+        if !is_secret_ident(name) && tainted.contains(name) {
+            let at = &toks[sig[k]];
+            out.push(Finding {
+                rule: Rule::S005,
+                file: rel_path.to_string(),
+                line: at.line,
+                col: at.col,
+                message: format!(
+                    "`{name}` carries key material (taint-derived) and flows into \
+                     {} `{sink_name}`; redact via fingerprint() or drop it",
+                    if kind == "format" { "macro" } else { "trace call" },
+                ),
+            });
+        }
+        true
+    });
+    for (k, name) in format_captures(toks, sig, whole) {
+        if tainted.contains(&name) || is_taint_source_ident(&name) {
+            let at = &toks[sig[k]];
+            out.push(Finding {
+                rule: Rule::S005,
+                file: rel_path.to_string(),
+                line: at.line,
+                col: at.col,
+                message: format!(
+                    "inline format capture `{{{name}}}` embeds key material in a \
+                     `{sink_name}` string; captures are invisible to S002 but just as public"
+                ),
+            });
+        }
+    }
+}
+
+/// Whether taint entering `callee` at parameter `arg_idx` reaches a
+/// sink within the hop budget. Depth-first over memoized summaries.
+fn reach_sink(
+    ctx: &TaintCtx<'_>,
+    callee: FnRef,
+    arg_idx: usize,
+    hops: usize,
+    summaries: &mut BTreeMap<FnRef, Summary>,
+    stats: &mut TaintStats,
+    visiting: &mut BTreeSet<(FnRef, usize)>,
+) -> Option<(Sink, usize)> {
+    if hops > MAX_HOPS || !visiting.insert((callee, arg_idx)) {
+        return None;
+    }
+    stats.paths += 1;
+    ensure_summary(ctx, callee, summaries);
+    let summary = &summaries[&callee];
+    if let Some(sink) = summary.param_sink.get(arg_idx).and_then(|s| s.clone()) {
+        return Some((sink, hops));
+    }
+    let next: Vec<(FnRef, usize)> =
+        summary.param_calls.get(arg_idx).cloned().unwrap_or_default();
+    for (next_fn, next_arg) in next {
+        if let Some(found) =
+            reach_sink(ctx, next_fn, next_arg, hops + 1, summaries, stats, visiting)
+        {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Builds (once) the summary of `fnref`: treating each parameter as the
+/// sole taint source, which sinks and which outgoing calls does it
+/// reach locally?
+fn ensure_summary(ctx: &TaintCtx<'_>, fnref: FnRef, summaries: &mut BTreeMap<FnRef, Summary>) {
+    if summaries.contains_key(&fnref) {
+        return;
+    }
+    let (toks, sig) = ctx.toks_sig(fnref.file);
+    let (rel_path, crate_name) = ctx.files[fnref.file];
+    let f = ctx.fn_info(fnref);
+    let secret_calls = secret_ret_calls(ctx, fnref);
+    let nparams = f.params.len();
+    let mut param_sink: Vec<Option<Sink>> = vec![None; nparams];
+    let mut param_calls: Vec<Vec<(FnRef, usize)>> = vec![Vec::new(); nparams];
+
+    for (i, p) in f.params.iter().enumerate() {
+        // The names this parameter's taint lives under locally: itself
+        // plus every let-binding derived from it. Computed by seeding
+        // ONLY this parameter, so summaries stay per-parameter precise.
+        let mut mine: BTreeSet<String> = BTreeSet::new();
+        mine.insert(p.name.clone());
+        for _ in 0..4 {
+            let mut changed = false;
+            for l in &f.lets {
+                if l.names.iter().all(|n| mine.contains(n)) {
+                    continue;
+                }
+                if scan_param_only(toks, sig, l.rhs, &mine, &secret_calls) {
+                    for n in &l.names {
+                        changed |= mine.insert(n.clone());
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for call in &f.calls {
+            if let Some(kind) = sink_kind(call) {
+                let whole = match (call.args.first(), call.args.last()) {
+                    (Some(&(a, _)), Some(&(_, b))) => (a, b),
+                    _ => continue,
+                };
+                let mut hit_at = None;
+                scan_param_hits(toks, sig, whole, &mine, &secret_calls, &mut |k| {
+                    if hit_at.is_none() {
+                        hit_at = Some(k);
+                    }
+                });
+                let capture_hit = format_captures(toks, sig, whole)
+                    .into_iter()
+                    .find(|(_, name)| mine.contains(name));
+                if let Some(k) = hit_at.or(capture_hit.map(|(k, _)| k)) {
+                    if param_sink[i].is_none() {
+                        let at = &toks[sig[k]];
+                        param_sink[i] = Some(Sink {
+                            via: format!(
+                                "{}{}",
+                                call.callee,
+                                if kind == "format" { "!" } else { "()" }
+                            ),
+                            file: rel_path.to_string(),
+                            line: at.line,
+                            col: at.col,
+                        });
+                    }
+                }
+            } else if SANITIZER_FNS.contains(&call.callee.as_str()) {
+                // Sanctioned direction; the flow ends here.
+            } else if let Some(next) = ctx.graph.resolve(call, crate_name, fnref.file) {
+                for (arg_idx, &arg) in call.args.iter().enumerate() {
+                    let mut hit = false;
+                    scan_param_hits(toks, sig, arg, &mine, &secret_calls, &mut |_| hit = true);
+                    if hit {
+                        param_calls[i].push((next, arg_idx));
+                    }
+                }
+            }
+        }
+    }
+    summaries.insert(fnref, Summary { param_sink, param_calls });
+}
+
+/// Like [`scan_taint_hits`] but matches ONLY the given name set (no
+/// intrinsic secret-name/type seeding), for per-parameter summaries.
+fn scan_param_only(
+    toks: &[Token<'_>],
+    sig: &[usize],
+    range: (usize, usize),
+    names: &BTreeSet<String>,
+    secret_calls: &BTreeSet<usize>,
+) -> bool {
+    let mut hit = false;
+    scan_param_hits(toks, sig, range, names, secret_calls, &mut |_| hit = true);
+    hit
+}
+
+/// Per-parameter variant of the taint scan: bare names from `names`
+/// count; call groups are swallowed, except that a secret-returning
+/// call counts when the parameter feeds one of its arguments (the
+/// derived secret inherits the param's taint).
+fn scan_param_hits(
+    toks: &[Token<'_>],
+    sig: &[usize],
+    (start, end): (usize, usize),
+    names: &BTreeSet<String>,
+    secret_calls: &BTreeSet<usize>,
+    hit: &mut dyn FnMut(usize),
+) {
+    let t = |k: usize| toks[sig[k]].text;
+    let mut k = start;
+    let end = end.min(sig.len());
+    while k < end {
+        let tok = &toks[sig[k]];
+        if tok.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        if let Some(open) = call_group_open(toks, sig, k, end) {
+            let after = skip_group(toks, sig, open, end);
+            if secret_calls.contains(&k) {
+                let mut inner = false;
+                scan_param_hits(
+                    toks,
+                    sig,
+                    (open + 1, after.saturating_sub(1)),
+                    names,
+                    secret_calls,
+                    &mut |_| inner = true,
+                );
+                if inner {
+                    hit(k);
+                }
+            }
+            k = after;
+            continue;
+        }
+        if names.contains(tok.text) {
+            let sanitized = k + 2 < sig.len()
+                && t(k + 1) == "."
+                && SANITIZER_METHODS.contains(&t(k + 2));
+            if !sanitized {
+                hit(k);
+            }
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::Graph;
+    use crate::lexer::lex;
+    use crate::syntax::parse;
+
+    fn run_s005(files: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let lexed: Vec<Vec<Token<'_>>> = files.iter().map(|(_, _, t)| lex(t)).collect();
+        let parsed: Vec<FileSyntax> = lexed.iter().map(|t| parse(t)).collect();
+        let with_meta: Vec<(&str, &str, &FileSyntax)> = files
+            .iter()
+            .zip(&parsed)
+            .map(|(&(rel, krate, _), p)| (rel, krate, p))
+            .collect();
+        let graph = Graph::build(&with_meta);
+        let meta: Vec<(&str, &str)> = files.iter().map(|&(rel, krate, _)| (rel, krate)).collect();
+        let ctx = TaintCtx { files: &meta, lexed: &lexed, parsed: &parsed, graph: &graph };
+        let mut out = Vec::new();
+        check_s005(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn renamed_copy_into_format_fires() {
+        let src = r#"fn f(session_key: &DesKey) {
+            let material = session_key;
+            println!("{:?}", material);
+        }"#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("material"));
+    }
+
+    #[test]
+    fn inline_capture_fires_where_s002_cannot() {
+        let src = r#"fn f(session_key: &DesKey) { let sk2 = session_key; println!("sk={sk2}"); }"#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("capture"));
+    }
+
+    #[test]
+    fn cross_function_hop_fires() {
+        let src = r#"
+            fn caller(user_key: &DesKey) { describe(user_key); }
+            fn describe(material: &DesKey) { println!("{material:?}"); }
+        "#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        // One local finding in describe (capture of typed param) and one
+        // cross-function finding at the caller's call site.
+        assert_eq!(f.len(), 2, "{f:#?}");
+        assert!(f.iter().any(|x| x.message.contains("1 call hop")));
+    }
+
+    #[test]
+    fn sanitizers_cut_the_flow() {
+        let src = r#"
+            fn f(session_key: &DesKey) {
+                let fpr = fingerprint(session_key);
+                let n = session_key.len();
+                println!("{fpr} {n}");
+            }
+        "#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn secret_named_local_flow_is_left_to_s002() {
+        // `session_key` inside println! is S002's finding; S005 must not
+        // duplicate it (but the capture form, invisible to S002, fires).
+        let src = r#"fn f(session_key: &DesKey) { println!("{:?}", session_key); }"#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn call_results_are_not_their_arguments() {
+        // `insert` seals the key and returns a slot handle; binding the
+        // handle must not taint it, and formatting it is fine.
+        let src = r#"
+            fn insert(slot_key: DesKey) -> u32 { 7 }
+            fn f(session_key: DesKey) {
+                let h = insert(session_key);
+                println!("handle {h}");
+            }
+        "#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn secret_returning_call_taints_binding() {
+        let src = r#"
+            fn derive_subkey(seed: u64) -> DesKey { make(seed) }
+            fn f() {
+                let sk2 = derive_subkey(9);
+                println!("{sk2:?}");
+            }
+        "#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("sk2"));
+    }
+
+    #[test]
+    fn hop_budget_is_bounded() {
+        let src = r#"
+            fn a(user_key: &DesKey) { b(user_key); }
+            fn b(x1: &DesKey) { c(x1); }
+            fn c(x2: &DesKey) { d(x2); }
+            fn d(x3: &DesKey) { e(x3); }
+            fn e(x4: &DesKey) { println!("{x4:?}"); }
+        "#;
+        let f = run_s005(&[("crates/kerberos/src/x.rs", "kerberos", src)]);
+        // e's own capture fires locally; a→b→c→d→e is 4 hops, over
+        // budget, but b→..→e (3 hops) and closer callers all fire.
+        assert!(f.iter().any(|x| x.message.contains("3 call hop")), "{f:#?}");
+        assert!(!f.iter().any(|x| x.message.contains("4 call hop")), "{f:#?}");
+    }
+}

@@ -12,7 +12,7 @@
 //! --test fixtures` after an intentional diagnostic change.
 
 use krb_lint::manifest::check_manifest;
-use krb_lint::{analyze_source, Rule};
+use krb_lint::{analyze_source, analyze_workspace, FileInput, Rule};
 use std::fs;
 use std::path::PathBuf;
 
@@ -27,6 +27,10 @@ const SOURCE_RULES: &[Rule] = &[
     Rule::P001,
     Rule::P002,
 ];
+
+/// Rules of the flow pass (`analyze_workspace`): their fixtures form a
+/// miniature workspace instead of a lone file.
+const FLOW_RULES: &[Rule] = &[Rule::S005, Rule::D003, Rule::P003, Rule::A001, Rule::E001];
 
 fn fixture_dir(rule: Rule) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(rule.id())
@@ -82,6 +86,70 @@ fn good_examples_lint_clean() {
         assert!(
             rendered.is_empty(),
             "{}/good.rs must lint clean; got: {rendered:#?}",
+            rule.id()
+        );
+    }
+}
+
+/// Runs the flow pass over a miniature workspace: the fixture itself
+/// placed in the kerberos crate's `src/` (deterministic + hot-path
+/// governed), plus the rule's optional `helper.rs` (a file in the
+/// non-governed `bench` crate — D003's clock launderer lives there)
+/// and optional `design.md` (E001's registry).
+fn lint_flow_fixture(rule: Rule, name: &str) -> Vec<String> {
+    let text = read(rule, name);
+    let rel = format!("crates/kerberos/src/{}_{name}", rule.id());
+    let helper = fs::read_to_string(fixture_dir(rule).join("helper.rs")).ok();
+    let helper_rel = format!("crates/bench/src/{}_helper.rs", rule.id());
+    let mut inputs = vec![FileInput { rel_path: &rel, crate_name: "kerberos", text: &text }];
+    if let Some(h) = &helper {
+        inputs.push(FileInput { rel_path: &helper_rel, crate_name: "bench", text: h });
+    }
+    let design = fs::read_to_string(fixture_dir(rule).join("design.md")).ok();
+    let (findings, _) = analyze_workspace(&inputs, design.as_deref().map(|d| ("DESIGN.md", d)));
+    findings.iter().map(|f| f.to_string()).collect()
+}
+
+#[test]
+fn flow_bad_examples_fire_their_rule_and_match_golden() {
+    let bless = std::env::var_os("KRB_LINT_BLESS").is_some();
+    for &rule in FLOW_RULES {
+        let rendered = lint_flow_fixture(rule, "bad.rs");
+        assert!(
+            rendered.iter().any(|l| l.starts_with(rule.id())),
+            "{}/bad.rs must trigger {}; got: {rendered:#?}",
+            rule.id(),
+            rule.id()
+        );
+        let golden_path = fixture_dir(rule).join("expected.txt");
+        let actual = rendered.join("\n") + "\n";
+        if bless {
+            fs::write(&golden_path, &actual).expect("write golden");
+            continue;
+        }
+        let expected = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("golden {} missing: {e}", golden_path.display()));
+        assert_eq!(
+            actual,
+            expected,
+            "{}/bad.rs diagnostics drifted from expected.txt (KRB_LINT_BLESS=1 to regenerate)",
+            rule.id()
+        );
+    }
+}
+
+/// Flow-rule good examples are clean under the flow pass AND the
+/// lexical pass — the sanctioned pattern must not trade one rule's
+/// finding for another's.
+#[test]
+fn flow_good_examples_lint_clean() {
+    for &rule in FLOW_RULES {
+        let flow = lint_flow_fixture(rule, "good.rs");
+        assert!(flow.is_empty(), "{}/good.rs must flow-lint clean; got: {flow:#?}", rule.id());
+        let lexical = lint_fixture(rule, "good.rs");
+        assert!(
+            lexical.is_empty(),
+            "{}/good.rs must also lexically lint clean; got: {lexical:#?}",
             rule.id()
         );
     }

@@ -1,0 +1,14 @@
+//! GOOD: one `Vec::with_capacity` sized up front is the sanctioned
+//! owned-result pattern — the extend and resize below reuse that
+//! allocation.
+
+pub struct Sealer;
+
+impl Sealer {
+    pub fn seal_with(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(plaintext.len() + 8);
+        buf.extend_from_slice(plaintext);
+        buf.resize(buf.len().next_multiple_of(8), 0);
+        buf
+    }
+}

@@ -1,0 +1,7 @@
+//! BAD: a deterministic-crate function takes its notion of "now" from
+//! a helper crate that reads the wall clock — same nondeterminism as a
+//! direct `Instant::now()`, one call hop further away.
+
+pub fn expiry_from_wall_clock(epoch: Epoch, lifetime_us: u64) -> u64 {
+    stamp_us(epoch).saturating_add(lifetime_us)
+}

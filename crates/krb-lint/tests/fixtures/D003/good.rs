@@ -1,0 +1,7 @@
+//! GOOD: time is a parameter. The simulator clock hands `now_us` in,
+//! so the function is a pure function of its inputs and every run
+//! replays byte-identically from a seed.
+
+pub fn expiry_from_sim_clock(now_us: u64, lifetime_us: u64) -> u64 {
+    now_us.saturating_add(lifetime_us)
+}

@@ -1,0 +1,9 @@
+//! The laundering helper: lives in a non-governed crate (`bench`), so
+//! D001's token scan never sees the `Instant` below from inside a
+//! deterministic crate. D003 exists to follow the call edge here.
+
+use std::time::Instant;
+
+pub fn stamp_us(epoch: Instant) -> u64 {
+    Instant::now().duration_since(epoch).as_micros() as u64
+}

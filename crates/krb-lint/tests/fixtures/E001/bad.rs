@@ -1,0 +1,14 @@
+//! BAD: drift in both directions — `kdc.minted` is emitted but never
+//! registered in design.md, and the registry's `kdc.retired` row is
+//! never emitted anywhere.
+
+pub struct Kdc {
+    trace: Tracer,
+}
+
+impl Kdc {
+    pub fn issue(&mut self, principal: &str) {
+        self.trace.counter("kdc.issued", principal, 1);
+        self.trace.counter("kdc.minted", principal, 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! GOOD: emissions and registry agree exactly — every emitted name has
+//! a row, every row is emitted.
+
+pub struct Kdc {
+    trace: Tracer,
+}
+
+impl Kdc {
+    pub fn issue(&mut self, principal: &str) {
+        self.trace.counter("kdc.issued", principal, 1);
+    }
+
+    pub fn retire(&mut self, principal: &str) {
+        self.trace.counter("kdc.retired", principal, 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! BAD: a wire length field converted with `as` — on a 64-bit host an
+//! oversized body silently truncates to a small length and the frame
+//! parses as a different, shorter message.
+
+pub fn encode_record(out: &mut Vec<u8>, payload: &[u8]) {
+    let body_len = payload.len();
+    out.extend_from_slice(&(body_len as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}

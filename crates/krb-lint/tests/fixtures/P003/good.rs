@@ -1,0 +1,9 @@
+//! GOOD: the length converts via `try_from` and saturates — a
+//! saturated length can never frame correctly, so oversized input
+//! fails closed at the decoder instead of mis-framing.
+
+pub fn encode_record(out: &mut Vec<u8>, payload: &[u8]) {
+    let body_len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+    out.extend_from_slice(&body_len.to_be_bytes());
+    out.extend_from_slice(payload);
+}

@@ -1,0 +1,23 @@
+//! BAD: the secret reaches the format sink through a rename and
+//! through a callee — S002's single token window sees neither.
+
+use krb_crypto::des::DesKey;
+
+/// The rename: `material` is not a secret-named identifier, but it
+/// carries `client_key`'s bytes into the format string.
+pub fn audit_line(client_key: &DesKey) -> String {
+    let material = client_key;
+    format!("issuing under {material:?}")
+}
+
+/// The callee: its own parameter is secret-typed and hits a format
+/// sink directly.
+fn render(token: &DesKey) -> String {
+    format!("{token:?}")
+}
+
+/// The call hop: a secret passed into `render` reaches that sink one
+/// hop away.
+pub fn describe(session_key: &DesKey) -> String {
+    render(session_key)
+}

@@ -1,0 +1,16 @@
+//! GOOD: the sanctioned shapes — fingerprint the key before it reaches
+//! any string, and let non-secret derivations (lengths, tags) flow
+//! freely.
+
+use krb_crypto::des::DesKey;
+
+pub fn audit_line(client_key: &DesKey) -> String {
+    let tag = fingerprint(client_key);
+    format!("issuing under {tag}")
+}
+
+pub fn describe(session_key: &DesKey, payload: &[u8]) -> String {
+    let nbytes = payload.len();
+    let id = fingerprint(session_key);
+    format!("sealed {nbytes} bytes under {id}")
+}

@@ -1,0 +1,127 @@
+//! Property tests for the krb-lint syntax layer and taint fixpoint.
+//!
+//! `krb_lint::syntax::parse` promises totality: any token stream —
+//! including unbalanced braces, truncated items, and arbitrary soup —
+//! parses without panicking, and every span it does record is a
+//! well-formed brace pair over in-bounds significant-token indices.
+//! The soup generator below skews heavily toward Rust-shaped fragments
+//! so a useful share of inputs actually contain parseable functions
+//! with parameters, `let` bindings, and calls, not just noise.
+
+use krb_lint::lexer::lex;
+use krb_lint::syntax::parse;
+use krb_lint::taint::local_taint;
+use std::collections::BTreeSet;
+use testkit::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("key".to_string()),
+        Just("session_key".to_string()),
+        Just("password".to_string()),
+        Just("buf".to_string()),
+        Just("tmp".to_string()),
+        Just("n".to_string()),
+        Just("DesKey".to_string()),
+    ]
+}
+
+/// One fragment: a structural construct with a tricky closing
+/// condition, or a burst of arbitrary printable characters.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f(".to_string()),
+        Just("pub fn g(key: DesKey) -> DesKey {".to_string()),
+        Just(") {".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        Just(";".to_string()),
+        Just(",".to_string()),
+        Just("let ".to_string()),
+        Just(" = ".to_string()),
+        Just("impl Sealer ".to_string()),
+        Just("mod m ".to_string()),
+        Just("#[cfg(test)]\n".to_string()),
+        Just("#[test]\n".to_string()),
+        Just("format!(\"{key}\")".to_string()),
+        Just("h(a, b)".to_string()),
+        Just(".len()".to_string()),
+        Just("s2k::".to_string()),
+        Just("\"a str\"".to_string()),
+        Just("// line\n".to_string()),
+        Just("/*".to_string()),
+        ident(),
+        string::printable(0..=6),
+    ]
+}
+
+testkit::prop! {
+    /// `parse` never panics, and every span it records — item bodies,
+    /// function bodies, `let` initializers, call arguments — is
+    /// in-bounds; brace spans open with `{` and close with the
+    /// matching `}`.
+    fn parse_is_total_and_spans_are_well_formed [384] (
+        parts in collection::vec(fragment(), 0..32),
+    ) {
+        let src: String = parts.concat();
+        let toks = lex(&src);
+        let file = parse(&toks);
+        for &i in &file.sig {
+            prop_assert!(i < toks.len());
+        }
+        // Test regions are byte ranges (brace start offsets), not sig
+        // indices.
+        for &(s, e) in &file.test_regions {
+            prop_assert!(s < e && e < src.len());
+        }
+        for item in &file.items {
+            prop_assert!(item.open < item.close && item.close < file.sig.len());
+            prop_assert_eq!(toks[file.sig[item.open]].text, "{");
+            prop_assert_eq!(toks[file.sig[item.close]].text, "}");
+        }
+        for f in &file.fns {
+            let (open, close) = f.body;
+            prop_assert!(open < close && close < file.sig.len());
+            prop_assert_eq!(toks[file.sig[open]].text, "{");
+            prop_assert_eq!(toks[file.sig[close]].text, "}");
+            prop_assert!(f.name_at < file.sig.len());
+            for l in &f.lets {
+                prop_assert!(l.at < file.sig.len());
+                prop_assert!(l.rhs.0 <= l.rhs.1 && l.rhs.1 <= file.sig.len());
+            }
+            for c in &f.calls {
+                prop_assert!(c.name_at < file.sig.len());
+                for &(a, b) in &c.args {
+                    prop_assert!(a <= b && b <= file.sig.len());
+                }
+            }
+        }
+    }
+
+    /// Taint is monotone in its call knowledge: telling the engine
+    /// that MORE calls return secrets can only grow the tainted set,
+    /// never shrink it — the guarantee that conservative call-graph
+    /// resolution (unresolved = not secret-returning) errs toward
+    /// missing findings, never toward unstable ones.
+    fn local_taint_is_monotone_in_secret_calls [256] (
+        parts in collection::vec(fragment(), 0..32),
+    ) {
+        let src: String = parts.concat();
+        let toks = lex(&src);
+        let file = parse(&toks);
+        for f in &file.fns {
+            let none = BTreeSet::new();
+            let all: BTreeSet<usize> = f.calls.iter().map(|c| c.name_at).collect();
+            let base = local_taint(&toks, &file.sig, f, &none);
+            let grown = local_taint(&toks, &file.sig, f, &all);
+            prop_assert!(
+                base.is_subset(&grown),
+                "taint shrank when every call was secret-returning: {base:?} ⊄ {grown:?}"
+            );
+        }
+    }
+}

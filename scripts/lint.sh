@@ -5,7 +5,12 @@
 #                              and zero stale baseline entries
 #   scripts/lint.sh --report   also print the rule × crate violation
 #                              table (the numbers EXPERIMENTS.md E14
-#                              records)
+#                              records) and the flow-pass coverage
+#                              counters — functions analysed, call
+#                              edges resolved, taint paths walked (E19;
+#                              `cargo run -p krb-lint --bin
+#                              table_lint_coverage` writes the same
+#                              numbers to BENCH_lint.json)
 #
 # Suppressions live in lint-baseline.toml; every entry needs a
 # justification, and entries matching no current finding fail the run,

@@ -13,7 +13,10 @@ cd "$(dirname "$0")/.."
 
 echo "== static invariants (krb-lint) =="
 # Rules S001-S003 (secrecy), C001 (constant-time compare), D001/D002
-# (determinism), P001/P002 (panic hygiene), H001 (hermeticity — this
+# (determinism), P001/P002 (panic hygiene), plus the flow-aware pass
+# (S005 cross-function secret taint, D003 laundered clock reads, P003
+# truncating length casts, A001 hot-path allocations, E001 metric-name
+# drift against DESIGN.md), H001 (hermeticity — this
 # subsumes the grep-based dependency guard verify.sh carried since PR 1:
 # a crates-io or git dependency is now reported as an H001 finding with
 # the manifest file:line and the offending entry named).
@@ -109,6 +112,21 @@ diff BENCH_cluster.json.run1 BENCH_cluster.json \
 rm -f BENCH_cluster.json.run1
 grep -q '"speedup_gate": "pass"' BENCH_cluster.json \
     || { echo "BENCH_cluster.json missing speedup gate pass"; exit 1; }
+
+echo "== lint coverage (E19, byte-identical JSON) =="
+# The flow-aware lint over the whole tree, twice: BENCH_lint.json holds
+# only deterministic counts (findings per rule, functions, call edges,
+# taint paths — the wall clock goes to stdout only), so two runs over
+# the same tree must produce byte-identical reports, and the tree must
+# be clean (every finding fixed or baselined with a justification).
+cargo run --release --offline -p krb-lint --bin table_lint_coverage
+cp BENCH_lint.json BENCH_lint.json.run1
+cargo run --release --offline -p krb-lint --bin table_lint_coverage
+diff BENCH_lint.json.run1 BENCH_lint.json \
+    || { echo "BENCH_lint.json not byte-identical across same-tree runs"; exit 1; }
+rm -f BENCH_lint.json.run1
+grep -q '"clean": true' BENCH_lint.json \
+    || { echo "BENCH_lint.json reports active findings"; exit 1; }
 
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%

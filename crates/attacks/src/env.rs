@@ -9,6 +9,11 @@ use krb_crypto::rng::Drbg;
 use krb_trace::Tracer;
 use simnet::{Endpoint, FaultPlan, LinkFaults, Network, SimDuration};
 use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An installed [`with_env_hook`] observer: called with each freshly
+/// built env's tracer.
+pub type EnvHook = Rc<dyn Fn(&Tracer)>;
 
 /// Environment faults applied to every [`AttackEnv`] built inside
 /// [`with_fault_profile`]: the given link faults on each user↔KDC link
@@ -31,6 +36,10 @@ thread_local! {
     /// Outer `None`: capture disarmed. `Some(None)`: armed, no env
     /// built yet. `Some(Some(t))`: the tracer of the last env built.
     static TRACE_CAPTURE: RefCell<Option<Option<Tracer>>> = const { RefCell::new(None) };
+    /// Hook invoked with each freshly built env's tracer — how the IDS
+    /// bench attaches a subscriber engine to environments that attack
+    /// scripts construct internally.
+    static ENV_HOOK: RefCell<Option<EnvHook>> = const { RefCell::new(None) };
 }
 
 /// Runs `f` with `profile` applied to every [`AttackEnv`] it builds.
@@ -52,6 +61,28 @@ pub fn with_trace_capture<R>(f: impl FnOnce() -> R) -> (R, Option<Tracer>) {
     let out = f();
     let tracer = TRACE_CAPTURE.with(|t| t.borrow_mut().take()).flatten();
     (out, tracer)
+}
+
+/// Runs `f` with `hook` invoked on the tracer of every [`AttackEnv`]
+/// built inside (and on every tracer [`publish_tracer`] announces).
+/// This is how an observer like the krb-ids engine taps environments
+/// that attack scripts build internally: the hook calls
+/// `Tracer::subscribe` and stashes the subscription for later polling.
+pub fn with_env_hook<R>(hook: EnvHook, f: impl FnOnce() -> R) -> R {
+    ENV_HOOK.with(|h| *h.borrow_mut() = Some(hook));
+    let out = f();
+    ENV_HOOK.with(|h| *h.borrow_mut() = None);
+    out
+}
+
+/// Invokes the installed env hook, if any. The `Rc` is cloned out of
+/// the thread-local first so a hook that itself builds an env (or
+/// publishes a tracer) does not re-enter the `RefCell` borrow.
+fn run_env_hook(tracer: &Tracer) {
+    let hook = ENV_HOOK.with(|h| h.borrow().clone());
+    if let Some(hook) = hook {
+        hook(tracer);
+    }
 }
 
 /// The attack stage: a network, a deployed realm, and a deterministic
@@ -86,6 +117,7 @@ impl AttackEnv {
                 *slot = Some(Some(net.tracer()));
             }
         });
+        run_env_hook(&net.tracer());
         AttackEnv { net, realm, config: config.clone(), rng: Drbg::new(seed ^ 0xa77a) }
     }
 
@@ -105,6 +137,7 @@ pub fn publish_tracer(tracer: &Tracer) {
             *slot = Some(Some(tracer.clone()));
         }
     });
+    run_env_hook(tracer);
 }
 
 impl AttackEnv {

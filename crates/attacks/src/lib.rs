@@ -39,6 +39,7 @@ pub mod pcbc_swap;
 pub mod pw_guess;
 pub mod replay;
 pub mod reuse_skey;
+pub mod stealth;
 pub mod time_spoof;
 pub mod type_confusion;
 pub mod workload;

@@ -1,0 +1,99 @@
+//! Golden alert stream for the defender's loop: the default krb-ids
+//! rule set attached online to the pinned E1 cell (A1 stolen-
+//! authenticator replay against V4), with the resulting `ids.alert`
+//! events exported as JSONL.
+//!
+//! - The alert stream must match the checked-in golden byte for byte.
+//!   Re-bless after an intentional rule/engine change with
+//!   `KRB_TRACE_BLESS=1 cargo test -p attacks --test alert_golden`.
+//! - Same-seed runs must produce byte-identical alert streams even
+//!   under an environment fault plan: detection is a pure function of
+//!   the (deterministic) wire, never of polling cadence or wall time.
+
+use attacks::env::{with_env_hook, with_fault_profile, with_trace_capture, FaultProfile};
+use attacks::replay::StolenAuthenticatorReplay;
+use attacks::Attack;
+use kerberos::ProtocolConfig;
+use krb_ids::{default_engine, Engine};
+use krb_trace::{to_jsonl, Event, EventKind, Tracer};
+use simnet::LinkFaults;
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Seed of the pinned cell — the same seed the E1 matrix golden uses.
+const SEED: u64 = 0xE1;
+
+/// Runs A1/V4 with a default engine riding the trace, polls it, and
+/// returns only the alert events it emitted back into the trace.
+fn a1_alert_stream(profile: Option<FaultProfile>) -> Vec<Event> {
+    let run = || {
+        let engines: Rc<RefCell<Vec<Engine>>> = Rc::new(RefCell::new(Vec::new()));
+        let hook: Rc<dyn Fn(&Tracer)> = {
+            let engines = Rc::clone(&engines);
+            Rc::new(move |t: &Tracer| {
+                let mut eng = default_engine().expect("default rules compile");
+                eng.attach(t);
+                engines.borrow_mut().push(eng);
+            })
+        };
+        let (_report, tracer) = with_trace_capture(|| {
+            with_env_hook(hook, || StolenAuthenticatorReplay.run(&ProtocolConfig::v4(), SEED))
+        });
+        for eng in engines.borrow_mut().iter_mut() {
+            eng.poll();
+        }
+        tracer.expect("attack built an environment")
+    };
+    let tracer = match profile {
+        Some(p) => with_fault_profile(p, run),
+        None => run(),
+    };
+    tracer.events().into_iter().filter(|e| e.kind == EventKind::IdsAlert).collect()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/alerts_a1_v4.jsonl")
+}
+
+#[test]
+fn a1_v4_alert_stream_matches_golden() {
+    let jsonl = to_jsonl(&a1_alert_stream(None));
+    let path = golden_path();
+    if std::env::var("KRB_TRACE_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, &jsonl).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("alert golden missing; bless with KRB_TRACE_BLESS=1");
+    assert_eq!(
+        jsonl, golden,
+        "A1/V4 alert stream diverged from golden; re-bless with KRB_TRACE_BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn alert_stream_is_nonempty_and_replay_typed() {
+    let alerts = a1_alert_stream(None);
+    assert!(!alerts.is_empty(), "A1 on V4 must raise at least one alert");
+    for a in &alerts {
+        assert_eq!(a.str_field("detector"), Some("replay"), "{a:?}");
+        assert!(a.u64_field("evidence").is_some(), "alerts carry their evidence seq");
+    }
+}
+
+#[test]
+fn same_seed_alert_streams_are_byte_identical() {
+    let a = to_jsonl(&a1_alert_stream(None));
+    let b = to_jsonl(&a1_alert_stream(None));
+    assert_eq!(a, b, "zero-fault same-seed alert streams must be byte-identical");
+}
+
+#[test]
+fn same_seed_alert_streams_are_byte_identical_under_faults() {
+    let profile = FaultProfile { seed: 0x7AB, faults: LinkFaults::lossy(0.05) };
+    let a = to_jsonl(&a1_alert_stream(Some(profile)));
+    let b = to_jsonl(&a1_alert_stream(Some(profile)));
+    assert_eq!(a, b, "faulted same-seed alert streams must be byte-identical");
+}

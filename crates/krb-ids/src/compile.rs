@@ -1,0 +1,335 @@
+//! Rule compilation: parsed [`Rule`]s become typed [`DetectorSpec`]s —
+//! the state machines the engine instantiates. Compilation validates
+//! option combinations; like the parser it is total (typed
+//! [`CompileError`]s, no panics).
+
+use crate::rules::{Match, MsgKind, Rule, RuleSet};
+use std::fmt;
+
+/// Which key a behavioral counter aggregates by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Per {
+    /// Source endpoint (`addr:port`), from the wire.
+    Src,
+    /// Client principal, from KDC preauth-failure telemetry.
+    Principal,
+}
+
+/// A compiled detector: the header matchers plus the detector-specific
+/// parameters, all durations in sim-time microseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DetectorSpec {
+    pub sid: u64,
+    pub msg: String,
+    pub src_addr: Match<String>,
+    pub src_port: Match<u16>,
+    pub dst_addr: Match<String>,
+    pub dst_port: Match<u16>,
+    pub body: DetectorBody,
+}
+
+/// The detector-specific compiled parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectorBody {
+    /// The same sealed bytes from the same source to the same
+    /// destination, again within `window_us`.
+    Replay { window_us: u64, kinds: Vec<MsgKind> },
+    /// A time-service reply whose claimed clock strays more than
+    /// `tolerance_us` from when it crossed the wire.
+    ClockSpoof { tolerance_us: u64 },
+    /// Ciphertext windows re-surfacing in the wrong message: splices of
+    /// KDC replies (chimera tickets), reply bytes echoed inside private
+    /// messages, stolen session material re-used from a new flow.
+    /// `krb_ports` names the ports where AS/TGS traffic legitimately
+    /// repeats cleartext structure (those sources are not
+    /// splice-sensitive); `min_run` is the matched-window width;
+    /// `min_stolen` is how many windows must re-surface from one
+    /// foreign request before the stolen-material path fires —
+    /// deterministic seals (no confounder) alias short envelope and
+    /// leading-block runs between honest messages, so a single shared
+    /// window is not evidence of theft.
+    CutPaste { krb_ports: Vec<u16>, min_run: usize, min_stolen: usize },
+    /// More than `threshold` AS-REQs (per `Per::Src`) or preauth
+    /// failures (per `Per::Principal`) inside a sliding `window_us`.
+    PreauthStorm { window_us: u64, threshold: u64, per: Per },
+    /// An authenticator first seen before a verifier host restarted,
+    /// re-presented within `window_us` after the restart — the
+    /// replay-cache-wipe exposure.
+    CrashReuse { window_us: u64 },
+}
+
+impl DetectorBody {
+    /// The stable detector label (`ids.alerts` metric scope, matrix
+    /// column name).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorBody::Replay { .. } => "replay",
+            DetectorBody::ClockSpoof { .. } => "clock-spoof",
+            DetectorBody::CutPaste { .. } => "cut-paste",
+            DetectorBody::PreauthStorm { .. } => "preauth-storm",
+            DetectorBody::CrashReuse { .. } => "crash-reuse",
+        }
+    }
+}
+
+/// Typed compile failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The rule has no `detector:` option.
+    MissingDetector { line: usize },
+    /// The `detector:` value is not a known detector.
+    UnknownDetector { line: usize, got: String },
+    /// A required option is absent; `opt` names it.
+    MissingOption { line: usize, opt: &'static str },
+    /// An option value did not parse; `opt` names it.
+    BadValue { line: usize, opt: &'static str, got: String },
+    /// A `kinds:` entry is not a known message kind.
+    UnknownKind { line: usize, got: String },
+    /// The rule has no `sid:` option (alerts must be attributable).
+    MissingSid { line: usize },
+    /// The rule set compiled to nothing.
+    Empty,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::MissingDetector { line } => {
+                write!(f, "line {line}: rule has no detector: option")
+            }
+            CompileError::UnknownDetector { line, got } => {
+                write!(f, "line {line}: unknown detector {got:?}")
+            }
+            CompileError::MissingOption { line, opt } => {
+                write!(f, "line {line}: detector requires option {opt}:")
+            }
+            CompileError::BadValue { line, opt, got } => {
+                write!(f, "line {line}: bad value {got:?} for option {opt}:")
+            }
+            CompileError::UnknownKind { line, got } => {
+                write!(f, "line {line}: unknown message kind {got:?}")
+            }
+            CompileError::MissingSid { line } => {
+                write!(f, "line {line}: rule has no sid: option")
+            }
+            CompileError::Empty => write!(f, "rule set compiled to no detectors"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles every rule of the set; order is preserved.
+pub fn compile(rules: &RuleSet) -> Result<Vec<DetectorSpec>, CompileError> {
+    let mut specs = Vec::new();
+    for rule in &rules.rules {
+        specs.push(compile_rule(rule)?);
+    }
+    if specs.is_empty() {
+        return Err(CompileError::Empty);
+    }
+    Ok(specs)
+}
+
+fn compile_rule(rule: &Rule) -> Result<DetectorSpec, CompileError> {
+    let line = rule.line;
+    let sid = match rule.option("sid") {
+        None => return Err(CompileError::MissingSid { line }),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| CompileError::BadValue { line, opt: "sid", got: v.to_string() })?,
+    };
+    let detector = rule.option("detector").ok_or(CompileError::MissingDetector { line })?;
+    let body = match detector {
+        "replay" => DetectorBody::Replay {
+            window_us: duration_us(rule, "window")?.ok_or(CompileError::MissingOption {
+                line,
+                opt: "window",
+            })?,
+            kinds: kinds(rule)?.ok_or(CompileError::MissingOption { line, opt: "kinds" })?,
+        },
+        "clock-spoof" => DetectorBody::ClockSpoof {
+            tolerance_us: duration_us(rule, "tolerance")?.ok_or(CompileError::MissingOption {
+                line,
+                opt: "tolerance",
+            })?,
+        },
+        "cut-paste" => DetectorBody::CutPaste {
+            krb_ports: ports(rule, "krb_ports")?.unwrap_or_default(),
+            min_run: match rule.option("min_run") {
+                None => 16,
+                Some(v) => v.parse::<usize>().map_err(|_| CompileError::BadValue {
+                    line,
+                    opt: "min_run",
+                    got: v.to_string(),
+                })?,
+            },
+            min_stolen: match rule.option("min_stolen") {
+                None => 40,
+                Some(v) => v.parse::<usize>().map_err(|_| CompileError::BadValue {
+                    line,
+                    opt: "min_stolen",
+                    got: v.to_string(),
+                })?,
+            },
+        },
+        "preauth-storm" => DetectorBody::PreauthStorm {
+            window_us: duration_us(rule, "window")?.ok_or(CompileError::MissingOption {
+                line,
+                opt: "window",
+            })?,
+            threshold: match rule.option("threshold") {
+                None => return Err(CompileError::MissingOption { line, opt: "threshold" }),
+                Some(v) => v.parse::<u64>().map_err(|_| CompileError::BadValue {
+                    line,
+                    opt: "threshold",
+                    got: v.to_string(),
+                })?,
+            },
+            per: match rule.option("per") {
+                None => return Err(CompileError::MissingOption { line, opt: "per" }),
+                Some("src") => Per::Src,
+                Some("principal") => Per::Principal,
+                Some(v) => {
+                    return Err(CompileError::BadValue { line, opt: "per", got: v.to_string() })
+                }
+            },
+        },
+        "crash-reuse" => DetectorBody::CrashReuse {
+            window_us: duration_us(rule, "window")?.ok_or(CompileError::MissingOption {
+                line,
+                opt: "window",
+            })?,
+        },
+        other => {
+            return Err(CompileError::UnknownDetector { line, got: other.to_string() })
+        }
+    };
+    Ok(DetectorSpec {
+        sid,
+        msg: rule.option("msg").unwrap_or(body.label()).to_string(),
+        src_addr: rule.src_addr.clone(),
+        src_port: rule.src_port.clone(),
+        dst_addr: rule.dst_addr.clone(),
+        dst_port: rule.dst_port.clone(),
+        body,
+    })
+}
+
+/// `window:300s` / `tolerance:2m` / `window:1500000us` -> microseconds.
+fn duration_us(rule: &Rule, opt: &'static str) -> Result<Option<u64>, CompileError> {
+    let Some(v) = rule.option(opt) else { return Ok(None) };
+    let line = rule.line;
+    let bad = || CompileError::BadValue { line, opt, got: v.to_string() };
+    let (num, mult) = if let Some(n) = v.strip_suffix("us") {
+        (n, 1)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000)
+    } else if let Some(n) = v.strip_suffix('m') {
+        (n, 60_000_000)
+    } else {
+        (v, 1_000_000)
+    };
+    let n = num.parse::<u64>().map_err(|_| bad())?;
+    n.checked_mul(mult).map(Some).ok_or_else(bad)
+}
+
+/// `kinds:ap-req,priv,...` -> kind list.
+fn kinds(rule: &Rule) -> Result<Option<Vec<MsgKind>>, CompileError> {
+    let Some(v) = rule.option("kinds") else { return Ok(None) };
+    let mut out = Vec::new();
+    for name in v.split(',') {
+        let name = name.trim();
+        match MsgKind::from_name(name) {
+            Some(k) => out.push(k),
+            None => {
+                return Err(CompileError::UnknownKind { line: rule.line, got: name.to_string() })
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+/// `krb_ports:88,750` -> port list.
+fn ports(rule: &Rule, opt: &'static str) -> Result<Option<Vec<u16>>, CompileError> {
+    let Some(v) = rule.option(opt) else { return Ok(None) };
+    let mut out = Vec::new();
+    for p in v.split(',') {
+        let p = p.trim();
+        out.push(p.parse::<u16>().map_err(|_| CompileError::BadValue {
+            line: rule.line,
+            opt,
+            got: p.to_string(),
+        })?);
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+
+    fn one(text: &str) -> Result<DetectorSpec, CompileError> {
+        let rs = RuleSet::parse(text).expect("parse");
+        compile(&rs).map(|mut v| v.remove(0))
+    }
+
+    #[test]
+    fn compiles_every_detector_shape() {
+        let s = one("alert krb any any -> any any (detector:replay; kinds:ap-req,priv; window:300s; sid:1;)").unwrap();
+        assert_eq!(
+            s.body,
+            DetectorBody::Replay {
+                window_us: 300_000_000,
+                kinds: vec![MsgKind::ApReq, MsgKind::Priv]
+            }
+        );
+        let s = one("alert krb any 37 -> any any (detector:clock-spoof; tolerance:2m; sid:2;)")
+            .unwrap();
+        assert_eq!(s.body, DetectorBody::ClockSpoof { tolerance_us: 120_000_000 });
+        let s = one("alert krb any any -> any any (detector:cut-paste; krb_ports:88,750; sid:3;)")
+            .unwrap();
+        assert_eq!(
+            s.body,
+            DetectorBody::CutPaste { krb_ports: vec![88, 750], min_run: 16, min_stolen: 40 }
+        );
+        let s = one("alert krb any any -> any 88 (detector:preauth-storm; per:src; threshold:10; window:30s; sid:4;)").unwrap();
+        assert_eq!(
+            s.body,
+            DetectorBody::PreauthStorm { window_us: 30_000_000, threshold: 10, per: Per::Src }
+        );
+        let s =
+            one("alert krb any any -> any any (detector:crash-reuse; window:900s; sid:5;)").unwrap();
+        assert_eq!(s.body, DetectorBody::CrashReuse { window_us: 900_000_000 });
+    }
+
+    #[test]
+    fn typed_compile_errors() {
+        assert!(matches!(
+            one("alert krb any any -> any any (sid:1;)"),
+            Err(CompileError::MissingDetector { line: 1 })
+        ));
+        assert!(matches!(
+            one("alert krb any any -> any any (detector:magic; sid:1;)"),
+            Err(CompileError::UnknownDetector { .. })
+        ));
+        assert!(matches!(
+            one("alert krb any any -> any any (detector:replay; kinds:ap-req; sid:1;)"),
+            Err(CompileError::MissingOption { opt: "window", .. })
+        ));
+        assert!(matches!(
+            one("alert krb any any -> any any (detector:replay; kinds:bogus; window:1s; sid:1;)"),
+            Err(CompileError::UnknownKind { .. })
+        ));
+        assert!(matches!(
+            one("alert krb any any -> any any (detector:replay; kinds:ap-req; window:1s;)"),
+            Err(CompileError::MissingSid { line: 1 })
+        ));
+        assert!(matches!(
+            one("alert krb any any -> any any (detector:crash-reuse; window:zzz; sid:1;)"),
+            Err(CompileError::BadValue { opt: "window", .. })
+        ));
+        assert!(matches!(compile(&RuleSet::default()), Err(CompileError::Empty)));
+    }
+}

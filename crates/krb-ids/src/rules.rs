@@ -1,0 +1,368 @@
+//! The detection-rule grammar and its parser.
+//!
+//! Rules follow the Suricata shape the snippet corpus documents for the
+//! Kerberos keywords (`alert krb5 ... (msg:"..."; krb5_msg_type:10;
+//! sid:3; rev:1;)`), narrowed to what the simulated wire carries:
+//!
+//! ```text
+//! alert krb <src-addr> <src-port> -> <dst-addr> <dst-port> (option; option; ...)
+//! ```
+//!
+//! Addresses are `any` or a dotted quad; ports are `any` or a decimal
+//! port number. Options are `key:value` pairs (values optionally
+//! `"quoted"`), terminated by `;`. `#` starts a comment; rules are one
+//! per line.
+//!
+//! The parser is *total*: any input yields `Ok` or a typed
+//! [`ParseError`] — never a panic. The proptests in
+//! `tests/rule_props.rs` drive arbitrary bytes through it to hold that
+//! line.
+
+use std::fmt;
+
+/// Wire message kinds a rule can match on, mirroring the one-byte
+/// frame tags of the sim's wire format (`krb5_msg_type` in the
+/// Suricata vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MsgKind {
+    AsReq,
+    AsRep,
+    TgsReq,
+    TgsRep,
+    ApReq,
+    ApRep,
+    Err,
+    Safe,
+    Priv,
+    ChallengeResp,
+    AppData,
+}
+
+impl MsgKind {
+    /// All kinds, in tag order.
+    pub const ALL: [MsgKind; 11] = [
+        MsgKind::AsReq,
+        MsgKind::AsRep,
+        MsgKind::TgsReq,
+        MsgKind::TgsRep,
+        MsgKind::ApReq,
+        MsgKind::ApRep,
+        MsgKind::Err,
+        MsgKind::Safe,
+        MsgKind::Priv,
+        MsgKind::ChallengeResp,
+        MsgKind::AppData,
+    ];
+
+    /// The rule-text name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::AsReq => "as-req",
+            MsgKind::AsRep => "as-rep",
+            MsgKind::TgsReq => "tgs-req",
+            MsgKind::TgsRep => "tgs-rep",
+            MsgKind::ApReq => "ap-req",
+            MsgKind::ApRep => "ap-rep",
+            MsgKind::Err => "err",
+            MsgKind::Safe => "safe",
+            MsgKind::Priv => "priv",
+            MsgKind::ChallengeResp => "challenge-resp",
+            MsgKind::AppData => "app-data",
+        }
+    }
+
+    /// Kind from a rule-text name.
+    pub fn from_name(s: &str) -> Option<MsgKind> {
+        MsgKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// Kind sniffed from the first payload byte (the frame tag).
+    pub fn sniff(payload: &[u8]) -> Option<MsgKind> {
+        let tag = *payload.first()?;
+        match tag {
+            1 => Some(MsgKind::AsReq),
+            2 => Some(MsgKind::AsRep),
+            3 => Some(MsgKind::TgsReq),
+            4 => Some(MsgKind::TgsRep),
+            5 => Some(MsgKind::ApReq),
+            6 => Some(MsgKind::ApRep),
+            7 => Some(MsgKind::Err),
+            8 => Some(MsgKind::Safe),
+            9 => Some(MsgKind::Priv),
+            10 => Some(MsgKind::ChallengeResp),
+            11 => Some(MsgKind::AppData),
+            _ => None,
+        }
+    }
+}
+
+/// `any` or an exact value — the header's address/port matchers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Match<T> {
+    Any,
+    Exact(T),
+}
+
+impl<T: PartialEq> Match<T> {
+    /// Whether `v` satisfies this matcher.
+    pub fn accepts(&self, v: &T) -> bool {
+        match self {
+            Match::Any => true,
+            Match::Exact(want) => want == v,
+        }
+    }
+}
+
+/// One parsed rule: the header matchers plus its raw options, in
+/// source order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// 1-based source line, for diagnostics.
+    pub line: usize,
+    pub src_addr: Match<String>,
+    pub src_port: Match<u16>,
+    pub dst_addr: Match<String>,
+    pub dst_port: Match<u16>,
+    /// `key -> value` options in source order (`("msg", "...")`,
+    /// `("sid", "2001")`, ...). Bare options carry an empty value.
+    pub options: Vec<(String, String)>,
+}
+
+impl Rule {
+    /// First value of option `name`, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed rule file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    pub rules: Vec<Rule>,
+}
+
+/// Typed parse failure. Every variant carries the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The action keyword was not `alert`.
+    UnknownAction { line: usize, got: String },
+    /// The protocol keyword was not `krb`.
+    UnknownProto { line: usize, got: String },
+    /// A structural element (arrow, parens, matcher) was missing or
+    /// malformed; `what` names the element.
+    Malformed { line: usize, what: &'static str },
+    /// A port matcher was neither `any` nor a valid port number.
+    BadPort { line: usize, got: String },
+    /// An option had no key before `:` or was not terminated.
+    BadOption { line: usize, got: String },
+    /// Two rules carry the same `sid`.
+    DuplicateSid { line: usize, sid: u64 },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownAction { line, got } => {
+                write!(f, "line {line}: unknown action {got:?} (expected \"alert\")")
+            }
+            ParseError::UnknownProto { line, got } => {
+                write!(f, "line {line}: unknown protocol {got:?} (expected \"krb\")")
+            }
+            ParseError::Malformed { line, what } => {
+                write!(f, "line {line}: malformed rule: expected {what}")
+            }
+            ParseError::BadPort { line, got } => {
+                write!(f, "line {line}: bad port matcher {got:?} (expected \"any\" or 0-65535)")
+            }
+            ParseError::BadOption { line, got } => {
+                write!(f, "line {line}: bad option {got:?} (expected key or key:value, `;`-terminated)")
+            }
+            ParseError::DuplicateSid { line, sid } => {
+                write!(f, "line {line}: duplicate sid {sid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl RuleSet {
+    /// Parses a rule file: one rule per non-comment line.
+    pub fn parse(text: &str) -> Result<RuleSet, ParseError> {
+        let mut rules = Vec::new();
+        let mut sids: Vec<(u64, usize)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let src = raw.split('#').next().unwrap_or("").trim();
+            if src.is_empty() {
+                continue;
+            }
+            let rule = parse_rule(line, src)?;
+            if let Some(sid) = rule.option("sid").and_then(|v| v.parse::<u64>().ok()) {
+                if sids.iter().any(|(s, _)| *s == sid) {
+                    return Err(ParseError::DuplicateSid { line, sid });
+                }
+                sids.push((sid, line));
+            }
+            rules.push(rule);
+        }
+        Ok(RuleSet { rules })
+    }
+}
+
+fn parse_rule(line: usize, src: &str) -> Result<Rule, ParseError> {
+    // Header: `alert krb <addr> <port> -> <addr> <port> (`
+    let (head, opts) = match src.find('(') {
+        Some(i) => (&src[..i], &src[i + 1..]),
+        None => return Err(ParseError::Malformed { line, what: "options in `(...)`" }),
+    };
+    let opts = match opts.rfind(')') {
+        Some(i) => &opts[..i],
+        None => return Err(ParseError::Malformed { line, what: "closing `)`" }),
+    };
+    let mut words = head.split_whitespace();
+    let action = words.next().unwrap_or("");
+    if action != "alert" {
+        return Err(ParseError::UnknownAction { line, got: action.to_string() });
+    }
+    let proto = words.next().unwrap_or("");
+    if proto != "krb" {
+        return Err(ParseError::UnknownProto { line, got: proto.to_string() });
+    }
+    let src_addr = parse_addr(words.next(), line)?;
+    let src_port = parse_port(words.next(), line)?;
+    if words.next() != Some("->") {
+        return Err(ParseError::Malformed { line, what: "`->` between endpoints" });
+    }
+    let dst_addr = parse_addr(words.next(), line)?;
+    let dst_port = parse_port(words.next(), line)?;
+    if words.next().is_some() {
+        return Err(ParseError::Malformed { line, what: "end of header at `(`" });
+    }
+    let options = parse_options(line, opts)?;
+    Ok(Rule { line, src_addr, src_port, dst_addr, dst_port, options })
+}
+
+fn parse_addr(w: Option<&str>, line: usize) -> Result<Match<String>, ParseError> {
+    match w {
+        None => Err(ParseError::Malformed { line, what: "an address matcher" }),
+        Some("any") => Ok(Match::Any),
+        Some(a) => Ok(Match::Exact(a.to_string())),
+    }
+}
+
+fn parse_port(w: Option<&str>, line: usize) -> Result<Match<u16>, ParseError> {
+    match w {
+        None => Err(ParseError::Malformed { line, what: "a port matcher" }),
+        Some("any") => Ok(Match::Any),
+        Some(p) => match p.parse::<u16>() {
+            Ok(n) => Ok(Match::Exact(n)),
+            Err(_) => Err(ParseError::BadPort { line, got: p.to_string() }),
+        },
+    }
+}
+
+/// Splits `key:value; key; key:"quoted; value";` option lists. A `;`
+/// inside double quotes does not terminate the option.
+fn parse_options(line: usize, text: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chunks: Vec<String> = Vec::new();
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            ';' if !in_quotes => {
+                chunks.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(ParseError::Malformed { line, what: "closing `\"`" });
+    }
+    if !cur.trim().is_empty() {
+        // Trailing content without a `;` terminator.
+        return Err(ParseError::BadOption { line, got: cur.trim().to_string() });
+    }
+    for chunk in chunks {
+        let chunk = chunk.trim();
+        if chunk.is_empty() {
+            return Err(ParseError::BadOption { line, got: ";".to_string() });
+        }
+        let (k, v) = match chunk.find(':') {
+            Some(i) => (&chunk[..i], chunk[i + 1..].trim()),
+            None => (chunk, ""),
+        };
+        let k = k.trim();
+        if k.is_empty() || !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+            return Err(ParseError::BadOption { line, got: chunk.to_string() });
+        }
+        let v = v.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(v);
+        out.push((k.to_string(), v.to_string()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_suricata_shaped_rule() {
+        let rs = RuleSet::parse(
+            "alert krb any 37 -> any any (msg:\"time reply implausible\"; detector:clock-spoof; tolerance:120s; sid:2002;)\n",
+        )
+        .unwrap();
+        assert_eq!(rs.rules.len(), 1);
+        let r = &rs.rules[0];
+        assert_eq!(r.src_port, Match::Exact(37));
+        assert_eq!(r.dst_port, Match::Any);
+        assert_eq!(r.option("msg"), Some("time reply implausible"));
+        assert_eq!(r.option("detector"), Some("clock-spoof"));
+        assert_eq!(r.option("sid"), Some("2002"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let rs = RuleSet::parse("# a comment\n\n  # another\n").unwrap();
+        assert!(rs.rules.is_empty());
+    }
+
+    #[test]
+    fn quoted_semicolons_do_not_split() {
+        let rs = RuleSet::parse("alert krb any any -> any any (msg:\"a; b\"; sid:1;)").unwrap();
+        assert_eq!(rs.rules[0].option("msg"), Some("a; b"));
+    }
+
+    #[test]
+    fn typed_errors_name_the_line() {
+        let e = RuleSet::parse("drop krb any any -> any any (sid:1;)").unwrap_err();
+        assert!(matches!(e, ParseError::UnknownAction { line: 1, .. }));
+        let e = RuleSet::parse("alert tcp any any -> any any (sid:1;)").unwrap_err();
+        assert!(matches!(e, ParseError::UnknownProto { .. }));
+        let e = RuleSet::parse("alert krb any 99999 -> any any (sid:1;)").unwrap_err();
+        assert!(matches!(e, ParseError::BadPort { .. }));
+        let e = RuleSet::parse("alert krb any any -> any any (sid:1)").unwrap_err();
+        assert!(matches!(e, ParseError::BadOption { .. }));
+        let e = RuleSet::parse(
+            "alert krb any any -> any any (sid:7;)\nalert krb any any -> any any (sid:7;)",
+        )
+        .unwrap_err();
+        assert!(matches!(e, ParseError::DuplicateSid { line: 2, sid: 7 }));
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in MsgKind::ALL {
+            assert_eq!(MsgKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(MsgKind::from_name("bogus"), None);
+        assert_eq!(MsgKind::sniff(&[5, 0, 0]), Some(MsgKind::ApReq));
+        assert_eq!(MsgKind::sniff(&[99]), None);
+        assert_eq!(MsgKind::sniff(&[]), None);
+    }
+}

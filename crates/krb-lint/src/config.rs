@@ -23,11 +23,15 @@ pub const SECRET_TYPES: &[&str] = &[
 /// (same-seed traces are byte-identical JSONL), the fuzzer (two
 /// same-seed runs must produce byte-identical reports), and the linter
 /// itself (same-tree runs must report byte-identical findings, and the
-/// E19 coverage JSON is diffed across double runs). `bench` and
-/// `testkit` are exempt — they measure wall clocks on purpose.
+/// E19 coverage JSON is diffed across double runs). `krb-ids` detects
+/// as a pure function of the trace — same-seed alert streams are
+/// byte-identical JSONL and the E20 matrix is diffed across double
+/// runs — so a wall-clock or RNG read there would break the golden.
+/// `bench` and `testkit` are exempt — they measure wall clocks on
+/// purpose.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
     "simnet", "kerberos", "krb-crypto", "attacks", "krb-trace", "krb-fuzz", "krb-gateway",
-    "krb-lint",
+    "krb-lint", "krb-ids",
 ];
 
 /// Crates whose `src/` is production protocol code: a panic is a
@@ -41,9 +45,14 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// realm-wide outage — it is governed. `krb-lint` gates every verify
 /// run, so since PR 9 it meets its own bar: a panic in the linter would
 /// take the whole gate down with a stack trace instead of a finding.
+/// `krb-ids` watches the wire online — a panic in a detector is a
+/// crashed defender, the worst possible failure mode for monitoring —
+/// so rule parsing/compilation returns typed errors and detectors must
+/// stay total over arbitrary event bytes (the rule_props proptests
+/// drive that totality).
 pub const PANIC_FREE_CRATES: &[&str] = &[
     "simnet", "kerberos", "krb-crypto", "hardware", "krb-trace", "krb-fuzz", "krb-gateway",
-    "krb-lint",
+    "krb-lint", "krb-ids",
 ];
 
 /// Macros whose arguments become human-readable strings (S002 scans

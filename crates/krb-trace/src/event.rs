@@ -74,6 +74,9 @@ pub enum EventKind {
     /// bucket empty or principal in a penalty window (`reason`, `src`
     /// fields).
     GatewayThrottle,
+    /// Intrusion-detection alert: a krb-ids detector fired (`detector`,
+    /// `sid`, `subject`, `detail`, `evidence` fields).
+    IdsAlert,
     /// Free-form annotation (adversary actions, scenario markers).
     Note,
 }
@@ -99,6 +102,7 @@ impl EventKind {
             EventKind::HostRestart => "net.host_restart",
             EventKind::GatewayShed => "gateway.shed",
             EventKind::GatewayThrottle => "gateway.throttle",
+            EventKind::IdsAlert => "ids.alert",
             EventKind::Note => "note",
         }
     }
@@ -196,6 +200,7 @@ mod tests {
             EventKind::HostRestart,
             EventKind::GatewayShed,
             EventKind::GatewayThrottle,
+            EventKind::IdsAlert,
             EventKind::Note,
         ];
         let mut labels: Vec<_> = all.iter().map(|k| k.label()).collect();

@@ -30,4 +30,4 @@ pub use event::{Event, EventKind, Value};
 pub use jsonl::to_jsonl;
 pub use metrics::{render_metrics_table, MetricsSnapshot};
 pub use narrate::{narrate, Lens, RawLens};
-pub use tracer::{SpanId, Tracer};
+pub use tracer::{SpanId, Subscription, Tracer};

@@ -93,6 +93,18 @@ pub fn narrate(events: &[Event], lens: &dyn Lens) -> String {
                 let reason = ev.str_field("reason").unwrap_or("?");
                 let _ = writeln!(out, "[{t:>14}] !! gateway throttles {src} ({reason})");
             }
+            EventKind::IdsAlert => {
+                let detector = ev.str_field("detector").unwrap_or("?");
+                let subject = ev.str_field("subject").unwrap_or("?");
+                let detail = ev.str_field("detail").unwrap_or("");
+                let mut line =
+                    format!("[{t:>14}] !! IDS [{detector}] {subject}: {detail}");
+                if let Some(e) = ev.u64_field("evidence") {
+                    let _ = write!(line, "  [evidence #{e}]");
+                }
+                out.push_str(&line);
+                out.push('\n');
+            }
             other => {
                 let _ = writeln!(out, "[{t:>14}]  · {}{}", other.label(), extras(ev, &[]));
             }
@@ -201,5 +213,25 @@ mod tests {
         let text = narrate(&t.events(), &RawLens);
         assert!(text.contains("!! gateway sheds 10.0.0.9 (policy shed-newest, queue at 32)"));
         assert!(text.contains("!! gateway throttles 10.0.0.9 (penalty)"));
+    }
+
+    #[test]
+    fn ids_alerts_render_as_detector_lines() {
+        let t = Tracer::new();
+        t.emit(
+            EventKind::IdsAlert,
+            300,
+            vec![
+                ("detector", Value::str("replay")),
+                ("sid", Value::U64(2001)),
+                ("subject", Value::str("10.0.0.11:1024")),
+                ("detail", Value::str("identical ap-req re-sent 60s later")),
+                ("evidence", Value::U64(42)),
+            ],
+        );
+        let text = narrate(&t.events(), &RawLens);
+        assert!(text
+            .contains("!! IDS [replay] 10.0.0.11:1024: identical ap-req re-sent 60s later"));
+        assert!(text.contains("[evidence #42]"));
     }
 }

@@ -39,6 +39,12 @@ struct Core {
     /// Open span id -> (name, begin sim-time).
     open: BTreeMap<SpanId, (&'static str, u64)>,
     metrics: Metrics,
+    /// Per-subscriber delivery buffers. Events land here in `push`,
+    /// *before* the ring considers eviction, so a subscriber that
+    /// drains regularly sees the complete stream even when the ring
+    /// wraps. Payload bytes are `Arc`-shared, so the clone is cheap.
+    subs: BTreeMap<u64, VecDeque<Event>>,
+    next_sub: u64,
 }
 
 impl Default for Core {
@@ -52,17 +58,63 @@ impl Default for Core {
             stack: Vec::new(),
             open: BTreeMap::new(),
             metrics: Metrics::default(),
+            subs: BTreeMap::new(),
+            next_sub: 1,
         }
     }
 }
 
 impl Core {
     fn push(&mut self, ev: Event) {
+        for buf in self.subs.values_mut() {
+            buf.push_back(ev.clone());
+        }
         if self.events.len() >= self.capacity {
             self.events.pop_front();
             self.evicted = self.evicted.saturating_add(1);
         }
         self.events.push_back(ev);
+    }
+}
+
+/// A streaming tap on a [`Tracer`]: every event recorded after
+/// [`Tracer::subscribe`] is buffered for this handle until
+/// [`Subscription::drain`] collects it — independently of the ring
+/// buffer, so eviction never loses a subscriber an event.
+///
+/// The subscription is a *pull* tap, not a callback: consumers drain at
+/// their own cadence (typically between simulation steps), which keeps
+/// the tracer lock short-lived and lets a consumer emit new events —
+/// alerts, metrics — through the same tracer without deadlocking.
+/// Dropping the handle unregisters it.
+#[derive(Debug)]
+pub struct Subscription {
+    id: u64,
+    core: Arc<Mutex<Core>>,
+}
+
+impl Subscription {
+    /// Takes every event buffered since the last drain, in sequence
+    /// order.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut c = self.core.lock().unwrap_or_else(|p| p.into_inner());
+        match c.subs.get_mut(&self.id) {
+            Some(buf) => buf.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of events currently buffered (drained by nobody yet).
+    pub fn pending(&self) -> usize {
+        let c = self.core.lock().unwrap_or_else(|p| p.into_inner());
+        c.subs.get(&self.id).map_or(0, VecDeque::len)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        let mut c = self.core.lock().unwrap_or_else(|p| p.into_inner());
+        c.subs.remove(&self.id);
     }
 }
 
@@ -204,12 +256,26 @@ impl Tracer {
     }
 
     /// Drops buffered events and resets metrics; sequence and span
-    /// counters keep advancing so watermarks stay valid.
+    /// counters keep advancing so watermarks stay valid. Subscriber
+    /// buffers are left intact: a clear is a ring-buffer operation, not
+    /// a stream truncation.
     pub fn clear(&self) {
         let mut c = self.core();
         c.events.clear();
         c.evicted = 0;
         c.metrics.clear();
+    }
+
+    /// Registers a streaming tap: every event recorded from now on is
+    /// buffered for the returned [`Subscription`] until drained —
+    /// before ring-buffer eviction, so a full ring still delivers the
+    /// complete stream to subscribers.
+    pub fn subscribe(&self) -> Subscription {
+        let mut c = self.core();
+        let id = c.next_sub;
+        c.next_sub += 1;
+        c.subs.insert(id, VecDeque::new());
+        Subscription { id, core: Arc::clone(&self.core) }
     }
 }
 
@@ -271,6 +337,61 @@ mod tests {
         assert_eq!(t.events().len(), 1);
         u.counter("c", "s", 2);
         assert_eq!(t.snapshot()["c{s}"], 2);
+    }
+
+    #[test]
+    fn subscriber_survives_ring_eviction() {
+        // The regression the IDS depends on: a full ring (eviction
+        // counter > 0) must still deliver *every* event to subscribers.
+        let t = Tracer::new();
+        t.set_capacity(3);
+        let sub = t.subscribe();
+        for i in 0..10 {
+            t.note(i, "n");
+        }
+        assert!(t.evicted() > 0, "ring must have wrapped for this test to bite");
+        assert_eq!(t.events().len(), 3);
+        let seen = sub.drain();
+        assert_eq!(seen.len(), 10, "subscriber missed evicted events");
+        let seqs: Vec<u64> = seen.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn subscribe_starts_at_subscription_point_and_drains_incrementally() {
+        let t = Tracer::new();
+        t.note(0, "before");
+        let sub = t.subscribe();
+        t.note(1, "a");
+        assert_eq!(sub.pending(), 1);
+        assert_eq!(sub.drain().len(), 1);
+        assert!(sub.drain().is_empty());
+        t.note(2, "b");
+        t.note(3, "c");
+        assert_eq!(sub.drain().len(), 2);
+    }
+
+    #[test]
+    fn dropped_subscription_stops_buffering() {
+        let t = Tracer::new();
+        let sub = t.subscribe();
+        t.note(0, "a");
+        drop(sub);
+        t.note(1, "b");
+        // A fresh subscription is independent of the dropped one.
+        let sub2 = t.subscribe();
+        t.note(2, "c");
+        assert_eq!(sub2.drain().len(), 1);
+    }
+
+    #[test]
+    fn clear_does_not_truncate_subscriber_stream() {
+        let t = Tracer::new();
+        let sub = t.subscribe();
+        t.note(0, "a");
+        t.clear();
+        t.note(1, "b");
+        assert_eq!(sub.drain().len(), 2);
     }
 
     #[test]

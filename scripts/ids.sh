@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# E20 smoke: the trace-driven intrusion-detection matrix.
+#
+#   scripts/ids.sh
+#
+# Runs the full attack × detector matrix (every E1 attack, the
+# loud/stealthy variants, the zero-fault benign workload, the E12
+# chaos soak and E17 overload scenarios) through the default krb-ids
+# rule set, regenerating BENCH_ids.json, then checks both gates:
+#
+#   detection_gate  every designed detector pair fired, with >=90%
+#                   detection on the loud variants
+#   fp_gate         zero alerts on the zero-fault benign workload
+#
+# The bin exits non-zero itself when a gate fails; the greps here make
+# the contract visible even if its exit handling regresses.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q --offline --release -p bench --bin table_ids_matrix
+
+grep -q '"detection_gate": "pass"' BENCH_ids.json \
+    || { echo "BENCH_ids.json: detection gate failed"; exit 1; }
+grep -q '"fp_gate": "pass"' BENCH_ids.json \
+    || { echo "BENCH_ids.json: false-positive gate failed"; exit 1; }
+echo "ids: OK (detection + false-positive gates pass)"

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Narrated attack traces in the paper's step notation.
 #
-#   scripts/trace.sh --narrate <attack> [config]
+#   scripts/trace.sh --narrate <attack> [config] [--alerts]
 #
 #   <attack>  an attack id (A1..A14) or a name substring ("replay",
 #             "spoof", "password", ...)
 #   [config]  protocol preset: v4 (default), v5-draft3, hardened
+#   --alerts  attach the default krb-ids rule set to the run and
+#             interleave its findings (`!! IDS [detector] ...` lines,
+#             timestamped at their evidence) with the protocol steps
 #
 # Example:
 #   scripts/trace.sh --narrate replay          # A1 against V4
 #   scripts/trace.sh --narrate A1 hardened     # same attack, defended
+#   scripts/trace.sh --narrate A1 v4 --alerts  # with the IDS watching
 #
 # The run is fully deterministic (seed pinned to the E1 golden cell):
 # the narration for `--narrate replay` is exactly the trace the

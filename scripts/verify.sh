@@ -128,6 +128,25 @@ rm -f BENCH_lint.json.run1
 grep -q '"clean": true' BENCH_lint.json \
     || { echo "BENCH_lint.json reports active findings"; exit 1; }
 
+echo "== intrusion detection (E20, gates + byte-identical JSON) =="
+# The default krb-ids rule set over the full attack matrix, stealth
+# variants, benign and fault-heavy workloads. Twice: detection is a
+# pure function of the deterministic wire, so BENCH_ids.json must be
+# byte-identical across same-seed runs; then both gates (every designed
+# detector pair fired with >=90% on loud variants; zero alerts on the
+# zero-fault benign workload). The pinned A1/V4 alert-stream golden
+# rides with the test suite (alert_golden).
+cargo run --release --offline -p bench --bin table_ids_matrix
+cp BENCH_ids.json BENCH_ids.json.run1
+cargo run --release --offline -p bench --bin table_ids_matrix
+diff BENCH_ids.json.run1 BENCH_ids.json \
+    || { echo "BENCH_ids.json not byte-identical across same-seed runs"; exit 1; }
+rm -f BENCH_ids.json.run1
+grep -q '"detection_gate": "pass"' BENCH_ids.json \
+    || { echo "BENCH_ids.json missing detection gate pass"; exit 1; }
+grep -q '"fp_gate": "pass"' BENCH_ids.json \
+    || { echo "BENCH_ids.json missing false-positive gate pass"; exit 1; }
+
 echo "== chaos soak (pinned fault seeds) =="
 # Liveness + safety under a faulted network: ≥5 pinned seeds at ≥10%
 # drop+duplicate+reorder, master-KDC crash mid-campaign, E1 verdicts
